@@ -1,0 +1,139 @@
+// Package blazeit is a Go reproduction of BlazeIt (Kang, Bailis, Zaharia —
+// VLDB 2019): a video analytics system that accepts declarative FrameQL
+// queries over the objects visible in video and optimizes them with
+// specialized neural networks — query rewriting and control variates for
+// aggregates, importance sampling for cardinality-limited scrubbing, and
+// inferred label/content/temporal/spatial filters for content-based
+// selection.
+//
+// The expensive reference object detector, the video streams, and the
+// pixel features are simulated (see DESIGN.md for the substitution table);
+// the specialized networks are real models trained from scratch in pure
+// Go. Query costs are reported in simulated seconds under the paper's cost
+// model (an accurate detector at ~3 fps, specialized networks at 10,000
+// fps, cheap filters at 100,000 fps).
+//
+// # Quick start
+//
+//	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: 0.05})
+//	if err != nil { ... }
+//	res, err := sys.Query(`
+//	    SELECT FCOUNT(*) FROM taipei
+//	    WHERE class = 'car'
+//	    ERROR WITHIN 0.1 AT CONFIDENCE 95%`)
+//	fmt.Println(res.Value, res.Stats.Plan, res.Stats.TotalSeconds())
+//
+// Six synthetic streams calibrated to the paper's Table 3 are built in:
+// taipei, night-street, rialto, grand-canal, amsterdam, archie.
+package blazeit
+
+import (
+	"repro/internal/core"
+	"repro/internal/frameql"
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// Result is a query outcome: the answer plus the execution cost meter.
+type Result = core.Result
+
+// Stats is the per-query cost meter in simulated seconds.
+type Stats = core.Stats
+
+// Row is one materialized FrameQL record (an object in a frame).
+type Row = core.Row
+
+// Options configures a System.
+type Options struct {
+	// Scale shrinks the streams for fast experimentation: 0.01 generates
+	// ~1% of a full day. 0 (or 1) uses full-length days, which makes
+	// model training and inference take tens of seconds of real time.
+	Scale float64
+	// Seed makes every stochastic choice reproducible.
+	Seed int64
+	// TrainFrames overrides the specialized-network training set size
+	// (default: the paper's 150,000, clamped to the day length).
+	TrainFrames int
+	// Epochs overrides training epochs (default 1, as in the paper).
+	Epochs int
+	// HeldOutSample caps frames used for held-out error estimation.
+	HeldOutSample int
+}
+
+// System is an opened video stream with its query engine: three generated
+// days (train / held-out / test, following the paper's protocol) plus
+// caches of trained specialized networks.
+type System struct {
+	eng *core.Engine
+}
+
+// Open prepares the named stream. See Streams for valid names.
+func Open(stream string, opts Options) (*System, error) {
+	eng, err := core.NewEngine(stream, core.Options{
+		Scale: opts.Scale,
+		Seed:  opts.Seed,
+		Spec: specnn.Options{
+			TrainFrames: opts.TrainFrames,
+			Epochs:      opts.Epochs,
+			Seed:        opts.Seed + 17,
+		},
+		HeldOutSample: opts.HeldOutSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// Query parses, optimizes, and executes a FrameQL query against the
+// stream's test day.
+func (s *System) Query(q string) (*Result, error) {
+	return s.eng.Query(q)
+}
+
+// Explain parses and analyzes a query without executing it, returning the
+// plan family the optimizer would choose and the canonicalized query text.
+func (s *System) Explain(q string) (kind, canonical string, err error) {
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		return "", "", err
+	}
+	return info.Kind.String(), info.Stmt.String(), nil
+}
+
+// Engine exposes the underlying engine for advanced use (explicit plans,
+// baseline comparisons, direct access to the generated days).
+func (s *System) Engine() *core.Engine { return s.eng }
+
+// ExportModel serializes the trained specialized network for the given
+// object classes (training it first if necessary), so a later session can
+// warm-start with ImportModel and skip training entirely — the paper's
+// cached-model ("no train" / "indexed") mode of operation.
+func (s *System) ExportModel(classes ...string) ([]byte, error) {
+	return s.eng.ExportModel(toClasses(classes))
+}
+
+// ImportModel installs a specialized network previously produced by
+// ExportModel for the given classes. Subsequent queries over those classes
+// carry no training cost.
+func (s *System) ImportModel(data []byte, classes ...string) error {
+	return s.eng.ImportModel(toClasses(classes), data)
+}
+
+func toClasses(names []string) []vidsim.Class {
+	cs := make([]vidsim.Class, len(names))
+	for i, n := range names {
+		cs[i] = vidsim.Class(n)
+	}
+	return cs
+}
+
+// Streams returns the built-in evaluation stream names.
+func Streams() []string { return vidsim.StreamNames() }
+
+// Parse validates FrameQL syntax, returning a descriptive error for
+// malformed queries.
+func Parse(q string) error {
+	_, err := frameql.Parse(q)
+	return err
+}

@@ -1,0 +1,131 @@
+package blazeit
+
+import (
+	"strings"
+	"testing"
+)
+
+func openSmall(t *testing.T) *System {
+	t.Helper()
+	sys, err := Open("taipei", Options{
+		Scale:         0.015,
+		Seed:          3,
+		TrainFrames:   12000,
+		Epochs:        2,
+		HeldOutSample: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenUnknownStream(t *testing.T) {
+	if _, err := Open("nope", Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStreams(t *testing.T) {
+	names := Streams()
+	if len(names) != 6 {
+		t.Fatalf("streams = %v", names)
+	}
+	want := map[string]bool{"taipei": true, "night-street": true, "rialto": true,
+		"grand-canal": true, "amsterdam": true, "archie": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected stream %q", n)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	if err := Parse("SELECT FCOUNT(*) FROM taipei WHERE class='car'"); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := Parse("SELECT FROM"); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestEndToEndAggregate(t *testing.T) {
+	sys := openSmall(t)
+	res, err := sys.Query(`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 || res.Value > 6 {
+		t.Errorf("implausible car density %v", res.Value)
+	}
+	if res.Stats.TotalSeconds() <= 0 {
+		t.Error("no cost recorded")
+	}
+}
+
+func TestEndToEndScrub(t *testing.T) {
+	sys := openSmall(t)
+	res, err := sys.Query(`
+		SELECT timestamp FROM taipei GROUP BY timestamp
+		HAVING SUM(class='car') >= 2 LIMIT 3 GAP 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) == 0 {
+		t.Error("no frames found")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	sys := openSmall(t)
+	kind, canonical, err := sys.Explain(`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "aggregate" {
+		t.Errorf("kind = %s", kind)
+	}
+	if !strings.Contains(canonical, "FCOUNT(*)") {
+		t.Errorf("canonical = %s", canonical)
+	}
+	if _, _, err := sys.Explain("garbage"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestEngineAccess(t *testing.T) {
+	sys := openSmall(t)
+	if sys.Engine() == nil || sys.Engine().Test == nil {
+		t.Fatal("engine not exposed")
+	}
+}
+
+func TestWarmStartAcrossSystems(t *testing.T) {
+	first := openSmall(t)
+	data, err := first.ExportModel("car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty model export")
+	}
+	second, err := Open("taipei", Options{
+		Scale: 0.015, Seed: 3, TrainFrames: 12000, Epochs: 2, HeldOutSample: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.ImportModel(data, "car"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := second.Query(`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TrainSeconds > 5 {
+		t.Errorf("warm-started query still paid %.1fs of training", res.Stats.TrainSeconds)
+	}
+	if err := second.ImportModel([]byte("junk"), "car"); err == nil {
+		t.Error("junk import should fail")
+	}
+}

@@ -1,0 +1,47 @@
+// Command blazebench regenerates every table and figure of the BlazeIt
+// paper's evaluation (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	blazebench [-scale 1.0] [-runs 3] [-seed 1] [-exp all|table3|fig4|...]
+//
+// At -scale 1.0 the full Table 3 day lengths are generated and the run
+// takes several minutes (it trains specialized networks from scratch per
+// stream); -scale 0.05 gives the same shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "stream scale factor (1.0 = full days)")
+	runs := flag.Int("runs", 3, "averaging runs for Table 4 / Figure 5")
+	seed := flag.Int64("seed", 1, "random seed")
+	exp := flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+	flag.Parse()
+
+	s := experiments.NewSession(experiments.Config{
+		Scale: *scale,
+		Runs:  *runs,
+		Seed:  *seed,
+	})
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = s.All(os.Stdout)
+	} else {
+		err = s.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blazebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(wall time %.1fs at scale %g)\n", time.Since(start).Seconds(), *scale)
+}

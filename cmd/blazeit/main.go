@@ -1,0 +1,105 @@
+// Command blazeit runs a FrameQL query against one of the built-in
+// synthetic evaluation streams and prints the answer, the chosen plan, and
+// the simulated cost.
+//
+// Usage:
+//
+//	blazeit -stream taipei [-scale 0.05] [-seed 1] [-explain] 'QUERY'
+//
+// Examples:
+//
+//	blazeit -stream taipei -scale 0.05 \
+//	  "SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%"
+//
+//	blazeit -stream taipei -scale 0.05 \
+//	  "SELECT timestamp FROM taipei GROUP BY timestamp
+//	   HAVING SUM(class='bus')>=1 AND SUM(class='car')>=5 LIMIT 10 GAP 300"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	blazeit "repro"
+)
+
+func main() {
+	stream := flag.String("stream", "taipei", "stream name: "+strings.Join(blazeit.Streams(), ", "))
+	scale := flag.Float64("scale", 0.05, "stream scale factor (1.0 = full paper-length days)")
+	seed := flag.Int64("seed", 1, "random seed")
+	explain := flag.Bool("explain", false, "analyze the query and print the plan family without executing")
+	maxRows := flag.Int("maxrows", 10, "maximum rows to print")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: blazeit [flags] 'FRAMEQL QUERY'")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	sys, err := blazeit.Open(*stream, blazeit.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		kind, canonical, err := sys.Explain(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kind: %s\nquery: %s\n", kind, canonical)
+		return
+	}
+
+	res, err := sys.Query(query)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("plan: %s\n", res.Stats.Plan)
+	for _, n := range res.Stats.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	switch res.Kind {
+	case "aggregate", "distinct-count":
+		fmt.Printf("value: %.4f\n", res.Value)
+		if res.StdErr > 0 {
+			fmt.Printf("stderr: %.4f\n", res.StdErr)
+		}
+	case "scrubbing":
+		fmt.Printf("frames (%d):", len(res.Frames))
+		for i, f := range res.Frames {
+			if i >= *maxRows {
+				fmt.Printf(" ... (+%d more)", len(res.Frames)-i)
+				break
+			}
+			fmt.Printf(" %d", f)
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("rows: %d", len(res.Rows))
+		if len(res.TrackIDs) > 0 {
+			fmt.Printf(" (distinct tracks: %d)", len(res.TrackIDs))
+		}
+		fmt.Println()
+		for i, row := range res.Rows {
+			if i >= *maxRows {
+				fmt.Printf("  ... (+%d more rows)\n", len(res.Rows)-i)
+				break
+			}
+			fmt.Printf("  t=%d %s track=%d box=(%.0f,%.0f %.0fx%.0f) conf=%.2f\n",
+				row.Timestamp, row.Class, row.TrackID,
+				row.Mask.X, row.Mask.Y, row.Mask.W, row.Mask.H, row.Confidence)
+		}
+	}
+	fmt.Printf("cost: %d detector calls, %.1f simulated seconds (%.1f excl. training)\n",
+		res.Stats.DetectorCalls, res.Stats.TotalSeconds(), res.Stats.TotalSecondsNoTrain())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blazeit:", err)
+	os.Exit(1)
+}

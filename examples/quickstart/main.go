@@ -1,0 +1,47 @@
+// Quickstart: open a stream, run one declarative aggregate query, and
+// inspect the optimizer's decision.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blazeit "repro"
+)
+
+func main() {
+	// Open the taipei intersection stream at 5% of a full day so this
+	// example runs in a few seconds. The system generates three synthetic
+	// days (train / held-out / test) and is ready for queries.
+	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ask for the frame-averaged number of cars with a 0.1 absolute error
+	// tolerance at 95% confidence — the paper's Figure 3a query. The
+	// optimizer decides whether a specialized network can answer this
+	// directly, or whether sampling (with control variates) is needed.
+	res, err := sys.Query(`
+		SELECT FCOUNT(*) FROM taipei
+		WHERE class = 'car'
+		ERROR WITHIN 0.1 AT CONFIDENCE 95%`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("average cars per frame: %.3f\n", res.Value)
+	fmt.Printf("plan chosen:            %s\n", res.Stats.Plan)
+	fmt.Printf("detector calls:         %d\n", res.Stats.DetectorCalls)
+	fmt.Printf("simulated cost:         %.1fs (naive would be %.0fs)\n",
+		res.Stats.TotalSeconds(),
+		float64(sys.Engine().Test.Frames)/3.0) // the reference detector runs at ~3 fps
+
+	for _, note := range res.Stats.Notes {
+		fmt.Printf("optimizer: %s\n", note)
+	}
+}

@@ -1,0 +1,212 @@
+// Package aqp implements BlazeIt's approximate aggregation machinery
+// (paper §6): an adaptive sampling procedure with an absolute error bound,
+// and the control-variates estimator that uses a specialized network's
+// per-frame signal to shrink sampling variance.
+//
+// The sampling procedure follows §6.1: it starts with K/ε samples (K being
+// the range of the estimated quantity, from an ε-net argument), grows the
+// sample linearly each round, and terminates when the CLT bound
+// Q(1−δ/2)·σ̂/√n (with the finite-population correction) drops below the
+// error target ε.
+//
+// Control variates (§6.3) replace each measured value m with
+// m + c·(t − τ), where t is the specialized network's cheap signal for the
+// same frame, τ = E[t] is computed exactly over the whole video (cheap,
+// because the network runs at 10,000 fps), and c = −Cov(m,t)/Var(t) is
+// estimated from the samples gathered so far. The corrected estimator is
+// unbiased for any c and has variance (1 − Corr(m,t)²)·Var(m) at the
+// optimal c — sampling stops earlier in exact proportion to the squared
+// correlation.
+package aqp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Options configures an adaptive sampling run.
+type Options struct {
+	// ErrorTarget is the absolute error tolerance ε (required, > 0).
+	ErrorTarget float64
+	// Confidence is the confidence level (default 0.95).
+	Confidence float64
+	// Range is K, the range of the estimated quantity (max value + 1 for
+	// counts). The startup sample size is K/ε.
+	Range float64
+	// Population is the number of frames sampling draws from (required).
+	Population int
+	// Seed drives frame selection.
+	Seed int64
+	// MaxSamples caps the sample budget; 0 means the whole population.
+	MaxSamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Range <= 0 {
+		o.Range = 1
+	}
+	if o.MaxSamples <= 0 || o.MaxSamples > o.Population {
+		o.MaxSamples = o.Population
+	}
+	return o
+}
+
+// startupSamples returns the initial sample count K/ε, clamped to at least
+// 2 and at most the population.
+func (o Options) startupSamples() int {
+	n := int(math.Ceil(o.Range / o.ErrorTarget))
+	if n < 2 {
+		n = 2
+	}
+	if n > o.MaxSamples {
+		n = o.MaxSamples
+	}
+	return n
+}
+
+// Result reports an adaptive sampling outcome.
+type Result struct {
+	// Estimate is the final estimate of the mean.
+	Estimate float64
+	// Samples is the number of expensive measurements taken (detector
+	// calls, in BlazeIt's use).
+	Samples int
+	// Rounds is the number of adaptive rounds executed.
+	Rounds int
+	// StdErr is the final standard error of the estimator.
+	StdErr float64
+	// Converged is false if the sample budget ran out before the error
+	// target was met (the estimate is then exact over the population when
+	// Samples == Population, or best-effort otherwise).
+	Converged bool
+	// C is the control-variate coefficient used (0 for plain sampling).
+	C float64
+	// Correlation is the sample correlation between measurement and
+	// control signal (0 for plain sampling).
+	Correlation float64
+}
+
+// sampler yields uniformly random distinct frames via lazy Fisher–Yates,
+// so sampling is without replacement and the finite-population correction
+// applies exactly.
+type sampler struct {
+	rng   *rand.Rand
+	n     int
+	drawn int
+	remap map[int]int
+}
+
+func newSampler(population int, seed int64) *sampler {
+	return &sampler{
+		rng:   rand.New(rand.NewSource(seed)),
+		n:     population,
+		remap: make(map[int]int),
+	}
+}
+
+// next returns the next distinct frame; it must be called at most n times.
+func (s *sampler) next() int {
+	i := s.drawn
+	j := i + s.rng.Intn(s.n-i)
+	vi, ok := s.remap[i]
+	if !ok {
+		vi = i
+	}
+	vj, ok := s.remap[j]
+	if !ok {
+		vj = j
+	}
+	s.remap[i], s.remap[j] = vj, vi
+	s.drawn++
+	return vj
+}
+
+// Sample runs the adaptive sampling procedure of §6.1 with measure giving
+// the expensive per-frame value (e.g. the detector's object count).
+func Sample(opts Options, measure func(frame int) float64) Result {
+	opts = opts.withDefaults()
+	z := stats.ZScoreForConfidence(opts.Confidence)
+	smp := newSampler(opts.Population, opts.Seed)
+	var acc stats.Online
+
+	batch := opts.startupSamples()
+	res := Result{}
+	for {
+		res.Rounds++
+		for i := 0; i < batch && acc.N() < opts.MaxSamples; i++ {
+			acc.Add(measure(smp.next()))
+		}
+		se := acc.StdDev() / math.Sqrt(float64(acc.N())) *
+			stats.FinitePopulationCorrection(acc.N(), opts.Population)
+		if z*se < opts.ErrorTarget {
+			res.Converged = true
+			res.StdErr = se
+			break
+		}
+		if acc.N() >= opts.MaxSamples {
+			res.StdErr = se
+			break
+		}
+		// Linear growth: each round adds another startup-sized batch.
+		batch = opts.startupSamples()
+	}
+	res.Estimate = acc.Mean()
+	res.Samples = acc.N()
+	return res
+}
+
+// ControlVariates runs adaptive sampling with the method of control
+// variates (§6.3). signal gives the cheap per-frame control value t;
+// tau and varT are its exact mean and variance over the whole population
+// (computable because the specialized network is ~1000× cheaper than the
+// detector). measure remains the expensive ground-truth value m.
+func ControlVariates(opts Options, measure, signal func(frame int) float64, tau, varT float64) Result {
+	opts = opts.withDefaults()
+	if varT <= 0 {
+		// A constant control signal cannot reduce variance.
+		return Sample(opts, measure)
+	}
+	z := stats.ZScoreForConfidence(opts.Confidence)
+	smp := newSampler(opts.Population, opts.Seed)
+	var mo stats.OnlineCov // (m, t) pairs
+
+	batch := opts.startupSamples()
+	res := Result{}
+	for {
+		res.Rounds++
+		for i := 0; i < batch && mo.N() < opts.MaxSamples; i++ {
+			f := smp.next()
+			mo.Add(measure(f), signal(f))
+		}
+		// Optimal coefficient from the samples so far, using the exact
+		// control variance (lower-variance estimate than the sample one).
+		c := -mo.Covariance() / varT
+		res.C = c
+		res.Correlation = mo.Correlation()
+		// Var(m + c t) = Var(m) + c² Var(t) + 2c Cov(m, t).
+		v := mo.VarianceX() + c*c*varT + 2*c*mo.Covariance()
+		if v < 0 {
+			v = 0
+		}
+		se := math.Sqrt(v/float64(mo.N())) *
+			stats.FinitePopulationCorrection(mo.N(), opts.Population)
+		if z*se < opts.ErrorTarget {
+			res.Converged = true
+			res.StdErr = se
+			break
+		}
+		if mo.N() >= opts.MaxSamples {
+			res.StdErr = se
+			break
+		}
+		batch = opts.startupSamples()
+	}
+	res.Estimate = mo.MeanX() + res.C*(mo.MeanY()-tau)
+	res.Samples = mo.N()
+	return res
+}

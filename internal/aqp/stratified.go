@@ -1,0 +1,147 @@
+package aqp
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements stratified sampling, the classic AQP variance
+// reduction the paper contrasts control variates against (§11 cites
+// BlinkDB-style stratified sample selection). Video has strong diurnal
+// structure, so stratifying by time of day captures some of the variance
+// a specialized network captures — but, unlike a control variate, it needs
+// no model at all. The ablation benchmark compares the two.
+
+// StratifiedResult extends Result with per-stratum allocation detail.
+type StratifiedResult struct {
+	Result
+	// Strata is the number of time strata used.
+	Strata int
+	// Allocation is the final number of samples drawn per stratum.
+	Allocation []int
+}
+
+// StratifiedSample estimates the population mean by dividing the frame
+// range into contiguous time strata, allocating samples by Neyman
+// allocation (proportional to each stratum's estimated standard
+// deviation), and combining stratum means. It terminates when the
+// stratified estimator's CLT bound meets the error target.
+func StratifiedSample(opts Options, strata int, measure func(frame int) float64) StratifiedResult {
+	opts = opts.withDefaults()
+	if strata < 1 {
+		strata = 1
+	}
+	if strata > opts.Population {
+		strata = opts.Population
+	}
+	z := stats.ZScoreForConfidence(opts.Confidence)
+
+	// Stratum boundaries: equal-width time slices.
+	bounds := make([]int, strata+1)
+	for i := 0; i <= strata; i++ {
+		bounds[i] = i * opts.Population / strata
+	}
+	samplers := make([]*sampler, strata)
+	accs := make([]stats.Online, strata)
+	sizes := make([]int, strata)
+	for i := 0; i < strata; i++ {
+		sizes[i] = bounds[i+1] - bounds[i]
+		samplers[i] = newSampler(sizes[i], opts.Seed+int64(i)*9973)
+	}
+
+	res := StratifiedResult{Strata: strata, Allocation: make([]int, strata)}
+	total := 0
+	draw := func(i int) bool {
+		if accs[i].N() >= sizes[i] {
+			return false
+		}
+		f := bounds[i] + samplers[i].next()
+		accs[i].Add(measure(f))
+		res.Allocation[i]++
+		total++
+		return true
+	}
+
+	// Pilot phase: equal allocation of the startup budget.
+	pilot := opts.startupSamples() / strata
+	if pilot < 2 {
+		pilot = 2
+	}
+	for i := 0; i < strata; i++ {
+		for j := 0; j < pilot; j++ {
+			draw(i)
+		}
+	}
+
+	for {
+		res.Rounds++
+		// Stratified estimator: weighted mean and its variance.
+		est, se := stratifiedMoments(accs, sizes, opts.Population)
+		if z*se < opts.ErrorTarget {
+			res.Converged = true
+			res.Estimate = est
+			res.StdErr = se
+			res.Samples = total
+			return res
+		}
+		if total >= opts.MaxSamples {
+			res.Estimate = est
+			res.StdErr = se
+			res.Samples = total
+			return res
+		}
+		// Neyman allocation of the next batch: w_i ∝ N_i * s_i.
+		batch := opts.startupSamples()
+		weights := make([]float64, strata)
+		sum := 0.0
+		for i := 0; i < strata; i++ {
+			weights[i] = float64(sizes[i]) * math.Max(accs[i].StdDev(), 1e-9)
+			sum += weights[i]
+		}
+		drawn := 0
+		for i := 0; i < strata && sum > 0; i++ {
+			k := int(math.Round(float64(batch) * weights[i] / sum))
+			for j := 0; j < k && total < opts.MaxSamples; j++ {
+				if draw(i) {
+					drawn++
+				}
+			}
+		}
+		if drawn == 0 {
+			// All strata exhausted or weights degenerate: fill round-robin.
+			for i := 0; i < strata && total < opts.MaxSamples; i++ {
+				if draw(i) {
+					drawn++
+				}
+			}
+			if drawn == 0 {
+				est, se := stratifiedMoments(accs, sizes, opts.Population)
+				res.Estimate = est
+				res.StdErr = se
+				res.Samples = total
+				return res
+			}
+		}
+	}
+}
+
+// stratifiedMoments combines per-stratum means into the population
+// estimate and its standard error (with per-stratum finite-population
+// corrections).
+func stratifiedMoments(accs []stats.Online, sizes []int, population int) (est, se float64) {
+	varSum := 0.0
+	for i := range accs {
+		w := float64(sizes[i]) / float64(population)
+		est += w * accs[i].Mean()
+		n := accs[i].N()
+		if n > 1 && sizes[i] > 1 {
+			fpc := float64(sizes[i]-n) / float64(sizes[i]-1)
+			if fpc < 0 {
+				fpc = 0
+			}
+			varSum += w * w * accs[i].Variance() / float64(n) * fpc
+		}
+	}
+	return est, math.Sqrt(varSum)
+}

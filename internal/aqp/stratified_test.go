@@ -1,0 +1,141 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// diurnalPopulation builds counts with strong time-of-day structure: busy
+// midday, quiet night — the regime stratification exploits.
+func diurnalPopulation(n int, seed int64) []float64 {
+	rng := newTestRng(seed)
+	m := make([]float64, n)
+	for i := range m {
+		phase := float64(i) / float64(n)
+		rate := 2.5 * (1 + 0.9*math.Sin(2*math.Pi*phase-math.Pi/2))
+		// Poisson-ish via rounding a noisy rate.
+		v := rate + rng.NormFloat64()*math.Sqrt(rate+0.1)
+		if v < 0 {
+			v = 0
+		}
+		m[i] = math.Floor(v)
+	}
+	return m
+}
+
+type testRng struct{ s uint64 }
+
+func newTestRng(seed int64) *testRng { return &testRng{uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *testRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRng) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *testRng) NormFloat64() float64 {
+	u1 := math.Max(r.Float64(), 1e-12)
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func TestStratifiedMeetsErrorTarget(t *testing.T) {
+	m := diurnalPopulation(150000, 3)
+	truth := stats.Mean(m)
+	misses := 0
+	const runs = 30
+	for r := 0; r < runs; r++ {
+		res := StratifiedSample(Options{
+			ErrorTarget: 0.08,
+			Range:       8,
+			Population:  len(m),
+			Seed:        int64(500 + r),
+		}, 24, func(f int) float64 { return m[f] })
+		if math.Abs(res.Estimate-truth) > 0.08 {
+			misses++
+		}
+	}
+	if misses > 4 {
+		t.Errorf("%d/%d stratified runs exceeded the bound", misses, runs)
+	}
+}
+
+func TestStratifiedBeatsUniformOnDiurnalData(t *testing.T) {
+	m := diurnalPopulation(200000, 7)
+	var uniTotal, strTotal int
+	for r := 0; r < 8; r++ {
+		opts := Options{
+			ErrorTarget: 0.05,
+			Range:       8,
+			Population:  len(m),
+			Seed:        int64(900 + r),
+		}
+		uni := Sample(opts, func(f int) float64 { return m[f] })
+		str := StratifiedSample(opts, 24, func(f int) float64 { return m[f] })
+		uniTotal += uni.Samples
+		strTotal += str.Samples
+	}
+	if strTotal >= uniTotal {
+		t.Errorf("stratified used %d samples vs uniform %d on diurnal data", strTotal, uniTotal)
+	}
+}
+
+func TestStratifiedDegenerateCases(t *testing.T) {
+	m := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	// One stratum degrades to (roughly) plain sampling.
+	res := StratifiedSample(Options{
+		ErrorTarget: 1e-9,
+		Range:       8,
+		Population:  len(m),
+		Seed:        1,
+	}, 1, func(f int) float64 { return m[f] })
+	if res.Samples != len(m) {
+		t.Errorf("exhaustion expected, sampled %d of %d", res.Samples, len(m))
+	}
+	if math.Abs(res.Estimate-4.5) > 1e-9 {
+		t.Errorf("exhaustive estimate %v", res.Estimate)
+	}
+	// More strata than frames is clamped.
+	res = StratifiedSample(Options{
+		ErrorTarget: 10,
+		Range:       8,
+		Population:  len(m),
+		Seed:        2,
+	}, 100, func(f int) float64 { return m[f] })
+	if res.Strata > len(m) {
+		t.Errorf("strata %d not clamped", res.Strata)
+	}
+	// Zero strata coerced to 1.
+	res = StratifiedSample(Options{
+		ErrorTarget: 10,
+		Range:       8,
+		Population:  len(m),
+		Seed:        3,
+	}, 0, func(f int) float64 { return m[f] })
+	if res.Strata != 1 {
+		t.Errorf("strata = %d, want 1", res.Strata)
+	}
+}
+
+func TestStratifiedAllocationSums(t *testing.T) {
+	m := diurnalPopulation(50000, 11)
+	res := StratifiedSample(Options{
+		ErrorTarget: 0.1,
+		Range:       8,
+		Population:  len(m),
+		Seed:        4,
+	}, 12, func(f int) float64 { return m[f] })
+	total := 0
+	for _, a := range res.Allocation {
+		total += a
+	}
+	if total != res.Samples {
+		t.Errorf("allocation sums to %d, samples %d", total, res.Samples)
+	}
+}

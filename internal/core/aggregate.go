@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aqp"
+	"repro/internal/detect"
+	"repro/internal/frameql"
+	"repro/internal/specnn"
+	"repro/internal/track"
+	"repro/internal/vidsim"
+)
+
+// executeAggregate runs an FCOUNT/COUNT query following Algorithm 1 of the
+// paper: rewrite with the specialized network when its held-out error is
+// within the user's bound at the requested confidence; otherwise use the
+// network as a control variate; fall back to plain adaptive sampling when
+// no network can be trained; and run exhaustively when the query carries
+// no error tolerance at all.
+func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
+	if len(info.Classes) != 1 {
+		return nil, fmt.Errorf("core: aggregate queries need exactly one class predicate, got %v", info.Classes)
+	}
+	class := vidsim.Class(info.Classes[0])
+	res := &Result{Kind: info.Kind.String()}
+
+	// No tolerance: the exact answer requires the detector on every frame.
+	if info.ErrorWithin == nil {
+		mean := e.naiveMeanCount(class, &res.Stats)
+		res.Stats.Plan = "naive-exhaustive"
+		res.Value = e.scaleAggregate(info, mean)
+		return res, nil
+	}
+
+	model, trainCost, err := e.Model([]vidsim.Class{class})
+	if err != nil {
+		// Not enough examples to specialize (Algorithm 1's precondition):
+		// plain adaptive sampling.
+		res.Stats.note("specialization unavailable (%v); falling back to AQP", err)
+		return e.aggregateAQP(info, class, res)
+	}
+	res.Stats.TrainSeconds += trainCost
+
+	// Estimate held-out error and test it against the bound (the bootstrap
+	// P(err < uerr) >= conf check).
+	errs, simCost, err := specnn.HeldOutErrors(model, e.HeldOut, e.DHeld, class, e.opts.HeldOutSample, e.opts.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.TrainSeconds += simCost
+	pWithin := specnn.BiasWithin(errs, *info.ErrorWithin, 500, e.opts.Seed+4)
+	res.Stats.note("P(held-out error < %.3g) = %.3f (need >= %.2f)", *info.ErrorWithin, pWithin, info.Confidence)
+
+	inf, infCost, err := e.Inference([]vidsim.Class{class}, e.Test)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SpecNNSeconds += infCost
+	head := model.HeadIndex(class)
+
+	if pWithin >= info.Confidence {
+		// Query rewriting: the specialized network answers directly.
+		res.Stats.Plan = "specialized-rewrite"
+		res.Value = e.scaleAggregate(info, inf.MeanExpectedCount(head))
+		return res, nil
+	}
+
+	// Control variates: the network's expected count is the auxiliary
+	// variable; its mean and variance over the test day are exact.
+	res.Stats.Plan = "control-variates"
+	tau, varT := inf.ExpectedMoments(head)
+	fullCost := e.DTest.FullFrameCost()
+	cv := aqp.ControlVariates(e.samplingOptions(info, class),
+		func(f int) float64 {
+			res.Stats.addDetection(fullCost)
+			return float64(e.DTest.CountAt(f, class))
+		},
+		func(f int) float64 { return inf.ExpectedCount(head, f) },
+		tau, varT)
+	res.Stats.note("control variates: %d samples, corr=%.3f, c=%.3f", cv.Samples, cv.Correlation, cv.C)
+	res.Value = e.scaleAggregate(info, cv.Estimate)
+	res.StdErr = cv.StdErr
+	return res, nil
+}
+
+// aggregateAQP runs the plain adaptive sampling plan.
+func (e *Engine) aggregateAQP(info *frameql.Info, class vidsim.Class, res *Result) (*Result, error) {
+	res.Stats.Plan = "naive-aqp"
+	fullCost := e.DTest.FullFrameCost()
+	r := aqp.Sample(e.samplingOptions(info, class), func(f int) float64 {
+		res.Stats.addDetection(fullCost)
+		return float64(e.DTest.CountAt(f, class))
+	})
+	res.Value = e.scaleAggregate(info, r.Estimate)
+	res.StdErr = r.StdErr
+	return res, nil
+}
+
+// samplingOptions builds AQP options from the query. The range K comes
+// from the training day's maximum count plus one — the information the
+// labeled set provides about the estimated quantity's range.
+func (e *Engine) samplingOptions(info *frameql.Info, class vidsim.Class) aqp.Options {
+	return aqp.Options{
+		ErrorTarget: *info.ErrorWithin,
+		Confidence:  info.Confidence,
+		Range:       float64(e.Train.MaxCount(class) + 1),
+		Population:  e.Test.Frames,
+		Seed:        e.opts.Seed + 11,
+	}
+}
+
+// scaleAggregate converts a frame-averaged count into the query's output
+// unit: FCOUNT stays frame-averaged, COUNT(*) scales to the total.
+func (e *Engine) scaleAggregate(info *frameql.Info, mean float64) float64 {
+	if info.AggFunc == "COUNT" {
+		return mean * float64(e.Test.Frames)
+	}
+	return mean
+}
+
+// naiveMeanCount runs the detector on every frame and returns the mean
+// count, charging every call.
+func (e *Engine) naiveMeanCount(class vidsim.Class, stats *Stats) float64 {
+	fullCost := e.DTest.FullFrameCost()
+	total := 0
+	for f := 0; f < e.Test.Frames; f++ {
+		stats.addDetection(fullCost)
+		total += e.DTest.CountAt(f, class)
+	}
+	return float64(total) / float64(e.Test.Frames)
+}
+
+// executeDistinct answers COUNT(DISTINCT trackid) queries. Identity
+// requires entity resolution across consecutive frames, so the plan is
+// exhaustive: detect on every frame and track (paper §4 distinguishes this
+// query from FCOUNT precisely because it needs trackid).
+func (e *Engine) executeDistinct(info *frameql.Info) (*Result, error) {
+	if len(info.Classes) != 1 {
+		return nil, fmt.Errorf("core: COUNT(DISTINCT trackid) needs exactly one class predicate")
+	}
+	class := vidsim.Class(info.Classes[0])
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "exhaustive-tracking"
+
+	lo, hi := e.frameRange(info)
+	fullCost := e.DTest.FullFrameCost()
+	tr := track.New(0, 1)
+	distinct := make(map[int]bool)
+	var dets []detect.Detection
+	for f := lo; f < hi; f++ {
+		res.Stats.addDetection(fullCost)
+		dets = e.DTest.Detect(f, dets[:0])
+		ids := tr.Advance(f, dets)
+		for i := range dets {
+			if dets[i].Class == class {
+				distinct[ids[i]] = true
+			}
+		}
+	}
+	res.Value = float64(len(distinct))
+	return res, nil
+}

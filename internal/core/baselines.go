@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frameql"
+	"repro/internal/scrub"
+	"repro/internal/vidsim"
+)
+
+// This file implements the paper's comparison baselines (§10.1.1). The
+// NoScope oracle is deliberately idealized: it knows, for free, whether a
+// frame contains at least one object of a class — "strictly more powerful
+// — both in terms of accuracy and speed — than NoScope".
+
+// AggregateNaive answers an aggregate query by running the detector on
+// every frame (Figure 4's "Naive" bar).
+func (e *Engine) AggregateNaive(info *frameql.Info) (*Result, error) {
+	class, err := singleClass(info)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "baseline-naive"
+	mean := e.naiveMeanCount(class, &res.Stats)
+	res.Value = e.scaleAggregate(info, mean)
+	return res, nil
+}
+
+// AggregateNoScope answers an aggregate query with the NoScope oracle:
+// the detector runs only on frames the oracle says contain the class
+// (Figure 4's "NoScope (Oracle)" bar). Counting still requires detection
+// on every occupied frame, so streams with high occupancy benefit little
+// (§10.1.1: counting cars in taipei requires detection on 64.4% of
+// frames).
+func (e *Engine) AggregateNoScope(info *frameql.Info) (*Result, error) {
+	class, err := singleClass(info)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "baseline-noscope-oracle"
+	presence := e.Test.Counts(class)
+	fullCost := e.DTest.FullFrameCost()
+	total := 0
+	for f := 0; f < e.Test.Frames; f++ {
+		if presence[f] == 0 {
+			continue
+		}
+		res.Stats.addDetection(fullCost)
+		total += e.DTest.CountAt(f, class)
+	}
+	res.Value = e.scaleAggregate(info, float64(total)/float64(e.Test.Frames))
+	return res, nil
+}
+
+// AggregateAQP answers an aggregate query with plain adaptive sampling,
+// never using specialization (Figure 4's "AQP (Naive)" bar). The query
+// must carry an error tolerance.
+func (e *Engine) AggregateAQP(info *frameql.Info) (*Result, error) {
+	class, err := singleClass(info)
+	if err != nil {
+		return nil, err
+	}
+	if info.ErrorWithin == nil {
+		return nil, fmt.Errorf("core: AQP requires an ERROR WITHIN clause")
+	}
+	res := &Result{Kind: info.Kind.String()}
+	return e.aggregateAQP(info, class, res)
+}
+
+// ScrubNaive answers a scrubbing query by sequential detector scan
+// (Figure 6's "Naive" bar).
+func (e *Engine) ScrubNaive(info *frameql.Info) (*Result, error) {
+	reqs, _, err := scrubRequirements(info)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "baseline-scrub-naive"
+	lo, hi := e.frameRange(info)
+	limit := info.Limit
+	if limit < 0 {
+		limit = int(^uint(0) >> 1)
+	}
+	sr := scrub.Search(rangeOrder(lo, hi), limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	res.Frames = sr.Frames
+	return res, nil
+}
+
+// ScrubNoScope answers a scrubbing query scanning only frames where the
+// oracle reports every requested class present (Figure 6's "NoScope
+// (Oracle)" bar). The oracle is binary: it cannot distinguish one object
+// from five, so the detector must still verify counts.
+func (e *Engine) ScrubNoScope(info *frameql.Info) (*Result, error) {
+	reqs, classes, err := scrubRequirements(info)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "baseline-scrub-noscope-oracle"
+	presences := make([][]int32, len(classes))
+	for i, c := range classes {
+		presences[i] = e.Test.Counts(c)
+	}
+	lo, hi := e.frameRange(info)
+	order := scrub.FilterOrder(rangeOrder(lo, hi), func(f int) bool {
+		for _, p := range presences {
+			if p[f] == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	limit := info.Limit
+	if limit < 0 {
+		limit = int(^uint(0) >> 1)
+	}
+	sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	res.Frames = sr.Frames
+	return res, nil
+}
+
+// SelectionNaive runs a selection query with no filters (Figure 10's
+// "Naive" bar).
+func (e *Engine) SelectionNaive(info *frameql.Info) (*Result, error) {
+	return e.ExecuteSelectionPlan(info, NaivePlan())
+}
+
+// SelectionNoScope runs a selection query with only the oracle label
+// filter (Figure 10's "NoScope (oracle)" bar).
+func (e *Engine) SelectionNoScope(info *frameql.Info) (*Result, error) {
+	return e.ExecuteSelectionPlan(info, SelectionPlan{NoScopeOracle: true})
+}
+
+func singleClass(info *frameql.Info) (vidsim.Class, error) {
+	if len(info.Classes) != 1 {
+		return "", fmt.Errorf("core: baseline requires exactly one class predicate, got %v", info.Classes)
+	}
+	return vidsim.Class(info.Classes[0]), nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/frameql"
+	"repro/internal/vidsim"
+)
+
+// executeBinary answers NoScope-style binary detection queries: return the
+// timestamps of frames containing at least one object of the class, under
+// user-specified false-negative and false-positive rate budgets (paper §4's
+// FNR WITHIN / FPR WITHIN).
+//
+// The plan is a cascade, as in NoScope: the specialized network scores
+// every frame with P(count >= 1); frames scoring above a high threshold
+// are accepted and below a low threshold rejected without verification,
+// and the uncertain band in between goes to the reference detector. The
+// thresholds are chosen on the held-out day so that the unverified tails
+// stay within the budgets.
+func (e *Engine) executeBinary(info *frameql.Info) (*Result, error) {
+	class := vidsim.Class(info.Classes[0])
+	fnrBudget, fprBudget := 0.0, 0.0
+	if info.FNRWithin != nil {
+		fnrBudget = *info.FNRWithin
+	}
+	if info.FPRWithin != nil {
+		fprBudget = *info.FPRWithin
+	}
+	res := &Result{Kind: info.Kind.String()}
+
+	model, trainCost, err := e.Model([]vidsim.Class{class})
+	if err != nil {
+		// No specialization possible: the exact plan (detector everywhere)
+		// trivially satisfies any budget.
+		res.Stats.note("specialization unavailable (%v); exact scan", err)
+		return e.binaryExact(info, class, res)
+	}
+	res.Stats.TrainSeconds += trainCost
+	head := model.HeadIndex(class)
+
+	infHeld, heldCost, err := e.Inference([]vidsim.Class{class}, e.HeldOut)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.TrainSeconds += heldCost
+
+	lowT, highT := e.binaryThresholds(infHeld, head, class, fnrBudget, fprBudget)
+	res.Stats.Plan = "binary-cascade"
+	res.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", lowT, highT)
+
+	infTest, infCost, err := e.Inference([]vidsim.Class{class}, e.Test)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SpecNNSeconds += infCost
+
+	lo, hi := e.frameRange(info)
+	fullCost := e.DTest.FullFrameCost()
+	gap := info.Gap
+	limit := info.Limit
+	lastReturned := -1 << 40
+	verified := 0
+	for f := lo; f < hi; f++ {
+		score := infTest.TailProb(head, f, 1)
+		positive := false
+		switch {
+		case score < lowT:
+			// rejected unverified
+		case score >= highT:
+			positive = true
+		default:
+			res.Stats.addDetection(fullCost)
+			verified++
+			positive = e.DTest.CountAt(f, class) > 0
+		}
+		if !positive {
+			continue
+		}
+		if gap > 0 && f-lastReturned < gap {
+			continue
+		}
+		lastReturned = f
+		res.Frames = append(res.Frames, f)
+		if limit >= 0 && len(res.Frames) >= limit {
+			break
+		}
+	}
+	res.Stats.note("verified %d of %d frames in the uncertain band", verified, hi-lo)
+	return res, nil
+}
+
+// binaryExact runs the detector on every frame — the fallback cascade-free
+// plan.
+func (e *Engine) binaryExact(info *frameql.Info, class vidsim.Class, res *Result) (*Result, error) {
+	res.Stats.Plan = "binary-exact"
+	lo, hi := e.frameRange(info)
+	fullCost := e.DTest.FullFrameCost()
+	gap := info.Gap
+	limit := info.Limit
+	lastReturned := -1 << 40
+	for f := lo; f < hi; f++ {
+		res.Stats.addDetection(fullCost)
+		if e.DTest.CountAt(f, class) == 0 {
+			continue
+		}
+		if gap > 0 && f-lastReturned < gap {
+			continue
+		}
+		lastReturned = f
+		res.Frames = append(res.Frames, f)
+		if limit >= 0 && len(res.Frames) >= limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// binaryThresholds picks the cascade thresholds on the held-out day.
+// Detector labels for the held-out day are part of the offline labeled set.
+//
+// The low threshold rejects at most fnrBudget/2 of true positives; the
+// high threshold accepts at most fprBudget/2 of true negatives — half of
+// each budget is held back as slack for distribution shift between the
+// held-out and unseen days.
+func (e *Engine) binaryThresholds(infHeld interface {
+	TailProb(head, frame, n int) float64
+	Frames() int
+}, head int, class vidsim.Class, fnrBudget, fprBudget float64) (low, high float64) {
+	var posScores, negScores []float64
+	for f := 0; f < infHeld.Frames(); f++ {
+		score := infHeld.TailProb(head, f, 1)
+		if e.DHeld.CountAt(f, class) > 0 {
+			posScores = append(posScores, score)
+		} else {
+			negScores = append(negScores, score)
+		}
+	}
+	sort.Float64s(posScores)
+	sort.Float64s(negScores)
+
+	// Low threshold: the (fnrBudget/2)-quantile of positive scores; every
+	// score below it is rejected unverified.
+	low = 0.0
+	if len(posScores) > 0 && fnrBudget > 0 {
+		k := int(float64(len(posScores)) * fnrBudget / 2)
+		if k >= len(posScores) {
+			k = len(posScores) - 1
+		}
+		low = posScores[k]
+	}
+	// High threshold: the (1 - fprBudget/2)-quantile of negative scores;
+	// every score at or above it is accepted unverified.
+	high = 1.0
+	if len(negScores) > 0 && fprBudget > 0 {
+		k := int(float64(len(negScores)) * (1 - fprBudget/2))
+		if k >= len(negScores) {
+			k = len(negScores) - 1
+		}
+		high = negScores[k]
+	}
+	if high < low {
+		// Crossed thresholds would skip verification where it is needed;
+		// widen the verify band to cover both.
+		low, high = high, low
+	}
+	return low, high
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+func TestBinaryCascadeAccuracyAndCost(t *testing.T) {
+	e := testEngine(t, "taipei")
+	res, err := e.Query(`
+		SELECT timestamp FROM taipei WHERE class = 'car'
+		FNR WITHIN 0.02 FPR WITHIN 0.02`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Plan != "binary-cascade" {
+		t.Fatalf("plan = %s", res.Stats.Plan)
+	}
+
+	// Measure realized FNR/FPR against detector labels on the test day.
+	returned := make(map[int]bool, len(res.Frames))
+	for _, f := range res.Frames {
+		returned[f] = true
+	}
+	pos, neg, fn, fp := 0, 0, 0, 0
+	for f := 0; f < e.Test.Frames; f++ {
+		truth := e.DTest.CountAt(f, vidsim.Car) > 0
+		if truth {
+			pos++
+			if !returned[f] {
+				fn++
+			}
+		} else {
+			neg++
+			if returned[f] {
+				fp++
+			}
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Skip("degenerate day")
+	}
+	fnr := float64(fn) / float64(pos)
+	fpr := float64(fp) / float64(neg)
+	// Budgets were chosen on a different day; allow 3x slack for drift at
+	// this small scale.
+	if fnr > 0.06 {
+		t.Errorf("FNR %.4f far beyond the 0.02 budget", fnr)
+	}
+	if fpr > 0.06 {
+		t.Errorf("FPR %.4f far beyond the 0.02 budget", fpr)
+	}
+	// The cascade must verify only part of the video. At this tiny test
+	// scale the model's score separation is weak, so only require a
+	// meaningful reduction; at full scale the band is far narrower.
+	if res.Stats.DetectorCalls >= e.Test.Frames*9/10 {
+		t.Errorf("cascade verified %d of %d frames; the specialized model filtered nothing",
+			res.Stats.DetectorCalls, e.Test.Frames)
+	}
+}
+
+func TestBinaryExactWhenNoModel(t *testing.T) {
+	e := testEngine(t, "taipei")
+	res, err := e.Query(`
+		SELECT timestamp FROM taipei WHERE class = 'bear'
+		FNR WITHIN 0.01 FPR WITHIN 0.01`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Plan != "binary-exact" {
+		t.Fatalf("plan = %s", res.Stats.Plan)
+	}
+	if len(res.Frames) != 0 {
+		t.Error("found nonexistent bears")
+	}
+	if res.Stats.DetectorCalls != e.Test.Frames {
+		t.Errorf("exact plan should scan everything, called %d", res.Stats.DetectorCalls)
+	}
+}
+
+func TestBinaryRespectsGapAndLimit(t *testing.T) {
+	e := testEngine(t, "taipei")
+	res, err := e.Query(`
+		SELECT timestamp FROM taipei WHERE class = 'car'
+		FNR WITHIN 0.05 FPR WITHIN 0.05
+		LIMIT 7 GAP 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) > 7 {
+		t.Errorf("LIMIT violated: %d frames", len(res.Frames))
+	}
+	for i := 1; i < len(res.Frames); i++ {
+		if res.Frames[i]-res.Frames[i-1] < 50 {
+			t.Errorf("GAP violated: %d then %d", res.Frames[i-1], res.Frames[i])
+		}
+	}
+}
+
+func TestBinaryZeroBudgetsVerifyEverything(t *testing.T) {
+	e := testEngine(t, "taipei")
+	res, err := e.Query(`
+		SELECT timestamp FROM taipei WHERE class = 'car'
+		FNR WITHIN 0 FPR WITHIN 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero budgets the cascade collapses: thresholds are (0, 1), so
+	// nearly every frame is verified and the answer is exact.
+	returned := make(map[int]bool, len(res.Frames))
+	for _, f := range res.Frames {
+		returned[f] = true
+	}
+	for f := 0; f < e.Test.Frames; f += 37 {
+		truth := e.DTest.CountAt(f, vidsim.Car) > 0
+		if truth != returned[f] {
+			t.Fatalf("frame %d: zero-budget cascade returned wrong label", f)
+		}
+	}
+}
+
+func TestBinaryThresholdOrdering(t *testing.T) {
+	e := testEngine(t, "taipei")
+	model, _, err := e.Model([]vidsim.Class{vidsim.Car})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infHeld, _, err := e.Inference([]vidsim.Class{vidsim.Car}, e.HeldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := model.HeadIndex(vidsim.Car)
+	for _, budgets := range [][2]float64{{0.01, 0.01}, {0.1, 0.1}, {0, 0.05}, {0.05, 0}} {
+		low, high := e.binaryThresholds(infHeld, head, vidsim.Car, budgets[0], budgets[1])
+		if low > high {
+			t.Errorf("budgets %v: thresholds crossed (%v > %v)", budgets, low, high)
+		}
+		if low < 0 || high > 1 {
+			t.Errorf("budgets %v: thresholds out of range (%v, %v)", budgets, low, high)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/detect"
+	"repro/internal/filters"
+	"repro/internal/frameql"
+	"repro/internal/track"
+)
+
+// executeExhaustive answers queries the optimizer has no shortcut for by
+// materializing rows with the reference detector on every frame in range
+// and evaluating the WHERE expression per row with a general interpreter.
+// This is the semantics baseline every optimized plan is compared against.
+func (e *Engine) executeExhaustive(info *frameql.Info) (*Result, error) {
+	stmt := info.Stmt
+	if stmt.Having != nil && info.Residual {
+		return nil, fmt.Errorf("core: unsupported HAVING clause: %s", stmt.Having)
+	}
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "exhaustive"
+
+	lo, hi := e.frameRange(info)
+	fullCost := e.DTest.FullFrameCost()
+	tracker := track.New(0, 1)
+	limit := info.Limit
+	gap := info.Gap
+	lastReturned := -1 << 40
+
+	var dets []detect.Detection
+	for f := lo; f < hi; f++ {
+		res.Stats.addDetection(fullCost)
+		dets = e.DTest.Detect(f, dets[:0])
+		ids := tracker.Advance(f, dets)
+		frameMatched := false
+		for i := range dets {
+			row := Row{
+				Timestamp:  f,
+				Class:      dets[i].Class,
+				Mask:       dets[i].Box,
+				TrackID:    ids[i],
+				Content:    dets[i].Color,
+				Confidence: dets[i].Confidence,
+			}
+			ok, err := evalPredicate(stmt.Where, &row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if gap > 0 && f-lastReturned < gap {
+				continue
+			}
+			frameMatched = true
+			res.Rows = append(res.Rows, row)
+			res.evalTruthIDs = append(res.evalTruthIDs, dets[i].TruthID())
+			if limit >= 0 && len(res.Rows) >= limit {
+				return res, nil
+			}
+		}
+		if frameMatched && gap > 0 {
+			lastReturned = f
+		}
+	}
+	return res, nil
+}
+
+// evalPredicate evaluates a WHERE expression against a row. A nil
+// expression matches everything.
+func evalPredicate(expr frameql.Expr, row *Row) (bool, error) {
+	if expr == nil {
+		return true, nil
+	}
+	v, err := evalExpr(expr, row)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("core: predicate does not evaluate to a boolean: %s", expr)
+	}
+	return b, nil
+}
+
+// evalExpr interprets an expression over one row. Values are bool, float64,
+// or string.
+func evalExpr(expr frameql.Expr, row *Row) (interface{}, error) {
+	switch ex := expr.(type) {
+	case *frameql.ParenExpr:
+		return evalExpr(ex.E, row)
+	case *frameql.NumberLit:
+		return ex.Value, nil
+	case *frameql.StringLit:
+		return ex.Value, nil
+	case *frameql.Ident:
+		switch strings.ToLower(ex.Name) {
+		case "class":
+			return string(row.Class), nil
+		case "timestamp":
+			return float64(row.Timestamp), nil
+		case "trackid":
+			return float64(row.TrackID), nil
+		default:
+			return nil, fmt.Errorf("core: unknown field %q", ex.Name)
+		}
+	case *frameql.NotExpr:
+		v, err := evalExpr(ex.E, row)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("core: NOT applied to non-boolean")
+		}
+		return !b, nil
+	case *frameql.Call:
+		return evalCall(ex, row)
+	case *frameql.BinaryExpr:
+		return evalBinary(ex, row)
+	}
+	return nil, fmt.Errorf("core: unsupported expression %s", expr)
+}
+
+// evalCall evaluates a UDF call over the row's mask or content.
+func evalCall(call *frameql.Call, row *Row) (interface{}, error) {
+	if call.IsAggregate() {
+		return nil, fmt.Errorf("core: aggregate %s not valid in row predicates", call.Func)
+	}
+	if len(call.Args) != 1 {
+		return nil, fmt.Errorf("core: UDF %s expects one argument", call.Func)
+	}
+	arg, ok := call.Args[0].(*frameql.Ident)
+	if !ok {
+		return nil, fmt.Errorf("core: UDF %s expects a field argument", call.Func)
+	}
+	name := strings.ToLower(arg.Name)
+	if name != "content" && name != "mask" {
+		return nil, fmt.Errorf("core: UDFs apply to content or mask, not %q", arg.Name)
+	}
+	udf, ok := filters.ObjectUDFFor(strings.ToLower(call.Func))
+	if !ok {
+		return nil, fmt.Errorf("core: unknown UDF %q", call.Func)
+	}
+	d := detect.Detection{Class: row.Class, Box: row.Mask, Color: row.Content, Confidence: row.Confidence}
+	return udf(&d), nil
+}
+
+// evalBinary evaluates comparisons and boolean connectives.
+func evalBinary(be *frameql.BinaryExpr, row *Row) (interface{}, error) {
+	switch be.Op {
+	case "AND", "OR":
+		l, err := evalExpr(be.L, row)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("core: %s applied to non-boolean", be.Op)
+		}
+		// Short circuit.
+		if be.Op == "AND" && !lb {
+			return false, nil
+		}
+		if be.Op == "OR" && lb {
+			return true, nil
+		}
+		r, err := evalExpr(be.R, row)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("core: %s applied to non-boolean", be.Op)
+		}
+		return rb, nil
+	}
+	l, err := evalExpr(be.L, row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(be.R, row)
+	if err != nil {
+		return nil, err
+	}
+	switch lv := l.(type) {
+	case string:
+		rv, ok := r.(string)
+		if !ok {
+			return nil, fmt.Errorf("core: comparing string with non-string")
+		}
+		switch be.Op {
+		case "=":
+			return lv == rv, nil
+		case "!=":
+			return lv != rv, nil
+		}
+		return nil, fmt.Errorf("core: operator %s not defined on strings", be.Op)
+	case float64:
+		rv, ok := r.(float64)
+		if !ok {
+			return nil, fmt.Errorf("core: comparing number with non-number")
+		}
+		return filters.Compare(lv, be.Op, rv), nil
+	}
+	return nil, fmt.Errorf("core: cannot compare %T values", l)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/vidsim"
+)
+
+// evalRow is a fixture row for expression-interpreter tests.
+func evalRow() *Row {
+	return &Row{
+		Timestamp:  120,
+		Class:      vidsim.Bus,
+		Mask:       vidsim.Box{X: 10, Y: 20, W: 400, H: 300},
+		TrackID:    7,
+		Content:    vidsim.Color{R: 0.8, G: 0.1, B: 0.1},
+		Confidence: 0.9,
+	}
+}
+
+func whereOf(t *testing.T, src string) frameql.Expr {
+	t.Helper()
+	stmt, err := frameql.Parse("SELECT * FROM v WHERE " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return stmt.Where
+}
+
+func TestEvalPredicateTable(t *testing.T) {
+	row := evalRow()
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"class = 'bus'", true},
+		{"class != 'bus'", false},
+		{"class = 'car' OR class = 'bus'", true},
+		{"class = 'car' AND class = 'bus'", false},
+		{"NOT class = 'car'", true},
+		{"timestamp >= 120", true},
+		{"timestamp < 120", false},
+		{"trackid = 7", true},
+		{"(class = 'bus') AND (timestamp <= 200)", true},
+		{"redness(content) >= 17.5", true},
+		{"area(mask) > 100000", true},
+		{"area(mask) > 200000", false},
+		{"xmax(mask) <= 500", true},
+		{"ymin(mask) >= 20", true},
+		{"width(mask) = 400", true},
+		{"height(mask) != 300", false},
+	}
+	for _, c := range cases {
+		got, err := evalPredicate(whereOf(t, c.src), row)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// nil predicate matches.
+	if ok, err := evalPredicate(nil, row); err != nil || !ok {
+		t.Error("nil predicate should match")
+	}
+}
+
+func TestEvalPredicateErrors(t *testing.T) {
+	row := evalRow()
+	cases := []string{
+		"unknownfield = 1",           // unknown field
+		"class",                      // non-boolean predicate
+		"NOT timestamp",              // NOT of non-boolean
+		"class AND timestamp = 1",    // AND of non-boolean
+		"timestamp = 1 OR class",     // OR right non-boolean
+		"class = 1",                  // string vs number
+		"timestamp = 'x'",            // number vs string
+		"class < 'car'",              // < on strings
+		"COUNT(*) > 1",               // aggregate in row predicate
+		"redness(content, mask) > 1", // wrong arity
+		"redness(timestamp) > 1",     // wrong field
+		"nosuchudf(mask) > 1",        // unknown udf
+		"redness(17) > 1",            // non-field argument
+	}
+	for _, src := range cases {
+		if _, err := evalPredicate(whereOf(t, src), row); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestExhaustiveGapBetweenFrames(t *testing.T) {
+	e := testEngine(t, "taipei")
+	res, err := e.Query(`SELECT * FROM taipei WHERE class = 'car' AND timestamp < 2000 LIMIT 5 GAP 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) > 5 {
+		t.Errorf("LIMIT violated: %d rows", len(res.Rows))
+	}
+	_ = res
+	res, err = e.Query(`SELECT * FROM taipei WHERE (class = 'car' OR class = 'bus') AND timestamp < 2000 LIMIT 5 GAP 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Timestamp != res.Rows[i-1].Timestamp &&
+			res.Rows[i].Timestamp-res.Rows[i-1].Timestamp < 100 {
+			t.Errorf("rows %d apart, GAP 100 requested",
+				res.Rows[i].Timestamp-res.Rows[i-1].Timestamp)
+		}
+	}
+}
+
+func TestExhaustiveUnsupportedHaving(t *testing.T) {
+	e := testEngine(t, "taipei")
+	_, err := e.Query(`SELECT * FROM taipei GROUP BY mask HAVING MAX(trackid) > 1`)
+	if err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("err = %v, want unsupported HAVING", err)
+	}
+}
+
+func TestScrubSetupCost(t *testing.T) {
+	e := testEngine(t, "taipei")
+	cost := e.ScrubSetupCost([]vidsim.Class{vidsim.Car})
+	if cost <= 0 {
+		t.Errorf("setup cost = %v, want > 0 (training + labeling)", cost)
+	}
+	// A class that cannot be specialized has no setup cost.
+	if got := e.ScrubSetupCost([]vidsim.Class{vidsim.Boat}); got != 0 {
+		t.Errorf("boat setup cost = %v, want 0", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.HeldOutSample != 30000 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{Seed: 5}.withDefaults()
+	if o.Spec.Seed != 22 {
+		t.Errorf("spec seed = %d, want seed+17", o.Spec.Seed)
+	}
+}
+
+func TestPlanNames(t *testing.T) {
+	cases := []struct {
+		plan SelectionPlan
+		want string
+	}{
+		{NaivePlan(), "selection-naive"},
+		{AllFilters(), "selection-all-filters"},
+		{SelectionPlan{NoScopeOracle: true}, "selection-noscope-oracle"},
+		{SelectionPlan{UseSpatial: true}, "selection-s1t0c0l0"},
+	}
+	for _, c := range cases {
+		if got := planName(c.plan); got != c.want {
+			t.Errorf("planName(%+v) = %q, want %q", c.plan, got, c.want)
+		}
+	}
+}

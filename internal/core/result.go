@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vidsim"
+)
+
+// Row is one materialized FrameQL record (Table 1 of the paper): an object
+// visible in one frame.
+type Row struct {
+	// Timestamp is the frame index.
+	Timestamp int
+	// Class is the object class.
+	Class vidsim.Class
+	// Mask is the bounding box (FrameQL's mask restricted to rectangles).
+	Mask vidsim.Box
+	// TrackID is the entity-resolved identity.
+	TrackID int
+	// Content summarizes the box pixels (consumed by UDFs).
+	Content vidsim.Color
+	// Confidence is the detector score.
+	Confidence float64
+}
+
+// Stats is the cost meter for one query execution, in simulated seconds
+// under the paper's cost model.
+type Stats struct {
+	// DetectorCalls counts reference-detector invocations.
+	DetectorCalls int
+	// DetectorSeconds is their simulated cost (resolution-aware).
+	DetectorSeconds float64
+	// SpecNNSeconds covers specialized-network inference on the test day.
+	SpecNNSeconds float64
+	// FilterSeconds covers cheap filters (features, frame UDFs).
+	FilterSeconds float64
+	// TrainSeconds covers specialized-network training plus held-out
+	// error/threshold computation — the part Figure 4's "(no train)"
+	// variant excludes.
+	TrainSeconds float64
+	// Plan names the chosen plan.
+	Plan string
+	// Notes carries human-readable optimizer decisions.
+	Notes []string
+}
+
+// TotalSeconds is the full simulated runtime, training included.
+func (s *Stats) TotalSeconds() float64 {
+	return s.DetectorSeconds + s.SpecNNSeconds + s.FilterSeconds + s.TrainSeconds
+}
+
+// TotalSecondsNoTrain excludes training and threshold computation, the
+// paper's "BlazeIt (no train)" accounting.
+func (s *Stats) TotalSecondsNoTrain() float64 {
+	return s.DetectorSeconds + s.SpecNNSeconds + s.FilterSeconds
+}
+
+func (s *Stats) addDetection(cost float64) {
+	s.DetectorCalls++
+	s.DetectorSeconds += cost
+}
+
+func (s *Stats) note(format string, args ...interface{}) {
+	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+}
+
+// Result is the outcome of one query execution.
+type Result struct {
+	// Kind echoes the analyzed query kind.
+	Kind string
+	// Value is the scalar answer for aggregate queries.
+	Value float64
+	// StdErr is the estimator's standard error for sampled aggregates.
+	StdErr float64
+	// Frames are the returned frame indices for scrubbing queries.
+	Frames []int
+	// Rows are the returned records for selection and exhaustive queries.
+	Rows []Row
+	// TrackIDs are the qualifying entity IDs for grouped selection queries.
+	TrackIDs []int
+	// Stats is the execution cost meter.
+	Stats Stats
+
+	// evalTruthIDs records generator track identities of returned rows for
+	// evaluation (FNR measurement); not part of the query answer.
+	evalTruthIDs []int
+}
+
+// EvalTruthIDs exposes ground-truth identities of returned entities for
+// evaluation code (measuring false negative rates against the reference
+// detector, as §10.1 prescribes).
+func (r *Result) EvalTruthIDs() []int { return r.evalTruthIDs }
+
+// String summarizes the result.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s plan=%s]", r.Kind, r.Stats.Plan)
+	switch {
+	case r.Kind == "aggregate" || r.Kind == "distinct-count":
+		fmt.Fprintf(&sb, " value=%.4f", r.Value)
+	case len(r.Frames) > 0:
+		fmt.Fprintf(&sb, " frames=%d", len(r.Frames))
+	default:
+		fmt.Fprintf(&sb, " rows=%d tracks=%d", len(r.Rows), len(r.TrackIDs))
+	}
+	fmt.Fprintf(&sb, " detector_calls=%d sim_seconds=%.1f", r.Stats.DetectorCalls, r.Stats.TotalSeconds())
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/frameql"
+	"repro/internal/scrub"
+	"repro/internal/vidsim"
+)
+
+// executeScrubbing runs a cardinality-limited scrubbing query (paper §7):
+// train a multi-head counting network for every class in the predicate,
+// label every test frame with it, rank frames by summed tail confidence,
+// and verify with the detector in rank order until LIMIT matches (GAP
+// apart) are found.
+//
+// If any requested class cannot be specialized (no examples in the
+// training day), the plan falls back to a sequential detector scan — the
+// paper's §7.1 default.
+func (e *Engine) executeScrubbing(info *frameql.Info) (*Result, error) {
+	reqs, classes, err := scrubRequirements(info)
+	if err != nil {
+		return nil, err
+	}
+	limit := info.Limit
+	if limit < 0 {
+		limit = int(^uint(0) >> 1) // no LIMIT: find all matches
+	}
+	res := &Result{Kind: info.Kind.String()}
+	lo, hi := e.frameRange(info)
+
+	_, trainCost, err := e.Model(classes)
+	if err != nil {
+		res.Stats.Plan = "scrub-sequential-fallback"
+		res.Stats.note("specialization unavailable (%v); sequential scan", err)
+		order := rangeOrder(lo, hi)
+		sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+		res.Frames = sr.Frames
+		return res, nil
+	}
+	res.Stats.TrainSeconds += trainCost
+
+	inf, infCost, err := e.Inference(classes, e.Test)
+	if err != nil {
+		return nil, err
+	}
+	// Labeling the unseen video is the indexing step; when the inference
+	// is cached (pre-indexed, as in the paper's "BlazeIt (indexed)"), the
+	// cost is zero.
+	res.Stats.SpecNNSeconds += infCost
+
+	order, err := scrub.RankByConfidence(inf, reqs)
+	if err != nil {
+		return nil, err
+	}
+	if lo > 0 || hi < e.Test.Frames {
+		order = scrub.FilterOrder(order, func(f int) bool { return f >= lo && f < hi })
+	}
+	res.Stats.Plan = "scrub-importance"
+	sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	if sr.Exhausted {
+		res.Stats.note("search exhausted after %d verifications with %d/%d found",
+			sr.Verified, len(sr.Frames), limit)
+	}
+	res.Frames = sr.Frames
+	return res, nil
+}
+
+// scrubVerifier returns the costed detector check for the requirements.
+func (e *Engine) scrubVerifier(reqs []scrub.Requirement, stats *Stats) func(int) bool {
+	fullCost := e.DTest.FullFrameCost()
+	return func(f int) bool {
+		stats.addDetection(fullCost)
+		for _, r := range reqs {
+			if e.DTest.CountAt(f, r.Class) < r.N {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// scrubRequirements converts analyzed minimum counts into scrub
+// requirements plus the distinct class list.
+func scrubRequirements(info *frameql.Info) ([]scrub.Requirement, []vidsim.Class, error) {
+	if len(info.MinCounts) == 0 {
+		return nil, nil, fmt.Errorf("core: scrubbing query has no count predicates")
+	}
+	var reqs []scrub.Requirement
+	var classes []vidsim.Class
+	seen := make(map[vidsim.Class]bool)
+	for _, mc := range info.MinCounts {
+		c := vidsim.Class(mc.Class)
+		reqs = append(reqs, scrub.Requirement{Class: c, N: mc.N})
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	return reqs, classes, nil
+}
+
+func rangeOrder(lo, hi int) []int32 {
+	order := make([]int32, 0, hi-lo)
+	for f := lo; f < hi; f++ {
+		order = append(order, int32(f))
+	}
+	return order
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/feature"
+	"repro/internal/filters"
+	"repro/internal/frameql"
+	"repro/internal/specnn"
+	"repro/internal/track"
+	"repro/internal/vidsim"
+)
+
+// SelectionPlan toggles the filter classes of §8 for a selection query.
+// The default plan (All) lets the rule-based optimizer use every
+// applicable filter; the factor-analysis and lesion-study benchmarks
+// (Figure 11) toggle them individually, and the baselines of Figure 10
+// use Naive / NoScopeOracle.
+type SelectionPlan struct {
+	// UseSpatial enables the ROI crop from mask-bound predicates.
+	UseSpatial bool
+	// UseTemporal enables (K−1)/2 subsampling from duration predicates.
+	UseTemporal bool
+	// UseContent enables the frame-level content filter.
+	UseContent bool
+	// UseLabel enables the specialized-network presence filter.
+	UseLabel bool
+	// NoScopeOracle replaces all filters with the free presence oracle of
+	// §10.1.1 (detector runs on exactly the frames containing the class).
+	NoScopeOracle bool
+}
+
+// AllFilters is the default plan with every filter class enabled.
+func AllFilters() SelectionPlan {
+	return SelectionPlan{UseSpatial: true, UseTemporal: true, UseContent: true, UseLabel: true}
+}
+
+// NaivePlan disables every filter: the detector runs on every frame.
+func NaivePlan() SelectionPlan { return SelectionPlan{} }
+
+// executeSelection runs a selection query with the full filter cascade.
+func (e *Engine) executeSelection(info *frameql.Info) (*Result, error) {
+	return e.ExecuteSelectionPlan(info, AllFilters())
+}
+
+// trackAgg accumulates per-track state during selection.
+type trackAgg struct {
+	firstMatch, lastMatch int
+	firstBox, lastBox     vidsim.Box
+	rows                  []Row
+	truthID               int
+	probed                bool
+	qualified             bool
+}
+
+// ExecuteSelectionPlan runs a selection query under an explicit filter
+// plan. The executor guarantees no false positives: every returned row is
+// detector-verified, and duration predicates are resolved exactly by
+// probing track boundaries with additional detector calls when sampling
+// leaves them ambiguous (§3: "BLAZEIT can always ensure no false
+// positives by running the most accurate method on the relevant frames").
+func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*Result, error) {
+	if len(info.Classes) != 1 {
+		return nil, fmt.Errorf("core: selection requires exactly one class predicate, got %v", info.Classes)
+	}
+	class := vidsim.Class(info.Classes[0])
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = planName(plan)
+
+	// Split predicates: spatial bounds become the ROI; everything applies
+	// object-level afterward (exactness).
+	w := float64(e.Cfg.Width)
+	h := float64(e.Cfg.Height)
+	target := filters.Target{Class: class, Preds: info.UDFs}
+
+	roi := vidsim.Box{X: 0, Y: 0, W: w, H: h}
+	if plan.UseSpatial {
+		if r, ok := filters.ROIFromPreds(info.UDFs, w, h); ok {
+			// Keep some padding visible (paper §8.1).
+			const pad = 16
+			roi = vidsim.Box{X: r.X - pad, Y: r.Y - pad, W: r.W + 2*pad, H: r.H + 2*pad}.Clip(w, h)
+			res.Stats.note("spatial: ROI %.0fx%.0f (cost factor %.2f)",
+				roi.W, roi.H, e.DTest.CostFor(roi.W, roi.H)/e.DTest.FullFrameCost())
+		}
+	}
+	detCost := e.DTest.CostFor(roi.W, roi.H)
+
+	step := 1
+	if plan.UseTemporal && info.MinDurationFrames > 1 {
+		step = filters.TemporalStep(info.MinDurationFrames)
+		res.Stats.note("temporal: step %d from duration >= %d frames", step, info.MinDurationFrames)
+	}
+
+	var contentFilters []*filters.ContentFilter
+	if plan.UseContent {
+		for _, p := range info.UDFs {
+			if p.Arg != "content" {
+				continue
+			}
+			cf := filters.TrainContentFilter(e.HeldOut, e.DHeld, target, p, e.opts.HeldOutSample)
+			if cf != nil {
+				// Threshold computation scans the held-out day with the
+				// cheap frame UDF.
+				res.Stats.TrainSeconds += float64(minInt(e.HeldOut.Frames, e.opts.HeldOutSample)) * feature.CostSeconds
+				res.Stats.note("content: %s >= %.2f (selectivity %.3f)", cf.UDF, cf.Threshold, cf.Selectivity)
+				contentFilters = append(contentFilters, cf)
+			}
+		}
+	}
+
+	var labelFilter *filters.LabelFilter
+	var model *specnn.CountModel
+	if plan.UseLabel {
+		m, trainCost, err := e.Model([]vidsim.Class{class})
+		if err == nil {
+			model = m
+			res.Stats.TrainSeconds += trainCost
+			infHeld, heldCost, err := e.Inference([]vidsim.Class{class}, e.HeldOut)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.TrainSeconds += heldCost
+			labelFilter = filters.TrainLabelFilter(e.HeldOut, e.DHeld, m, infHeld, target, e.opts.HeldOutSample)
+			if labelFilter != nil {
+				res.Stats.note("label: P(%s >= 1) >= %.3f (selectivity %.3f)",
+					class, labelFilter.Threshold, labelFilter.Selectivity)
+			}
+		} else {
+			res.Stats.note("label filter unavailable: %v", err)
+		}
+	}
+
+	// Oracle presence for the NoScope baseline (free, per §10.1.1).
+	var presence []int32
+	if plan.NoScopeOracle {
+		presence = e.Test.Counts(class)
+	}
+
+	// Lazy per-frame evaluation machinery.
+	ex := feature.NewExtractor(e.Test)
+	rawDesc := make([]float64, feature.Dim)
+	normDesc := make([]float64, feature.Dim)
+	var predictor interface {
+		Probs(x []float64) [][]float64
+	}
+	headIdx := -1
+	if labelFilter != nil {
+		predictor = model.Net.NewPredictor()
+		headIdx = labelFilter.Head
+	}
+
+	lo, hi := e.frameRange(info)
+	cutoff := track.DefaultCutoff
+	if step > 1 {
+		// Sampled frames are step apart; inter-frame motion scales with the
+		// gap, so the matching cutoff must loosen accordingly.
+		cutoff = 0.35
+	}
+	tracker := track.New(cutoff, 2*step)
+
+	tracks := make(map[int]*trackAgg)
+	var dets []detect.Detection
+	var matched []int
+
+	for f := lo; f < hi; f += step {
+		if plan.NoScopeOracle {
+			if presence[f] == 0 {
+				continue
+			}
+		} else {
+			descReady := false
+			if len(contentFilters) > 0 {
+				ex.Frame(f, rawDesc)
+				res.Stats.FilterSeconds += feature.CostSeconds
+				descReady = true
+				pass := true
+				for _, cf := range contentFilters {
+					if !cf.Pass(rawDesc) {
+						pass = false
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+			}
+			if labelFilter != nil {
+				if !descReady {
+					ex.Frame(f, rawDesc)
+					res.Stats.FilterSeconds += feature.CostSeconds
+				}
+				copy(normDesc, rawDesc)
+				model.Normalize(normDesc)
+				probs := predictor.Probs(normDesc)[headIdx]
+				res.Stats.FilterSeconds += specnn.InferenceCostSeconds
+				tail := 0.0
+				for c := 1; c < len(probs); c++ {
+					tail += probs[c]
+				}
+				if tail < labelFilter.Threshold {
+					continue
+				}
+			}
+		}
+
+		res.Stats.addDetection(detCost)
+		dets = e.DTest.DetectROI(f, roi, dets[:0])
+		// Track all detections of the target class for identity.
+		classDets := dets[:0:0]
+		for i := range dets {
+			if dets[i].Class == class {
+				classDets = append(classDets, dets[i])
+			}
+		}
+		ids := tracker.Advance(f, classDets)
+		matched = matched[:0]
+		for i := range classDets {
+			ok, err := filters.ObjectMatches(&classDets[i], target)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = append(matched, i)
+			}
+		}
+		for _, i := range matched {
+			d := &classDets[i]
+			id := ids[i]
+			ta := tracks[id]
+			if ta == nil {
+				ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
+				tracks[id] = ta
+			}
+			ta.lastMatch = f
+			ta.lastBox = d.Box
+			ta.rows = append(ta.rows, Row{
+				Timestamp:  f,
+				Class:      d.Class,
+				Mask:       d.Box,
+				TrackID:    id,
+				Content:    d.Color,
+				Confidence: d.Confidence,
+			})
+		}
+	}
+
+	// Resolve duration predicates, probing boundaries when sampling left
+	// them ambiguous.
+	minDur := info.MinDurationFrames
+	for id, ta := range tracks {
+		if minDur <= 1 {
+			ta.qualified = true
+		} else {
+			span := ta.lastMatch - ta.firstMatch + 1
+			if span >= minDur {
+				ta.qualified = true
+			} else if step > 1 {
+				ta.qualified = e.probeDuration(ta, target, roi, detCost, minDur, lo, hi, &res.Stats)
+				ta.probed = true
+			}
+		}
+		if ta.qualified {
+			res.TrackIDs = append(res.TrackIDs, id)
+			res.Rows = append(res.Rows, ta.rows...)
+			res.evalTruthIDs = append(res.evalTruthIDs, ta.truthID)
+		}
+	}
+	sortRows(res)
+	applyLimitGap(res, info.Limit, info.Gap)
+	return res, nil
+}
+
+// applyLimitGap enforces the query's LIMIT and GAP on the (sorted) result
+// rows: rows within gap frames of the last returned timestamp are dropped
+// (rows sharing a timestamp are kept together), and at most limit rows are
+// returned.
+func applyLimitGap(res *Result, limit, gap int) {
+	if gap > 0 {
+		kept := res.Rows[:0]
+		last := -1 << 40
+		for _, row := range res.Rows {
+			if row.Timestamp != last && row.Timestamp-last < gap {
+				continue
+			}
+			last = row.Timestamp
+			kept = append(kept, row)
+		}
+		res.Rows = kept
+	}
+	if limit >= 0 && len(res.Rows) > limit {
+		res.Rows = res.Rows[:limit]
+	}
+}
+
+// probeDuration extends a candidate track outward frame by frame with
+// detector calls until its guaranteed duration reaches minDur (qualify) or
+// both boundaries stop matching (reject). Probing is capped at 3×minDur
+// calls.
+func (e *Engine) probeDuration(ta *trackAgg, target filters.Target, roi vidsim.Box, detCost float64, minDur, lo, hi int, stats *Stats) bool {
+	budget := 3 * minDur
+	first, last := ta.firstMatch, ta.lastMatch
+	firstBox, lastBox := ta.firstBox, ta.lastBox
+	var dets []detect.Detection
+
+	probe := func(f int, ref vidsim.Box) (vidsim.Box, bool) {
+		stats.addDetection(detCost)
+		dets = e.DTest.DetectROI(f, roi, dets[:0])
+		best := -1
+		bestIOU := 0.3
+		for i := range dets {
+			if dets[i].Class != target.Class {
+				continue
+			}
+			if ok, _ := filters.ObjectMatches(&dets[i], target); !ok {
+				continue
+			}
+			if iou := dets[i].Box.IOU(ref); iou > bestIOU {
+				bestIOU = iou
+				best = i
+			}
+		}
+		if best < 0 {
+			return vidsim.Box{}, false
+		}
+		return dets[best].Box, true
+	}
+
+	growLeft, growRight := true, true
+	for budget > 0 && last-first+1 < minDur && (growLeft || growRight) {
+		if growLeft {
+			if first-1 < lo {
+				growLeft = false
+			} else {
+				budget--
+				if box, ok := probe(first-1, firstBox); ok {
+					first--
+					firstBox = box
+				} else {
+					growLeft = false
+				}
+			}
+		}
+		if last-first+1 >= minDur {
+			break
+		}
+		if growRight && budget > 0 {
+			if last+1 >= hi {
+				growRight = false
+			} else {
+				budget--
+				if box, ok := probe(last+1, lastBox); ok {
+					last++
+					lastBox = box
+				} else {
+					growRight = false
+				}
+			}
+		}
+	}
+	return last-first+1 >= minDur
+}
+
+func planName(p SelectionPlan) string {
+	switch {
+	case p.NoScopeOracle:
+		return "selection-noscope-oracle"
+	case !p.UseSpatial && !p.UseTemporal && !p.UseContent && !p.UseLabel:
+		return "selection-naive"
+	case p.UseSpatial && p.UseTemporal && p.UseContent && p.UseLabel:
+		return "selection-all-filters"
+	default:
+		return fmt.Sprintf("selection-s%vt%vc%vl%v", b2i(p.UseSpatial), b2i(p.UseTemporal), b2i(p.UseContent), b2i(p.UseLabel))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sortRows orders result rows chronologically and track IDs ascending.
+func sortRows(res *Result) {
+	sort.Ints(res.TrackIDs)
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].Timestamp != res.Rows[j].Timestamp {
+			return res.Rows[i].Timestamp < res.Rows[j].Timestamp
+		}
+		return res.Rows[i].TrackID < res.Rows[j].TrackID
+	})
+}

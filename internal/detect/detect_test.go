@@ -1,0 +1,225 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+func smallVideo(t *testing.T, name string, scale float64) *vidsim.Video {
+	t.Helper()
+	cfg, err := vidsim.Stream(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vidsim.Generate(cfg.Scaled(scale), 0)
+}
+
+func TestModels(t *testing.T) {
+	for _, name := range []string{"mask-rcnn", "fgfa", "yolov2"} {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.BaseCostSec <= 0 {
+			t.Errorf("%s has non-positive cost", name)
+		}
+	}
+	if _, err := ModelByName("ssd"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	// Cost ordering: accurate detectors are ~27x slower than YOLOv2.
+	mask, _ := ModelByName("mask-rcnn")
+	yolo, _ := ModelByName("yolov2")
+	if mask.BaseCostSec/yolo.BaseCostSec < 20 {
+		t.Error("mask-rcnn should be much more expensive than yolov2")
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.005)
+	d, err := New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Detect(500, nil)
+	d.Detect(3, nil) // interleave other work
+	b := d.Detect(500, nil)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic detection count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic detection %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectionRecall(t *testing.T) {
+	// Large objects at default thresholds should be detected almost always;
+	// overall recall should be high but imperfect (detector noise).
+	v := smallVideo(t, "taipei", 0.01)
+	d, err := New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, found := 0, 0
+	var dets []Detection
+	for f := 0; f < v.Frames; f += 13 {
+		truth += v.CountAt(f, vidsim.Car) + v.CountAt(f, vidsim.Bus)
+		dets = d.Detect(f, dets[:0])
+		found += len(dets)
+	}
+	if truth == 0 {
+		t.Skip("no objects at this scale")
+	}
+	recall := float64(found) / float64(truth)
+	if recall < 0.80 || recall > 1.0 {
+		t.Errorf("recall %.3f, want in [0.80, 1.0]", recall)
+	}
+}
+
+func TestSmallObjectsLowerConfidence(t *testing.T) {
+	// archie's cars are tiny relative to its 2160p frame; recall there
+	// should be visibly lower than taipei's (paper §10.1: detectors
+	// "suffer in performance for small objects").
+	vb := smallVideo(t, "taipei", 0.01)
+	va := smallVideo(t, "archie", 0.01)
+	db, _ := New(vb)
+	da, _ := New(va)
+	recall := func(v *vidsim.Video, d *Detector, class vidsim.Class) float64 {
+		truth, found := 0, 0
+		var dets []Detection
+		for f := 0; f < v.Frames; f += 17 {
+			truth += v.CountAt(f, class)
+			dets = d.Detect(f, dets[:0])
+			for i := range dets {
+				if dets[i].Class == class {
+					found++
+				}
+			}
+		}
+		if truth == 0 {
+			return 1
+		}
+		return float64(found) / float64(truth)
+	}
+	rb := recall(vb, db, vidsim.Car)
+	ra := recall(va, da, vidsim.Car)
+	if ra >= rb {
+		t.Errorf("archie recall %.3f should be below taipei %.3f", ra, rb)
+	}
+}
+
+func TestDetectROIFilters(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.005)
+	d, _ := New(v)
+	w := float64(v.Config.Width)
+	h := float64(v.Config.Height)
+	for f := 0; f < v.Frames; f += 97 {
+		full := d.Detect(f, nil)
+		left := d.DetectROI(f, vidsim.Box{X: 0, Y: 0, W: w / 2, H: h}, nil)
+		right := d.DetectROI(f, vidsim.Box{X: w / 2, Y: 0, W: w / 2, H: h}, nil)
+		if len(left)+len(right) != len(full) {
+			t.Fatalf("frame %d: ROI partition %d+%d != full %d", f, len(left), len(right), len(full))
+		}
+		for _, det := range left {
+			if det.Box.X+det.Box.W/2 >= w/2+1 {
+				t.Fatalf("left-ROI detection centered on the right: %+v", det)
+			}
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.001)
+	d, _ := New(v)
+	full := d.FullFrameCost()
+	if math.Abs(full-d.Model().BaseCostSec) > 1e-9 {
+		t.Errorf("16:9 full frame cost %v, want base %v", full, d.Model().BaseCostSec)
+	}
+	// A square crop sharing the short side costs 9/16 of the full frame.
+	sq := d.CostFor(720, 720)
+	if math.Abs(sq/full-9.0/16.0) > 1e-9 {
+		t.Errorf("square crop ratio = %v, want 0.5625", sq/full)
+	}
+	// A 2160p frame resizes to the same reference size as 720p: same cost.
+	if math.Abs(d.CostFor(3840, 2160)-full) > 1e-9 {
+		t.Error("short-side resize should normalize 16:9 cost across resolutions")
+	}
+	if d.CostFor(0, 100) != 0 {
+		t.Error("degenerate input should cost 0")
+	}
+}
+
+func TestCountAt(t *testing.T) {
+	v := smallVideo(t, "rialto", 0.005)
+	d, _ := New(v)
+	var dets []Detection
+	for f := 0; f < v.Frames; f += 211 {
+		dets = d.Detect(f, dets[:0])
+		n := 0
+		for i := range dets {
+			if dets[i].Class == vidsim.Boat {
+				n++
+			}
+		}
+		if got := d.CountAt(f, vidsim.Boat); got != n {
+			t.Fatalf("CountAt = %d, want %d", got, n)
+		}
+	}
+}
+
+func TestTruthIDMatchesTracks(t *testing.T) {
+	v := smallVideo(t, "amsterdam", 0.005)
+	d, _ := New(v)
+	var dets []Detection
+	for f := 0; f < v.Frames; f += 101 {
+		dets = d.Detect(f, dets[:0])
+		for _, det := range dets {
+			tr := &v.Tracks[findTrack(v, det.TruthID())]
+			if !tr.Visible(f) {
+				t.Fatalf("detection cites invisible track %d at frame %d", det.TruthID(), f)
+			}
+			if tr.Class != det.Class {
+				t.Fatalf("class mismatch: %s vs %s", tr.Class, det.Class)
+			}
+		}
+	}
+}
+
+func findTrack(v *vidsim.Video, id int) int {
+	for i := range v.Tracks {
+		if v.Tracks[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestConfidenceAboveThreshold(t *testing.T) {
+	v := smallVideo(t, "night-street", 0.005)
+	d, _ := New(v)
+	var dets []Detection
+	for f := 0; f < v.Frames; f += 53 {
+		dets = d.Detect(f, dets[:0])
+		for _, det := range dets {
+			if det.Confidence < v.Config.DetectorThreshold {
+				t.Fatalf("detection below threshold: %v < %v", det.Confidence, v.Config.DetectorThreshold)
+			}
+			if det.Confidence > 1 {
+				t.Fatalf("confidence > 1: %v", det.Confidence)
+			}
+		}
+	}
+}
+
+func TestNewUnknownDetector(t *testing.T) {
+	cfg, _ := vidsim.Stream("taipei")
+	cfg = cfg.Scaled(0.001)
+	cfg.Detector = "bogus"
+	if _, err := New(vidsim.Generate(cfg, 0)); err == nil {
+		t.Error("expected error for unknown detector name")
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One tiny shared session: experiments at 1.5% scale run in seconds and
+// exercise every code path.
+var (
+	tinyOnce sync.Once
+	tiny     *Session
+)
+
+func tinySession(t *testing.T) *Session {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tiny = NewSession(Config{
+			Scale:       0.015,
+			Runs:        2,
+			Seed:        5,
+			TrainFrames: 10000,
+			Epochs:      2,
+		})
+	})
+	return tiny
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(names))
+	}
+	s := tinySession(t)
+	var buf bytes.Buffer
+	if err := s.Run("nope", &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTable3RowsCoverEveryStreamClass(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Table3Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // 6 streams, taipei has two classes
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Occupancy <= 0 || r.Occupancy > 1 {
+			t.Errorf("%s/%s occupancy %v", r.Stream, r.Class, r.Occupancy)
+		}
+		if r.AvgDuration <= 0 {
+			t.Errorf("%s/%s duration %v", r.Stream, r.Class, r.AvgDuration)
+		}
+		// Generated statistics should be in the right ballpark of Table 3.
+		if r.PaperOccupancy > 0 {
+			ratio := r.Occupancy / r.PaperOccupancy
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("%s/%s occupancy %.3f vs paper %.3f (off calibration)",
+					r.Stream, r.Class, r.Occupancy, r.PaperOccupancy)
+			}
+		}
+	}
+}
+
+func TestFigure4ShapeHolds(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Figure4Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's qualitative result: BlazeIt beats naive by a lot and
+		// the oracle by a wide margin; no-train accounting is cheaper
+		// still.
+		if r.BlazeItSec >= r.NaiveSec/5 {
+			t.Errorf("%s: blazeit %.0fs not clearly faster than naive %.0fs", r.Stream, r.BlazeItSec, r.NaiveSec)
+		}
+		if r.BlazeItSec > r.NoScopeSec {
+			t.Errorf("%s: blazeit %.0fs slower than the oracle baseline %.0fs", r.Stream, r.BlazeItSec, r.NoScopeSec)
+		}
+		if r.BlazeItNTSec > r.BlazeItSec {
+			t.Errorf("%s: no-train accounting exceeds full accounting", r.Stream)
+		}
+		if r.NoScopeSec >= r.NaiveSec {
+			t.Errorf("%s: oracle baseline failed to beat naive", r.Stream)
+		}
+	}
+}
+
+func TestTable4ErrorsWithinBound(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Table4Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The user asked for 0.1; the engine's plan choice must keep the
+		// realized error near that bound even at tiny scale (allow slack
+		// for the reduced training data).
+		if math.Abs(r.Error) > 0.2 {
+			t.Errorf("%s: error %.3f far beyond the 0.1 bound (plan %s)", r.Stream, r.Error, r.Plans[0])
+		}
+	}
+}
+
+func TestTable5TracksContent(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Table5Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Actual1 <= 0 || r.Actual2 <= 0 {
+			t.Errorf("%s: degenerate actuals %v %v", r.Stream, r.Actual1, r.Actual2)
+		}
+	}
+	// "Specialized NNs do not learn the average": predictions must differ
+	// across days for at least most streams (the day multipliers guarantee
+	// different true means).
+	differ := 0
+	for _, r := range rows {
+		if math.Abs(r.Pred1-r.Pred2) > 0.005 {
+			differ++
+		}
+	}
+	if differ < 3 {
+		t.Errorf("predictions identical across days for %d/4 streams — model may have learned the average", 4-differ)
+	}
+}
+
+func TestFigure5ControlVariatesHelp(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Figure5Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 36 { // 6 streams x 6 targets
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Control variates should reduce samples on average (geometric mean
+	// over all cells > 1).
+	logSum := 0.0
+	for _, r := range rows {
+		if r.ControlVar <= 0 || r.NaiveAQP <= 0 {
+			t.Fatalf("degenerate sample counts: %+v", r)
+		}
+		logSum += math.Log(r.NaiveAQP / r.ControlVar)
+	}
+	if gm := math.Exp(logSum / float64(len(rows))); gm < 1.05 {
+		t.Errorf("control variates geometric-mean reduction %.3f, want > 1.05", gm)
+	}
+	// Monotonicity: tighter targets need at least as many naive samples,
+	// per stream.
+	byStream := map[string][]Fig5Row{}
+	for _, r := range rows {
+		byStream[r.Stream] = append(byStream[r.Stream], r)
+	}
+	for stream, rs := range byStream {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].ErrorTarget > rs[i-1].ErrorTarget && rs[i].NaiveAQP > rs[i-1].NaiveAQP*1.1 {
+				t.Errorf("%s: looser bound %v needed more samples than %v", stream, rs[i].ErrorTarget, rs[i-1].ErrorTarget)
+			}
+		}
+	}
+}
+
+func TestFigure6ShapeHolds(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Figure6Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		if r.IndexedSec > r.BlazeItSec {
+			t.Errorf("%s: indexed accounting exceeds full", r.Stream)
+		}
+		if r.Found == 0 {
+			continue // rare event absent at tiny scale
+		}
+		logSum += math.Log(r.NaiveSec / r.BlazeItSec)
+		n++
+	}
+	// At tiny scale an individual stream's weak model can lose to a lucky
+	// sequential scan, but importance sampling must win on geometric mean
+	// across streams. (At full scale every stream wins; see EXPERIMENTS.md.)
+	if n > 0 {
+		if gm := math.Exp(logSum / float64(n)); gm < 1.5 {
+			t.Errorf("scrubbing geomean speedup %.2fx, want > 1.5x", gm)
+		}
+	}
+}
+
+func TestFigure7MonotoneDifficulty(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Figure7Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Matching frames shrink as N grows (instances may fragment, so only
+	// the frame count is monotone).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MatchFrames > rows[i-1].MatchFrames {
+			t.Errorf("matching frames should not increase with N: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestFigure9MonotoneLimit(t *testing.T) {
+	s := tinySession(t)
+	rows, err := s.Figure9Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BlazeSamples < rows[i-1].BlazeSamples {
+			t.Errorf("samples should grow with limit: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestFigure10And11Consistent(t *testing.T) {
+	s := tinySession(t)
+	r10, err := s.Figure10Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.BlazeItSec > r10.NaiveSec {
+		t.Error("blazeit selection slower than naive")
+	}
+	if r10.FNR < 0 || r10.FNR > 1 {
+		t.Errorf("FNR = %v", r10.FNR)
+	}
+	factor, lesion, err := s.Figure11Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factor) != 5 || len(lesion) != 5 {
+		t.Fatalf("factor/lesion lengths %d/%d", len(factor), len(lesion))
+	}
+	// Factor analysis: cumulative filters never slow the plan down much
+	// (each filter is worth applying, §5).
+	for i := 1; i < len(factor); i++ {
+		if factor[i].Seconds > factor[i-1].Seconds*1.2 {
+			t.Errorf("adding %s slowed the plan: %.0fs -> %.0fs",
+				factor[i].Label, factor[i-1].Seconds, factor[i].Seconds)
+		}
+	}
+	// Lesion study: removing any filter from the full plan costs time.
+	full := lesion[0].Seconds
+	for _, r := range lesion[1:] {
+		if r.Seconds < full*0.95 {
+			t.Errorf("removing %s sped the plan up (%.0fs vs full %.0fs)", r.Label, r.Seconds, full)
+		}
+	}
+}
+
+func TestRunAllPrintsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	s := tinySession(t)
+	var buf bytes.Buffer
+	if err := s.All(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("output missing section %s", name)
+		}
+	}
+	if !strings.Contains(out, "paper") {
+		t.Error("output should reference paper values")
+	}
+}

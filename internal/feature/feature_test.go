@@ -1,0 +1,171 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+func smallVideo(t *testing.T, name string, scale float64) *vidsim.Video {
+	t.Helper()
+	cfg, err := vidsim.Stream(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vidsim.Generate(cfg.Scaled(scale), 0)
+}
+
+func TestFrameDeterministic(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.005)
+	e1 := NewExtractor(v)
+	e2 := NewExtractor(v)
+	for f := 0; f < v.Frames; f += 777 {
+		a := e1.Frame(f, nil)
+		b := e2.Frame(f, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("frame %d channel %d differs: %v vs %v", f, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFrameOrderIndependent(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.005)
+	e := NewExtractor(v)
+	first := append([]float64(nil), e.Frame(100, nil)...)
+	// Visit other frames, then revisit.
+	e.Frame(5, nil)
+	e.Frame(900, nil)
+	again := e.Frame(100, nil)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("descriptor depends on visit order")
+		}
+	}
+}
+
+func TestFrameDim(t *testing.T) {
+	v := smallVideo(t, "rialto", 0.002)
+	e := NewExtractor(v)
+	d := e.Frame(0, nil)
+	if len(d) != Dim {
+		t.Fatalf("len = %d, want %d", len(d), Dim)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	e.Frame(0, make([]float64, 3))
+}
+
+func TestGlobalMatchesCells(t *testing.T) {
+	v := smallVideo(t, "amsterdam", 0.002)
+	e := NewExtractor(v)
+	d := e.Frame(42, nil)
+	var r, g, b float64
+	for c := 0; c < GridSize*GridSize; c++ {
+		r += d[3*c]
+		g += d[3*c+1]
+		b += d[3*c+2]
+	}
+	n := float64(GridSize * GridSize)
+	gc := GlobalColor(d)
+	if math.Abs(gc.R-r/n) > 1e-12 || math.Abs(gc.G-g/n) > 1e-12 || math.Abs(gc.B-b/n) > 1e-12 {
+		t.Error("global means disagree with cell averages")
+	}
+}
+
+func TestFeaturesCorrelateWithCounts(t *testing.T) {
+	// Frames with more cars should, on average, differ more from the
+	// background than empty frames — the signal the specialized NN learns.
+	v := smallVideo(t, "taipei", 0.01)
+	e := NewExtractor(v)
+	counts := v.Counts(vidsim.Car)
+	bg := v.Config.Background
+	var devEmpty, devBusy float64
+	var nEmpty, nBusy int
+	for f := 0; f < v.Frames; f += 31 {
+		d := e.Frame(f, nil)
+		dev := 0.0
+		for c := 0; c < GridSize*GridSize; c++ {
+			dev += math.Abs(d[3*c]-bg.R) + math.Abs(d[3*c+1]-bg.G) + math.Abs(d[3*c+2]-bg.B)
+		}
+		if counts[f] == 0 && v.CountAt(f, vidsim.Bus) == 0 {
+			devEmpty += dev
+			nEmpty++
+		} else if counts[f] >= 2 {
+			devBusy += dev
+			nBusy++
+		}
+	}
+	if nEmpty == 0 || nBusy == 0 {
+		t.Skip("degenerate sample")
+	}
+	if devBusy/float64(nBusy) <= devEmpty/float64(nEmpty) {
+		t.Errorf("busy frames (%f) should deviate more than empty frames (%f)",
+			devBusy/float64(nBusy), devEmpty/float64(nEmpty))
+	}
+}
+
+func TestFrameRednessSeparatesRedObjects(t *testing.T) {
+	// Construct a stream where a giant red object is present in known
+	// frames, and verify the frame-level redness signal separates them.
+	cfg, _ := vidsim.Stream("taipei")
+	cfg = cfg.Scaled(0.002)
+	v := vidsim.Generate(cfg, 0)
+	e := NewExtractor(v)
+
+	// Find frames with a red bus vs frames with nothing.
+	var withRed, empty []int
+	var objs []vidsim.Object
+	for f := 0; f < v.Frames; f++ {
+		objs = v.ObjectsAt(f, objs[:0])
+		hasRed := false
+		for _, o := range objs {
+			if o.Class == vidsim.Bus && o.Color.Redness() > 17.5 && o.Box.Area() > 50000 {
+				hasRed = true
+			}
+		}
+		if hasRed {
+			withRed = append(withRed, f)
+		} else if len(objs) == 0 {
+			empty = append(empty, f)
+		}
+	}
+	if len(withRed) < 3 || len(empty) < 3 {
+		t.Skip("not enough contrasting frames at this scale")
+	}
+	meanRed, meanEmpty := 0.0, 0.0
+	for _, f := range withRed {
+		meanRed += FrameRedness(e.Frame(f, nil))
+	}
+	meanRed /= float64(len(withRed))
+	for _, f := range empty {
+		meanEmpty += FrameRedness(e.Frame(f, nil))
+	}
+	meanEmpty /= float64(len(empty))
+	if meanRed <= meanEmpty+5 {
+		t.Errorf("red-bus frames redness %.1f not separated from empty %.1f", meanRed, meanEmpty)
+	}
+}
+
+func TestCellColor(t *testing.T) {
+	v := smallVideo(t, "grand-canal", 0.001)
+	d := NewExtractor(v).Frame(0, nil)
+	c := CellColor(d, 1, 2)
+	i := 3 * (2*GridSize + 1)
+	if c.R != d[i] || c.G != d[i+1] || c.B != d[i+2] {
+		t.Error("CellColor indexes wrong cell")
+	}
+}
+
+func TestFrameBlueness(t *testing.T) {
+	v := smallVideo(t, "rialto", 0.001)
+	d := NewExtractor(v).Frame(0, nil)
+	if FrameBlueness(d) < 0 {
+		t.Error("blueness must be non-negative")
+	}
+}

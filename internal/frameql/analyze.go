@@ -1,0 +1,397 @@
+package frameql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a query into one of the optimizer's plan families
+// (paper §5: aggregation, scrubbing, selection; everything else is
+// exhaustive).
+type Kind int
+
+// Query kinds.
+const (
+	// KindAggregate is a frame-averaged or total count with an optional
+	// error tolerance: SELECT FCOUNT(*)/COUNT(*) ... WHERE class='x'.
+	KindAggregate Kind = iota
+	// KindDistinct counts distinct tracks: COUNT(DISTINCT trackid).
+	KindDistinct
+	// KindScrubbing returns up to LIMIT timestamps whose frames satisfy
+	// per-class minimum counts (GROUP BY timestamp HAVING SUM(...) >= n).
+	KindScrubbing
+	// KindSelection returns full rows filtered by class, content UDFs, and
+	// optional per-track duration constraints.
+	KindSelection
+	// KindBinary is NoScope-style binary detection: SELECT timestamp with
+	// a class predicate under FNR/FPR tolerances (paper §4: "NOSCOPE's
+	// pipeline can be replicated with FRAMEQL using these constructs").
+	KindBinary
+	// KindExhaustive is anything the optimizer has no shortcut for; it is
+	// answered by running the reference detector on every candidate frame.
+	KindExhaustive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAggregate:
+		return "aggregate"
+	case KindDistinct:
+		return "distinct-count"
+	case KindScrubbing:
+		return "scrubbing"
+	case KindSelection:
+		return "selection"
+	case KindBinary:
+		return "binary-detection"
+	case KindExhaustive:
+		return "exhaustive"
+	}
+	return "unknown"
+}
+
+// ClassAtLeast is one scrubbing predicate: at least N objects of Class in
+// a frame.
+type ClassAtLeast struct {
+	Class string
+	N     int
+}
+
+// UDFPred is a predicate applying a named UDF to a row field:
+// redness(content) >= 17.5, area(mask) > 100000, xmax(mask) < 720.
+type UDFPred struct {
+	// Func is the UDF name, lowercased.
+	Func string
+	// Arg is the schema field the UDF is applied to ("content" or "mask").
+	Arg string
+	// Op is the comparison operator.
+	Op string
+	// Value is the comparison constant.
+	Value float64
+}
+
+func (u UDFPred) String() string {
+	return fmt.Sprintf("%s(%s) %s %g", u.Func, u.Arg, u.Op, u.Value)
+}
+
+// Info is the analyzed form of a query: everything the rule-based
+// optimizer needs, extracted from the AST.
+type Info struct {
+	// Stmt is the parsed statement.
+	Stmt *SelectStmt
+	// Kind is the plan family.
+	Kind Kind
+	// Video is the FROM relation.
+	Video string
+	// AggFunc is "FCOUNT" or "COUNT" for aggregate queries.
+	AggFunc string
+	// Classes lists class equality predicates from WHERE, in order.
+	Classes []string
+	// MinCounts lists scrubbing per-class minimum counts from HAVING.
+	MinCounts []ClassAtLeast
+	// UDFs lists content/mask predicates from WHERE.
+	UDFs []UDFPred
+	// MinDurationFrames is the per-track minimum appearance length implied
+	// by GROUP BY trackid HAVING COUNT(*) > k, or 0.
+	MinDurationFrames int
+	// TimeMin/TimeMax restrict timestamps when WHERE constrains timestamp;
+	// TimeMax < 0 means unbounded.
+	TimeMin, TimeMax float64
+	// ErrorWithin, Confidence, FPRWithin, FNRWithin mirror the statement's
+	// error clauses (Confidence defaults to 0.95 when an error bound is
+	// present without one).
+	ErrorWithin *float64
+	Confidence  float64
+	FPRWithin   *float64
+	FNRWithin   *float64
+	// Limit and Gap mirror the statement (Limit < 0 means none).
+	Limit, Gap int
+	// SelectsAll is true for SELECT *.
+	SelectsAll bool
+	// Residual is true when WHERE/HAVING contained predicates the analyzer
+	// could not map onto optimizer structures (OR, NOT, exotic shapes);
+	// such queries fall back to exhaustive plans.
+	Residual bool
+}
+
+// Analyze parses and analyzes src in one step.
+func Analyze(src string) (*Info, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeStmt(stmt)
+}
+
+// AnalyzeStmt classifies a parsed statement and extracts plan structure.
+func AnalyzeStmt(stmt *SelectStmt) (*Info, error) {
+	info := &Info{
+		Stmt:       stmt,
+		Video:      stmt.From,
+		Confidence: 0.95,
+		Limit:      -1,
+		TimeMax:    -1,
+	}
+	if stmt.Confidence != nil {
+		info.Confidence = *stmt.Confidence
+	}
+	info.ErrorWithin = stmt.ErrorWithin
+	info.FPRWithin = stmt.FPRWithin
+	info.FNRWithin = stmt.FNRWithin
+	if stmt.Limit != nil {
+		info.Limit = *stmt.Limit
+	}
+	if stmt.Gap != nil {
+		info.Gap = *stmt.Gap
+	}
+
+	if err := info.analyzeWhere(stmt.Where); err != nil {
+		return nil, err
+	}
+	if err := info.analyzeGroupHaving(stmt); err != nil {
+		return nil, err
+	}
+	info.classify(stmt)
+	return info, nil
+}
+
+// analyzeWhere walks the WHERE conjunction and extracts class, UDF, and
+// timestamp predicates. Anything else marks the query Residual.
+func (info *Info) analyzeWhere(e Expr) error {
+	if e == nil {
+		return nil
+	}
+	for _, c := range conjuncts(e) {
+		if !info.absorbWherePred(c) {
+			info.Residual = true
+		}
+	}
+	return nil
+}
+
+// absorbWherePred recognizes one conjunct; reports false if unrecognized.
+func (info *Info) absorbWherePred(e Expr) bool {
+	e = unparen(e)
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	l, r := unparen(be.L), unparen(be.R)
+
+	// class = 'x'
+	if id, ok := l.(*Ident); ok && strings.EqualFold(id.Name, "class") && be.Op == "=" {
+		if s, ok := r.(*StringLit); ok {
+			info.Classes = append(info.Classes, s.Value)
+			return true
+		}
+		return false
+	}
+	// timestamp bounds
+	if id, ok := l.(*Ident); ok && strings.EqualFold(id.Name, "timestamp") {
+		n, ok := r.(*NumberLit)
+		if !ok {
+			return false
+		}
+		switch be.Op {
+		case ">=", ">":
+			info.TimeMin = n.Value
+			return true
+		case "<=", "<":
+			info.TimeMax = n.Value
+			return true
+		}
+		return false
+	}
+	// udf(content|mask) op number
+	if call, ok := l.(*Call); ok && len(call.Args) == 1 {
+		argID, ok := unparen(call.Args[0]).(*Ident)
+		if !ok {
+			return false
+		}
+		arg := strings.ToLower(argID.Name)
+		if arg != "content" && arg != "mask" {
+			return false
+		}
+		n, ok := r.(*NumberLit)
+		if !ok {
+			return false
+		}
+		switch be.Op {
+		case ">", ">=", "<", "<=", "=", "!=":
+			info.UDFs = append(info.UDFs, UDFPred{
+				Func:  strings.ToLower(call.Func),
+				Arg:   arg,
+				Op:    be.Op,
+				Value: n.Value,
+			})
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeGroupHaving extracts scrubbing minimum counts (GROUP BY timestamp)
+// and track duration constraints (GROUP BY trackid).
+func (info *Info) analyzeGroupHaving(stmt *SelectStmt) error {
+	if len(stmt.GroupBy) == 0 {
+		if stmt.Having != nil {
+			return &SyntaxError{Msg: "HAVING requires GROUP BY"}
+		}
+		return nil
+	}
+	if len(stmt.GroupBy) != 1 {
+		info.Residual = true
+		return nil
+	}
+	switch strings.ToLower(stmt.GroupBy[0]) {
+	case "timestamp":
+		for _, c := range conjuncts(stmt.Having) {
+			if !info.absorbMinCount(c) {
+				info.Residual = true
+			}
+		}
+	case "trackid":
+		for _, c := range conjuncts(stmt.Having) {
+			if !info.absorbDuration(c) {
+				info.Residual = true
+			}
+		}
+	default:
+		info.Residual = true
+	}
+	return nil
+}
+
+// absorbMinCount recognizes SUM(class='x') >= n (and > n) conjuncts.
+func (info *Info) absorbMinCount(e Expr) bool {
+	e = unparen(e)
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := unparen(be.L).(*Call)
+	if !ok || !strings.EqualFold(call.Func, "SUM") || len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := unparen(call.Args[0]).(*BinaryExpr)
+	if !ok || inner.Op != "=" {
+		return false
+	}
+	id, ok := unparen(inner.L).(*Ident)
+	if !ok || !strings.EqualFold(id.Name, "class") {
+		return false
+	}
+	cls, ok := unparen(inner.R).(*StringLit)
+	if !ok {
+		return false
+	}
+	n, ok := unparen(be.R).(*NumberLit)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case ">=":
+		info.MinCounts = append(info.MinCounts, ClassAtLeast{Class: cls.Value, N: int(n.Value)})
+		return true
+	case ">":
+		info.MinCounts = append(info.MinCounts, ClassAtLeast{Class: cls.Value, N: int(n.Value) + 1})
+		return true
+	}
+	return false
+}
+
+// absorbDuration recognizes COUNT(*) > k / >= k conjuncts under
+// GROUP BY trackid.
+func (info *Info) absorbDuration(e Expr) bool {
+	e = unparen(e)
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := unparen(be.L).(*Call)
+	if !ok || !strings.EqualFold(call.Func, "COUNT") || !call.Star {
+		return false
+	}
+	n, ok := unparen(be.R).(*NumberLit)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case ">":
+		info.MinDurationFrames = int(n.Value) + 1
+		return true
+	case ">=":
+		info.MinDurationFrames = int(n.Value)
+		return true
+	}
+	return false
+}
+
+// classify assigns the plan family.
+func (info *Info) classify(stmt *SelectStmt) {
+	// Aggregates: a single aggregate select item without GROUP BY.
+	if len(stmt.Items) == 1 && !stmt.Items[0].Star && len(stmt.GroupBy) == 0 {
+		if call, ok := stmt.Items[0].Expr.(*Call); ok && call.IsAggregate() {
+			fn := strings.ToUpper(call.Func)
+			switch {
+			case fn == "COUNT" && call.Distinct:
+				info.Kind = KindDistinct
+				info.AggFunc = "COUNT"
+				return
+			case (fn == "FCOUNT" || fn == "COUNT") && call.Star:
+				info.Kind = KindAggregate
+				info.AggFunc = fn
+				return
+			}
+		}
+	}
+	// Scrubbing: grouped by timestamp with minimum-count predicates.
+	if len(stmt.GroupBy) == 1 && strings.EqualFold(stmt.GroupBy[0], "timestamp") &&
+		len(info.MinCounts) > 0 {
+		info.Kind = KindScrubbing
+		return
+	}
+	// Binary detection: SELECT timestamp under FNR/FPR tolerances.
+	if len(stmt.Items) == 1 && !stmt.Items[0].Star && len(stmt.GroupBy) == 0 &&
+		(info.FNRWithin != nil || info.FPRWithin != nil) &&
+		len(info.Classes) == 1 && !info.Residual {
+		if id, ok := stmt.Items[0].Expr.(*Ident); ok && strings.EqualFold(id.Name, "timestamp") {
+			info.Kind = KindBinary
+			return
+		}
+	}
+	// Selection: row-returning query with a class predicate.
+	for _, it := range stmt.Items {
+		if it.Star {
+			info.SelectsAll = true
+		}
+	}
+	if len(info.Classes) > 0 && !info.Residual {
+		info.Kind = KindSelection
+		return
+	}
+	info.Kind = KindExhaustive
+}
+
+// conjuncts flattens a tree of ANDs into its conjunct list.
+func conjuncts(e Expr) []Expr {
+	e = unparen(e)
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(conjuncts(be.L), conjuncts(be.R)...)
+	}
+	return []Expr{e}
+}
+
+// unparen strips grouping parentheses.
+func unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.E
+	}
+}

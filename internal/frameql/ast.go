@@ -1,0 +1,203 @@
+package frameql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is any FrameQL expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Ident is a bare identifier: a schema field (timestamp, class, mask,
+// trackid, content, features) or any other name.
+type Ident struct {
+	Name string
+}
+
+func (*Ident) exprNode()        {}
+func (e *Ident) String() string { return e.Name }
+
+// StringLit is a single-quoted string literal.
+type StringLit struct {
+	Value string
+}
+
+func (*StringLit) exprNode() {}
+func (e *StringLit) String() string {
+	return "'" + strings.ReplaceAll(e.Value, "'", "''") + "'"
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Text  string
+}
+
+func (*NumberLit) exprNode()        {}
+func (e *NumberLit) String() string { return e.Text }
+
+// Call is a function or aggregate call: COUNT(*), FCOUNT(*),
+// COUNT(DISTINCT trackid), SUM(class='bus'), redness(content), area(mask).
+type Call struct {
+	// Func is the function name, uppercased for aggregates by convention
+	// of String() but stored as written.
+	Func string
+	// Star is true for f(*).
+	Star bool
+	// Distinct is true for f(DISTINCT arg).
+	Distinct bool
+	// Args are the argument expressions (empty when Star).
+	Args []Expr
+}
+
+func (*Call) exprNode() {}
+func (e *Call) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Func)
+	sb.WriteByte('(')
+	if e.Star {
+		sb.WriteByte('*')
+	} else {
+		if e.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// IsAggregate reports whether the call is one of the aggregate functions.
+func (e *Call) IsAggregate() bool {
+	switch strings.ToUpper(e.Func) {
+	case "COUNT", "FCOUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// BinaryExpr is a binary operation: comparisons and AND/OR.
+type BinaryExpr struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	E Expr
+}
+
+func (*NotExpr) exprNode()        {}
+func (e *NotExpr) String() string { return "NOT " + e.E.String() }
+
+// ParenExpr preserves explicit grouping for round-tripping.
+type ParenExpr struct {
+	E Expr
+}
+
+func (*ParenExpr) exprNode()        {}
+func (e *ParenExpr) String() string { return "(" + e.E.String() + ")" }
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Expr is the selected expression when not Star.
+	Expr Expr
+	// Alias is the AS name, if any.
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// SelectStmt is a parsed FrameQL query (Table 2's syntactic sugar included).
+type SelectStmt struct {
+	// Items is the select list.
+	Items []SelectItem
+	// From is the video relation name.
+	From string
+	// Where is the row predicate, or nil.
+	Where Expr
+	// GroupBy lists grouping fields (timestamp or trackid in practice).
+	GroupBy []string
+	// Having is the group predicate, or nil.
+	Having Expr
+	// ErrorWithin is the absolute error tolerance, or nil.
+	ErrorWithin *float64
+	// Confidence is the confidence level in (0,1), or nil.
+	Confidence *float64
+	// FPRWithin is the allowed false positive rate, or nil.
+	FPRWithin *float64
+	// FNRWithin is the allowed false negative rate, or nil.
+	FNRWithin *float64
+	// Limit is the row limit, or nil.
+	Limit *int
+	// Gap is the minimum frame distance between returned frames, or nil.
+	Gap *int
+}
+
+// String renders the query back to canonical FrameQL.
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From)
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(s.GroupBy, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
+	}
+	if s.ErrorWithin != nil {
+		fmt.Fprintf(&sb, " ERROR WITHIN %g", *s.ErrorWithin)
+	}
+	if s.Confidence != nil {
+		fmt.Fprintf(&sb, " AT CONFIDENCE %g%%", *s.Confidence*100)
+	}
+	if s.FPRWithin != nil {
+		fmt.Fprintf(&sb, " FPR WITHIN %g", *s.FPRWithin)
+	}
+	if s.FNRWithin != nil {
+		fmt.Fprintf(&sb, " FNR WITHIN %g", *s.FNRWithin)
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&sb, " LIMIT %d", *s.Limit)
+	}
+	if s.Gap != nil {
+		fmt.Fprintf(&sb, " GAP %d", *s.Gap)
+	}
+	return sb.String()
+}

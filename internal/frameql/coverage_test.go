@@ -1,0 +1,182 @@
+package frameql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokIdent, TokKeyword, TokNumber, TokString,
+		TokStar, TokComma, TokLParen, TokRParen, TokOp, TokPercent, TokSemi}
+	for _, k := range kinds {
+		if k.String() == "unknown token" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TokenKind(99).String() != "unknown token" {
+		t.Error("out-of-range kind should be unknown")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: TokEOF}).String() != "end of query" {
+		t.Error("EOF token string")
+	}
+	if (Token{Kind: TokIdent, Text: "abc"}).String() != `"abc"` {
+		t.Error("ident token string")
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	e := &SyntaxError{Pos: 7, Msg: "boom"}
+	if !strings.Contains(e.Error(), "offset 7") || !strings.Contains(e.Error(), "boom") {
+		t.Errorf("error = %q", e.Error())
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT * FROM v WHERE NOT class = 'car'", "NOT class = 'car'"},
+		{"SELECT * FROM v WHERE (class = 'car')", "(class = 'car')"},
+		{"SELECT * FROM v WHERE redness(content) >= 17.5", "redness(content) >= 17.5"},
+		{"SELECT * FROM v WHERE name = 'it''s'", "name = 'it''s'"},
+		{"SELECT * FROM v WHERE a = 1 OR b = 2", "a = 1 OR b = 2"},
+	}
+	for _, c := range cases {
+		stmt := mustParse(t, c.src)
+		if got := stmt.Where.String(); got != c.want {
+			t.Errorf("%q: Where.String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSelectItemString(t *testing.T) {
+	stmt := mustParse(t, "SELECT FCOUNT(*) AS density, timestamp FROM v")
+	if got := stmt.Items[0].String(); got != "FCOUNT(*) AS density" {
+		t.Errorf("item 0 = %q", got)
+	}
+	if got := stmt.Items[1].String(); got != "timestamp" {
+		t.Errorf("item 1 = %q", got)
+	}
+	star := mustParse(t, "SELECT * FROM v")
+	if star.Items[0].String() != "*" {
+		t.Error("star item string")
+	}
+	distinct := mustParse(t, "SELECT COUNT(DISTINCT trackid) FROM v")
+	if got := distinct.Items[0].String(); got != "COUNT(DISTINCT trackid)" {
+		t.Errorf("distinct item = %q", got)
+	}
+}
+
+func TestStmtStringAllClauses(t *testing.T) {
+	src := `SELECT timestamp FROM v WHERE class = 'car'
+		GROUP BY timestamp HAVING SUM(class='car') >= 2
+		ERROR WITHIN 0.1 AT CONFIDENCE 95% FPR WITHIN 0.01 FNR WITHIN 0.02
+		LIMIT 5 GAP 10`
+	stmt := mustParse(t, src)
+	out := stmt.String()
+	for _, frag := range []string{"ERROR WITHIN 0.1", "AT CONFIDENCE 95%",
+		"FPR WITHIN 0.01", "FNR WITHIN 0.02", "LIMIT 5", "GAP 10", "GROUP BY timestamp"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q: %s", frag, out)
+		}
+	}
+	// And it must re-parse to the same canonical form.
+	again := mustParse(t, out)
+	if again.String() != out {
+		t.Errorf("canonical form unstable:\n%s\n%s", out, again.String())
+	}
+}
+
+func TestAnalyzePropagatesParseErrors(t *testing.T) {
+	if _, err := Analyze("SELECT"); err == nil {
+		t.Error("analyze should propagate parse errors")
+	}
+}
+
+func TestAnalyzeGroupByVariants(t *testing.T) {
+	// Multiple GROUP BY fields: residual.
+	info := mustAnalyze(t, "SELECT * FROM v WHERE class='car' GROUP BY timestamp, trackid HAVING COUNT(*) > 1")
+	if !info.Residual {
+		t.Error("multi-field GROUP BY should be residual")
+	}
+	// Unknown grouping field: residual.
+	info = mustAnalyze(t, "SELECT * FROM v WHERE class='car' GROUP BY mask HAVING COUNT(*) > 1")
+	if !info.Residual {
+		t.Error("GROUP BY mask should be residual")
+	}
+	// GROUP BY trackid HAVING COUNT(*) >= k.
+	info = mustAnalyze(t, "SELECT * FROM v WHERE class='car' GROUP BY trackid HAVING COUNT(*) >= 10")
+	if info.MinDurationFrames != 10 {
+		t.Errorf("MinDurationFrames = %d", info.MinDurationFrames)
+	}
+	// Unrecognized HAVING under trackid: residual.
+	info = mustAnalyze(t, "SELECT * FROM v WHERE class='car' GROUP BY trackid HAVING SUM(class='car') > 3")
+	if !info.Residual {
+		t.Error("SUM under trackid grouping should be residual")
+	}
+	// Unrecognized HAVING under timestamp: residual, no scrubbing.
+	info = mustAnalyze(t, "SELECT timestamp FROM v GROUP BY timestamp HAVING COUNT(*) > 3")
+	if len(info.MinCounts) != 0 {
+		t.Errorf("MinCounts = %v", info.MinCounts)
+	}
+}
+
+func TestAnalyzeMinCountRejections(t *testing.T) {
+	cases := []string{
+		// SUM over non-class predicate
+		"SELECT timestamp FROM v GROUP BY timestamp HAVING SUM(trackid=1) >= 1",
+		// SUM compared with non-number
+		"SELECT timestamp FROM v GROUP BY timestamp HAVING SUM(class='car') >= 'x'",
+		// wrong operator
+		"SELECT timestamp FROM v GROUP BY timestamp HAVING SUM(class='car') = 1",
+	}
+	for _, src := range cases {
+		info := mustAnalyze(t, src)
+		if !info.Residual {
+			t.Errorf("%q should be residual", src)
+		}
+	}
+}
+
+func TestAnalyzeBinaryKind(t *testing.T) {
+	info := mustAnalyze(t, `SELECT timestamp FROM v WHERE class='car' FNR WITHIN 0.01 FPR WITHIN 0.01`)
+	if info.Kind != KindBinary {
+		t.Fatalf("kind = %v, want binary-detection", info.Kind)
+	}
+	if info.Kind.String() != "binary-detection" {
+		t.Errorf("kind name = %s", info.Kind.String())
+	}
+	// Without rate tolerances the same query is a selection.
+	info = mustAnalyze(t, `SELECT timestamp FROM v WHERE class='car'`)
+	if info.Kind == KindBinary {
+		t.Error("no tolerance should not be binary")
+	}
+	// FNR alone suffices.
+	info = mustAnalyze(t, `SELECT timestamp FROM v WHERE class='car' FNR WITHIN 0.05`)
+	if info.Kind != KindBinary {
+		t.Errorf("kind = %v", info.Kind)
+	}
+}
+
+func TestParseNumberErrors(t *testing.T) {
+	if _, err := Parse("SELECT COUNT(*) FROM v ERROR WITHIN car"); err == nil {
+		t.Error("non-numeric bound should fail")
+	}
+	if _, err := Parse("SELECT COUNT(*) FROM v LIMIT -1"); err == nil {
+		t.Error("negative limit should fail to lex or parse")
+	}
+}
+
+func TestLexPercentAndSemi(t *testing.T) {
+	toks, err := Lex("95% ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokPercent || toks[2].Kind != TokSemi {
+		t.Errorf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,413 @@
+package frameql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func mustAnalyze(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := Analyze(src)
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return info
+}
+
+// --- Lexer ---
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT fcount(*) FROM taipei WHERE class = 'car'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokLParen, TokStar, TokRParen,
+		TokKeyword, TokIdent, TokKeyword, TokIdent, TokOp, TokString, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: kind %v, want %v (%v)", i, toks[i].Kind, k, toks[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("= != <> < <= > >=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"=", "!=", "!=", "<", "<=", ">", ">="}
+	for i, w := range want {
+		if toks[i].Kind != TokOp || toks[i].Text != w {
+			t.Errorf("op %d = %v, want %s", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a ! b", "@", "SELECT #"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("0.1 17.5 100000 1e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []string{"0.1", "17.5", "100000", "1e3"} {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("number %d = %v, want %s", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexHyphenatedIdent(t *testing.T) {
+	toks, err := Lex("FROM night-street")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "night-street" {
+		t.Errorf("ident = %v", toks[1])
+	}
+}
+
+// --- Parser: the paper's three example queries (Figure 3) ---
+
+func TestParseFigure3a(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT FCOUNT(*)
+		FROM taipei
+		WHERE class = 'car'
+		ERROR WITHIN 0.1
+		AT CONFIDENCE 95%`)
+	if stmt.From != "taipei" {
+		t.Errorf("From = %q", stmt.From)
+	}
+	call, ok := stmt.Items[0].Expr.(*Call)
+	if !ok || !strings.EqualFold(call.Func, "FCOUNT") || !call.Star {
+		t.Fatalf("select item = %v", stmt.Items[0])
+	}
+	if stmt.ErrorWithin == nil || *stmt.ErrorWithin != 0.1 {
+		t.Error("missing ERROR WITHIN 0.1")
+	}
+	if stmt.Confidence == nil || *stmt.Confidence != 0.95 {
+		t.Errorf("confidence = %v", stmt.Confidence)
+	}
+}
+
+func TestParseFigure3b(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT timestamp
+		FROM taipei
+		GROUP BY timestamp
+		HAVING SUM(class='bus')>=1
+		AND SUM(class='car')>=5
+		LIMIT 10 GAP 300`)
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0] != "timestamp" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+	if stmt.Limit == nil || *stmt.Limit != 10 {
+		t.Error("LIMIT 10 missing")
+	}
+	if stmt.Gap == nil || *stmt.Gap != 300 {
+		t.Error("GAP 300 missing")
+	}
+	if stmt.Having == nil {
+		t.Fatal("HAVING missing")
+	}
+	be, ok := stmt.Having.(*BinaryExpr)
+	if !ok || be.Op != "AND" {
+		t.Fatalf("HAVING shape: %v", stmt.Having)
+	}
+}
+
+func TestParseFigure3c(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT *
+		FROM taipei
+		WHERE class = 'bus'
+		AND redness(content) >= 17.5
+		AND area(mask) > 100000
+		GROUP BY trackid
+		HAVING COUNT(*) > 15`)
+	if !stmt.Items[0].Star {
+		t.Error("expected SELECT *")
+	}
+	if stmt.GroupBy[0] != "trackid" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'`)
+	call := stmt.Items[0].Expr.(*Call)
+	if !call.Distinct || len(call.Args) != 1 {
+		t.Fatalf("call = %v", call)
+	}
+}
+
+func TestParseNoScopeStyle(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT timestamp FROM taipei WHERE class = 'car'
+		FNR WITHIN 0.01 FPR WITHIN 0.01`)
+	if stmt.FNRWithin == nil || *stmt.FNRWithin != 0.01 {
+		t.Error("FNR missing")
+	}
+	if stmt.FPRWithin == nil || *stmt.FPRWithin != 0.01 {
+		t.Error("FPR missing")
+	}
+}
+
+func TestParseConfidenceForms(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM v ERROR WITHIN 0.1 CONFIDENCE 95%",
+		"SELECT COUNT(*) FROM v ERROR WITHIN 0.1 CONFIDENCE 0.95",
+		"SELECT COUNT(*) FROM v ERROR WITHIN 0.1 AT CONFIDENCE 95",
+	} {
+		stmt := mustParse(t, src)
+		if stmt.Confidence == nil || *stmt.Confidence != 0.95 {
+			t.Errorf("%q: confidence = %v", src, stmt.Confidence)
+		}
+	}
+}
+
+func TestParseAliasAndSemicolon(t *testing.T) {
+	stmt := mustParse(t, "SELECT FCOUNT(*) AS avg_cars FROM amsterdam;")
+	if stmt.Items[0].Alias != "avg_cars" {
+		t.Errorf("alias = %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM v WHERE",
+		"SELECT * FROM v GROUP timestamp",
+		"SELECT * FROM v HAVING COUNT(*) > 1 GROUP BY timestamp", // wrong order
+		"SELECT * FROM v LIMIT abc",
+		"SELECT * FROM v LIMIT 1 GAP",
+		"SELECT * FROM v ERROR 0.1",
+		"SELECT * FROM v trailing garbage",
+		"SELECT * FROM v WHERE (class = 'car'",
+		"SELECT nonagg(*) FROM v",
+		"SELECT COUNT(*) FROM v AT CONFIDENCE 150%",
+		"SELECT COUNT(*) FROM v LIMIT 1 GAP 0.5",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+		"SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5 LIMIT 10 GAP 300",
+		"SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15",
+		"SELECT COUNT(DISTINCT trackid) FROM rialto WHERE class = 'boat'",
+	}
+	for _, q := range queries {
+		a := mustParse(t, q)
+		b := mustParse(t, a.String())
+		if a.String() != b.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", a, b)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM v WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := stmt.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op should be OR: %v", stmt.Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND should bind tighter: %v", or.R)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM v WHERE NOT class = 'car'")
+	if _, ok := stmt.Where.(*NotExpr); !ok {
+		t.Fatalf("expected NotExpr, got %T", stmt.Where)
+	}
+}
+
+// --- Analyzer ---
+
+func TestAnalyzeAggregate(t *testing.T) {
+	info := mustAnalyze(t, `SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`)
+	if info.Kind != KindAggregate {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if info.AggFunc != "FCOUNT" {
+		t.Errorf("AggFunc = %q", info.AggFunc)
+	}
+	if len(info.Classes) != 1 || info.Classes[0] != "car" {
+		t.Errorf("Classes = %v", info.Classes)
+	}
+	if info.ErrorWithin == nil || *info.ErrorWithin != 0.1 || info.Confidence != 0.95 {
+		t.Error("error clauses not extracted")
+	}
+}
+
+func TestAnalyzeDefaultConfidence(t *testing.T) {
+	info := mustAnalyze(t, `SELECT COUNT(*) FROM v WHERE class='car' ERROR WITHIN 0.05`)
+	if info.Confidence != 0.95 {
+		t.Errorf("default confidence = %v, want 0.95", info.Confidence)
+	}
+}
+
+func TestAnalyzeDistinct(t *testing.T) {
+	info := mustAnalyze(t, `SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class='car'`)
+	if info.Kind != KindDistinct {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+}
+
+func TestAnalyzeScrubbing(t *testing.T) {
+	info := mustAnalyze(t, `
+		SELECT timestamp FROM taipei GROUP BY timestamp
+		HAVING SUM(class='bus')>=1 AND SUM(class='car')>=5
+		LIMIT 10 GAP 300`)
+	if info.Kind != KindScrubbing {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	want := []ClassAtLeast{{"bus", 1}, {"car", 5}}
+	if len(info.MinCounts) != 2 || info.MinCounts[0] != want[0] || info.MinCounts[1] != want[1] {
+		t.Errorf("MinCounts = %v", info.MinCounts)
+	}
+	if info.Limit != 10 || info.Gap != 300 {
+		t.Errorf("limit/gap = %d/%d", info.Limit, info.Gap)
+	}
+}
+
+func TestAnalyzeScrubbingStrictGreater(t *testing.T) {
+	info := mustAnalyze(t, `
+		SELECT timestamp FROM v GROUP BY timestamp
+		HAVING SUM(class='car') > 3 LIMIT 5`)
+	if info.MinCounts[0].N != 4 {
+		t.Errorf("N = %d, want 4 (strict >)", info.MinCounts[0].N)
+	}
+}
+
+func TestAnalyzeSelection(t *testing.T) {
+	info := mustAnalyze(t, `
+		SELECT * FROM taipei
+		WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 100000
+		GROUP BY trackid HAVING COUNT(*) > 15`)
+	if info.Kind != KindSelection {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if !info.SelectsAll {
+		t.Error("SelectsAll should be true")
+	}
+	if len(info.UDFs) != 2 {
+		t.Fatalf("UDFs = %v", info.UDFs)
+	}
+	if info.UDFs[0].Func != "redness" || info.UDFs[0].Arg != "content" || info.UDFs[0].Value != 17.5 {
+		t.Errorf("UDF[0] = %v", info.UDFs[0])
+	}
+	if info.UDFs[1].Func != "area" || info.UDFs[1].Arg != "mask" {
+		t.Errorf("UDF[1] = %v", info.UDFs[1])
+	}
+	if info.MinDurationFrames != 16 {
+		t.Errorf("MinDurationFrames = %d, want 16 (COUNT(*) > 15)", info.MinDurationFrames)
+	}
+}
+
+func TestAnalyzeSpatialBounds(t *testing.T) {
+	info := mustAnalyze(t, `
+		SELECT * FROM taipei
+		WHERE class = 'bus' AND xmax(mask) <= 900`)
+	if info.Kind != KindSelection {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if len(info.UDFs) != 1 || info.UDFs[0].Func != "xmax" || info.UDFs[0].Op != "<=" {
+		t.Errorf("UDFs = %v", info.UDFs)
+	}
+}
+
+func TestAnalyzeTimestampBounds(t *testing.T) {
+	info := mustAnalyze(t, `SELECT * FROM v WHERE class='car' AND timestamp >= 100 AND timestamp < 5000`)
+	if info.TimeMin != 100 || info.TimeMax != 5000 {
+		t.Errorf("time range = [%v, %v]", info.TimeMin, info.TimeMax)
+	}
+}
+
+func TestAnalyzeResidualFallsBackToExhaustive(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM v WHERE class = 'car' OR class = 'bus'",
+		"SELECT * FROM v WHERE NOT class = 'car'",
+		"SELECT * FROM v WHERE features = 3",
+	}
+	for _, src := range cases {
+		info := mustAnalyze(t, src)
+		if !info.Residual {
+			t.Errorf("%q should be residual", src)
+		}
+		if info.Kind != KindExhaustive {
+			t.Errorf("%q kind = %v, want exhaustive", src, info.Kind)
+		}
+	}
+}
+
+func TestAnalyzeSelectStarNoPredicates(t *testing.T) {
+	info := mustAnalyze(t, "SELECT * FROM v")
+	if info.Kind != KindExhaustive {
+		t.Errorf("kind = %v", info.Kind)
+	}
+	if info.Residual {
+		t.Error("bare SELECT * is not residual, just unoptimizable")
+	}
+}
+
+func TestAnalyzeHavingWithoutGroupBy(t *testing.T) {
+	if _, err := Analyze("SELECT * FROM v HAVING COUNT(*) > 1"); err == nil {
+		t.Error("HAVING without GROUP BY should fail analysis")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindAggregate, KindDistinct, KindScrubbing, KindSelection, KindExhaustive}
+	for _, k := range kinds {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestUDFPredString(t *testing.T) {
+	u := UDFPred{Func: "redness", Arg: "content", Op: ">=", Value: 17.5}
+	if u.String() != "redness(content) >= 17.5" {
+		t.Errorf("String = %q", u.String())
+	}
+}

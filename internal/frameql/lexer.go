@@ -1,0 +1,151 @@
+package frameql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lexer scans FrameQL source into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes an entire query, returning the token stream ending in a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '*':
+		l.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '%':
+		l.pos++
+		return Token{Kind: TokPercent, Text: "%", Pos: start}, nil
+	case c == ';':
+		l.pos++
+		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case c == '=':
+		l.pos++
+		return Token{Kind: TokOp, Text: "=", Pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return Token{Kind: TokOp, Text: "!=", Pos: start}, nil
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: "unexpected '!'"}
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			text := l.src[start:l.pos]
+			if text == "<>" {
+				text = "!="
+			}
+			return Token{Kind: TokOp, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: TokOp, Text: "<", Pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokOp, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokOp, Text: ">", Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				// Doubled quote escapes a quote, as in SQL.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+	case isDigit(c) || c == '.':
+		hasDigit := false
+		hasDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				hasDigit = true
+				l.pos++
+			} else if ch == '.' && !hasDot {
+				hasDot = true
+				l.pos++
+			} else if (ch == 'e' || ch == 'E') && hasDigit {
+				// exponent
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		if !hasDigit {
+			return Token{}, &SyntaxError{Pos: start, Msg: "malformed number"}
+		}
+		return Token{Kind: TokNumber, Text: text, Pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return Token{Kind: TokKeyword, Text: strings.ToUpper(text), Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '-'
+}

@@ -1,0 +1,372 @@
+package frameql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one FrameQL SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSemi {
+		p.advance()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after end of query", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token    { return p.toks[p.pos] }
+func (p *parser) advance() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// acceptKeyword consumes the keyword if it is next and reports whether it did.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.advance()
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokIdent {
+		return nil, p.errf("expected video name after FROM, found %s", p.peek())
+	}
+	stmt.From = p.advance().Text
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if p.peek().Kind != TokIdent {
+				return nil, p.errf("expected field name in GROUP BY, found %s", p.peek())
+			}
+			stmt.GroupBy = append(stmt.GroupBy, p.advance().Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+
+	// Error-bound clauses may appear in any order.
+	for {
+		switch {
+		case p.acceptKeyword("ERROR"):
+			if err := p.expectKeyword("WITHIN"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			stmt.ErrorWithin = &v
+		case p.acceptKeyword("FPR"):
+			if err := p.expectKeyword("WITHIN"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			stmt.FPRWithin = &v
+		case p.acceptKeyword("FNR"):
+			if err := p.expectKeyword("WITHIN"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			stmt.FNRWithin = &v
+		case p.acceptKeyword("AT"):
+			if err := p.expectKeyword("CONFIDENCE"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseConfidence()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Confidence = &v
+		case p.acceptKeyword("CONFIDENCE"):
+			v, err := p.parseConfidence()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Confidence = &v
+		case p.acceptKeyword("LIMIT"):
+			v, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Limit = &v
+			if p.acceptKeyword("GAP") {
+				g, err := p.parseInt()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Gap = &g
+			}
+		default:
+			return stmt, nil
+		}
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peek().Kind == TokStar {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		if p.peek().Kind != TokIdent {
+			return SelectItem{}, p.errf("expected alias after AS, found %s", p.peek())
+		}
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+// parseConfidence parses a confidence value: "95%" or "0.95".
+func (p *parser) parseConfidence() (float64, error) {
+	v, err := p.parseNumber()
+	if err != nil {
+		return 0, err
+	}
+	if p.peek().Kind == TokPercent {
+		p.advance()
+		v /= 100
+	} else if v > 1 {
+		// "CONFIDENCE 95" without the percent sign.
+		v /= 100
+	}
+	if v <= 0 || v >= 1 {
+		return 0, p.errf("confidence %g out of range (0, 100%%)", v)
+	}
+	return v, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	if p.peek().Kind != TokNumber {
+		return 0, p.errf("expected number, found %s", p.peek())
+	}
+	t := p.advance()
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, &SyntaxError{Pos: t.Pos, Msg: "malformed number " + t.Text}
+	}
+	return v, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	if p.peek().Kind != TokNumber {
+		return 0, p.errf("expected integer, found %s", p.peek())
+	}
+	t := p.advance()
+	v, err := strconv.Atoi(t.Text)
+	if err != nil {
+		return 0, &SyntaxError{Pos: t.Pos, Msg: "expected integer, found " + t.Text}
+	}
+	if v < 0 {
+		return 0, &SyntaxError{Pos: t.Pos, Msg: "expected non-negative integer"}
+	}
+	return v, nil
+}
+
+// Expression grammar: OR > AND > NOT > comparison > primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp {
+		op := p.advance().Text
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "malformed number " + t.Text}
+		}
+		return &NumberLit{Value: v, Text: t.Text}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Value: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().Kind != TokRParen {
+			return nil, p.errf("expected ')', found %s", p.peek())
+		}
+		p.advance()
+		return &ParenExpr{E: e}, nil
+	case TokIdent:
+		p.advance()
+		if p.peek().Kind == TokLParen {
+			return p.parseCall(t.Text)
+		}
+		return &Ident{Name: t.Text}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// parseCall parses the argument list of a function call whose name has
+// already been consumed.
+func (p *parser) parseCall(name string) (Expr, error) {
+	p.advance() // '('
+	call := &Call{Func: name}
+	if p.peek().Kind == TokStar {
+		p.advance()
+		call.Star = true
+	} else if p.peek().Kind != TokRParen {
+		if p.acceptKeyword("DISTINCT") {
+			call.Distinct = true
+		}
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.peek().Kind != TokRParen {
+		return nil, p.errf("expected ')' to close %s(, found %s", name, p.peek())
+	}
+	p.advance()
+	if call.Star && !call.IsAggregate() {
+		return nil, &SyntaxError{Pos: p.toks[p.pos-1].Pos,
+			Msg: fmt.Sprintf("%s(*) is only valid for aggregate functions", name)}
+	}
+	return call, nil
+}

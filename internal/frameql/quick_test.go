@@ -1,0 +1,162 @@
+package frameql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genQuery builds a random valid FrameQL statement from the AST grammar.
+// The property under test: rendering any such statement and re-parsing it
+// reaches a fixpoint (parse(print(q)) prints identically), and analysis
+// never panics.
+func genQuery(rng *rand.Rand) *SelectStmt {
+	stmt := &SelectStmt{From: pick(rng, "taipei", "night-street", "feeder", "v1")}
+
+	switch rng.Intn(4) {
+	case 0:
+		stmt.Items = []SelectItem{{Star: true}}
+	case 1:
+		stmt.Items = []SelectItem{{Expr: &Call{Func: pick(rng, "FCOUNT", "COUNT"), Star: true}}}
+	case 2:
+		stmt.Items = []SelectItem{{Expr: &Call{Func: "COUNT", Distinct: true, Args: []Expr{&Ident{Name: "trackid"}}}}}
+	default:
+		stmt.Items = []SelectItem{{Expr: &Ident{Name: "timestamp"}}}
+		if rng.Intn(2) == 0 {
+			stmt.Items[0].Alias = "t"
+		}
+	}
+
+	if rng.Intn(3) > 0 {
+		stmt.Where = genPredicate(rng, 0)
+	}
+
+	switch rng.Intn(3) {
+	case 1:
+		stmt.GroupBy = []string{"timestamp"}
+		stmt.Having = &BinaryExpr{
+			Op: pick(rng, ">=", ">"),
+			L: &Call{Func: "SUM", Args: []Expr{&BinaryExpr{
+				Op: "=",
+				L:  &Ident{Name: "class"},
+				R:  &StringLit{Value: pick(rng, "car", "bus", "boat")},
+			}}},
+			R: num(rng, 1, 8),
+		}
+	case 2:
+		stmt.GroupBy = []string{"trackid"}
+		stmt.Having = &BinaryExpr{
+			Op: pick(rng, ">", ">="),
+			L:  &Call{Func: "COUNT", Star: true},
+			R:  num(rng, 1, 60),
+		}
+	}
+
+	if rng.Intn(2) == 0 {
+		v := 0.01 * float64(1+rng.Intn(20))
+		stmt.ErrorWithin = &v
+	}
+	if rng.Intn(2) == 0 {
+		c := 0.9 + 0.01*float64(rng.Intn(10))
+		stmt.Confidence = &c
+	}
+	if rng.Intn(3) == 0 {
+		v := 0.01 * float64(1+rng.Intn(5))
+		stmt.FNRWithin = &v
+	}
+	if rng.Intn(3) == 0 {
+		v := 0.01 * float64(1+rng.Intn(5))
+		stmt.FPRWithin = &v
+	}
+	if rng.Intn(2) == 0 {
+		l := 1 + rng.Intn(30)
+		stmt.Limit = &l
+		if rng.Intn(2) == 0 {
+			g := 10 * (1 + rng.Intn(50))
+			stmt.Gap = &g
+		}
+	}
+	return stmt
+}
+
+// genPredicate builds a random boolean expression of bounded depth.
+func genPredicate(rng *rand.Rand, depth int) Expr {
+	if depth < 2 && rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &BinaryExpr{Op: "AND", L: genPredicate(rng, depth+1), R: genPredicate(rng, depth+1)}
+		case 1:
+			return &BinaryExpr{Op: "OR", L: genPredicate(rng, depth+1), R: genPredicate(rng, depth+1)}
+		default:
+			return &NotExpr{E: genPredicate(rng, depth+1)}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &BinaryExpr{Op: "=", L: &Ident{Name: "class"},
+			R: &StringLit{Value: pick(rng, "car", "bus", "boat", "bird")}}
+	case 1:
+		return &BinaryExpr{Op: pick(rng, ">=", "<", "<=", ">"),
+			L: &Ident{Name: "timestamp"}, R: num(rng, 0, 100000)}
+	case 2:
+		return &BinaryExpr{Op: pick(rng, ">=", ">"),
+			L: &Call{Func: pick(rng, "redness", "blueness"), Args: []Expr{&Ident{Name: "content"}}},
+			R: num(rng, 1, 200)}
+	default:
+		return &BinaryExpr{Op: pick(rng, ">", "<", ">=", "<="),
+			L: &Call{Func: pick(rng, "area", "xmax", "xmin", "ymax", "ymin"), Args: []Expr{&Ident{Name: "mask"}}},
+			R: num(rng, 1, 1000000)}
+	}
+}
+
+func pick(rng *rand.Rand, xs ...string) string { return xs[rng.Intn(len(xs))] }
+
+func num(rng *rand.Rand, lo, hi int) *NumberLit {
+	v := lo + rng.Intn(hi-lo+1)
+	return &NumberLit{Value: float64(v), Text: fmt.Sprintf("%d", v)}
+}
+
+func TestRandomQueriesReachPrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 2000; i++ {
+		q := genQuery(rng)
+		first := q.String()
+		parsed, err := Parse(first)
+		if err != nil {
+			t.Fatalf("query %d failed to re-parse: %v\n%s", i, err, first)
+		}
+		second := parsed.String()
+		if first != second {
+			t.Fatalf("query %d not a fixpoint:\n%s\n%s", i, first, second)
+		}
+		// Analysis must never error on structurally valid statements
+		// (HAVING always accompanied by GROUP BY here) nor panic.
+		if _, err := AnalyzeStmt(parsed); err != nil {
+			t.Fatalf("query %d failed analysis: %v\n%s", i, err, first)
+		}
+	}
+}
+
+func TestRandomQueriesClassifyStably(t *testing.T) {
+	// Classification of a rendered-and-reparsed query must match the
+	// original's.
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 500; i++ {
+		q := genQuery(rng)
+		a, err := AnalyzeStmt(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := Parse(q.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AnalyzeStmt(reparsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Kind != b.Kind {
+			t.Fatalf("query %d kind changed: %v -> %v\n%s", i, a.Kind, b.Kind, q)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package frameql implements FrameQL, BlazeIt's SQL-like query language for
+// spatiotemporal information of objects in video (paper §4).
+//
+// The package provides a lexer, a recursive-descent parser producing an
+// AST, and a semantic analyzer that classifies queries into the optimizer's
+// plan families (aggregation, scrubbing, selection, exhaustive) and
+// extracts the structured information plans need (class count predicates,
+// UDF filters, spatial bounds, duration constraints, error tolerances).
+//
+// Supported syntax covers all queries in the paper plus the natural
+// generalizations:
+//
+//	SELECT FCOUNT(*) FROM taipei WHERE class = 'car'
+//	  ERROR WITHIN 0.1 AT CONFIDENCE 95%
+//
+//	SELECT timestamp FROM taipei GROUP BY timestamp
+//	  HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5
+//	  LIMIT 10 GAP 300
+//
+//	SELECT * FROM taipei
+//	  WHERE class = 'bus' AND redness(content) >= 17.5
+//	    AND area(mask) > 100000
+//	  GROUP BY trackid HAVING COUNT(*) > 15
+package frameql
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokStar
+	TokComma
+	TokLParen
+	TokRParen
+	TokOp      // = != <> < <= > >=
+	TokPercent // %
+	TokSemi
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of query"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokStar:
+		return "'*'"
+	case TokComma:
+		return "','"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokOp:
+		return "operator"
+	case TokPercent:
+		return "'%'"
+	case TokSemi:
+		return "';'"
+	}
+	return "unknown token"
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the set of reserved words, stored uppercase.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "LIMIT": true, "GAP": true, "ERROR": true, "WITHIN": true,
+	"AT": true, "CONFIDENCE": true, "FPR": true, "FNR": true,
+	"AND": true, "OR": true, "NOT": true, "DISTINCT": true, "AS": true,
+}
+
+// SyntaxError describes a parse failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("frameql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}

@@ -1,0 +1,47 @@
+// Package hrand provides counter-based deterministic random values: hash a
+// tuple of integers (stream seed, frame index, channel index, ...) directly
+// to uniform or normal variates.
+//
+// Unlike a sequential *rand.Rand, values depend only on the inputs, never on
+// call order — so detector noise and pixel noise for frame f are identical
+// whether the frame is visited first, last, or twice. That property makes
+// sampled query plans reproducible and lets baselines and optimized plans
+// observe byte-identical "video".
+package hrand
+
+import "math"
+
+// mix is the SplitMix64 finalizer, a strong 64-bit mixing function.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// U64 hashes the given keys to a uniform 64-bit value.
+func U64(keys ...int64) uint64 {
+	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	for _, k := range keys {
+		h = mix(h ^ uint64(k))
+	}
+	return h
+}
+
+// Float64 hashes the keys to a uniform float64 in [0, 1).
+func Float64(keys ...int64) float64 {
+	return float64(U64(keys...)>>11) / (1 << 53)
+}
+
+// Norm hashes the keys to a standard normal variate via the Box–Muller
+// transform over two derived uniforms.
+func Norm(keys ...int64) float64 {
+	h := U64(keys...)
+	u1 := float64(h>>11) / (1 << 53)
+	h2 := mix(h ^ 0xda3e39cb94b95bdb)
+	u2 := float64(h2>>11) / (1 << 53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

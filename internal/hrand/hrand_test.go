@@ -1,0 +1,80 @@
+package hrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	if U64(1, 2, 3) != U64(1, 2, 3) {
+		t.Error("U64 not deterministic")
+	}
+	if Float64(7, 8) != Float64(7, 8) {
+		t.Error("Float64 not deterministic")
+	}
+	if Norm(9, 10) != Norm(9, 10) {
+		t.Error("Norm not deterministic")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	if U64(1, 2) == U64(2, 1) {
+		t.Error("U64 should depend on key order")
+	}
+	if U64(1) == U64(1, 0) {
+		t.Error("U64 should depend on key count")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(a, b int64) bool {
+		v := Float64(a, b)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := int64(0); i < n; i++ {
+		buckets[int(Float64(42, i)*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %.4f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	const n = 100000
+	s, s2 := 0.0, 0.0
+	for i := int64(0); i < n; i++ {
+		x := Norm(7, i)
+		s += x
+		s2 += x * x
+	}
+	mean := s / n
+	variance := s2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormFinite(t *testing.T) {
+	f := func(a, b int64) bool {
+		v := Norm(a, b)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package scrub implements BlazeIt's cardinality-limited scrubbing
+// optimization (paper §7): finding up to LIMIT frames that satisfy
+// per-class minimum-count predicates, biasing the expensive detector
+// verification toward frames the specialized network scores as likely
+// matches — the paper's adaptation of importance sampling from rare-event
+// simulation.
+//
+// The specialized network labels every frame (cheap), frames are
+// rank-ordered by the sum over requirements of P(count ≥ N), and the
+// detector verifies frames in that order until LIMIT matches are found.
+// Because every returned frame is detector-verified, scrubbing returns
+// only true positives; the cost metric is the number of detector calls
+// (the "sample complexity" of Figures 7 and 9).
+package scrub
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// Requirement is one scrubbing predicate: at least N objects of Class
+// visible in the frame.
+type Requirement struct {
+	Class vidsim.Class
+	N     int
+}
+
+// Result is the outcome of a scrubbing search.
+type Result struct {
+	// Frames are the returned frame indices, in the order found (not
+	// necessarily chronological — paper §7.1).
+	Frames []int
+	// Verified is the number of detector verifications performed: the
+	// search's sample complexity.
+	Verified int
+	// Exhausted is true if the search ran out of candidates before
+	// reaching the limit.
+	Exhausted bool
+}
+
+// Combiner merges per-requirement tail probabilities into one frame score
+// for multi-class queries.
+type Combiner int
+
+// Combiners for multi-requirement scores.
+const (
+	// CombineSum adds the tail probabilities — the paper's choice (§7:
+	// "the sum of the probability of the frame having at least one bus
+	// and at least five cars").
+	CombineSum Combiner = iota
+	// CombineProduct multiplies them: the independence approximation of
+	// the joint probability, which penalizes frames satisfying only one
+	// requirement. Compared against CombineSum in an ablation benchmark.
+	CombineProduct
+	// CombineMin takes the weakest requirement's probability: a
+	// conservative AND.
+	CombineMin
+)
+
+// RankByConfidence orders all frames by descending specialized-network
+// confidence for the requirements using the paper's sum combiner. The
+// model must have a head per requirement class. Ties break toward earlier
+// frames, keeping the order deterministic.
+func RankByConfidence(inf *specnn.Inference, reqs []Requirement) ([]int32, error) {
+	return RankByConfidenceCombiner(inf, reqs, CombineSum)
+}
+
+// RankByConfidenceCombiner is RankByConfidence with an explicit combiner.
+func RankByConfidenceCombiner(inf *specnn.Inference, reqs []Requirement, c Combiner) ([]int32, error) {
+	heads := make([]int, len(reqs))
+	for i, r := range reqs {
+		h := inf.Model.HeadIndex(r.Class)
+		if h < 0 {
+			return nil, &MissingHeadError{Class: r.Class}
+		}
+		heads[i] = h
+	}
+	n := inf.Frames()
+	scores := make([]float32, n)
+	for f := 0; f < n; f++ {
+		var s float64
+		switch c {
+		case CombineProduct:
+			s = 1
+			for i, r := range reqs {
+				s *= inf.TailProb(heads[i], f, r.N)
+			}
+		case CombineMin:
+			s = 1
+			for i, r := range reqs {
+				if p := inf.TailProb(heads[i], f, r.N); p < s {
+					s = p
+				}
+			}
+		default:
+			for i, r := range reqs {
+				s += inf.TailProb(heads[i], f, r.N)
+			}
+		}
+		scores[f] = float32(s)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := scores[order[i]], scores[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	return order, nil
+}
+
+// MissingHeadError reports a requirement class the specialized network has
+// no head for.
+type MissingHeadError struct {
+	Class vidsim.Class
+}
+
+func (e *MissingHeadError) Error() string {
+	return "scrub: specialized network has no head for class " + string(e.Class)
+}
+
+// Search verifies frames in the given order until limit matches at least
+// gap frames apart are found. verify runs the expensive detector check.
+func Search(order []int32, limit, gap int, verify func(frame int) bool) Result {
+	var res Result
+	var accepted []int // kept sorted
+	for _, f32 := range order {
+		if len(res.Frames) >= limit {
+			return res
+		}
+		f := int(f32)
+		if gap > 0 && tooClose(accepted, f, gap) {
+			continue
+		}
+		res.Verified++
+		if verify(f) {
+			res.Frames = append(res.Frames, f)
+			accepted = insertSorted(accepted, f)
+		}
+	}
+	res.Exhausted = len(res.Frames) < limit
+	return res
+}
+
+// SequentialOrder returns frames in chronological order — the naive
+// baseline's scan order.
+func SequentialOrder(frames int) []int32 {
+	order := make([]int32, frames)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// RandomOrder returns a uniformly shuffled frame order — the random
+// sampling baseline.
+func RandomOrder(frames int, seed int64) []int32 {
+	order := SequentialOrder(frames)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// FilterOrder restricts an order to frames where keep is true — how the
+// NoScope-oracle baseline narrows the search to frames containing the
+// object classes before verification.
+func FilterOrder(order []int32, keep func(frame int) bool) []int32 {
+	out := order[:0:0]
+	for _, f := range order {
+		if keep(int(f)) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// tooClose reports whether f is within gap of any accepted frame.
+func tooClose(accepted []int, f, gap int) bool {
+	i := sort.SearchInts(accepted, f)
+	if i < len(accepted) && accepted[i]-f < gap {
+		return true
+	}
+	if i > 0 && f-accepted[i-1] < gap {
+		return true
+	}
+	return false
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// CountMatches returns how many frames satisfy all requirements according
+// to truth counts, and how many maximal runs (instances) they form —
+// Table 6's "Instances" column.
+func CountMatches(v *vidsim.Video, reqs []Requirement) (frames, instances int) {
+	counts := make([][]int32, len(reqs))
+	for i, r := range reqs {
+		counts[i] = v.Counts(r.Class)
+	}
+	in := false
+	for f := 0; f < v.Frames; f++ {
+		ok := true
+		for i, r := range reqs {
+			if int(counts[i][f]) < r.N {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			frames++
+			if !in {
+				in = true
+				instances++
+			}
+		} else {
+			in = false
+		}
+	}
+	return frames, instances
+}

@@ -1,0 +1,245 @@
+package scrub
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+func TestSequentialOrder(t *testing.T) {
+	o := SequentialOrder(5)
+	for i, f := range o {
+		if int(f) != i {
+			t.Fatalf("order[%d] = %d", i, f)
+		}
+	}
+}
+
+func TestRandomOrderIsPermutation(t *testing.T) {
+	o := RandomOrder(1000, 3)
+	seen := make([]bool, 1000)
+	for _, f := range o {
+		if seen[f] {
+			t.Fatalf("duplicate %d", f)
+		}
+		seen[f] = true
+	}
+	same := true
+	for i, f := range o {
+		if int(f) != i {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("random order should not be identity")
+	}
+}
+
+func TestSearchFindsMatchesInOrder(t *testing.T) {
+	matches := map[int]bool{10: true, 20: true, 30: true, 40: true}
+	verify := func(f int) bool { return matches[f] }
+	res := Search(SequentialOrder(100), 3, 0, verify)
+	if len(res.Frames) != 3 {
+		t.Fatalf("found %d frames", len(res.Frames))
+	}
+	if res.Frames[0] != 10 || res.Frames[1] != 20 || res.Frames[2] != 30 {
+		t.Errorf("frames = %v", res.Frames)
+	}
+	// Sequential search verifies every frame up to the third match.
+	if res.Verified != 31 {
+		t.Errorf("verified = %d, want 31", res.Verified)
+	}
+	if res.Exhausted {
+		t.Error("should not be exhausted")
+	}
+}
+
+func TestSearchGapConstraint(t *testing.T) {
+	// Frames 100..119 all match; with gap 10 only every 10th can be taken.
+	verify := func(f int) bool { return f >= 100 && f < 120 }
+	res := Search(SequentialOrder(200), 2, 10, verify)
+	if len(res.Frames) != 2 {
+		t.Fatalf("found %d", len(res.Frames))
+	}
+	if abs(res.Frames[0]-res.Frames[1]) < 10 {
+		t.Errorf("frames %v violate gap", res.Frames)
+	}
+	// Gap skipping must not count as verification.
+	if res.Verified > 120 {
+		t.Errorf("verified %d, too many", res.Verified)
+	}
+}
+
+func TestSearchGapOutOfOrderAcceptances(t *testing.T) {
+	// Ranked order may accept a late frame first; a near-adjacent earlier
+	// frame must then be skipped without verification.
+	order := []int32{50, 45, 100}
+	verify := func(f int) bool { return true }
+	res := Search(order, 3, 10, verify)
+	if len(res.Frames) != 2 {
+		t.Fatalf("frames = %v", res.Frames)
+	}
+	if res.Frames[0] != 50 || res.Frames[1] != 100 {
+		t.Errorf("frames = %v", res.Frames)
+	}
+	if res.Verified != 2 {
+		t.Errorf("verified = %d, want 2 (45 skipped unverified)", res.Verified)
+	}
+}
+
+func TestSearchExhaustion(t *testing.T) {
+	res := Search(SequentialOrder(50), 5, 0, func(int) bool { return false })
+	if !res.Exhausted {
+		t.Error("should report exhaustion")
+	}
+	if res.Verified != 50 {
+		t.Errorf("verified = %d", res.Verified)
+	}
+}
+
+func TestFilterOrder(t *testing.T) {
+	o := FilterOrder(SequentialOrder(10), func(f int) bool { return f%2 == 0 })
+	if len(o) != 5 {
+		t.Fatalf("len = %d", len(o))
+	}
+	for _, f := range o {
+		if f%2 != 0 {
+			t.Errorf("kept odd frame %d", f)
+		}
+	}
+}
+
+// End-to-end: ranked search should need far fewer verifications than
+// random search on a real specialized model.
+func TestRankedBeatsRandom(t *testing.T) {
+	cfg, err := vidsim.Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.03)
+	train := vidsim.Generate(cfg, 0)
+	test := vidsim.Generate(cfg, 2)
+	dTrain, _ := detect.New(train)
+	dTest, _ := detect.New(test)
+
+	model, err := specnn.Train(train, dTrain, []vidsim.Class{vidsim.Car}, specnn.Options{
+		TrainFrames: 20000, Epochs: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := specnn.Run(model, test)
+
+	reqs := []Requirement{{Class: vidsim.Car, N: 3}}
+	matchFrames, _ := CountMatches(test, reqs)
+	if matchFrames < 20 {
+		t.Skip("too few matches at this scale")
+	}
+
+	verify := func(f int) bool { return dTest.CountAt(f, vidsim.Car) >= 3 }
+
+	order, err := RankByConfidence(inf, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Search(order, 10, 0, verify)
+	random := Search(RandomOrder(test.Frames, 7), 10, 0, verify)
+
+	if len(ranked.Frames) != 10 {
+		t.Fatalf("ranked found only %d", len(ranked.Frames))
+	}
+	if ranked.Verified >= random.Verified {
+		t.Errorf("ranked search (%d verifications) should beat random (%d)",
+			ranked.Verified, random.Verified)
+	}
+	// All returned frames must truly satisfy the predicate (true positives
+	// only).
+	for _, f := range ranked.Frames {
+		if dTest.CountAt(f, vidsim.Car) < 3 {
+			t.Errorf("frame %d returned but does not satisfy predicate", f)
+		}
+	}
+}
+
+func TestRankByConfidenceMissingHead(t *testing.T) {
+	cfg, _ := vidsim.Stream("taipei")
+	cfg = cfg.Scaled(0.005)
+	train := vidsim.Generate(cfg, 0)
+	dTrain, _ := detect.New(train)
+	model, err := specnn.Train(train, dTrain, []vidsim.Class{vidsim.Car}, specnn.Options{
+		TrainFrames: 3000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := specnn.Run(model, train)
+	_, err = RankByConfidence(inf, []Requirement{{Class: vidsim.Boat, N: 1}})
+	if err == nil {
+		t.Fatal("expected MissingHeadError")
+	}
+	if _, ok := err.(*MissingHeadError); !ok {
+		t.Fatalf("got %T", err)
+	}
+}
+
+func TestCountMatches(t *testing.T) {
+	cfg, _ := vidsim.Stream("taipei")
+	cfg = cfg.Scaled(0.01)
+	v := vidsim.Generate(cfg, 0)
+	frames, instances := CountMatches(v, []Requirement{{Class: vidsim.Car, N: 1}})
+	if frames == 0 || instances == 0 {
+		t.Fatal("expected matches for >=1 car")
+	}
+	if instances > frames {
+		t.Errorf("instances %d > frames %d", instances, frames)
+	}
+	if instances != v.CountRuns(vidsim.Car, 1) {
+		t.Errorf("instances %d != CountRuns %d", instances, v.CountRuns(vidsim.Car, 1))
+	}
+	// Multi-requirement is at most the min of single requirements.
+	f2, _ := CountMatches(v, []Requirement{{vidsim.Car, 1}, {vidsim.Bus, 1}})
+	if f2 > frames {
+		t.Errorf("joint matches %d exceed single-class matches %d", f2, frames)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCombinersProduceValidOrders(t *testing.T) {
+	cfg, _ := vidsim.Stream("taipei")
+	cfg = cfg.Scaled(0.01)
+	train := vidsim.Generate(cfg, 0)
+	dTrain, _ := detect.New(train)
+	model, err := specnn.Train(train, dTrain, []vidsim.Class{vidsim.Bus, vidsim.Car}, specnn.Options{
+		TrainFrames: 8000, Epochs: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := specnn.Run(model, train)
+	reqs := []Requirement{{Class: vidsim.Bus, N: 1}, {Class: vidsim.Car, N: 2}}
+	for _, c := range []Combiner{CombineSum, CombineProduct, CombineMin} {
+		order, err := RankByConfidenceCombiner(inf, reqs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != train.Frames {
+			t.Fatalf("combiner %d: order covers %d of %d frames", c, len(order), train.Frames)
+		}
+		seen := make([]bool, train.Frames)
+		for _, f := range order {
+			if seen[f] {
+				t.Fatalf("combiner %d: duplicate frame %d", c, f)
+			}
+			seen[f] = true
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package specnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/vidsim"
+)
+
+// This file implements specialized-model persistence — the paper's §3.1
+// names "warm-starting filters and specialized NNs" as future work, and
+// its "BlazeIt (no train)" variants presuppose exactly this: models
+// trained once, stored, and reused across sessions and queries.
+
+// modelState is the serializable form of a CountModel.
+type modelState struct {
+	Net             []byte
+	Heads           []Head
+	Mu, Sigma       []float64
+	TrainSimSeconds float64
+	TrainLoss       float64
+}
+
+func init() {
+	gob.Register(vidsim.Class(""))
+}
+
+// MarshalBinary encodes the model, its heads, and its normalization
+// statistics.
+func (m *CountModel) MarshalBinary() ([]byte, error) {
+	netBytes, err := m.Net.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("specnn: encoding network: %w", err)
+	}
+	st := modelState{
+		Net:             netBytes,
+		Heads:           m.HeadInfo,
+		Mu:              m.Mu,
+		Sigma:           m.Sigma,
+		TrainSimSeconds: m.TrainSimSeconds,
+		TrainLoss:       m.TrainLoss,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a model previously encoded with MarshalBinary.
+func (m *CountModel) UnmarshalBinary(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	var net nn.Net
+	if err := net.UnmarshalBinary(st.Net); err != nil {
+		return fmt.Errorf("specnn: decoding network: %w", err)
+	}
+	m.Net = &net
+	m.HeadInfo = st.Heads
+	m.Mu = st.Mu
+	m.Sigma = st.Sigma
+	m.TrainSimSeconds = st.TrainSimSeconds
+	m.TrainLoss = st.TrainLoss
+	if len(m.Mu) != m.Net.Config().Inputs || len(m.Sigma) != len(m.Mu) {
+		return fmt.Errorf("specnn: corrupt normalization statistics")
+	}
+	return nil
+}

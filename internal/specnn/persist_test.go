@@ -1,0 +1,44 @@
+package specnn
+
+import (
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+func TestCountModelRoundTrip(t *testing.T) {
+	s := setup(t, "taipei", 0.01)
+	m := trainSmall(t, s, []vidsim.Class{vidsim.Car, vidsim.Bus})
+
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored CountModel
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.HeadIndex(vidsim.Car) != m.HeadIndex(vidsim.Car) ||
+		restored.HeadIndex(vidsim.Bus) != m.HeadIndex(vidsim.Bus) {
+		t.Fatal("heads changed across round trip")
+	}
+	if restored.TrainLoss != m.TrainLoss {
+		t.Error("metadata changed across round trip")
+	}
+
+	// Inference must be bit-identical.
+	a := Run(m, s.test)
+	b := Run(&restored, s.test)
+	for f := 0; f < a.Frames(); f += 101 {
+		if a.ExpectedCount(0, f) != b.ExpectedCount(0, f) {
+			t.Fatalf("frame %d: restored model diverges", f)
+		}
+	}
+}
+
+func TestCountModelUnmarshalCorrupt(t *testing.T) {
+	var m CountModel
+	if err := m.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Error("corrupt payload should fail")
+	}
+}

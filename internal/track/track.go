@@ -1,0 +1,117 @@
+// Package track implements BlazeIt's entity resolution: assigning trackid
+// to detections by motion IOU across consecutive processed frames (paper
+// §9: "we compute the pairwise IOU of each object in the two frames. We use
+// a cutoff of 0.7 to call an object the same across consecutive frames").
+//
+// The tracker is configurable, as the paper's system is — a different
+// resolver (e.g. a license-plate reader) could populate trackid instead.
+package track
+
+import (
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/vidsim"
+)
+
+// DefaultCutoff is the paper's motion-IOU matching threshold.
+const DefaultCutoff = 0.7
+
+// Tracker assigns stable track IDs to detections across frames. It must be
+// fed frames in increasing order; it is not safe for concurrent use.
+type Tracker struct {
+	cutoff float64
+	// maxGap is the largest frame gap across which two detections may be
+	// linked; beyond it every object is treated as new. This generalizes
+	// consecutive-frame matching to the subsampled frames the temporal
+	// filter produces.
+	maxGap    int
+	nextID    int
+	lastFrame int
+	prev      []tracked
+}
+
+type tracked struct {
+	id    int
+	class vidsim.Class
+	box   vidsim.Box
+}
+
+// New returns a Tracker with the given IOU cutoff (0 means DefaultCutoff)
+// and maximum matchable frame gap (0 means 1, i.e. strictly consecutive
+// frames).
+func New(cutoff float64, maxGap int) *Tracker {
+	if cutoff == 0 {
+		cutoff = DefaultCutoff
+	}
+	if maxGap <= 0 {
+		maxGap = 1
+	}
+	return &Tracker{cutoff: cutoff, maxGap: maxGap, lastFrame: -1 << 40}
+}
+
+// Reset clears all tracker state but keeps issuing fresh IDs.
+func (t *Tracker) Reset() {
+	t.prev = t.prev[:0]
+	t.lastFrame = -1 << 40
+}
+
+// Advance matches the detections of a new frame against the previous frame
+// and returns a track ID per detection, in order. Detections of different
+// classes never match. Unmatched detections start new tracks.
+func (t *Tracker) Advance(frame int, dets []detect.Detection) []int {
+	ids := make([]int, len(dets))
+	gap := frame - t.lastFrame
+	if gap <= 0 && t.lastFrame >= 0 {
+		panic("track: frames must be fed in increasing order")
+	}
+	if gap > t.maxGap {
+		t.prev = t.prev[:0]
+	}
+	t.lastFrame = frame
+
+	type pair struct {
+		iou  float64
+		prev int
+		cur  int
+	}
+	var pairs []pair
+	for pi := range t.prev {
+		for ci := range dets {
+			if t.prev[pi].class != dets[ci].Class {
+				continue
+			}
+			iou := t.prev[pi].box.IOU(dets[ci].Box)
+			if iou >= t.cutoff {
+				pairs = append(pairs, pair{iou, pi, ci})
+			}
+		}
+	}
+	// Greedy maximum-IOU matching.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].iou > pairs[j].iou })
+	prevUsed := make([]bool, len(t.prev))
+	curUsed := make([]bool, len(dets))
+	for i := range ids {
+		ids[i] = -1
+	}
+	for _, p := range pairs {
+		if prevUsed[p.prev] || curUsed[p.cur] {
+			continue
+		}
+		prevUsed[p.prev] = true
+		curUsed[p.cur] = true
+		ids[p.cur] = t.prev[p.prev].id
+	}
+	for i := range ids {
+		if ids[i] == -1 {
+			ids[i] = t.nextID
+			t.nextID++
+		}
+	}
+
+	t.prev = t.prev[:0]
+	for i, d := range dets {
+		t.prev = append(t.prev, tracked{id: ids[i], class: d.Class, box: d.Box})
+	}
+	return ids
+}

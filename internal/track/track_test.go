@@ -1,0 +1,141 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/vidsim"
+)
+
+func det(class vidsim.Class, x, y, w, h float64) detect.Detection {
+	return detect.Detection{Class: class, Box: vidsim.Box{X: x, Y: y, W: w, H: h}}
+}
+
+func TestStableIdentityAcrossFrames(t *testing.T) {
+	tr := New(0, 1)
+	ids1 := tr.Advance(0, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	ids2 := tr.Advance(1, []detect.Detection{det(vidsim.Car, 102, 100, 50, 40)})
+	if ids1[0] != ids2[0] {
+		t.Errorf("slow-moving object should keep its ID: %d vs %d", ids1[0], ids2[0])
+	}
+}
+
+func TestNewIDForDistantObject(t *testing.T) {
+	tr := New(0, 1)
+	ids1 := tr.Advance(0, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	ids2 := tr.Advance(1, []detect.Detection{det(vidsim.Car, 600, 400, 50, 40)})
+	if ids1[0] == ids2[0] {
+		t.Error("teleporting object should get a new ID")
+	}
+}
+
+func TestClassMismatchNeverMatches(t *testing.T) {
+	tr := New(0, 1)
+	ids1 := tr.Advance(0, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	ids2 := tr.Advance(1, []detect.Detection{det(vidsim.Bus, 100, 100, 50, 40)})
+	if ids1[0] == ids2[0] {
+		t.Error("same box different class must not match")
+	}
+}
+
+func TestGreedyPrefersHighestIOU(t *testing.T) {
+	tr := New(0.3, 1)
+	// Two objects side by side.
+	ids1 := tr.Advance(0, []detect.Detection{
+		det(vidsim.Car, 100, 100, 60, 40),
+		det(vidsim.Car, 180, 100, 60, 40),
+	})
+	// Both drift right slightly; matching must keep them distinct.
+	ids2 := tr.Advance(1, []detect.Detection{
+		det(vidsim.Car, 105, 100, 60, 40),
+		det(vidsim.Car, 185, 100, 60, 40),
+	})
+	if ids2[0] != ids1[0] || ids2[1] != ids1[1] {
+		t.Errorf("greedy matching crossed identities: %v -> %v", ids1, ids2)
+	}
+}
+
+func TestMaxGapBreaksTracks(t *testing.T) {
+	tr := New(0, 5)
+	ids1 := tr.Advance(0, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	ids2 := tr.Advance(5, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	if ids1[0] != ids2[0] {
+		t.Error("gap within maxGap should keep ID")
+	}
+	ids3 := tr.Advance(20, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	if ids3[0] == ids2[0] {
+		t.Error("gap beyond maxGap should issue a new ID")
+	}
+}
+
+func TestOutOfOrderPanics(t *testing.T) {
+	tr := New(0, 1)
+	tr.Advance(10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order frame")
+		}
+	}()
+	tr.Advance(5, nil)
+}
+
+func TestReset(t *testing.T) {
+	tr := New(0, 1)
+	ids1 := tr.Advance(0, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	tr.Reset()
+	ids2 := tr.Advance(1, []detect.Detection{det(vidsim.Car, 100, 100, 50, 40)})
+	if ids1[0] == ids2[0] {
+		t.Error("Reset should break identity")
+	}
+}
+
+func TestTrackerAgainstGroundTruth(t *testing.T) {
+	// Run the tracker over real simulated detections on consecutive frames
+	// and measure identity agreement with generator truth.
+	cfg, err := vidsim.Stream("amsterdam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vidsim.Generate(cfg.Scaled(0.003), 0)
+	d, err := detect.New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(0, 1)
+	assigned := make(map[int]int) // truthID -> trackid first seen
+	agree, total := 0, 0
+	var dets []detect.Detection
+	for f := 0; f < v.Frames; f++ {
+		dets = d.Detect(f, dets[:0])
+		ids := tr.Advance(f, dets)
+		for i, det := range dets {
+			if prev, ok := assigned[det.TruthID()]; ok {
+				total++
+				if prev == ids[i] {
+					agree++
+				} else {
+					assigned[det.TruthID()] = ids[i] // ID switch; track the new one
+				}
+			} else {
+				assigned[det.TruthID()] = ids[i]
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no multi-frame tracks at this scale")
+	}
+	frac := float64(agree) / float64(total)
+	if frac < 0.9 {
+		t.Errorf("identity agreement %.3f, want >= 0.9", frac)
+	}
+}
+
+func TestDefaultCutoffApplied(t *testing.T) {
+	tr := New(0, 0)
+	if tr.cutoff != DefaultCutoff {
+		t.Errorf("cutoff = %v, want %v", tr.cutoff, DefaultCutoff)
+	}
+	if tr.maxGap != 1 {
+		t.Errorf("maxGap = %v, want 1", tr.maxGap)
+	}
+}

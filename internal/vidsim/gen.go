@@ -1,0 +1,220 @@
+package vidsim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hrand"
+)
+
+// daySeed derives the RNG seed for one day of one stream.
+func daySeed(cfg *StreamConfig, day int) int64 {
+	return cfg.Seed*1048576 + int64(day)
+}
+
+// Generate produces one day of synthetic video for the stream. Day indices
+// follow the paper's protocol: day 0 is the labeled (training) day, day 1
+// the held-out (threshold) day, day 2 the test day. Generation is fully
+// deterministic given (config, day).
+func Generate(cfg StreamConfig, day int) *Video {
+	rng := rand.New(rand.NewSource(daySeed(&cfg, day)))
+	v := &Video{
+		Config: cfg,
+		Day:    day,
+		Frames: cfg.FramesPerDay,
+	}
+	nextID := 0
+	for ci := range cfg.Classes {
+		cc := &cfg.Classes[ci]
+		tracks := generateClass(cc, &cfg, day, int64(ci), rng, &nextID)
+		v.Tracks = append(v.Tracks, tracks...)
+	}
+	v.buildIndex()
+	return v
+}
+
+// dayRateSalt namespaces the day-level rate multiplier hash.
+const dayRateSalt int64 = 0xdaa11
+
+// generateClass generates all tracks of one class for one day.
+func generateClass(cc *ClassConfig, cfg *StreamConfig, day int, classIdx int64, rng *rand.Rand, nextID *int) []Track {
+	frames := cfg.FramesPerDay
+	framesPerMinute := cfg.FPS * 60
+	minutes := frames / framesPerMinute
+	if minutes < 1 {
+		minutes = 1
+		framesPerMinute = frames
+	}
+
+	// Per-minute arrival rates: diurnal sinusoid × stationary AR(1)
+	// lognormal burst factor, normalized to the expected daily track count.
+	rates := make([]float64, minutes)
+	phase := rng.Float64() * 2 * math.Pi
+	// AR(1) in log space with stationary variance BurstSigma².
+	rho := cc.BurstRho
+	innovSigma := cc.BurstSigma * math.Sqrt(1-rho*rho)
+	l := rng.NormFloat64() * cc.BurstSigma
+	total := 0.0
+	for k := range rates {
+		diurnal := 1 + cc.DiurnalAmp*math.Sin(2*math.Pi*float64(k)/float64(minutes)+phase)
+		// exp(l) has mean exp(sigma²/2) under the stationary law; divide it
+		// out so bursts change shape, not the daily total.
+		burst := math.Exp(l - cc.BurstSigma*cc.BurstSigma/2)
+		rates[k] = diurnal * burst
+		total += rates[k]
+		l = rho*l + innovSigma*rng.NormFloat64()
+	}
+	// Whole-day rate multiplier: busy and quiet days (kept mean-one so the
+	// long-run calibration still matches Table 3).
+	dayFactor := 1.0
+	if cc.DayRateSigma > 0 {
+		z := hrand.Norm(dayRateSalt, cfg.Seed, int64(day), classIdx)
+		dayFactor = math.Exp(cc.DayRateSigma*z - cc.DayRateSigma*cc.DayRateSigma/2)
+	}
+	scale := dayFactor * float64(cc.TracksPerDay) / total
+	for k := range rates {
+		rates[k] *= scale
+	}
+
+	// Duration distribution: lognormal with the configured mean (frames).
+	meanDur := cc.MeanDurationSec * float64(cfg.FPS)
+	if meanDur < 1 {
+		meanDur = 1
+	}
+	durMu := math.Log(meanDur) - cc.DurationSigma*cc.DurationSigma/2
+
+	var tracks []Track
+	for k := 0; k < minutes; k++ {
+		n := poisson(rng, rates[k])
+		for i := 0; i < n; i++ {
+			start := k*framesPerMinute + rng.Intn(framesPerMinute)
+			dur := int(math.Round(math.Exp(durMu + cc.DurationSigma*rng.NormFloat64())))
+			if dur < 1 {
+				dur = 1
+			}
+			end := start + dur
+			if end > frames {
+				end = frames
+			}
+			if end <= start {
+				continue
+			}
+			t := makeTrack(cc, cfg, rng, start, end)
+			t.ID = *nextID
+			*nextID++
+			tracks = append(tracks, t)
+		}
+	}
+	return tracks
+}
+
+// makeTrack samples the geometry and color of one track. Objects traverse
+// their lane horizontally over the track's lifetime, so longer-lived objects
+// move more slowly (boats) and short-lived ones quickly (archie's cars).
+func makeTrack(cc *ClassConfig, cfg *StreamConfig, rng *rand.Rand, start, end int) Track {
+	w := float64(cfg.Width)
+	h := float64(cfg.Height)
+
+	area := math.Exp(math.Log(cc.MeanAreaFrac*w*h) - cc.AreaSigma*cc.AreaSigma/2 + cc.AreaSigma*rng.NormFloat64())
+	// Aspect ratio by class: buses and boats are wide, cars squarer.
+	aspect := 1.4
+	switch cc.Class {
+	case Bus, Boat:
+		aspect = 2.2
+	case Person:
+		aspect = 0.45
+	}
+	aspect *= 0.85 + 0.3*rng.Float64()
+	bw := math.Sqrt(area * aspect)
+	bh := area / bw
+	if bw > w*0.9 {
+		bw = w * 0.9
+	}
+	if bh > h*0.9 {
+		bh = h * 0.9
+	}
+
+	laneX0 := cc.LaneX[0] * w
+	laneX1 := cc.LaneX[1] * w
+	if laneX1-laneX0 < bw+1 {
+		laneX1 = laneX0 + bw + 1
+	}
+	laneY0 := cc.LaneY[0] * h
+	laneY1 := cc.LaneY[1] * h
+	if laneY1-laneY0 < bh+1 {
+		laneY1 = laneY0 + bh + 1
+	}
+
+	// Travel from one side of the lane toward the other over the lifetime.
+	x0 := laneX0 + rng.Float64()*(laneX1-laneX0-bw)
+	xT := laneX0 + rng.Float64()*(laneX1-laneX0-bw)
+	y0 := laneY0 + rng.Float64()*(laneY1-laneY0-bh)
+	dur := float64(end - start)
+	if dur < 1 {
+		dur = 1
+	}
+	vx := (xT - x0) / dur
+	vy := (rng.Float64() - 0.5) * bh / dur // slight vertical drift
+
+	return Track{
+		Class: cc.Class,
+		Start: start,
+		End:   end,
+		X0:    x0, Y0: y0,
+		VX: vx, VY: vy,
+		W: bw, H: bh,
+		Color: sampleColor(cc.Palette, rng),
+	}
+}
+
+// sampleColor draws from a weighted palette, adding slight per-object
+// variation so content UDFs see a continuum rather than discrete values.
+func sampleColor(palette []WeightedColor, rng *rand.Rand) Color {
+	if len(palette) == 0 {
+		return Color{R: 0.5, G: 0.5, B: 0.5}
+	}
+	total := 0.0
+	for _, wc := range palette {
+		total += wc.Weight
+	}
+	r := rng.Float64() * total
+	var chosen Color
+	for _, wc := range palette {
+		if r < wc.Weight {
+			chosen = wc.Color
+			break
+		}
+		r -= wc.Weight
+		chosen = wc.Color
+	}
+	jitter := func(v float64) float64 {
+		v += rng.NormFloat64() * 0.012
+		return math.Max(0, math.Min(1, v))
+	}
+	return Color{R: jitter(chosen.R), G: jitter(chosen.G), B: jitter(chosen.B)}
+}
+
+// poisson samples a Poisson variate with mean lambda: Knuth's product method
+// for small lambda, a clamped normal approximation for large lambda.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-lambda)
+	p := 1.0
+	k := 0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}

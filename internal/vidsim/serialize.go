@@ -1,0 +1,59 @@
+package vidsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization lets generated days be stored and re-opened without
+// regeneration — the analogue of the paper's preprocessed-video storage
+// ("we can preprocess the video and directly store the result for faster
+// ingestion", §9).
+
+// videoState is the gob-serializable form of a Video; the frame index is
+// rebuilt on load.
+type videoState struct {
+	Config StreamConfig
+	Day    int
+	Frames int
+	Tracks []Track
+}
+
+// WriteTo serializes the video. It implements io.WriterTo.
+func (v *Video) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	st := videoState{Config: v.Config, Day: v.Day, Frames: v.Frames, Tracks: v.Tracks}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return 0, fmt.Errorf("vidsim: encoding video: %w", err)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadVideo deserializes a video written by WriteTo and rebuilds its
+// indexes.
+func ReadVideo(r io.Reader) (*Video, error) {
+	var st videoState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("vidsim: decoding video: %w", err)
+	}
+	if st.Frames <= 0 {
+		return nil, fmt.Errorf("vidsim: corrupt video state (frames = %d)", st.Frames)
+	}
+	for i := range st.Tracks {
+		t := &st.Tracks[i]
+		if t.Start < 0 || t.End > st.Frames || t.End <= t.Start {
+			return nil, fmt.Errorf("vidsim: corrupt track %d range [%d, %d)", i, t.Start, t.End)
+		}
+	}
+	v := &Video{
+		Config: st.Config,
+		Day:    st.Day,
+		Frames: st.Frames,
+		Tracks: st.Tracks,
+	}
+	v.buildIndex()
+	return v, nil
+}

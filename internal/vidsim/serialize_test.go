@@ -1,0 +1,62 @@
+package vidsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVideoSerializationRoundTrip(t *testing.T) {
+	cfg, err := Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Generate(cfg.Scaled(0.01), 2)
+
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVideo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames != v.Frames || got.Day != v.Day || len(got.Tracks) != len(v.Tracks) {
+		t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d",
+			got.Frames, got.Day, len(got.Tracks), v.Frames, v.Day, len(v.Tracks))
+	}
+	for i := range v.Tracks {
+		if got.Tracks[i] != v.Tracks[i] {
+			t.Fatalf("track %d changed", i)
+		}
+	}
+	// Rebuilt indexes must answer identically.
+	for f := 0; f < v.Frames; f += 487 {
+		if got.CountAt(f, Car) != v.CountAt(f, Car) {
+			t.Fatalf("frame %d: counts diverge after round trip", f)
+		}
+	}
+	if got.MeanCount(Bus) != v.MeanCount(Bus) {
+		t.Error("mean count diverges after round trip")
+	}
+}
+
+func TestReadVideoCorrupt(t *testing.T) {
+	if _, err := ReadVideo(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// A structurally valid gob with an invalid track range must fail
+	// validation.
+	bad := &Video{
+		Config: StreamConfig{Name: "x"},
+		Frames: 10,
+		Tracks: []Track{{Start: 5, End: 3}},
+	}
+	var buf bytes.Buffer
+	if _, err := bad.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVideo(&buf); err == nil {
+		t.Error("invalid track range should fail validation")
+	}
+}

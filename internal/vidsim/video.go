@@ -1,0 +1,232 @@
+package vidsim
+
+import "sort"
+
+// bucketShift sets the frame-index bucket width (2^bucketShift frames) for
+// the track-overlap index. 256 frames per bucket keeps bucket lists short
+// while bounding memory at a few MB per day of video.
+const bucketShift = 8
+
+// Video is one generated day of a stream: the track set plus indexes for
+// per-frame lookup. It is immutable after Generate and safe for concurrent
+// reads.
+type Video struct {
+	// Config is the generating stream configuration.
+	Config StreamConfig
+	// Day is the day index this video was generated for.
+	Day int
+	// Frames is the number of frames.
+	Frames int
+	// Tracks is every object track, ordered by class then start frame.
+	Tracks []Track
+
+	buckets [][]int32
+	counts  map[Class][]int32
+}
+
+// buildIndex constructs the frame-bucket overlap index.
+func (v *Video) buildIndex() {
+	nb := (v.Frames >> bucketShift) + 1
+	v.buckets = make([][]int32, nb)
+	for i := range v.Tracks {
+		t := &v.Tracks[i]
+		b0 := t.Start >> bucketShift
+		b1 := (t.End - 1) >> bucketShift
+		for b := b0; b <= b1 && b < nb; b++ {
+			v.buckets[b] = append(v.buckets[b], int32(i))
+		}
+	}
+	v.counts = make(map[Class][]int32)
+}
+
+// ObjectsAt appends the ground-truth objects visible at the given frame to
+// out and returns the extended slice. Results are ordered by track ID.
+func (v *Video) ObjectsAt(frame int, out []Object) []Object {
+	if frame < 0 || frame >= v.Frames {
+		return out
+	}
+	for _, ti := range v.buckets[frame>>bucketShift] {
+		t := &v.Tracks[ti]
+		if t.Visible(frame) {
+			out = append(out, Object{
+				TrackID: t.ID,
+				Class:   t.Class,
+				Box:     t.BoxAt(frame),
+				Color:   t.Color,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TrackID < out[j].TrackID })
+	return out
+}
+
+// TracksAt appends indices into v.Tracks of tracks visible at frame.
+func (v *Video) TracksAt(frame int, out []int32) []int32 {
+	if frame < 0 || frame >= v.Frames {
+		return out
+	}
+	for _, ti := range v.buckets[frame>>bucketShift] {
+		if v.Tracks[ti].Visible(frame) {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// CountAt returns the ground-truth number of objects of the class visible
+// at the given frame.
+func (v *Video) CountAt(frame int, class Class) int {
+	if frame < 0 || frame >= v.Frames {
+		return 0
+	}
+	n := 0
+	for _, ti := range v.buckets[frame>>bucketShift] {
+		t := &v.Tracks[ti]
+		if t.Class == class && t.Visible(frame) {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns the per-frame ground-truth count series for a class,
+// computing and caching it on first use via a difference array (O(tracks +
+// frames)). The returned slice must not be modified.
+func (v *Video) Counts(class Class) []int32 {
+	if c, ok := v.counts[class]; ok {
+		return c
+	}
+	diff := make([]int32, v.Frames+1)
+	for i := range v.Tracks {
+		t := &v.Tracks[i]
+		if t.Class != class {
+			continue
+		}
+		diff[t.Start]++
+		diff[t.End]--
+	}
+	c := make([]int32, v.Frames)
+	var run int32
+	for f := 0; f < v.Frames; f++ {
+		run += diff[f]
+		c[f] = run
+	}
+	v.counts[class] = c
+	return c
+}
+
+// MeanCount returns the frame-averaged ground-truth count for a class —
+// the exact answer to an FCOUNT query.
+func (v *Video) MeanCount(class Class) float64 {
+	c := v.Counts(class)
+	s := int64(0)
+	for _, x := range c {
+		s += int64(x)
+	}
+	if len(c) == 0 {
+		return 0
+	}
+	return float64(s) / float64(len(c))
+}
+
+// MaxCount returns the maximum per-frame count for a class, used to derive
+// the range K of the estimated quantity for the ε-net startup sample size.
+func (v *Video) MaxCount(class Class) int {
+	c := v.Counts(class)
+	mx := int32(0)
+	for _, x := range c {
+		if x > mx {
+			mx = x
+		}
+	}
+	return int(mx)
+}
+
+// Occupancy returns the fraction of frames with at least one object of the
+// class (Table 3's occupancy column).
+func (v *Video) Occupancy(class Class) float64 {
+	c := v.Counts(class)
+	n := 0
+	for _, x := range c {
+		if x > 0 {
+			n++
+		}
+	}
+	if len(c) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(c))
+}
+
+// DistinctCount returns the number of distinct tracks of the class.
+func (v *Video) DistinctCount(class Class) int {
+	n := 0
+	for i := range v.Tracks {
+		if v.Tracks[i].Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgDurationSec returns the mean track duration in seconds for the class.
+func (v *Video) AvgDurationSec(class Class) float64 {
+	total, n := 0, 0
+	for i := range v.Tracks {
+		if v.Tracks[i].Class == class {
+			total += v.Tracks[i].Duration()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n) / float64(v.Config.FPS)
+}
+
+// Run is a maximal consecutive frame range [Start, End) where a predicate
+// holds — one "instance" of an event in the paper's Table 6 sense.
+type Run struct {
+	Start, End int
+}
+
+// FindRuns returns maximal consecutive runs of frames satisfying pred.
+func (v *Video) FindRuns(pred func(frame int) bool) []Run {
+	var runs []Run
+	inRun := false
+	start := 0
+	for f := 0; f < v.Frames; f++ {
+		if pred(f) {
+			if !inRun {
+				inRun = true
+				start = f
+			}
+		} else if inRun {
+			inRun = false
+			runs = append(runs, Run{Start: start, End: f})
+		}
+	}
+	if inRun {
+		runs = append(runs, Run{Start: start, End: v.Frames})
+	}
+	return runs
+}
+
+// CountRuns counts maximal runs where the per-frame count of class is at
+// least n — the number of instances of a "at least n of class" event.
+func (v *Video) CountRuns(class Class, n int) int {
+	c := v.Counts(class)
+	runs := 0
+	in := false
+	for _, x := range c {
+		if int(x) >= n {
+			if !in {
+				in = true
+				runs++
+			}
+		} else {
+			in = false
+		}
+	}
+	return runs
+}

@@ -1,0 +1,446 @@
+package vidsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColorRedness(t *testing.T) {
+	if got := (Color{R: 1, G: 0, B: 0}).Redness(); math.Abs(got-255) > 1e-9 {
+		t.Errorf("pure red redness = %v, want 255", got)
+	}
+	if got := (Color{R: 0.9, G: 0.9, B: 0.9}).Redness(); got != 0 {
+		t.Errorf("white redness = %v, want 0", got)
+	}
+	if got := (Color{R: 0, G: 1, B: 1}).Redness(); got != 0 {
+		t.Errorf("cyan redness = %v, want 0 (clamped)", got)
+	}
+	if got := (Color{R: 0, G: 0, B: 1}).Blueness(); math.Abs(got-255) > 1e-9 {
+		t.Errorf("pure blue blueness = %v, want 255", got)
+	}
+}
+
+func TestBoxGeometry(t *testing.T) {
+	b := Box{X: 10, Y: 20, W: 30, H: 40}
+	if b.Area() != 1200 {
+		t.Errorf("Area = %v", b.Area())
+	}
+	if b.XMax() != 40 || b.YMax() != 60 {
+		t.Errorf("XMax/YMax = %v/%v", b.XMax(), b.YMax())
+	}
+}
+
+func TestBoxIOU(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 10, H: 10}
+	if got := a.IOU(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self IOU = %v, want 1", got)
+	}
+	b := Box{X: 20, Y: 20, W: 5, H: 5}
+	if got := a.IOU(b); got != 0 {
+		t.Errorf("disjoint IOU = %v, want 0", got)
+	}
+	c := Box{X: 5, Y: 0, W: 10, H: 10}
+	// intersection 50, union 150
+	if got := a.IOU(c); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("half-overlap IOU = %v, want 1/3", got)
+	}
+}
+
+func TestBoxIOUProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := Box{X: norm(x1), Y: norm(y1), W: norm(w1) + 1, H: norm(h1) + 1}
+		b := Box{X: norm(x2), Y: norm(y2), W: norm(w2) + 1, H: norm(h2) + 1}
+		iou := a.IOU(b)
+		// symmetric and bounded
+		return iou >= 0 && iou <= 1+1e-12 && math.Abs(iou-b.IOU(a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxClip(t *testing.T) {
+	b := Box{X: -10, Y: -10, W: 30, H: 30}
+	c := b.Clip(100, 100)
+	if c.X != 0 || c.Y != 0 || c.W != 20 || c.H != 20 {
+		t.Errorf("Clip = %+v", c)
+	}
+	off := Box{X: 200, Y: 200, W: 10, H: 10}
+	if got := off.Clip(100, 100); got.Area() != 0 {
+		t.Errorf("off-screen clip should be empty, got %+v", got)
+	}
+}
+
+func TestTrackBoxAt(t *testing.T) {
+	tr := Track{Start: 100, End: 200, X0: 50, Y0: 60, VX: 2, VY: -1, W: 20, H: 10}
+	if !tr.Visible(100) || !tr.Visible(199) || tr.Visible(200) || tr.Visible(99) {
+		t.Error("Visible boundaries wrong (half-open range expected)")
+	}
+	b := tr.BoxAt(110)
+	if b.X != 70 || b.Y != 50 || b.W != 20 || b.H != 10 {
+		t.Errorf("BoxAt = %+v", b)
+	}
+	if tr.Duration() != 100 {
+		t.Errorf("Duration = %d", tr.Duration())
+	}
+}
+
+func testConfig() StreamConfig {
+	cfg, err := Stream("taipei")
+	if err != nil {
+		panic(err)
+	}
+	return cfg.Scaled(0.01) // ~11.9k frames
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a := Generate(cfg, 0)
+	b := Generate(cfg, 0)
+	if len(a.Tracks) != len(b.Tracks) {
+		t.Fatalf("track counts differ: %d vs %d", len(a.Tracks), len(b.Tracks))
+	}
+	for i := range a.Tracks {
+		if a.Tracks[i] != b.Tracks[i] {
+			t.Fatalf("track %d differs: %+v vs %+v", i, a.Tracks[i], b.Tracks[i])
+		}
+	}
+	c := Generate(cfg, 1)
+	if len(a.Tracks) == len(c.Tracks) {
+		same := true
+		for i := range a.Tracks {
+			if a.Tracks[i] != c.Tracks[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different days produced identical videos")
+		}
+	}
+}
+
+func TestGenerateTrackInvariants(t *testing.T) {
+	cfg := testConfig()
+	v := Generate(cfg, 2)
+	if len(v.Tracks) == 0 {
+		t.Fatal("no tracks generated")
+	}
+	ids := make(map[int]bool)
+	for i := range v.Tracks {
+		tr := &v.Tracks[i]
+		if tr.Start < 0 || tr.End > v.Frames || tr.End <= tr.Start {
+			t.Fatalf("track %d has invalid range [%d, %d) of %d frames", i, tr.Start, tr.End, v.Frames)
+		}
+		if tr.W <= 0 || tr.H <= 0 {
+			t.Fatalf("track %d has non-positive size %vx%v", i, tr.W, tr.H)
+		}
+		if ids[tr.ID] {
+			t.Fatalf("duplicate track ID %d", tr.ID)
+		}
+		ids[tr.ID] = true
+		if tr.Class != Car && tr.Class != Bus {
+			t.Fatalf("unexpected class %q in taipei", tr.Class)
+		}
+	}
+}
+
+func TestObjectsAtMatchesCounts(t *testing.T) {
+	cfg := testConfig()
+	v := Generate(cfg, 0)
+	rng := rand.New(rand.NewSource(5))
+	var buf []Object
+	for i := 0; i < 200; i++ {
+		f := rng.Intn(v.Frames)
+		buf = v.ObjectsAt(f, buf[:0])
+		cars, buses := 0, 0
+		for _, o := range buf {
+			switch o.Class {
+			case Car:
+				cars++
+			case Bus:
+				buses++
+			}
+		}
+		if cars != v.CountAt(f, Car) {
+			t.Fatalf("frame %d: ObjectsAt cars %d != CountAt %d", f, cars, v.CountAt(f, Car))
+		}
+		if buses != v.CountAt(f, Bus) {
+			t.Fatalf("frame %d: ObjectsAt buses %d != CountAt %d", f, buses, v.CountAt(f, Bus))
+		}
+	}
+}
+
+func TestCountsMatchCountAt(t *testing.T) {
+	cfg := testConfig()
+	v := Generate(cfg, 1)
+	counts := v.Counts(Car)
+	if len(counts) != v.Frames {
+		t.Fatalf("Counts length %d != Frames %d", len(counts), v.Frames)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		f := rng.Intn(v.Frames)
+		if int(counts[f]) != v.CountAt(f, Car) {
+			t.Fatalf("frame %d: Counts %d != CountAt %d", f, counts[f], v.CountAt(f, Car))
+		}
+	}
+}
+
+func TestCountsOutOfRange(t *testing.T) {
+	v := Generate(testConfig(), 0)
+	if v.CountAt(-1, Car) != 0 || v.CountAt(v.Frames, Car) != 0 {
+		t.Error("out-of-range CountAt should be 0")
+	}
+	if got := v.ObjectsAt(-5, nil); len(got) != 0 {
+		t.Error("out-of-range ObjectsAt should be empty")
+	}
+}
+
+func TestCalibrationApproximatesTable3(t *testing.T) {
+	// At 2% scale the law of large numbers is strong enough to verify the
+	// calibration loosely; the full-scale check is in the benchmarks.
+	cfg, _ := Stream("taipei")
+	v := Generate(cfg.Scaled(0.02), 2)
+
+	occCar := v.Occupancy(Car)
+	if occCar < 0.45 || occCar > 0.85 {
+		t.Errorf("taipei car occupancy %.3f, want around 0.64", occCar)
+	}
+	occBus := v.Occupancy(Bus)
+	if occBus < 0.04 || occBus > 0.25 {
+		t.Errorf("taipei bus occupancy %.3f, want around 0.119", occBus)
+	}
+	avgDur := v.AvgDurationSec(Car)
+	if avgDur < 0.9 || avgDur > 2.1 {
+		t.Errorf("taipei car avg duration %.2fs, want around 1.43s", avgDur)
+	}
+	// Distinct count should be near the scaled calibration (±40%, Poisson).
+	want := float64(cfg.Scaled(0.02).ClassConfigFor(Car).TracksPerDay)
+	got := float64(v.DistinctCount(Car))
+	if got < want*0.6 || got > want*1.4 {
+		t.Errorf("taipei car distinct count %v, want near %v", got, want)
+	}
+}
+
+func TestMeanAndMaxCount(t *testing.T) {
+	v := Generate(testConfig(), 0)
+	mean := v.MeanCount(Car)
+	if mean <= 0 {
+		t.Fatal("mean car count should be positive")
+	}
+	mx := v.MaxCount(Car)
+	if float64(mx) < mean {
+		t.Fatalf("max %d < mean %f", mx, mean)
+	}
+	counts := v.Counts(Car)
+	var s int64
+	for _, c := range counts {
+		s += int64(c)
+	}
+	if math.Abs(mean-float64(s)/float64(len(counts))) > 1e-9 {
+		t.Error("MeanCount disagrees with Counts")
+	}
+}
+
+func TestFindRunsAndCountRuns(t *testing.T) {
+	v := Generate(testConfig(), 0)
+	counts := v.Counts(Car)
+	runs := v.FindRuns(func(f int) bool { return counts[f] >= 1 })
+	// Validate runs are maximal, disjoint, ordered.
+	for i, r := range runs {
+		if r.End <= r.Start {
+			t.Fatalf("run %d empty: %+v", i, r)
+		}
+		for f := r.Start; f < r.End; f++ {
+			if counts[f] < 1 {
+				t.Fatalf("run %d contains non-qualifying frame %d", i, f)
+			}
+		}
+		if r.Start > 0 && counts[r.Start-1] >= 1 {
+			t.Fatalf("run %d not maximal at start", i)
+		}
+		if r.End < v.Frames && counts[r.End] >= 1 {
+			t.Fatalf("run %d not maximal at end", i)
+		}
+		if i > 0 && r.Start < runs[i-1].End {
+			t.Fatalf("runs overlap: %+v then %+v", runs[i-1], r)
+		}
+	}
+	if got := v.CountRuns(Car, 1); got != len(runs) {
+		t.Errorf("CountRuns = %d, want %d", got, len(runs))
+	}
+}
+
+func TestStreamLookup(t *testing.T) {
+	for _, name := range StreamNames() {
+		cfg, err := Stream(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name != name {
+			t.Errorf("Stream(%q).Name = %q", name, cfg.Name)
+		}
+		if cfg.FPS <= 0 || cfg.Width <= 0 || cfg.FramesPerDay <= 0 {
+			t.Errorf("%s has invalid dimensions", name)
+		}
+		if len(cfg.Classes) == 0 {
+			t.Errorf("%s has no classes", name)
+		}
+	}
+	if _, err := Stream("nope"); err == nil {
+		t.Error("expected error for unknown stream")
+	}
+	if len(StreamNames()) != 6 {
+		t.Errorf("expected 6 evaluation streams, got %d", len(StreamNames()))
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg, _ := Stream("rialto")
+	s := cfg.Scaled(0.1)
+	if s.FramesPerDay != cfg.FramesPerDay/10 {
+		t.Errorf("scaled frames = %d", s.FramesPerDay)
+	}
+	if s.Classes[0].TracksPerDay != cfg.Classes[0].TracksPerDay/10 {
+		t.Errorf("scaled tracks = %d", s.Classes[0].TracksPerDay)
+	}
+	// Original must be unmodified (deep copy of Classes).
+	if cfg.Classes[0].TracksPerDay != 5969 {
+		t.Error("Scaled mutated the original config")
+	}
+	tiny := cfg.Scaled(1e-9)
+	if tiny.FramesPerDay < 1 || tiny.Classes[0].TracksPerDay < 1 {
+		t.Error("Scaled should clamp to at least 1")
+	}
+}
+
+func TestClassConfigFor(t *testing.T) {
+	cfg, _ := Stream("taipei")
+	if cfg.ClassConfigFor(Bus) == nil || cfg.ClassConfigFor(Car) == nil {
+		t.Error("taipei should have bus and car configs")
+	}
+	if cfg.ClassConfigFor(Boat) != nil {
+		t.Error("taipei should not have boats")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, lambda := range []float64{0.5, 3, 25, 100} {
+		n := 20000
+		s, s2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(poisson(rng, lambda))
+			s += x
+			s2 += x * x
+		}
+		mean := s / float64(n)
+		variance := s2/float64(n) - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+0.2 {
+			t.Errorf("poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("poisson with non-positive lambda should be 0")
+	}
+}
+
+func TestSampleColorRespectsPalette(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pal := []WeightedColor{
+		{"red", Color{R: 0.8, G: 0.1, B: 0.1}, 0.5},
+		{"white", Color{R: 0.9, G: 0.9, B: 0.9}, 0.5},
+	}
+	redCount := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		c := sampleColor(pal, rng)
+		if c.Redness() > 17.5 {
+			redCount++
+		}
+	}
+	frac := float64(redCount) / float64(n)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("red fraction %.3f, want ~0.5", frac)
+	}
+	// Empty palette: generic gray.
+	c := sampleColor(nil, rng)
+	if c.Redness() != 0 {
+		t.Error("default color should not be red")
+	}
+}
+
+func TestTracksAt(t *testing.T) {
+	v := Generate(testConfig(), 0)
+	var objs []Object
+	var idx []int32
+	for f := 0; f < v.Frames; f += 997 {
+		objs = v.ObjectsAt(f, objs[:0])
+		idx = v.TracksAt(f, idx[:0])
+		if len(objs) != len(idx) {
+			t.Fatalf("frame %d: ObjectsAt %d vs TracksAt %d", f, len(objs), len(idx))
+		}
+	}
+}
+
+func TestNamedColor(t *testing.T) {
+	for _, name := range []string{"red", "blue", "white", "gray", "grey", "black", "yellow", "green", "brown"} {
+		if _, ok := NamedColor(name); !ok {
+			t.Errorf("missing color %q", name)
+		}
+	}
+	if _, ok := NamedColor("mauve"); ok {
+		t.Error("unknown color should not resolve")
+	}
+}
+
+func TestPaletteFromWeights(t *testing.T) {
+	pal := PaletteFromWeights(map[string]float64{
+		"red": 0.5, "blue": 0.3, "mauve": 0.2, "black": 0, "white": -1,
+	})
+	if len(pal) != 2 {
+		t.Fatalf("palette = %v", pal)
+	}
+	// Deterministic (sorted) order regardless of map iteration.
+	if pal[0].Name != "blue" || pal[1].Name != "red" {
+		t.Errorf("palette order = %v %v", pal[0].Name, pal[1].Name)
+	}
+	if len(PaletteFromWeights(nil)) != 0 {
+		t.Error("empty weights should produce empty palette")
+	}
+}
+
+func TestDayRateVariation(t *testing.T) {
+	// With DayRateSigma set, distinct counts vary across days but stay
+	// centered on the configured volume.
+	cfg, _ := Stream("night-street")
+	cfg = cfg.Scaled(0.05)
+	var counts []float64
+	for day := 0; day < 6; day++ {
+		v := Generate(cfg, day)
+		counts = append(counts, float64(v.DistinctCount(Car)))
+	}
+	mn, mx := counts[0], counts[0]
+	for _, c := range counts {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	if mx == mn {
+		t.Error("day variation produced identical days")
+	}
+	want := float64(cfg.ClassConfigFor(Car).TracksPerDay)
+	if mn < want*0.4 || mx > want*2.5 {
+		t.Errorf("day counts [%v, %v] too far from calibration %v", mn, mx, want)
+	}
+}

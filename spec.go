@@ -1,0 +1,188 @@
+package blazeit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// StreamSpec describes a custom synthetic stream, so users can model their
+// own scenes (a bird feeder, a store aisle, a loading dock) instead of the
+// six built-in evaluation streams. Unset numeric fields take sensible
+// defaults.
+type StreamSpec struct {
+	// Name is the FROM relation name queries use.
+	Name string
+	// Width, Height, FPS describe the camera (defaults 1280×720 @ 30).
+	Width, Height, FPS int
+	// FramesPerDay is the day length in frames (default one hour:
+	// FPS × 3600).
+	FramesPerDay int
+	// Detector picks the reference model: "mask-rcnn" (default), "fgfa",
+	// or "yolov2".
+	Detector string
+	// DetectorThreshold is the detection confidence cutoff (default 0.8;
+	// 0.2 for fgfa, matching Table 3's conventions).
+	DetectorThreshold float64
+	// Background is the scene's dominant color by name ("gray", "green",
+	// ...); default gray.
+	Background string
+	// PixelNoise scales feature noise (default 0.045).
+	PixelNoise float64
+	// Classes lists the object classes in the scene (at least one).
+	Classes []ClassSpec
+	// Seed drives generation (default derived from Name).
+	Seed int64
+}
+
+// ClassSpec describes one object class of a custom stream.
+type ClassSpec struct {
+	// Name is the object class ("bird", "person", ...).
+	Name string
+	// PerDay is the expected number of distinct appearances per day.
+	PerDay int
+	// MeanDurationSec is the average on-screen time (default 3s).
+	MeanDurationSec float64
+	// MeanAreaFrac is the average bounding-box area as a fraction of the
+	// frame (default 0.02).
+	MeanAreaFrac float64
+	// Colors gives color-name weights ("red": 0.3, "blue": 0.2, ...);
+	// empty means generic gray. Known names: red, blue, white, gray,
+	// black, yellow, green, brown.
+	Colors map[string]float64
+	// LaneY restricts vertical placement as fractions of frame height;
+	// zero value means [0.1, 0.9].
+	LaneY [2]float64
+	// LaneX restricts horizontal placement; zero value means full width.
+	LaneX [2]float64
+	// Burstiness shapes the count tail: 0 = steady arrivals, 1 = strongly
+	// clustered (default 0.5).
+	Burstiness float64
+	// DayVariation is the day-to-day volume swing: 0 = identical days,
+	// 1 = large swings (default 0.1).
+	DayVariation float64
+}
+
+// OpenSpec prepares a custom stream described by spec, with the same query
+// capabilities as the built-in streams.
+func OpenSpec(spec StreamSpec, opts Options) (*System, error) {
+	cfg, err := configFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngineFromConfig(cfg, core.Options{
+		Scale: opts.Scale,
+		Seed:  opts.Seed,
+		Spec: specnn.Options{
+			TrainFrames: opts.TrainFrames,
+			Epochs:      opts.Epochs,
+			Seed:        opts.Seed + 17,
+		},
+		HeldOutSample: opts.HeldOutSample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// configFromSpec validates the spec and fills defaults.
+func configFromSpec(spec StreamSpec) (vidsim.StreamConfig, error) {
+	var zero vidsim.StreamConfig
+	if spec.Name == "" {
+		return zero, fmt.Errorf("blazeit: StreamSpec.Name is required")
+	}
+	if len(spec.Classes) == 0 {
+		return zero, fmt.Errorf("blazeit: StreamSpec needs at least one class")
+	}
+	cfg := vidsim.StreamConfig{
+		Name:              spec.Name,
+		Width:             orInt(spec.Width, 1280),
+		Height:            orInt(spec.Height, 720),
+		FPS:               orInt(spec.FPS, 30),
+		Detector:          orStr(spec.Detector, "mask-rcnn"),
+		DetectorThreshold: spec.DetectorThreshold,
+		PixelNoise:        orF(spec.PixelNoise, 0.045),
+		Seed:              spec.Seed,
+	}
+	cfg.FramesPerDay = orInt(spec.FramesPerDay, cfg.FPS*3600)
+	if cfg.DetectorThreshold == 0 {
+		if cfg.Detector == "fgfa" {
+			cfg.DetectorThreshold = 0.2
+		} else {
+			cfg.DetectorThreshold = 0.8
+		}
+	}
+	bg, ok := vidsim.NamedColor(orStr(spec.Background, "gray"))
+	if !ok {
+		return zero, fmt.Errorf("blazeit: unknown background color %q", spec.Background)
+	}
+	cfg.Background = bg
+	if cfg.Seed == 0 {
+		for _, r := range spec.Name {
+			cfg.Seed = cfg.Seed*131 + int64(r)
+		}
+	}
+
+	for _, cs := range spec.Classes {
+		if cs.Name == "" {
+			return zero, fmt.Errorf("blazeit: class name is required")
+		}
+		if cs.PerDay <= 0 {
+			return zero, fmt.Errorf("blazeit: class %q needs PerDay > 0", cs.Name)
+		}
+		for name := range cs.Colors {
+			if _, ok := vidsim.NamedColor(name); !ok {
+				return zero, fmt.Errorf("blazeit: class %q has unknown color %q", cs.Name, name)
+			}
+		}
+		burst := orF(cs.Burstiness, 0.5)
+		laneY := cs.LaneY
+		if laneY == [2]float64{} {
+			laneY = [2]float64{0.1, 0.9}
+		}
+		laneX := cs.LaneX
+		if laneX == [2]float64{} {
+			laneX = [2]float64{0, 1}
+		}
+		cfg.Classes = append(cfg.Classes, vidsim.ClassConfig{
+			Class:           vidsim.Class(cs.Name),
+			TracksPerDay:    cs.PerDay,
+			MeanDurationSec: orF(cs.MeanDurationSec, 3),
+			DurationSigma:   0.45,
+			DiurnalAmp:      0.45,
+			BurstSigma:      burst,
+			BurstRho:        0.985,
+			DayRateSigma:    orF(cs.DayVariation, 0.1),
+			MeanAreaFrac:    orF(cs.MeanAreaFrac, 0.02),
+			AreaSigma:       0.45,
+			LaneY:           laneY,
+			LaneX:           laneX,
+			Palette:         vidsim.PaletteFromWeights(cs.Colors),
+		})
+	}
+	return cfg, nil
+}
+
+func orInt(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func orF(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func orStr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package blazeit
+
+import (
+	"math"
+	"testing"
+)
+
+func birdSpec() StreamSpec {
+	return StreamSpec{
+		Name:       "feeder",
+		Width:      960,
+		Height:     540,
+		Background: "green",
+		Classes: []ClassSpec{{
+			Name:            "bird",
+			PerDay:          2500,
+			MeanDurationSec: 4,
+			MeanAreaFrac:    0.03,
+			Colors:          map[string]float64{"brown": 0.5, "red": 0.3, "blue": 0.2},
+		}},
+	}
+}
+
+func TestOpenSpecEndToEnd(t *testing.T) {
+	sys, err := OpenSpec(birdSpec(), Options{Scale: 0.1, Seed: 9, TrainFrames: 8000, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(`SELECT FCOUNT(*) FROM feeder WHERE class='bird' ERROR WITHIN 0.15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 {
+		t.Errorf("bird density = %v", res.Value)
+	}
+	// Calibration: mean count should be near PerDay x duration x fps /
+	// frames = 2500*4*30/108000 ≈ 2.8 (before day variation).
+	if res.Value < 1 || res.Value > 6 {
+		t.Errorf("bird density %v outside plausible band", res.Value)
+	}
+	// Selection over the custom class works too.
+	sel, err := sys.Query(`SELECT * FROM feeder WHERE class='bird' AND redness(content) >= 100 AND timestamp < 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sel.Rows {
+		if row.Content.Redness() < 100 {
+			t.Errorf("row redness %.1f below predicate", row.Content.Redness())
+		}
+	}
+}
+
+func TestOpenSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*StreamSpec)
+	}{
+		{"missing name", func(s *StreamSpec) { s.Name = "" }},
+		{"no classes", func(s *StreamSpec) { s.Classes = nil }},
+		{"bad background", func(s *StreamSpec) { s.Background = "chartreuse" }},
+		{"class without name", func(s *StreamSpec) { s.Classes[0].Name = "" }},
+		{"class without volume", func(s *StreamSpec) { s.Classes[0].PerDay = 0 }},
+		{"unknown color", func(s *StreamSpec) { s.Classes[0].Colors = map[string]float64{"mauve": 1} }},
+	}
+	for _, c := range cases {
+		spec := birdSpec()
+		c.mutate(&spec)
+		if _, err := OpenSpec(spec, Options{Scale: 0.01}); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	cfg, err := configFromSpec(StreamSpec{
+		Name:    "d",
+		Classes: []ClassSpec{{Name: "person", PerDay: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 1280 || cfg.Height != 720 || cfg.FPS != 30 {
+		t.Errorf("camera defaults: %dx%d@%d", cfg.Width, cfg.Height, cfg.FPS)
+	}
+	if cfg.FramesPerDay != 30*3600 {
+		t.Errorf("frames default = %d", cfg.FramesPerDay)
+	}
+	if cfg.Detector != "mask-rcnn" || cfg.DetectorThreshold != 0.8 {
+		t.Errorf("detector defaults: %s@%v", cfg.Detector, cfg.DetectorThreshold)
+	}
+	if cfg.Seed == 0 {
+		t.Error("seed should derive from the name")
+	}
+	cc := cfg.Classes[0]
+	if cc.MeanDurationSec != 3 || cc.MeanAreaFrac != 0.02 {
+		t.Errorf("class defaults: %v %v", cc.MeanDurationSec, cc.MeanAreaFrac)
+	}
+	if cc.LaneY != [2]float64{0.1, 0.9} || cc.LaneX != [2]float64{0, 1} {
+		t.Errorf("lane defaults: %v %v", cc.LaneY, cc.LaneX)
+	}
+	// fgfa default threshold.
+	cfg2, err := configFromSpec(StreamSpec{
+		Name:     "d2",
+		Detector: "fgfa",
+		Classes:  []ClassSpec{{Name: "person", PerDay: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg2.DetectorThreshold-0.2) > 1e-12 {
+		t.Errorf("fgfa threshold default = %v", cfg2.DetectorThreshold)
+	}
+}
+
+func TestSpecDeterministicSeedFromName(t *testing.T) {
+	a, _ := configFromSpec(StreamSpec{Name: "same", Classes: []ClassSpec{{Name: "x", PerDay: 1}}})
+	b, _ := configFromSpec(StreamSpec{Name: "same", Classes: []ClassSpec{{Name: "x", PerDay: 1}}})
+	c, _ := configFromSpec(StreamSpec{Name: "other", Classes: []ClassSpec{{Name: "x", PerDay: 1}}})
+	if a.Seed != b.Seed {
+		t.Error("same name should derive the same seed")
+	}
+	if a.Seed == c.Seed {
+		t.Error("different names should derive different seeds")
+	}
+}
