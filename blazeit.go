@@ -28,8 +28,13 @@
 package blazeit
 
 import (
+	"context"
+	"net/http"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/serve"
 	"repro/internal/specnn"
 	"repro/internal/vidsim"
 )
@@ -67,18 +72,24 @@ type System struct {
 	eng *core.Engine
 }
 
+// toCore converts public options to engine options — the single place the
+// mapping (including the specialized-network seed derivation) lives.
+func (o Options) toCore() core.Options {
+	return core.Options{
+		Scale: o.Scale,
+		Seed:  o.Seed,
+		Spec: specnn.Options{
+			TrainFrames: o.TrainFrames,
+			Epochs:      o.Epochs,
+			Seed:        o.Seed + 17,
+		},
+		HeldOutSample: o.HeldOutSample,
+	}
+}
+
 // Open prepares the named stream. See Streams for valid names.
 func Open(stream string, opts Options) (*System, error) {
-	eng, err := core.NewEngine(stream, core.Options{
-		Scale: opts.Scale,
-		Seed:  opts.Seed,
-		Spec: specnn.Options{
-			TrainFrames: opts.TrainFrames,
-			Epochs:      opts.Epochs,
-			Seed:        opts.Seed + 17,
-		},
-		HeldOutSample: opts.HeldOutSample,
-	})
+	eng, err := core.NewEngine(stream, opts.toCore())
 	if err != nil {
 		return nil, err
 	}
@@ -136,4 +147,72 @@ func Streams() []string { return vidsim.StreamNames() }
 func Parse(q string) error {
 	_, err := frameql.Parse(q)
 	return err
+}
+
+// ServeOptions configures a query-serving Server.
+type ServeOptions struct {
+	// Options applies to every lazily opened stream engine.
+	Options
+	// Streams restricts the servable stream names; nil serves all
+	// built-in streams.
+	Streams []string
+	// Workers sets executor concurrency (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 4× workers); a full
+	// queue rejects requests with HTTP 429.
+	QueueDepth int
+	// CacheEntries is the result-cache capacity: 0 for the default (256),
+	// negative to disable caching.
+	CacheEntries int
+	// MaxRows caps rows per response: 0 for the default (1000), negative
+	// for unlimited.
+	MaxRows int
+	// QueryTimeout bounds each query's admission (queue wait plus engine
+	// open); started queries run to completion. 0 means no server-side
+	// limit.
+	QueryTimeout time.Duration
+}
+
+// Server is a concurrent multi-stream query-serving front end: it pools
+// one engine per stream (opened lazily, with concurrent opens
+// deduplicated), caches results by canonicalized query text, and executes
+// cache misses on a bounded worker pool. See internal/serve for the
+// HTTP API: POST /query, GET /streams, GET /explain, GET /statz.
+type Server struct {
+	s *serve.Server
+}
+
+// NewServer builds a Server. Call Close when done.
+func NewServer(opts ServeOptions) *Server {
+	return &Server{s: serve.New(serve.Config{
+		Engine:       opts.Options.toCore(),
+		Streams:      opts.Streams,
+		Workers:      opts.Workers,
+		QueueDepth:   opts.QueueDepth,
+		CacheEntries: opts.CacheEntries,
+		MaxRows:      opts.MaxRows,
+		QueryTimeout: opts.QueryTimeout,
+	})}
+}
+
+// Handler returns the HTTP handler serving the JSON API.
+func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// Preopen eagerly opens the named stream's engine so the first query
+// doesn't pay stream generation and detector setup.
+func (s *Server) Preopen(ctx context.Context, stream string) error {
+	return s.s.Preopen(ctx, stream)
+}
+
+// ServedStreams returns the stream names this server serves.
+func (s *Server) ServedStreams() []string { return s.s.Streams() }
+
+// Close drains in-flight queries and stops the worker pool.
+func (s *Server) Close() { s.s.Close() }
+
+// Serve builds a Server and listens on addr until the listener fails.
+func Serve(addr string, opts ServeOptions) error {
+	srv := NewServer(opts)
+	defer srv.Close()
+	return http.ListenAndServe(addr, srv.Handler())
 }

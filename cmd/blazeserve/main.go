@@ -1,0 +1,101 @@
+// Command blazeserve runs the BlazeIt query server: an HTTP JSON API that
+// serves FrameQL queries concurrently across the built-in streams, with
+// per-stream engine pooling, a canonicalized result cache, and a bounded
+// worker-pool executor.
+//
+// Usage:
+//
+//	blazeserve [-addr :8089] [-scale 0.05] [-seed 1] [-workers 8]
+//	           [-queue 32] [-cache 256] [-timeout 30s] [-streams taipei,rialto]
+//	           [-preopen taipei]
+//
+// Endpoints:
+//
+//	POST /query    {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."}
+//	GET  /streams  stream names with open state and per-stream counters
+//	GET  /explain  ?q=QUERY[&stream=NAME] — plan family + canonical text
+//	GET  /statz    cache/pool/registry counters and simulated-cost totals
+//
+// Example:
+//
+//	blazeserve -scale 0.02 &
+//	curl -s localhost:8089/query -d '{"stream":"taipei","query":
+//	  "SELECT FCOUNT(*) FROM taipei WHERE class='\''car'\'' ERROR WITHIN 0.1 AT CONFIDENCE 95%"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	blazeit "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	scale := flag.Float64("scale", 0.05, "stream scale factor (1.0 = full paper-length days)")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "executor workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative disables)")
+	maxRows := flag.Int("maxrows", 0, "row cap per response (0 = default 1000, negative = unlimited)")
+	timeout := flag.Duration("timeout", 0, "admission timeout: bounds queue/open wait, started queries run to completion (0 = none)")
+	streams := flag.String("streams", "", "comma-separated servable streams (default: all built-ins)")
+	preopen := flag.String("preopen", "", "comma-separated streams to open (and warm) before listening")
+	flag.Parse()
+
+	opts := blazeit.ServeOptions{
+		Options:      blazeit.Options{Scale: *scale, Seed: *seed},
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxRows:      *maxRows,
+		QueryTimeout: *timeout,
+	}
+	if *streams != "" {
+		opts.Streams = splitList(*streams)
+	}
+
+	srv := blazeit.NewServer(opts)
+	defer srv.Close()
+
+	for _, name := range splitList(*preopen) {
+		log.Printf("pre-opening stream %q (scale %g)", name, *scale)
+		if err := srv.Preopen(context.Background(), name); err != nil {
+			log.Printf("pre-open %q failed: %v", name, err)
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutCtx)
+	}()
+
+	log.Printf("blazeserve listening on %s (streams: %s)", *addr, strings.Join(srv.ServedStreams(), ", "))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("blazeserve shut down")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package blazeit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesOneEngine fires N goroutines at one System's Query
+// across a mix of plan families and asserts every answer matches a serial
+// run on an identically opened System. Run under -race this also checks
+// the engine's internal caches (models, inferences, count series) for
+// data races.
+func TestConcurrentQueriesOneEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	queries := []string{
+		`SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+		`SELECT FCOUNT(*) FROM taipei WHERE class = 'bus' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+		`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 100`,
+	}
+
+	serial := openSmall(t)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := serial.Query(q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		want[i] = res
+	}
+
+	concurrent := openSmall(t)
+	const repeats = 4 // every query issued 4× concurrently
+	var wg sync.WaitGroup
+	errs := make(chan string, len(queries)*repeats)
+	for r := 0; r < repeats; r++ {
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q string) {
+				defer wg.Done()
+				res, err := concurrent.Query(q)
+				if err != nil {
+					errs <- fmt.Sprintf("query %d: %v", i, err)
+					return
+				}
+				if res.Value != want[i].Value {
+					errs <- fmt.Sprintf("query %d: value %v, want %v", i, res.Value, want[i].Value)
+				}
+				if len(res.Frames) != len(want[i].Frames) {
+					errs <- fmt.Sprintf("query %d: %d frames, want %d", i, len(res.Frames), len(want[i].Frames))
+					return
+				}
+				for j, f := range res.Frames {
+					if f != want[i].Frames[j] {
+						errs <- fmt.Sprintf("query %d: frame[%d] = %d, want %d", i, j, f, want[i].Frames[j])
+						return
+					}
+				}
+			}(i, q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

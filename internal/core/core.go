@@ -26,12 +26,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/detect"
+	"repro/internal/flight"
 	"repro/internal/frameql"
 	"repro/internal/specnn"
 	"repro/internal/vidsim"
@@ -80,14 +82,14 @@ type Engine struct {
 
 	opts Options
 
+	// models and infs are singleflight caches: the goroutine that creates
+	// a slot computes it (and is the only caller charged its cost);
+	// concurrent callers for the same key wait on the slot and are
+	// charged zero — the cache-hit accounting of the paper's "no train" /
+	// "indexed" modes.
 	mu     sync.Mutex
-	models map[string]*cachedModel
-	infs   map[string]*specnn.Inference
-}
-
-type cachedModel struct {
-	model *specnn.CountModel
-	err   error
+	models map[string]*flight.Slot[*specnn.CountModel]
+	infs   map[string]*flight.Slot[*specnn.Inference]
 }
 
 // NewEngine builds an Engine for a named evaluation stream.
@@ -111,8 +113,8 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 		HeldOut: vidsim.Generate(cfg, 1),
 		Test:    vidsim.Generate(cfg, 2),
 		opts:    opts,
-		models:  make(map[string]*cachedModel),
-		infs:    make(map[string]*specnn.Inference),
+		models:  make(map[string]*flight.Slot[*specnn.CountModel]),
+		infs:    make(map[string]*flight.Slot[*specnn.Inference]),
 	}
 	var errD error
 	if e.DTrain, errD = detect.New(e.Train); errD != nil {
@@ -143,29 +145,37 @@ func modelKey(classes []vidsim.Class) string {
 // Model returns (training and caching) the specialized counting network
 // for the class set. The returned training cost is zero on cache hits:
 // the paper's "BlazeIt (no train) / (indexed)" variants reuse trained
-// models, and repeated queries within a session share them.
+// models, and repeated queries within a session share them. Concurrent
+// calls for the same class set are deduplicated: exactly one goroutine
+// trains, and exactly one caller is charged the training cost.
 func (e *Engine) Model(classes []vidsim.Class) (*specnn.CountModel, float64, error) {
 	key := modelKey(classes)
 	e.mu.Lock()
-	if c, ok := e.models[key]; ok {
+	s, ok := e.models[key]
+	if !ok {
+		s = flight.NewSlot[*specnn.CountModel]()
+		e.models[key] = s
 		e.mu.Unlock()
-		return c.model, 0, c.err
+		m, err := s.Fill(func() (*specnn.CountModel, error) {
+			return specnn.Train(e.Train, e.DTrain, classes, e.opts.Spec)
+		})
+		if err != nil {
+			// Failed (or panicked) training is cached: it is deterministic,
+			// so retrying would only re-pay the failure.
+			return nil, 0, err
+		}
+		// The trainer pays; everyone after this is a cache hit.
+		return m, m.TrainSimSeconds, nil
 	}
 	e.mu.Unlock()
-
-	m, err := specnn.Train(e.Train, e.DTrain, classes, e.opts.Spec)
-	e.mu.Lock()
-	e.models[key] = &cachedModel{model: m, err: err}
-	e.mu.Unlock()
-	if err != nil {
-		return nil, 0, err
-	}
-	return m, m.TrainSimSeconds, nil
+	m, err := s.Wait(context.Background())
+	return m, 0, err
 }
 
 // Inference returns (running and caching) the specialized network's full
 // pass over the given day for the class set. The returned cost is zero on
-// cache hits.
+// cache hits, and concurrent calls for the same (class set, day) share one
+// run with exactly one caller charged.
 func (e *Engine) Inference(classes []vidsim.Class, v *vidsim.Video) (*specnn.Inference, float64, error) {
 	m, _, err := e.Model(classes)
 	if err != nil {
@@ -173,17 +183,22 @@ func (e *Engine) Inference(classes []vidsim.Class, v *vidsim.Video) (*specnn.Inf
 	}
 	key := fmt.Sprintf("%s@day%d", modelKey(classes), v.Day)
 	e.mu.Lock()
-	if inf, ok := e.infs[key]; ok {
+	s, ok := e.infs[key]
+	if !ok {
+		s = flight.NewSlot[*specnn.Inference]()
+		e.infs[key] = s
 		e.mu.Unlock()
-		return inf, 0, nil
+		inf, err := s.Fill(func() (*specnn.Inference, error) {
+			return specnn.Run(m, v), nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return inf, inf.SimSeconds, nil
 	}
 	e.mu.Unlock()
-
-	inf := specnn.Run(m, v)
-	e.mu.Lock()
-	e.infs[key] = inf
-	e.mu.Unlock()
-	return inf, inf.SimSeconds, nil
+	inf, err := s.Wait(context.Background())
+	return inf, 0, err
 }
 
 // ExportModel serializes the trained specialized network for the class
@@ -213,7 +228,7 @@ func (e *Engine) ImportModel(classes []vidsim.Class, data []byte) error {
 	// previous session, matching the paper's cached-model accounting.
 	m.TrainSimSeconds = 0
 	e.mu.Lock()
-	e.models[modelKey(classes)] = &cachedModel{model: &m}
+	e.models[modelKey(classes)] = flight.Filled(&m)
 	e.mu.Unlock()
 	return nil
 }

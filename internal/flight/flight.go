@@ -1,0 +1,76 @@
+// Package flight provides a panic-safe write-once slot for
+// singleflight-style caches: one goroutine fills the slot while
+// concurrent callers wait for the published value. It centralizes the
+// create/compute/publish dance that the engine's model caches and the
+// serving layer's stream registry both need, so the subtle parts —
+// happens-before via channel close, publication even when the compute
+// function panics — live in exactly one place.
+package flight
+
+import (
+	"context"
+	"fmt"
+)
+
+// Slot is a write-once cell. The goroutine that created the slot calls
+// Fill exactly once; every other goroutine calls Wait (or TryWait).
+type Slot[T any] struct {
+	ready chan struct{}
+	val   T
+	err   error
+}
+
+// NewSlot returns an empty slot awaiting Fill.
+func NewSlot[T any]() *Slot[T] { return &Slot[T]{ready: make(chan struct{})} }
+
+// Filled returns a slot already published with val — for installing
+// externally produced values (e.g. imported models) into a cache of slots.
+func Filled[T any](val T) *Slot[T] {
+	s := NewSlot[T]()
+	s.val = val
+	close(s.ready)
+	return s
+}
+
+// Fill runs f and publishes its result, returning it to the caller. The
+// slot is published even if f panics — waiters observe an error instead
+// of blocking forever — and the panic is then re-raised so the caller's
+// recovery machinery (e.g. a worker pool's recover) still sees it.
+func (s *Slot[T]) Fill(f func() (T, error)) (T, error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("flight: fill panicked: %v", r)
+			close(s.ready)
+			panic(r)
+		}
+	}()
+	s.val, s.err = f()
+	close(s.ready)
+	return s.val, s.err
+}
+
+// Wait blocks until the slot is published or ctx expires.
+func (s *Slot[T]) Wait(ctx context.Context) (T, error) {
+	select {
+	case <-s.ready:
+		return s.val, s.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// TryWait returns the published value without blocking; ok is false when
+// the slot has not been published yet.
+func (s *Slot[T]) TryWait() (val T, err error, ok bool) {
+	select {
+	case <-s.ready:
+		return s.val, s.err, true
+	default:
+		return val, nil, false
+	}
+}
+
+// Err returns the published error. It must only be called after Fill has
+// returned (or panicked) or Wait/TryWait observed publication.
+func (s *Slot[T]) Err() error { return s.err }

@@ -1,0 +1,85 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFillPublishesToWaiters(t *testing.T) {
+	s := NewSlot[int]()
+	const n = 8
+	var wg sync.WaitGroup
+	got := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.Wait(context.Background())
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+			got[i] = v
+		}(i)
+	}
+	v, err := s.Fill(func() (int, error) { return 42, nil })
+	if v != 42 || err != nil {
+		t.Fatalf("Fill = %d, %v", v, err)
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+}
+
+func TestFillError(t *testing.T) {
+	s := NewSlot[int]()
+	want := errors.New("nope")
+	if _, err := s.Fill(func() (int, error) { return 0, want }); !errors.Is(err, want) {
+		t.Fatalf("Fill err = %v", err)
+	}
+	if _, err := s.Wait(context.Background()); !errors.Is(err, want) {
+		t.Fatalf("Wait err = %v", err)
+	}
+}
+
+func TestFillPanicStillPublishes(t *testing.T) {
+	s := NewSlot[int]()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Fill swallowed the panic")
+			}
+		}()
+		s.Fill(func() (int, error) { panic("boom") })
+	}()
+	// Waiters must not block forever; they observe an error.
+	_, err, ok := s.TryWait()
+	if !ok {
+		t.Fatal("slot not published after panic")
+	}
+	if err == nil || s.Err() == nil {
+		t.Fatal("panicked fill published no error")
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	s := NewSlot[int]()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestFilled(t *testing.T) {
+	s := Filled("x")
+	v, err, ok := s.TryWait()
+	if !ok || err != nil || v != "x" {
+		t.Fatalf("TryWait = %q, %v, %v", v, err, ok)
+	}
+}

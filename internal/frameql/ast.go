@@ -56,7 +56,11 @@ type Call struct {
 func (*Call) exprNode() {}
 func (e *Call) String() string {
 	var sb strings.Builder
-	sb.WriteString(e.Func)
+	if e.IsAggregate() {
+		sb.WriteString(strings.ToUpper(e.Func))
+	} else {
+		sb.WriteString(e.Func)
+	}
 	sb.WriteByte('(')
 	if e.Star {
 		sb.WriteByte('*')

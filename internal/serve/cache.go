@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CacheKey builds the result-cache key for a stream and a canonicalized
+// query (frameql.Analyze's Stmt.String()). Canonicalization means
+// formatting variants of the same query — whitespace, case of keywords,
+// predicate spelling the parser normalizes — share one entry.
+func CacheKey(stream, canonical string) string {
+	return stream + "\x00" + canonical
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness. Saved
+// figures credit, once per hit, the non-training simulated cost recorded
+// when the entry was first computed (detector, specialized-network, and
+// filter work). One-time training/threshold cost is excluded: the
+// engine's own model caches already avoid re-paying it on repeats, so
+// counting it would overstate what the result cache saves. This remains
+// an estimate — an actual re-execution can be cheaper still when the
+// engine's inference cache zeroes the specialized-network term.
+type CacheStats struct {
+	Entries              int     `json:"entries"`
+	Capacity             int     `json:"capacity"`
+	Hits                 uint64  `json:"hits"`
+	Misses               uint64  `json:"misses"`
+	Evictions            uint64  `json:"evictions"`
+	SavedSimSeconds      float64 `json:"saved_sim_seconds"`
+	SavedDetectorSeconds float64 `json:"saved_detector_seconds"`
+	SavedDetectorCalls   uint64  `json:"saved_detector_calls"`
+}
+
+// ResultCache is an LRU cache of query results keyed by
+// (stream, canonical query). Hits return a view of the stored result whose
+// cost meter is zeroed — a cached answer charges no simulated detector,
+// network, or training time — with the entry's original cost credited to
+// the saved-work accounting.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// NewResultCache returns a cache holding up to capacity entries.
+// A non-positive capacity disables caching (every Get misses).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, or nil. The returned result
+// is a copy with a zeroed cost meter; its slices are shared with the
+// stored entry and must not be modified.
+func (c *ResultCache) Get(key string) *core.Result {
+	if c == nil || c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	stored := el.Value.(*cacheEntry).res
+	c.stats.Hits++
+	c.stats.SavedSimSeconds += stored.Stats.TotalSecondsNoTrain()
+	c.stats.SavedDetectorSeconds += stored.Stats.DetectorSeconds
+	c.stats.SavedDetectorCalls += uint64(stored.Stats.DetectorCalls)
+	return cachedView(stored)
+}
+
+// cachedView copies a stored result, replacing its cost meter with a
+// zero-cost one that names the original plan.
+func cachedView(stored *core.Result) *core.Result {
+	cp := *stored
+	cp.Stats = core.Stats{Plan: stored.Stats.Plan}
+	cp.Stats.Notes = append(cp.Stats.Notes, "served from result cache: zero simulated cost")
+	return &cp
+}
+
+// Put stores the result of a cache miss, evicting the least recently used
+// entry when over capacity. Results with errors never reach Put.
+func (c *ResultCache) Put(key string, res *core.Result) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent identical miss beat us here; refresh recency.
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.cap
+	return s
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func costedResult(value, detSeconds float64, calls int) *core.Result {
+	return &core.Result{
+		Kind:  "aggregate",
+		Value: value,
+		Stats: core.Stats{
+			Plan:            "specialized-rewrite",
+			DetectorCalls:   calls,
+			DetectorSeconds: detSeconds,
+			TrainSeconds:    2,
+		},
+	}
+}
+
+func TestCacheHitReportsZeroCost(t *testing.T) {
+	c := NewResultCache(4)
+	key := CacheKey("taipei", "SELECT FCOUNT(*) FROM taipei")
+	if got := c.Get(key); got != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, costedResult(1.5, 10, 30))
+
+	hit := c.Get(key)
+	if hit == nil {
+		t.Fatal("miss after Put")
+	}
+	if hit.Value != 1.5 || hit.Kind != "aggregate" {
+		t.Fatalf("answer corrupted: %+v", hit)
+	}
+	if hit.Stats.Plan != "specialized-rewrite" {
+		t.Fatalf("plan = %q", hit.Stats.Plan)
+	}
+	if hit.Stats.TotalSeconds() != 0 || hit.Stats.DetectorCalls != 0 {
+		t.Fatalf("cache hit charged cost: %+v", hit.Stats)
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Saved cost excludes the entry's one-time TrainSeconds (2s): the
+	// engine would not re-pay training on a repeat anyway.
+	if st.SavedSimSeconds != 10 || st.SavedDetectorSeconds != 10 || st.SavedDetectorCalls != 30 {
+		t.Fatalf("saved accounting = %+v", st)
+	}
+	// A second hit credits the entry's cost again.
+	c.Get(key)
+	if st := c.Stats(); st.SavedSimSeconds != 20 {
+		t.Fatalf("saved after 2 hits = %v, want 20", st.SavedSimSeconds)
+	}
+}
+
+func TestCacheHitDoesNotMutateStoredEntry(t *testing.T) {
+	c := NewResultCache(4)
+	c.Put("k", costedResult(1, 5, 5))
+	_ = c.Get("k")
+	hit := c.Get("k")
+	if hit.Stats.TotalSeconds() != 0 {
+		t.Fatalf("second hit charged cost: %+v", hit.Stats)
+	}
+	if st := c.Stats(); st.SavedSimSeconds != 10 { // 2 hits × 5s non-training cost
+		t.Fatalf("saved = %v, want 10", st.SavedSimSeconds)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put("a", costedResult(1, 1, 1))
+	c.Put("b", costedResult(2, 1, 1))
+	c.Get("a")                        // a is now most recent
+	c.Put("c", costedResult(3, 1, 1)) // evicts b
+	if c.Get("b") != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("a and c should survive")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewResultCache(0)
+	c.Put("k", costedResult(1, 1, 1))
+	if c.Get("k") != nil {
+		t.Fatal("disabled cache returned a hit")
+	}
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Do when the admission queue is at
+// capacity — the server is saturated and the caller should shed load
+// (HTTP 429) rather than buffer unboundedly.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrPoolClosed is returned by Pool.Do after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// ErrTaskPanicked wraps a panic recovered from a task: one bad query must
+// not take down the server (and every pooled engine) with it.
+var ErrTaskPanicked = errors.New("serve: task panicked")
+
+// Pool is a fixed-size worker pool with a bounded admission queue.
+// Submission is non-blocking: a full queue rejects immediately. A caller
+// whose context expires while its task is still queued removes it from the
+// queue, freeing the slot for new admissions at once; once a worker has
+// started the task it runs to completion, since engine execution is not
+// preemptible.
+type Pool struct {
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*poolTask
+	depth  int
+	closed bool
+
+	workers  int
+	running  atomic.Int64
+	executed atomic.Uint64
+	rejected atomic.Uint64
+	canceled atomic.Uint64
+	panicked atomic.Uint64
+}
+
+// poolTask is one queued unit: done closes when execution finishes, with
+// err set first (only ErrTaskPanicked wraps ever appear there).
+type poolTask struct {
+	fn   func()
+	done chan struct{}
+	err  error
+}
+
+// NewPool starts a pool with the given worker count and queue depth.
+// Non-positive workers defaults to GOMAXPROCS; non-positive queueDepth
+// defaults to 4× workers.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * workers
+	}
+	p := &Pool{depth: queueDepth, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// Closed and drained.
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.runTask(t)
+	}
+}
+
+// runTask executes one dequeued task, containing panics so a bad query
+// fails its own request instead of killing the process.
+func (p *Pool) runTask(t *poolTask) {
+	p.running.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("%w: %v", ErrTaskPanicked, r)
+			p.panicked.Add(1)
+		}
+		p.running.Add(-1)
+		p.executed.Add(1)
+		close(t.done)
+	}()
+	t.fn()
+}
+
+// Do runs fn on a pool worker and waits for it to finish. It returns
+// ErrQueueFull without queueing when the admission queue is at capacity,
+// and ctx.Err() if the context expires before a worker picks the task up
+// (the queue slot is freed immediately). If fn has already started when
+// the context expires, Do waits for it.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := &poolTask{fn: fn, done: make(chan struct{})}
+
+	p.mu.Lock()
+	switch {
+	case p.closed:
+		p.mu.Unlock()
+		return ErrPoolClosed
+	case len(p.queue) >= p.depth:
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+	p.queue = append(p.queue, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		p.mu.Lock()
+		for i, q := range p.queue {
+			if q == t {
+				// Still queued: reclaim the slot and never run.
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.mu.Unlock()
+				p.canceled.Add(1)
+				return ctx.Err()
+			}
+		}
+		p.mu.Unlock()
+		<-t.done // a worker owns it; execution is not preemptible
+		return t.err
+	}
+}
+
+// Close stops accepting work, lets already-queued tasks finish, and shuts
+// the workers down.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time snapshot of executor state.
+type PoolStats struct {
+	Workers  int    `json:"workers"`
+	Running  int64  `json:"running"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	Executed uint64 `json:"executed"`
+	Rejected uint64 `json:"rejected"`
+	Canceled uint64 `json:"canceled"`
+	Panicked uint64 `json:"panicked"`
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	queueLen := len(p.queue)
+	p.mu.Unlock()
+	return PoolStats{
+		Workers:  p.workers,
+		Running:  p.running.Load(),
+		QueueLen: queueLen,
+		QueueCap: p.depth,
+		Executed: p.executed.Load(),
+		Rejected: p.rejected.Load(),
+		Canceled: p.canceled.Load(),
+		Panicked: p.panicked.Load(),
+	}
+}

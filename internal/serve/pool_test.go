@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := p.Do(context.Background(), func() { ran.Add(1) }); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d tasks, want 20", got)
+	}
+	st := p.Stats()
+	if st.Executed != 20 || st.Rejected != 0 || st.Workers != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// blockWorker occupies the pool's single worker, returning a release
+// function.
+func blockWorker(t *testing.T, p *Pool) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block }) //nolint:errcheck
+	<-started
+	return func() { close(block) }
+}
+
+// waitQueueLen spins until the pool's queue holds n tasks.
+func waitQueueLen(p *Pool, n int) {
+	for p.Stats().QueueLen < n {
+		runtime.Gosched()
+	}
+}
+
+func TestPoolAdmissionControl(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	release := blockWorker(t, p)
+	for i := 0; i < 2; i++ {
+		go p.Do(context.Background(), func() {}) //nolint:errcheck
+	}
+	waitQueueLen(p, 2)
+
+	err := p.Do(context.Background(), func() {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do on full queue = %v, want ErrQueueFull", err)
+	}
+	if st := p.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	release()
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	p := NewPool(1, 4)
+	release := blockWorker(t, p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Do(ctx, func() { ran.Store(true) }) }()
+	waitQueueLen(p, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with canceled ctx = %v, want Canceled", err)
+	}
+	// The abandoned task's slot is reclaimed immediately.
+	if st := p.Stats(); st.QueueLen != 0 {
+		t.Fatalf("queue len = %d after cancel, want 0", st.QueueLen)
+	}
+	release()
+	p.Close() // drain: if the canceled task were still live it would run here
+	if ran.Load() {
+		t.Fatal("canceled task ran anyway")
+	}
+	if st := p.Stats(); st.Canceled != 1 {
+		t.Fatalf("canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestPoolCancelFreesAdmission asserts a timed-out queued request does not
+// keep 429-ing later requests: the reclaimed slot admits new work even
+// while the worker is still busy.
+func TestPoolCancelFreesAdmission(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release := blockWorker(t, p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Do(ctx, func() {}) }()
+	waitQueueLen(p, 1)
+
+	// Queue is full: a third request is rejected.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do on full queue = %v, want ErrQueueFull", err)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Do = %v, want Canceled", err)
+	}
+
+	// The slot is free now, with the worker still blocked: this must be
+	// admitted (it completes once the worker is released).
+	admitted := make(chan error, 1)
+	go func() { admitted <- p.Do(context.Background(), func() {}) }()
+	waitQueueLen(p, 1)
+	release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("Do after slot reclaim = %v, want admission", err)
+	}
+}
+
+func TestPoolCancelBeforeSubmit(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Do(ctx, func() {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want Canceled", err)
+	}
+}
+
+func TestPoolContainsPanics(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	err := p.Do(context.Background(), func() { panic("boom") })
+	if !errors.Is(err, ErrTaskPanicked) {
+		t.Fatalf("Do on panicking task = %v, want ErrTaskPanicked", err)
+	}
+	// The worker must survive the panic and keep serving.
+	if err := p.Do(context.Background(), func() {}); err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+	if st := p.Stats(); st.Panicked != 1 || st.Executed != 2 || st.Running != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+}

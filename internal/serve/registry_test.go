@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRegistrySingleflight(t *testing.T) {
+	var opens atomic.Int64
+	release := make(chan struct{})
+	r := NewRegistry(func(stream string) (*core.Engine, error) {
+		opens.Add(1)
+		<-release // hold every concurrent caller in the open window
+		return &core.Engine{}, nil
+	})
+
+	const n = 16
+	engines := make([]*core.Engine, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			eng, err := r.Engine(context.Background(), "taipei")
+			if err != nil {
+				t.Errorf("Engine: %v", err)
+			}
+			engines[i] = eng
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the waiters pile up
+	close(release)
+	wg.Wait()
+
+	if got := opens.Load(); got != 1 {
+		t.Fatalf("opener ran %d times, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if engines[i] != engines[0] {
+			t.Fatalf("goroutine %d got a different engine", i)
+		}
+	}
+	if got := r.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestRegistryFailedOpenRetries(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry(func(stream string) (*core.Engine, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return &core.Engine{}, nil
+	})
+	if _, err := r.Engine(context.Background(), "s"); err == nil {
+		t.Fatal("first open should fail")
+	}
+	eng, err := r.Engine(context.Background(), "s")
+	if err != nil || eng == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("opener ran %d times, want 2", got)
+	}
+}
+
+func TestRegistryPanickedOpenDoesNotPoison(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry(func(stream string) (*core.Engine, error) {
+		if calls.Add(1) == 1 {
+			panic("opener exploded")
+		}
+		return &core.Engine{}, nil
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic was swallowed instead of propagated")
+			}
+		}()
+		r.Engine(context.Background(), "s") //nolint:errcheck // panics
+	}()
+	// The failed slot must be gone: the next request retries and succeeds
+	// instead of blocking forever on the dead slot.
+	eng, err := r.Engine(context.Background(), "s")
+	if err != nil || eng == nil {
+		t.Fatalf("retry after panic failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("opener ran %d times, want 2", got)
+	}
+}
+
+func TestRegistryWaiterHonorsContext(t *testing.T) {
+	block := make(chan struct{})
+	r := NewRegistry(func(stream string) (*core.Engine, error) {
+		<-block
+		return &core.Engine{}, nil
+	})
+	go r.Engine(context.Background(), "slow") //nolint:errcheck // released below
+
+	// Give the opener goroutine time to claim the slot.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Engine(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+}
+
+func TestRegistryOpenState(t *testing.T) {
+	r := NewRegistry(func(stream string) (*core.Engine, error) {
+		return &core.Engine{}, nil
+	})
+	if open, opening := r.Open(); len(open) != 0 || opening != 0 {
+		t.Fatalf("fresh registry reports open=%v opening=%d", open, opening)
+	}
+	if _, err := r.Engine(context.Background(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Engine(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	open, opening := r.Open()
+	if opening != 0 || len(open) != 2 || open[0] != "a" || open[1] != "b" {
+		t.Fatalf("open=%v opening=%d, want [a b] 0", open, opening)
+	}
+	if _, ok := r.Peek("a"); !ok {
+		t.Fatal("Peek(a) should succeed after open")
+	}
+	if _, ok := r.Peek("c"); ok {
+		t.Fatal("Peek(c) should fail before open")
+	}
+}

@@ -1,0 +1,570 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frameql"
+	"repro/internal/vidsim"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the option set applied to every lazily opened stream
+	// engine (scale, seed, training overrides).
+	Engine core.Options
+	// Streams restricts the servable stream names; nil serves every
+	// built-in evaluation stream.
+	Streams []string
+	// Workers is the executor's worker count (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 4× workers); a full
+	// queue rejects requests with HTTP 429.
+	QueueDepth int
+	// CacheEntries is the result-cache capacity in entries: 0 means the
+	// default (256), negative disables result caching.
+	CacheEntries int
+	// MaxRows caps rows returned per selection/exhaustive response:
+	// 0 means the default (1000), negative means unlimited.
+	MaxRows int
+	// QueryTimeout bounds each query's admission: queue wait plus any
+	// wait on an in-flight engine open. A query whose execution has
+	// already started is not preempted — it runs to completion and
+	// returns its result. Zero means no server-side limit beyond the
+	// client's context.
+	QueryTimeout time.Duration
+	// Open overrides engine construction (used by tests); the default
+	// opens core.NewEngine(name, Engine).
+	Open Opener
+}
+
+const (
+	defaultCacheEntries = 256
+	defaultMaxRows      = 1000
+)
+
+// Server is the concurrent query-serving front end: it canonicalizes
+// queries, serves repeats from the result cache, and runs misses on the
+// worker pool against registry-pooled engines.
+type Server struct {
+	cfg     Config
+	streams []string // served stream names, resolved once in New
+	allowed map[string]bool
+	reg     *Registry
+	cache   *ResultCache
+	pool    *Pool
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu             sync.Mutex
+	perStream      map[string]*streamCounters
+	chargedSeconds float64
+	chargedCalls   uint64
+	queryErrors    uint64
+}
+
+// streamCounters tracks per-stream serving totals.
+type streamCounters struct {
+	queries   uint64
+	cacheHits uint64
+}
+
+// New builds a Server from cfg. Call Close when done to drain the worker
+// pool.
+func New(cfg Config) *Server {
+	open := cfg.Open
+	if open == nil {
+		open = func(name string) (*core.Engine, error) {
+			return core.NewEngine(name, cfg.Engine)
+		}
+	}
+	names := cfg.Streams
+	if names == nil {
+		names = vidsim.StreamNames()
+	}
+	allowed := make(map[string]bool, len(names))
+	for _, n := range names {
+		allowed[n] = true
+	}
+	cacheCap := cfg.CacheEntries
+	switch {
+	case cacheCap == 0:
+		cacheCap = defaultCacheEntries
+	case cacheCap < 0:
+		cacheCap = 0
+	}
+	s := &Server{
+		cfg:       cfg,
+		streams:   names,
+		allowed:   allowed,
+		reg:       NewRegistry(open),
+		cache:     NewResultCache(cacheCap),
+		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		perStream: make(map[string]*streamCounters),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/streams", s.handleStreams)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Streams returns the stream names this server serves.
+func (s *Server) Streams() []string { return s.streams }
+
+// Close drains and stops the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// Preopen eagerly opens the named stream's engine so the first query
+// doesn't pay stream generation and detector setup.
+func (s *Server) Preopen(ctx context.Context, stream string) error {
+	if !s.allowed[stream] {
+		return fmt.Errorf("serve: unknown stream %q", stream)
+	}
+	_, err := s.reg.Engine(ctx, stream)
+	return err
+}
+
+// Registry exposes the stream registry (for tests and embedding callers).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the result cache (for tests and embedding callers).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+func (s *Server) counters(stream string) *streamCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.perStream[stream]
+	if !ok {
+		c = &streamCounters{}
+		s.perStream[stream] = c
+	}
+	return c
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Stream names the video stream to query.
+	Stream string `json:"stream"`
+	// Query is the FrameQL text.
+	Query string `json:"query"`
+	// NoCache bypasses the result cache for this request (the result is
+	// still stored for future hits).
+	NoCache bool `json:"no_cache,omitempty"`
+	// MaxRows lowers the server's row cap for this response; it cannot
+	// raise it. 0 keeps the server limit.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// statsJSON mirrors core.Stats for the wire.
+type statsJSON struct {
+	DetectorCalls   int      `json:"detector_calls"`
+	DetectorSeconds float64  `json:"detector_seconds"`
+	SpecNNSeconds   float64  `json:"specnn_seconds"`
+	FilterSeconds   float64  `json:"filter_seconds"`
+	TrainSeconds    float64  `json:"train_seconds"`
+	TotalSeconds    float64  `json:"total_seconds"`
+	Notes           []string `json:"notes,omitempty"`
+}
+
+func toStatsJSON(st *core.Stats) statsJSON {
+	return statsJSON{
+		DetectorCalls:   st.DetectorCalls,
+		DetectorSeconds: st.DetectorSeconds,
+		SpecNNSeconds:   st.SpecNNSeconds,
+		FilterSeconds:   st.FilterSeconds,
+		TrainSeconds:    st.TrainSeconds,
+		TotalSeconds:    st.TotalSeconds(),
+		Notes:           st.Notes,
+	}
+}
+
+// boxJSON is a bounding box on the wire.
+type boxJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	W float64 `json:"w"`
+	H float64 `json:"h"`
+}
+
+// rowJSON is one returned FrameQL record on the wire.
+type rowJSON struct {
+	Timestamp  int     `json:"timestamp"`
+	Class      string  `json:"class"`
+	TrackID    int     `json:"track_id"`
+	Box        boxJSON `json:"box"`
+	Confidence float64 `json:"confidence"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Stream    string    `json:"stream"`
+	Canonical string    `json:"canonical"`
+	Kind      string    `json:"kind"`
+	Plan      string    `json:"plan"`
+	Cached    bool      `json:"cached"`
+	Value     *float64  `json:"value,omitempty"`
+	StdErr    *float64  `json:"std_err,omitempty"`
+	Frames    []int     `json:"frames,omitempty"`
+	Rows      []rowJSON `json:"rows,omitempty"`
+	TrackIDs  []int     `json:"track_ids,omitempty"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Stats     statsJSON `json:"stats"`
+	WallMS    float64   `json:"wall_ms"`
+}
+
+// maxRows resolves the row cap for a response: the server limit (Config
+// default applied), optionally lowered — never raised — by the request's
+// override. A client asking for "unlimited" (negative) gets the server
+// cap; only an unlimited server grants unlimited responses.
+func (s *Server) maxRows(override int) int {
+	cap := s.cfg.MaxRows
+	if cap == 0 {
+		cap = defaultMaxRows
+	}
+	if cap < 0 {
+		cap = int(^uint(0) >> 1)
+	}
+	if override > 0 && override < cap {
+		return override
+	}
+	return cap
+}
+
+func (s *Server) buildResponse(stream, canonical string, res *core.Result, cached bool, maxRows int, wall time.Duration) *queryResponse {
+	resp := &queryResponse{
+		Stream:    stream,
+		Canonical: canonical,
+		Kind:      res.Kind,
+		Plan:      res.Stats.Plan,
+		Cached:    cached,
+		Frames:    res.Frames,
+		TrackIDs:  res.TrackIDs,
+		Stats:     toStatsJSON(&res.Stats),
+		WallMS:    float64(wall.Microseconds()) / 1000,
+	}
+	if res.Kind == "aggregate" || res.Kind == "distinct-count" || res.Kind == "binary-detection" {
+		v := res.Value
+		resp.Value = &v
+		if res.StdErr != 0 {
+			se := res.StdErr
+			resp.StdErr = &se
+		}
+	}
+	rows := res.Rows
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+		resp.Truncated = true
+	}
+	if len(rows) > 0 {
+		resp.Rows = make([]rowJSON, len(rows))
+		for i, r := range rows {
+			resp.Rows[i] = rowJSON{
+				Timestamp:  r.Timestamp,
+				Class:      string(r.Class),
+				TrackID:    r.TrackID,
+				Box:        boxJSON{X: r.Mask.X, Y: r.Mask.Y, W: r.Mask.W, H: r.Mask.H},
+				Confidence: r.Confidence,
+			}
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Stream == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, `body must set "stream" and "query"`)
+		return
+	}
+	if !s.allowed[req.Stream] {
+		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		return
+	}
+	info, err := frameql.Analyze(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		return
+	}
+	if info.Video != "" && info.Video != req.Stream {
+		writeError(w, http.StatusBadRequest,
+			"query is over %q but request targets stream %q", info.Video, req.Stream)
+		return
+	}
+
+	canonical := info.Stmt.String()
+	key := CacheKey(req.Stream, canonical)
+	counters := s.counters(req.Stream)
+	start := time.Now()
+
+	if !req.NoCache {
+		if hit := s.cache.Get(key); hit != nil {
+			s.mu.Lock()
+			counters.queries++
+			counters.cacheHits++
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, s.buildResponse(
+				req.Stream, canonical, hit, true, s.maxRows(req.MaxRows), time.Since(start)))
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
+	var res *core.Result
+	var execErr error
+	poolErr := s.pool.Do(ctx, func() {
+		eng, err := s.reg.Engine(ctx, req.Stream)
+		if err != nil {
+			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
+			return
+		}
+		res, execErr = eng.Execute(info)
+	})
+	switch {
+	case errors.Is(poolErr, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
+		return
+	case errors.Is(poolErr, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.cfg.QueryTimeout)
+		return
+	case errors.Is(poolErr, context.Canceled):
+		// The client went away while the task was queued; 499 (nginx's
+		// "client closed request") keeps this out of server-error rates.
+		writeError(w, 499, "client canceled request")
+		return
+	case errors.Is(poolErr, ErrTaskPanicked):
+		s.mu.Lock()
+		s.queryErrors++
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "internal error executing query: %v", poolErr)
+		return
+	case poolErr != nil:
+		writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+		return
+	}
+	if execErr != nil {
+		s.mu.Lock()
+		s.queryErrors++
+		s.mu.Unlock()
+		if errors.Is(execErr, context.DeadlineExceeded) || errors.Is(execErr, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, "query timed out: %v", execErr)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "query failed: %v", execErr)
+		return
+	}
+
+	s.cache.Put(key, res)
+	s.mu.Lock()
+	counters.queries++
+	s.chargedSeconds += res.Stats.TotalSeconds()
+	s.chargedCalls += uint64(res.Stats.DetectorCalls)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.buildResponse(
+		req.Stream, canonical, res, false, s.maxRows(req.MaxRows), time.Since(start)))
+}
+
+// streamInfo is one GET /streams entry.
+type streamInfo struct {
+	Name      string  `json:"name"`
+	Open      bool    `json:"open"`
+	Queries   uint64  `json:"queries"`
+	CacheHits uint64  `json:"cache_hits"`
+	Frames    int     `json:"frames,omitempty"`
+	FPS       int     `json:"fps,omitempty"`
+	Detector  string  `json:"detector,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := make([]streamInfo, 0, len(s.streams))
+	for _, name := range s.streams {
+		si := streamInfo{Name: name}
+		s.mu.Lock()
+		if c, ok := s.perStream[name]; ok {
+			si.Queries = c.queries
+			si.CacheHits = c.cacheHits
+		}
+		s.mu.Unlock()
+		if eng, ok := s.reg.Peek(name); ok {
+			si.Open = true
+			si.Frames = eng.Test.Frames
+			si.FPS = eng.Cfg.FPS
+			si.Detector = eng.Cfg.Detector
+			si.Scale = eng.Options().Scale
+		}
+		out = append(out, si)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// explainResponse is the GET /explain reply: the optimizer's analysis of a
+// query without executing it.
+type explainResponse struct {
+	Kind              string   `json:"kind"`
+	Canonical         string   `json:"canonical"`
+	Classes           []string `json:"classes,omitempty"`
+	ErrorWithin       *float64 `json:"error_within,omitempty"`
+	Confidence        float64  `json:"confidence,omitempty"`
+	Limit             *int     `json:"limit,omitempty"`
+	Gap               int      `json:"gap,omitempty"`
+	MinDurationFrames int      `json:"min_duration_frames,omitempty"`
+	Residual          bool     `json:"residual,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing ?q= query parameter")
+		return
+	}
+	stream := r.URL.Query().Get("stream")
+	if stream != "" && !s.allowed[stream] {
+		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", stream)
+		return
+	}
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		return
+	}
+	// Apply the same consistency check /query enforces, so a 200 here
+	// means the equivalent POST /query would be admitted.
+	if stream != "" && info.Video != "" && info.Video != stream {
+		writeError(w, http.StatusBadRequest,
+			"query is over %q but request targets stream %q", info.Video, stream)
+		return
+	}
+	resp := explainResponse{
+		Kind:              info.Kind.String(),
+		Canonical:         info.Stmt.String(),
+		Classes:           info.Classes,
+		ErrorWithin:       info.ErrorWithin,
+		Confidence:        info.Confidence,
+		Gap:               info.Gap,
+		MinDurationFrames: info.MinDurationFrames,
+		Residual:          info.Residual,
+	}
+	if info.Limit >= 0 {
+		l := info.Limit
+		resp.Limit = &l
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statzResponse is the GET /statz reply.
+type statzResponse struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Queries       queriesStatz      `json:"queries"`
+	Sim           simStatz          `json:"sim"`
+	Cache         CacheStats        `json:"cache"`
+	Pool          PoolStats         `json:"pool"`
+	Registry      registryStatz     `json:"registry"`
+	Streams       map[string]uint64 `json:"stream_queries"`
+}
+
+type queriesStatz struct {
+	Total     uint64 `json:"total"`
+	CacheHits uint64 `json:"cache_hits"`
+	Errors    uint64 `json:"errors"`
+}
+
+// simStatz reports simulated-cost accounting: charged is what executed
+// queries actually cost; saved is what cache hits would have re-cost.
+type simStatz struct {
+	ChargedSeconds       float64 `json:"charged_seconds"`
+	ChargedDetectorCalls uint64  `json:"charged_detector_calls"`
+	SavedSeconds         float64 `json:"saved_seconds"`
+	SavedDetectorCalls   uint64  `json:"saved_detector_calls"`
+}
+
+type registryStatz struct {
+	Open    []string `json:"open"`
+	Opening int      `json:"opening"`
+	Opens   uint64   `json:"opens"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	cache := s.cache.Stats()
+	open, opening := s.reg.Open()
+	if open == nil {
+		open = []string{}
+	}
+	resp := statzResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         cache,
+		Pool:          s.pool.Stats(),
+		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
+		Streams:       make(map[string]uint64),
+	}
+	s.mu.Lock()
+	for name, c := range s.perStream {
+		resp.Queries.Total += c.queries
+		resp.Queries.CacheHits += c.cacheHits
+		resp.Streams[name] = c.queries
+	}
+	resp.Queries.Errors = s.queryErrors
+	resp.Sim = simStatz{
+		ChargedSeconds:       s.chargedSeconds,
+		ChargedDetectorCalls: s.chargedCalls,
+		SavedSeconds:         cache.SavedSimSeconds,
+		SavedDetectorCalls:   cache.SavedDetectorCalls,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/specnn"
+)
+
+// testEngineOptions are small-scale engine options shared by the server
+// under test and the serial baselines, so answers are comparable.
+func testEngineOptions() core.Options {
+	return core.Options{
+		Scale: 0.01,
+		Seed:  3,
+		Spec: specnn.Options{
+			TrainFrames: 4000,
+			Epochs:      1,
+			Seed:        20,
+		},
+		HeldOutSample: 2000,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine.Scale == 0 {
+		cfg.Engine = testEngineOptions()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postQuery(t *testing.T, url string, body string) (*http.Response, queryResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, qr
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const aggQuery = `SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`
+
+func TestServerQueryCacheRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := fmt.Sprintf(`{"stream":"taipei","query":%q}`, aggQuery)
+
+	resp, first := postQuery(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: HTTP %d", resp.StatusCode)
+	}
+	if first.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if first.Stats.TotalSeconds <= 0 {
+		t.Fatalf("first query charged no cost: %+v", first.Stats)
+	}
+	if first.Value == nil || *first.Value <= 0 {
+		t.Fatalf("implausible value: %+v", first.Value)
+	}
+
+	var statz1 statzResponse
+	getJSON(t, ts.URL+"/statz", &statz1)
+
+	// An equivalent query (different whitespace and keyword casing) must
+	// hit the cache and charge zero simulated cost.
+	equiv := `{"stream":"taipei","query":"select  fcount(*)  from taipei where class='car' error within 0.1 at confidence 95%"}`
+	resp, second := postQuery(t, ts.URL, equiv)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: HTTP %d", resp.StatusCode)
+	}
+	if !second.Cached {
+		t.Fatal("repeat query missed the result cache")
+	}
+	if second.Stats.TotalSeconds != 0 || second.Stats.DetectorCalls != 0 {
+		t.Fatalf("cached query charged cost: %+v", second.Stats)
+	}
+	if *second.Value != *first.Value {
+		t.Fatalf("cached value %v != original %v", *second.Value, *first.Value)
+	}
+
+	var statz2 statzResponse
+	getJSON(t, ts.URL+"/statz", &statz2)
+	if statz2.Sim.ChargedSeconds != statz1.Sim.ChargedSeconds ||
+		statz2.Sim.ChargedDetectorCalls != statz1.Sim.ChargedDetectorCalls {
+		t.Fatalf("cache hit added simulated cost: %+v -> %+v", statz1.Sim, statz2.Sim)
+	}
+	if statz2.Sim.SavedSeconds <= 0 || statz2.Cache.Hits != 1 {
+		t.Fatalf("saved-work accounting missing: %+v", statz2.Sim)
+	}
+	if statz2.Queries.Total != 2 || statz2.Queries.CacheHits != 1 {
+		t.Fatalf("query counters = %+v", statz2.Queries)
+	}
+}
+
+func TestMaxRowsClampsToServerCap(t *testing.T) {
+	unlimited := int(^uint(0) >> 1)
+	cases := []struct {
+		server, override, want int
+	}{
+		{0, 0, defaultMaxRows},    // defaults
+		{0, 10, 10},               // client may lower
+		{0, 5000, defaultMaxRows}, // client cannot raise
+		{0, -1, defaultMaxRows},   // client cannot remove the cap
+		{50, 10, 10},              // explicit server cap, lowered
+		{50, 100, 50},             // explicit server cap, not raised
+		{-1, 0, unlimited},        // unlimited server
+		{-1, 10, 10},              // unlimited server, client lowers
+	}
+	for _, tc := range cases {
+		s := &Server{cfg: Config{MaxRows: tc.server}}
+		if got := s.maxRows(tc.override); got != tc.want {
+			t.Errorf("maxRows(server=%d, override=%d) = %d, want %d",
+				tc.server, tc.override, got, tc.want)
+		}
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"missing fields", `{}`, http.StatusBadRequest},
+		{"unknown stream", `{"stream":"nope","query":"SELECT * FROM nope"}`, http.StatusNotFound},
+		{"parse error", `{"stream":"taipei","query":"SELECT FROM"}`, http.StatusBadRequest},
+		{"stream mismatch", `{"stream":"taipei","query":"SELECT * FROM rialto"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postQuery(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerStreamsAndExplain(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	var streams []streamInfo
+	getJSON(t, ts.URL+"/streams", &streams)
+	if len(streams) != 6 {
+		t.Fatalf("streams = %d entries, want 6", len(streams))
+	}
+	for _, si := range streams {
+		if si.Open {
+			t.Errorf("stream %q reported open before any query", si.Name)
+		}
+	}
+
+	var ex explainResponse
+	getJSON(t, ts.URL+"/explain?q="+
+		"SELECT%20FCOUNT(*)%20FROM%20taipei%20WHERE%20class%3D%27car%27%20ERROR%20WITHIN%200.1%20AT%20CONFIDENCE%2095%25", &ex)
+	if ex.Kind != "aggregate" {
+		t.Fatalf("explain kind = %q", ex.Kind)
+	}
+	if !strings.Contains(ex.Canonical, "FCOUNT") {
+		t.Fatalf("explain canonical = %q", ex.Canonical)
+	}
+	if ex.ErrorWithin == nil || *ex.ErrorWithin != 0.1 {
+		t.Fatalf("explain error bound = %v", ex.ErrorWithin)
+	}
+
+	resp, err := http.Get(ts.URL + "/explain?q=SELECT+FROM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("explain of invalid query: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentAcrossStreams is the subsystem's race test: N
+// goroutines repeat one query against one stream (exercising the result
+// cache and engine-level singleflight) while M goroutines fan out across
+// distinct streams (exercising registry opens), all through the HTTP
+// front end. Every answer must equal the serial baseline's.
+func TestServerConcurrentAcrossStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens multiple engines")
+	}
+	queries := map[string]string{
+		"taipei":       `SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+		"night-street": `SELECT FCOUNT(*) FROM night-street WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+		"rialto":       `SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+	}
+
+	// Serial baseline: fresh engines with identical options.
+	want := make(map[string]float64)
+	for stream, q := range queries {
+		eng, err := core.NewEngine(stream, testEngineOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[stream] = res.Value
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	run := func(stream, q string) {
+		defer wg.Done()
+		body := fmt.Sprintf(`{"stream":%q,"query":%q}`, stream, q)
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			errs <- fmt.Sprintf("%s: %v", stream, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Sprintf("%s: HTTP %d", stream, resp.StatusCode)
+			return
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			errs <- fmt.Sprintf("%s: decode: %v", stream, err)
+			return
+		}
+		if qr.Value == nil || *qr.Value != want[stream] {
+			errs <- fmt.Sprintf("%s: value %v, want %v", stream, qr.Value, want[stream])
+		}
+	}
+
+	// N identical queries on one stream...
+	const n = 8
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go run("taipei", queries["taipei"])
+	}
+	// ...plus M queries fanned out across distinct streams.
+	const m = 4
+	for stream, q := range queries {
+		wg.Add(m)
+		for i := 0; i < m; i++ {
+			go run(stream, q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Exactly one engine per stream despite the fan-in.
+	var statz statzResponse
+	getJSON(t, ts.URL+"/statz", &statz)
+	if statz.Registry.Opens != uint64(len(queries)) {
+		t.Errorf("registry opens = %d, want %d", statz.Registry.Opens, len(queries))
+	}
+	if statz.Queries.Total != n+uint64(m*len(queries)) {
+		t.Errorf("served %d queries, want %d", statz.Queries.Total, n+m*len(queries))
+	}
+}

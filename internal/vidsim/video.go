@@ -1,6 +1,9 @@
 package vidsim
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // bucketShift sets the frame-index bucket width (2^bucketShift frames) for
 // the track-overlap index. 256 frames per bucket keeps bucket lists short
@@ -8,8 +11,8 @@ import "sort"
 const bucketShift = 8
 
 // Video is one generated day of a stream: the track set plus indexes for
-// per-frame lookup. It is immutable after Generate and safe for concurrent
-// reads.
+// per-frame lookup. It is immutable after Generate (apart from the
+// internally synchronized count-series cache) and safe for concurrent use.
 type Video struct {
 	// Config is the generating stream configuration.
 	Config StreamConfig
@@ -21,7 +24,9 @@ type Video struct {
 	Tracks []Track
 
 	buckets [][]int32
-	counts  map[Class][]int32
+
+	countsMu sync.Mutex
+	counts   map[Class][]int32
 }
 
 // buildIndex constructs the frame-bucket overlap index.
@@ -93,6 +98,8 @@ func (v *Video) CountAt(frame int, class Class) int {
 // computing and caching it on first use via a difference array (O(tracks +
 // frames)). The returned slice must not be modified.
 func (v *Video) Counts(class Class) []int32 {
+	v.countsMu.Lock()
+	defer v.countsMu.Unlock()
 	if c, ok := v.counts[class]; ok {
 		return c
 	}
