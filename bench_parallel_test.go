@@ -1,0 +1,185 @@
+// Parallel-execution benchmarks: wall-clock time per plan family at
+// parallelism 1, 4, and 8 over the same stream and seed. Because results
+// are bit-identical across parallelism levels (see the determinism matrix
+// in internal/core), these benchmarks measure exactly one thing: how well
+// the sharded executor converts cores into speed.
+//
+// Scale comes from BLAZEIT_PARBENCH_SCALE (default 0.05 so CI stays
+// fast). The acceptance run for the parallel executor uses scale >= 0.5,
+// where exhaustive and selection plans at parallelism >= 4 must beat
+// parallelism 1 by >= 2x on multi-core hardware:
+//
+//	BLAZEIT_PARBENCH_SCALE=0.5 go test -run '^$' -bench BenchmarkParallelPlans -benchtime 3x .
+//
+// When BLAZEIT_BENCH_JSON names a file, a machine-readable summary
+// (ns/op, simulated seconds, and detector calls per plan family and
+// parallelism level, plus per-family speedups) is written there after the
+// run — CI uploads it as the BENCH_parallel artifact so the performance
+// trajectory is tracked per commit.
+package blazeit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func parBenchScale() float64 {
+	if s := os.Getenv("BLAZEIT_PARBENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+// benchRecord is one (plan family, parallelism) measurement.
+type benchRecord struct {
+	Family        string  `json:"family"`
+	Parallelism   int     `json:"parallelism"`
+	Scale         float64 `json:"scale"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	DetectorCalls int     `json:"detector_calls"`
+}
+
+// parBench collects the latest measurement per (family, parallelism):
+// the harness may invoke a benchmark several times while calibrating
+// b.N, and only the final (longest) run should be reported.
+var parBench struct {
+	mu      sync.Mutex
+	records map[string]benchRecord
+}
+
+func recordParBench(r benchRecord) {
+	parBench.mu.Lock()
+	defer parBench.mu.Unlock()
+	if parBench.records == nil {
+		parBench.records = make(map[string]benchRecord)
+	}
+	parBench.records[fmt.Sprintf("%s/p%d", r.Family, r.Parallelism)] = r
+}
+
+// benchJSON is the BENCH_parallel.json schema.
+type benchJSON struct {
+	Scale    float64            `json:"scale"`
+	Records  []benchRecord      `json:"records"`
+	Speedups map[string]float64 `json:"speedups_vs_p1"`
+}
+
+// writeParallelBenchJSON dumps collected records to the file named by
+// BLAZEIT_BENCH_JSON, with per-(family, parallelism) speedups vs
+// parallelism 1 summarized for trend dashboards.
+func writeParallelBenchJSON() {
+	path := os.Getenv("BLAZEIT_BENCH_JSON")
+	parBench.mu.Lock()
+	records := make([]benchRecord, 0, len(parBench.records))
+	for _, r := range parBench.records {
+		records = append(records, r)
+	}
+	parBench.mu.Unlock()
+	if path == "" || len(records) == 0 {
+		return
+	}
+	base := make(map[string]float64)
+	for _, r := range records {
+		if r.Parallelism == 1 {
+			base[r.Family] = r.NsPerOp
+		}
+	}
+	out := benchJSON{Scale: parBenchScale(), Records: records, Speedups: make(map[string]float64)}
+	for _, r := range records {
+		if b, ok := base[r.Family]; ok && r.NsPerOp > 0 && r.Parallelism != 1 {
+			out.Speedups[fmt.Sprintf("%s/p%d", r.Family, r.Parallelism)] = b / r.NsPerOp
+		}
+	}
+	sort.Slice(out.Records, func(i, j int) bool {
+		if out.Records[i].Family != out.Records[j].Family {
+			return out.Records[i].Family < out.Records[j].Family
+		}
+		return out.Records[i].Parallelism < out.Records[j].Parallelism
+	})
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeParallelBenchJSON()
+	os.Exit(code)
+}
+
+var (
+	parBenchOnce sync.Once
+	parBenchSys  *System
+	parBenchErr  error
+)
+
+func parBenchSystem(b *testing.B) *System {
+	b.Helper()
+	parBenchOnce.Do(func() {
+		parBenchSys, parBenchErr = Open("taipei", Options{Scale: parBenchScale(), Seed: 1})
+	})
+	if parBenchErr != nil {
+		b.Fatal(parBenchErr)
+	}
+	return parBenchSys
+}
+
+func BenchmarkParallelPlans(b *testing.B) {
+	families := []struct {
+		name  string
+		query string
+	}{
+		{"exhaustive", `SELECT * FROM taipei WHERE class = 'car' AND area(mask) > 200000`},
+		{"selection", `SELECT * FROM taipei WHERE class = 'bus' AND area(mask) > 60000 GROUP BY trackid HAVING COUNT(*) > 15`},
+		{"aggregate-naive", `SELECT FCOUNT(*) FROM taipei WHERE class = 'car'`},
+		{"scrubbing", `SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 20`},
+		{"binary", `SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`},
+	}
+	sys := parBenchSystem(b)
+	for _, fam := range families {
+		// Warm model/inference caches once so every parallelism level
+		// benchmarks pure plan execution, not training.
+		if _, err := sys.QueryParallel(fam.query, 1); err != nil {
+			b.Fatalf("%s: %v", fam.name, err)
+		}
+		for _, par := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/p%d", fam.name, par), func(b *testing.B) {
+				var sim float64
+				var calls int
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					res, err := sys.QueryParallel(fam.query, par)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim = res.Stats.TotalSeconds()
+					calls = res.Stats.DetectorCalls
+				}
+				elapsed := time.Since(start)
+				b.ReportMetric(sim, "sim-seconds")
+				recordParBench(benchRecord{
+					Family:        fam.name,
+					Parallelism:   par,
+					Scale:         parBenchScale(),
+					NsPerOp:       float64(elapsed.Nanoseconds()) / float64(b.N),
+					SimSeconds:    sim,
+					DetectorCalls: calls,
+				})
+			})
+		}
+	}
+}

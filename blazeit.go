@@ -63,6 +63,17 @@ type Options struct {
 	Epochs int
 	// HeldOutSample caps frames used for held-out error estimation.
 	HeldOutSample int
+	// Parallelism is the worker count query plans shard their frame scans
+	// across (0 means GOMAXPROCS). Results are bit-identical at every
+	// parallelism level — the knob trades wall-clock time only.
+	//
+	// In a Server, per-query parallelism multiplies with executor Workers:
+	// a saturated server at the defaults (both GOMAXPROCS) oversubscribes
+	// the CPU, which costs latency variance but no throughput. Deployments
+	// optimizing tail latency under heavy concurrent load should lower one
+	// of the two (e.g. Workers=GOMAXPROCS with Parallelism=1, or the
+	// reverse for single-query latency).
+	Parallelism int
 }
 
 // System is an opened video stream with its query engine: three generated
@@ -84,6 +95,7 @@ func (o Options) toCore() core.Options {
 			Seed:        o.Seed + 17,
 		},
 		HeldOutSample: o.HeldOutSample,
+		Parallelism:   o.Parallelism,
 	}
 }
 
@@ -100,6 +112,17 @@ func Open(stream string, opts Options) (*System, error) {
 // stream's test day.
 func (s *System) Query(q string) (*Result, error) {
 	return s.eng.Query(q)
+}
+
+// QueryParallel is Query with an explicit worker count for this execution
+// (0 uses the system's configured parallelism). The result is
+// bit-identical at every parallelism level.
+func (s *System) QueryParallel(q string, parallelism int) (*Result, error) {
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.ExecuteParallel(info, parallelism)
 }
 
 // Explain parses and analyzes a query without executing it, returning the

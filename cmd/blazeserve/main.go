@@ -46,13 +46,14 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative disables)")
 	maxRows := flag.Int("maxrows", 0, "row cap per response (0 = default 1000, negative = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "per-query plan parallelism: workers each plan shards its frame scan across (0 = GOMAXPROCS); results are identical at every level")
 	timeout := flag.Duration("timeout", 0, "admission timeout: bounds queue/open wait, started queries run to completion (0 = none)")
 	streams := flag.String("streams", "", "comma-separated servable streams (default: all built-ins)")
 	preopen := flag.String("preopen", "", "comma-separated streams to open (and warm) before listening")
 	flag.Parse()
 
 	opts := blazeit.ServeOptions{
-		Options:      blazeit.Options{Scale: *scale, Seed: *seed},
+		Options:      blazeit.Options{Scale: *scale, Seed: *seed, Parallelism: *parallelism},
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,

@@ -1,0 +1,247 @@
+// End-to-end test of the blazeserve HTTP stack: real engines behind the
+// public Server API, driven through httptest with concurrent clients.
+// Under -race (as CI runs it) this doubles as a concurrency check of the
+// whole path: admission control, engine registry, result cache, sharded
+// plan execution, and response building.
+package blazeit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func e2eServer(t *testing.T, workers, queue int) (*Server, *httptest.Server) {
+	t.Helper()
+	// Parallelism 4 raises the server's per-query cap above GOMAXPROCS so
+	// the fanout path is exercised even on single-core CI machines
+	// (results are identical either way; that is the point).
+	srv := NewServer(ServeOptions{
+		Options:    Options{Scale: 0.01, Seed: 5, Parallelism: 4},
+		Streams:    []string{"taipei"},
+		Workers:    workers,
+		QueueDepth: queue,
+	})
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+type e2eQueryResponse struct {
+	Stream string   `json:"stream"`
+	Kind   string   `json:"kind"`
+	Plan   string   `json:"plan"`
+	Cached bool     `json:"cached"`
+	Value  *float64 `json:"value"`
+	Error  string   `json:"error"`
+	Stats  struct {
+		DetectorCalls int     `json:"detector_calls"`
+		TotalSeconds  float64 `json:"total_seconds"`
+	} `json:"stats"`
+}
+
+func postQuery(t *testing.T, url string, body map[string]any) (int, e2eQueryResponse) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out e2eQueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestE2EQueryCacheAndParallelism drives the full HTTP stack: a cold query
+// executes, a repeat is served from cache, and explicit parallelism
+// overrides return byte-identical answers and cost meters.
+func TestE2EQueryCacheAndParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens a real engine")
+	}
+	_, hs := e2eServer(t, 4, 16)
+	const q = `SELECT FCOUNT(*) FROM taipei WHERE class='car'`
+
+	code, cold := postQuery(t, hs.URL, map[string]any{"stream": "taipei", "query": q})
+	if code != http.StatusOK {
+		t.Fatalf("cold query: status %d (%s)", code, cold.Error)
+	}
+	if cold.Cached || cold.Plan != "naive-exhaustive" || cold.Value == nil {
+		t.Fatalf("cold query: %+v", cold)
+	}
+
+	code, warm := postQuery(t, hs.URL, map[string]any{"stream": "taipei", "query": q})
+	if code != http.StatusOK || !warm.Cached {
+		t.Fatalf("repeat not served from cache: status %d, cached %v", code, warm.Cached)
+	}
+	if *warm.Value != *cold.Value {
+		t.Fatalf("cache changed the answer: %v vs %v", *warm.Value, *cold.Value)
+	}
+
+	// The parallelism knob must not change anything observable — results
+	// are bit-identical, so even the cache may serve across levels. Use
+	// no_cache to force real re-executions at different levels.
+	for _, par := range []int{1, 4, 8} {
+		code, got := postQuery(t, hs.URL, map[string]any{
+			"stream": "taipei", "query": q, "no_cache": true, "parallelism": par,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("parallelism %d: status %d (%s)", par, code, got.Error)
+		}
+		if got.Cached {
+			t.Fatalf("parallelism %d: no_cache request served from cache", par)
+		}
+		if *got.Value != *cold.Value {
+			t.Fatalf("parallelism %d changed the answer: %v vs %v", par, *got.Value, *cold.Value)
+		}
+		if got.Stats.DetectorCalls != cold.Stats.DetectorCalls || got.Stats.TotalSeconds != cold.Stats.TotalSeconds {
+			t.Fatalf("parallelism %d changed the cost meter: %+v vs %+v", par, got.Stats, cold.Stats)
+		}
+	}
+}
+
+// TestE2EConcurrentClientsAndAdmissionControl saturates a 1-worker,
+// 1-deep-queue server with concurrent clients: some queries must succeed,
+// the overflow must be shed with 429 + Retry-After, and nothing may race
+// (CI runs this under -race).
+func TestE2EConcurrentClientsAndAdmissionControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens a real engine")
+	}
+	srv, hs := e2eServer(t, 1, 1)
+	// Open the engine first so query goroutines contend on execution, not
+	// on the singleflight open.
+	if err := srv.Preopen(t.Context(), "taipei"); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 24
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ok, shed int
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct queries defeat the result cache; no_cache defeats
+			// it for repeats within the run.
+			q := fmt.Sprintf(`SELECT FCOUNT(*) FROM taipei WHERE class='car' AND timestamp < %d`, 2000+i)
+			b, _ := json.Marshal(map[string]any{
+				"stream": "taipei", "query": q, "no_cache": true, "parallelism": 1 + i%4,
+			})
+			resp, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(b))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed++
+			default:
+				var e e2eQueryResponse
+				_ = json.NewDecoder(resp.Body).Decode(&e)
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, e.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no queries succeeded")
+	}
+	if shed == 0 {
+		t.Error("no queries were shed: admission control never engaged")
+	}
+	t.Logf("concurrent clients: %d ok, %d shed (429)", ok, shed)
+}
+
+// TestE2EStatzAndExplainReportParallelism checks the observability
+// surfaces: /explain reports the effective (clamped) parallelism and
+// /statz reports sharded-execution activity and pool utilization.
+func TestE2EStatzAndExplainReportParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens a real engine")
+	}
+	_, hs := e2eServer(t, 2, 8)
+	// Execute once at parallelism 8 so the engine records a fanout (the
+	// 0.01-scale day spans several shards).
+	code, got := postQuery(t, hs.URL, map[string]any{
+		"stream": "taipei", "query": `SELECT FCOUNT(*) FROM taipei WHERE class='car'`, "parallelism": 8,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d (%s)", code, got.Error)
+	}
+
+	resp, err := http.Get(hs.URL + "/explain?stream=taipei&parallelism=4&q=" +
+		"SELECT%20FCOUNT(*)%20FROM%20taipei%20WHERE%20class%3D'car'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var explain struct {
+		Kind           string `json:"kind"`
+		Parallelism    int    `json:"parallelism"`
+		MaxParallelism int    `json:"max_parallelism"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&explain); err != nil {
+		t.Fatal(err)
+	}
+	if explain.Kind != "aggregate" {
+		t.Errorf("explain kind = %q", explain.Kind)
+	}
+	if explain.Parallelism < 1 || explain.Parallelism > explain.MaxParallelism {
+		t.Errorf("explain parallelism %d outside [1, %d]", explain.Parallelism, explain.MaxParallelism)
+	}
+
+	statzResp, err := http.Get(hs.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statzResp.Body.Close()
+	var statz struct {
+		Parallel struct {
+			DefaultParallelism int     `json:"default_parallelism"`
+			MaxParallelism     int     `json:"max_parallelism"`
+			PlanExecutions     uint64  `json:"plan_executions"`
+			Fanouts            uint64  `json:"fanouts"`
+			Shards             uint64  `json:"shards"`
+			PoolUtilization    float64 `json:"pool_utilization"`
+		} `json:"parallel"`
+	}
+	if err := json.NewDecoder(statzResp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	p := statz.Parallel
+	if p.DefaultParallelism < 1 || p.MaxParallelism < p.DefaultParallelism {
+		t.Errorf("bad parallelism bounds: %+v", p)
+	}
+	if p.PlanExecutions == 0 || p.Shards == 0 {
+		t.Errorf("no sharded execution recorded: %+v", p)
+	}
+	if p.Fanouts == 0 {
+		t.Errorf("parallelism-8 execution recorded no fanout: %+v", p)
+	}
+	if p.PoolUtilization < 0 || p.PoolUtilization > 1 {
+		t.Errorf("pool utilization %v outside [0,1]", p.PoolUtilization)
+	}
+}

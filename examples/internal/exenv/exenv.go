@@ -1,0 +1,21 @@
+// Package exenv holds the environment knobs shared by the example
+// programs, so the override semantics live in exactly one place.
+package exenv
+
+import (
+	"os"
+	"strconv"
+)
+
+// Scale returns an example's stream scale: the demo's default, overridden
+// by BLAZEIT_EXAMPLE_SCALE when set to a positive number. The smoke test
+// in examples_test.go uses the override to run every example in
+// milliseconds instead of seconds.
+func Scale(def float64) float64 {
+	if s := os.Getenv("BLAZEIT_EXAMPLE_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}

@@ -13,10 +13,11 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
-	rialto, err := blazeit.Open("rialto", blazeit.Options{Scale: 0.05, Seed: 11})
+	rialto, err := blazeit.Open("rialto", blazeit.Options{Scale: exenv.Scale(0.05), Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	// canal: trackid-level counting needs entity resolution, so this is
 	// an exhaustive (tracked) plan — compare its cost to the sampled
 	// aggregates above.
-	canal, err := blazeit.Open("grand-canal", blazeit.Options{Scale: 0.02, Seed: 11})
+	canal, err := blazeit.Open("grand-canal", blazeit.Options{Scale: exenv.Scale(0.02), Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,10 +15,11 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
-	sys, err := blazeit.Open("night-street", blazeit.Options{Scale: 0.05, Seed: 23})
+	sys, err := blazeit.Open("night-street", blazeit.Options{Scale: exenv.Scale(0.05), Seed: 23})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 				"blue":  0.12, // jays
 			},
 		}},
-	}, blazeit.Options{Scale: 0.4, Seed: 41}) // 0.4 of a one-hour day
+	}, blazeit.Options{Scale: exenv.Scale(0.4), Seed: 41}) // 0.4 of a one-hour day
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,13 +11,14 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
 	// Open the taipei intersection stream at 5% of a full day so this
 	// example runs in a few seconds. The system generates three synthetic
 	// days (train / held-out / test) and is ready for queries.
-	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: 0.05, Seed: 1})
+	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: exenv.Scale(0.05), Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

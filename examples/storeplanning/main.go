@@ -16,10 +16,11 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
-	sys, err := blazeit.Open("amsterdam", blazeit.Options{Scale: 0.03, Seed: 31})
+	sys, err := blazeit.Open("amsterdam", blazeit.Options{Scale: exenv.Scale(0.03), Seed: 31})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,10 +17,11 @@ import (
 	"log"
 
 	blazeit "repro"
+	"repro/examples/internal/exenv"
 )
 
 func main() {
-	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: 0.05, Seed: 7})
+	sys, err := blazeit.Open("taipei", blazeit.Options{Scale: exenv.Scale(0.05), Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package blazeit
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every example program at a tiny
+// stream scale (via BLAZEIT_EXAMPLE_SCALE) and asserts it exits
+// successfully. The examples are the project's de facto integration
+// documentation; this keeps them compiling AND running as APIs evolve.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs example binaries")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		// Only program directories: skip shared helper packages like
+		// examples/internal.
+		if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			continue
+		}
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			cmd := exec.Command(goBin, "run", "./"+dir)
+			cmd.Env = append(os.Environ(), "BLAZEIT_EXAMPLE_SCALE=0.004")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\noutput:\n%s", dir, time.Since(start), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/hrand"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -41,6 +43,12 @@ type Options struct {
 	Seed int64
 	// MaxSamples caps the sample budget; 0 means the whole population.
 	MaxSamples int
+	// Parallelism is the number of workers measuring drawn frames
+	// concurrently (<= 1 measures serially). The draw schedule and the
+	// accumulation order are fixed by the sharded sampler regardless of
+	// this value, so estimates are bit-identical at every level; measure
+	// functions must be safe for concurrent use when it exceeds 1.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -93,7 +101,8 @@ type Result struct {
 
 // sampler yields uniformly random distinct frames via lazy Fisher–Yates,
 // so sampling is without replacement and the finite-population correction
-// applies exactly.
+// applies exactly. Used by the stratified baseline; the adaptive plans use
+// the sharded sampler below.
 type sampler struct {
 	rng   *rand.Rand
 	n     int
@@ -126,20 +135,152 @@ func (s *sampler) next() int {
 	return vj
 }
 
+// samplerShards is the fixed number of PRNG shards the sharded sampler
+// partitions the population into. Fixed — never derived from the
+// parallelism level — so the draw schedule is identical however many
+// workers measure the draws.
+const samplerShards = 32
+
+// aqpSalt namespaces the sampler's hash draws within the hrand domain.
+const aqpSalt int64 = 0xaa9b
+
+// shardedSampler draws uniformly without replacement from [0, population)
+// using one independent hrand.Stream per contiguous population shard,
+// keyed by (salt, seed, shard). Draws cycle the shards round-robin in a
+// seed-derived random order, so the k-th global draw is a pure function
+// of (seed, k) — concurrent measurement of the drawn frames cannot
+// perturb the schedule.
+//
+// Within a shard, draws are a lazy Fisher–Yates over the shard's range:
+// exact sampling without replacement. Across shards, the visiting order
+// is a seed-keyed permutation rather than shard-index order: shards are
+// contiguous time ranges, and a small sample drawn in index order would
+// cover only the start of the day, badly biasing estimates on streams
+// with diurnal structure. The result is balanced (stratified) sampling,
+// not simple random sampling: inclusion probabilities are uniform only
+// up to the ±1-frame shard-size rounding (negligible at real population
+// sizes), and because balanced allocation cannot increase the variance
+// of a mean over proportional strata, the SRS-based CLT stopping rule
+// the adaptive loop applies is conservative — the error bound still
+// holds, at the cost of at most a few extra samples.
+type shardedSampler struct {
+	shards []samplerShard
+	perm   []int // seed-derived shard visiting order
+	cur    int   // round-robin cursor into perm
+}
+
+type samplerShard struct {
+	stream *hrand.Stream
+	lo     int
+	size   int
+	drawn  int
+	remap  map[int]int
+}
+
+func newShardedSampler(population int, seed int64) *shardedSampler {
+	n := samplerShards
+	if n > population {
+		n = population
+	}
+	if n < 1 {
+		n = 1
+	}
+	s := &shardedSampler{shards: make([]samplerShard, n), perm: make([]int, n)}
+	for i := range s.shards {
+		lo := i * population / n
+		hi := (i + 1) * population / n
+		s.shards[i] = samplerShard{
+			stream: hrand.NewStream(aqpSalt, seed, int64(i)),
+			lo:     lo,
+			size:   hi - lo,
+			remap:  make(map[int]int),
+		}
+	}
+	// Fisher–Yates over the shard indices, driven by its own hrand stream
+	// (key -1 cannot collide with a shard index).
+	permStream := hrand.NewStream(aqpSalt, seed, -1)
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := permStream.Intn(i + 1)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+	return s
+}
+
+// next returns the next distinct frame; it must be called at most
+// population times.
+func (s *shardedSampler) next() int {
+	for {
+		sh := &s.shards[s.perm[s.cur]]
+		s.cur = (s.cur + 1) % len(s.perm)
+		if sh.drawn >= sh.size {
+			continue // shard exhausted; round-robin skips it
+		}
+		i := sh.drawn
+		j := i + sh.stream.Intn(sh.size-i)
+		vi, ok := sh.remap[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := sh.remap[j]
+		if !ok {
+			vj = j
+		}
+		sh.remap[i], sh.remap[j] = vj, vi
+		sh.drawn++
+		return sh.lo + vj
+	}
+}
+
+// measureInto fills vals[i] = measure(frames[i]), fanning out to
+// parallelism workers over contiguous chunks when asked. The output is
+// positional, so accumulation order never depends on worker scheduling.
+func measureInto(frames []int, vals []float64, parallelism int, measure func(frame int) float64) {
+	if parallelism <= 1 || len(frames) < 2 {
+		for i, f := range frames {
+			vals[i] = measure(f)
+		}
+		return
+	}
+	parallel.For(parallelism, len(frames), func(i int) {
+		vals[i] = measure(frames[i])
+	})
+}
+
 // Sample runs the adaptive sampling procedure of §6.1 with measure giving
-// the expensive per-frame value (e.g. the detector's object count).
+// the expensive per-frame value (e.g. the detector's object count). Each
+// round's batch of frames is drawn up front from the sharded sampler and
+// measured with Options.Parallelism workers; measure must be safe for
+// concurrent use when that exceeds 1.
 func Sample(opts Options, measure func(frame int) float64) Result {
 	opts = opts.withDefaults()
 	z := stats.ZScoreForConfidence(opts.Confidence)
-	smp := newSampler(opts.Population, opts.Seed)
+	smp := newShardedSampler(opts.Population, opts.Seed)
 	var acc stats.Online
+	var frames []int
+	var vals []float64
 
-	batch := opts.startupSamples()
 	res := Result{}
 	for {
 		res.Rounds++
-		for i := 0; i < batch && acc.N() < opts.MaxSamples; i++ {
-			acc.Add(measure(smp.next()))
+		// Linear growth: each round adds another startup-sized batch.
+		batch := opts.startupSamples()
+		if rem := opts.MaxSamples - acc.N(); batch > rem {
+			batch = rem
+		}
+		frames = frames[:0]
+		for i := 0; i < batch; i++ {
+			frames = append(frames, smp.next())
+		}
+		if cap(vals) < len(frames) {
+			vals = make([]float64, len(frames))
+		}
+		vals = vals[:len(frames)]
+		measureInto(frames, vals, opts.Parallelism, measure)
+		for _, v := range vals {
+			acc.Add(v)
 		}
 		se := acc.StdDev() / math.Sqrt(float64(acc.N())) *
 			stats.FinitePopulationCorrection(acc.N(), opts.Population)
@@ -152,8 +293,6 @@ func Sample(opts Options, measure func(frame int) float64) Result {
 			res.StdErr = se
 			break
 		}
-		// Linear growth: each round adds another startup-sized batch.
-		batch = opts.startupSamples()
 	}
 	res.Estimate = acc.Mean()
 	res.Samples = acc.N()
@@ -172,16 +311,31 @@ func ControlVariates(opts Options, measure, signal func(frame int) float64, tau,
 		return Sample(opts, measure)
 	}
 	z := stats.ZScoreForConfidence(opts.Confidence)
-	smp := newSampler(opts.Population, opts.Seed)
+	smp := newShardedSampler(opts.Population, opts.Seed)
 	var mo stats.OnlineCov // (m, t) pairs
+	var frames []int
+	var vals []float64
 
-	batch := opts.startupSamples()
 	res := Result{}
 	for {
 		res.Rounds++
-		for i := 0; i < batch && mo.N() < opts.MaxSamples; i++ {
-			f := smp.next()
-			mo.Add(measure(f), signal(f))
+		batch := opts.startupSamples()
+		if rem := opts.MaxSamples - mo.N(); batch > rem {
+			batch = rem
+		}
+		frames = frames[:0]
+		for i := 0; i < batch; i++ {
+			frames = append(frames, smp.next())
+		}
+		if cap(vals) < len(frames) {
+			vals = make([]float64, len(frames))
+		}
+		vals = vals[:len(frames)]
+		// The expensive measurement fans out; the cheap control signal is
+		// read during sequential accumulation.
+		measureInto(frames, vals, opts.Parallelism, measure)
+		for i, f := range frames {
+			mo.Add(vals[i], signal(f))
 		}
 		// Optimal coefficient from the samples so far, using the exact
 		// control variance (lower-variance estimate than the sample one).
@@ -204,7 +358,6 @@ func ControlVariates(opts Options, measure, signal func(frame int) float64, tau,
 			res.StdErr = se
 			break
 		}
-		batch = opts.startupSamples()
 	}
 	res.Estimate = mo.MeanX() + res.C*(mo.MeanY()-tau)
 	res.Samples = mo.N()

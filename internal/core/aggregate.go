@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/aqp"
 	"repro/internal/detect"
@@ -17,7 +18,7 @@ import (
 // network as a control variate; fall back to plain adaptive sampling when
 // no network can be trained; and run exhaustively when the query carries
 // no error tolerance at all.
-func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
+func (e *Engine) executeAggregate(info *frameql.Info, par int) (*Result, error) {
 	if len(info.Classes) != 1 {
 		return nil, fmt.Errorf("core: aggregate queries need exactly one class predicate, got %v", info.Classes)
 	}
@@ -26,7 +27,7 @@ func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
 
 	// No tolerance: the exact answer requires the detector on every frame.
 	if info.ErrorWithin == nil {
-		mean := e.naiveMeanCount(class, &res.Stats)
+		mean := e.naiveMeanCount(class, &res.Stats, par)
 		res.Stats.Plan = "naive-exhaustive"
 		res.Value = e.scaleAggregate(info, mean)
 		return res, nil
@@ -37,7 +38,7 @@ func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
 		// Not enough examples to specialize (Algorithm 1's precondition):
 		// plain adaptive sampling.
 		res.Stats.note("specialization unavailable (%v); falling back to AQP", err)
-		return e.aggregateAQP(info, class, res)
+		return e.aggregateAQP(info, class, res, par)
 	}
 	res.Stats.TrainSeconds += trainCost
 
@@ -69,14 +70,11 @@ func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
 	// variable; its mean and variance over the test day are exact.
 	res.Stats.Plan = "control-variates"
 	tau, varT := inf.ExpectedMoments(head)
-	fullCost := e.DTest.FullFrameCost()
-	cv := aqp.ControlVariates(e.samplingOptions(info, class),
-		func(f int) float64 {
-			res.Stats.addDetection(fullCost)
-			return float64(e.DTest.CountAt(f, class))
-		},
+	cv := aqp.ControlVariates(e.samplingOptions(info, class, par),
+		e.concurrentCountMeasure(class),
 		func(f int) float64 { return inf.ExpectedCount(head, f) },
 		tau, varT)
+	e.chargeSampleCost(&res.Stats, cv.Samples)
 	res.Stats.note("control variates: %d samples, corr=%.3f, c=%.3f", cv.Samples, cv.Correlation, cv.C)
 	res.Value = e.scaleAggregate(info, cv.Estimate)
 	res.StdErr = cv.StdErr
@@ -84,28 +82,50 @@ func (e *Engine) executeAggregate(info *frameql.Info) (*Result, error) {
 }
 
 // aggregateAQP runs the plain adaptive sampling plan.
-func (e *Engine) aggregateAQP(info *frameql.Info, class vidsim.Class, res *Result) (*Result, error) {
+func (e *Engine) aggregateAQP(info *frameql.Info, class vidsim.Class, res *Result, par int) (*Result, error) {
 	res.Stats.Plan = "naive-aqp"
-	fullCost := e.DTest.FullFrameCost()
-	r := aqp.Sample(e.samplingOptions(info, class), func(f int) float64 {
-		res.Stats.addDetection(fullCost)
-		return float64(e.DTest.CountAt(f, class))
-	})
+	r := aqp.Sample(e.samplingOptions(info, class, par), e.concurrentCountMeasure(class))
+	e.chargeSampleCost(&res.Stats, r.Samples)
 	res.Value = e.scaleAggregate(info, r.Estimate)
 	res.StdErr = r.StdErr
 	return res, nil
 }
 
+// concurrentCountMeasure returns a goroutine-safe measure function for the
+// detector's per-frame count of a class, with per-worker Counter buffers
+// pooled. Cost is not charged here — sampled plans charge per sample in
+// deterministic order via chargeSampleCost after sampling returns.
+func (e *Engine) concurrentCountMeasure(class vidsim.Class) func(frame int) float64 {
+	pool := sync.Pool{New: func() interface{} { return e.DTest.NewCounter() }}
+	return func(f int) float64 {
+		c := pool.Get().(*detect.Counter)
+		n := c.CountAt(f, class)
+		pool.Put(c)
+		return float64(n)
+	}
+}
+
+// chargeSampleCost charges n full-frame detector calls to the meter with
+// the same repeated accumulation a serial sampling loop performs, keeping
+// the simulated cost bit-identical at every parallelism level.
+func (e *Engine) chargeSampleCost(stats *Stats, n int) {
+	fullCost := e.DTest.FullFrameCost()
+	for i := 0; i < n; i++ {
+		stats.addDetection(fullCost)
+	}
+}
+
 // samplingOptions builds AQP options from the query. The range K comes
 // from the training day's maximum count plus one — the information the
 // labeled set provides about the estimated quantity's range.
-func (e *Engine) samplingOptions(info *frameql.Info, class vidsim.Class) aqp.Options {
+func (e *Engine) samplingOptions(info *frameql.Info, class vidsim.Class, par int) aqp.Options {
 	return aqp.Options{
 		ErrorTarget: *info.ErrorWithin,
 		Confidence:  info.Confidence,
 		Range:       float64(e.Train.MaxCount(class) + 1),
 		Population:  e.Test.Frames,
 		Seed:        e.opts.Seed + 11,
+		Parallelism: par,
 	}
 }
 
@@ -119,22 +139,38 @@ func (e *Engine) scaleAggregate(info *frameql.Info, mean float64) float64 {
 }
 
 // naiveMeanCount runs the detector on every frame and returns the mean
-// count, charging every call.
-func (e *Engine) naiveMeanCount(class vidsim.Class, stats *Stats) float64 {
+// count, charging every call. The scan shards across par workers; counts
+// are integers, so per-shard sums merge exactly.
+func (e *Engine) naiveMeanCount(class vidsim.Class, stats *Stats, par int) float64 {
 	fullCost := e.DTest.FullFrameCost()
 	total := 0
-	for f := 0; f < e.Test.Frames; f++ {
-		stats.addDetection(fullCost)
-		total += e.DTest.CountAt(f, class)
-	}
+	runSharded(par, shardRanges(e.Test.Frames),
+		&e.exec,
+		func(s shard) int {
+			c := e.DTest.NewCounter()
+			sum := 0
+			for f := s.lo; f < s.hi; f++ {
+				sum += c.CountAt(f, class)
+			}
+			return sum
+		},
+		func(s shard, sum int) bool {
+			for f := s.lo; f < s.hi; f++ {
+				stats.addDetection(fullCost)
+			}
+			total += sum
+			return true
+		})
 	return float64(total) / float64(e.Test.Frames)
 }
 
 // executeDistinct answers COUNT(DISTINCT trackid) queries. Identity
 // requires entity resolution across consecutive frames, so the plan is
 // exhaustive: detect on every frame and track (paper §4 distinguishes this
-// query from FCOUNT precisely because it needs trackid).
-func (e *Engine) executeDistinct(info *frameql.Info) (*Result, error) {
+// query from FCOUNT precisely because it needs trackid). Detection shards
+// across workers; the tracker advances sequentially over the merged
+// per-frame detections.
+func (e *Engine) executeDistinct(info *frameql.Info, par int) (*Result, error) {
 	if len(info.Classes) != 1 {
 		return nil, fmt.Errorf("core: COUNT(DISTINCT trackid) needs exactly one class predicate")
 	}
@@ -146,17 +182,29 @@ func (e *Engine) executeDistinct(info *frameql.Info) (*Result, error) {
 	fullCost := e.DTest.FullFrameCost()
 	tr := track.New(0, 1)
 	distinct := make(map[int]bool)
-	var dets []detect.Detection
-	for f := lo; f < hi; f++ {
-		res.Stats.addDetection(fullCost)
-		dets = e.DTest.Detect(f, dets[:0])
-		ids := tr.Advance(f, dets)
-		for i := range dets {
-			if dets[i].Class == class {
-				distinct[ids[i]] = true
+	runSharded(par, shardRanges(hi-lo),
+		&e.exec,
+		func(s shard) *detArena {
+			a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
+			for i := s.lo; i < s.hi; i++ {
+				a.dets = e.DTest.Detect(lo+i, a.dets)
+				a.ends = append(a.ends, int32(len(a.dets)))
 			}
-		}
-	}
+			return a
+		},
+		func(s shard, a *detArena) bool {
+			for i := s.lo; i < s.hi; i++ {
+				res.Stats.addDetection(fullCost)
+				dets := a.frame(i - s.lo)
+				ids := tr.Advance(lo+i, dets)
+				for j := range dets {
+					if dets[j].Class == class {
+						distinct[ids[j]] = true
+					}
+				}
+			}
+			return true
+		})
 	res.Value = float64(len(distinct))
 	return res, nil
 }

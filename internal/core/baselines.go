@@ -22,7 +22,7 @@ func (e *Engine) AggregateNaive(info *frameql.Info) (*Result, error) {
 	}
 	res := &Result{Kind: info.Kind.String()}
 	res.Stats.Plan = "baseline-naive"
-	mean := e.naiveMeanCount(class, &res.Stats)
+	mean := e.naiveMeanCount(class, &res.Stats, e.parallelism())
 	res.Value = e.scaleAggregate(info, mean)
 	return res, nil
 }
@@ -43,13 +43,27 @@ func (e *Engine) AggregateNoScope(info *frameql.Info) (*Result, error) {
 	presence := e.Test.Counts(class)
 	fullCost := e.DTest.FullFrameCost()
 	total := 0
-	for f := 0; f < e.Test.Frames; f++ {
-		if presence[f] == 0 {
-			continue
-		}
-		res.Stats.addDetection(fullCost)
-		total += e.DTest.CountAt(f, class)
-	}
+	runSharded(e.parallelism(), shardRanges(e.Test.Frames),
+		&e.exec,
+		func(s shard) int {
+			c := e.DTest.NewCounter()
+			sum := 0
+			for f := s.lo; f < s.hi; f++ {
+				if presence[f] != 0 {
+					sum += c.CountAt(f, class)
+				}
+			}
+			return sum
+		},
+		func(s shard, sum int) bool {
+			for f := s.lo; f < s.hi; f++ {
+				if presence[f] != 0 {
+					res.Stats.addDetection(fullCost)
+				}
+			}
+			total += sum
+			return true
+		})
 	res.Value = e.scaleAggregate(info, float64(total)/float64(e.Test.Frames))
 	return res, nil
 }
@@ -66,7 +80,7 @@ func (e *Engine) AggregateAQP(info *frameql.Info) (*Result, error) {
 		return nil, fmt.Errorf("core: AQP requires an ERROR WITHIN clause")
 	}
 	res := &Result{Kind: info.Kind.String()}
-	return e.aggregateAQP(info, class, res)
+	return e.aggregateAQP(info, class, res, e.parallelism())
 }
 
 // ScrubNaive answers a scrubbing query by sequential detector scan
@@ -83,7 +97,7 @@ func (e *Engine) ScrubNaive(info *frameql.Info) (*Result, error) {
 	if limit < 0 {
 		limit = int(^uint(0) >> 1)
 	}
-	sr := scrub.Search(rangeOrder(lo, hi), limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, e.parallelism())
 	res.Frames = sr.Frames
 	return res, nil
 }
@@ -116,7 +130,7 @@ func (e *Engine) ScrubNoScope(info *frameql.Info) (*Result, error) {
 	if limit < 0 {
 		limit = int(^uint(0) >> 1)
 	}
-	sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, e.parallelism())
 	res.Frames = sr.Frames
 	return res, nil
 }

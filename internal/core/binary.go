@@ -18,7 +18,7 @@ import (
 // and the uncertain band in between goes to the reference detector. The
 // thresholds are chosen on the held-out day so that the unverified tails
 // stay within the budgets.
-func (e *Engine) executeBinary(info *frameql.Info) (*Result, error) {
+func (e *Engine) executeBinary(info *frameql.Info, par int) (*Result, error) {
 	class := vidsim.Class(info.Classes[0])
 	fnrBudget, fprBudget := 0.0, 0.0
 	if info.FNRWithin != nil {
@@ -34,7 +34,7 @@ func (e *Engine) executeBinary(info *frameql.Info) (*Result, error) {
 		// No specialization possible: the exact plan (detector everywhere)
 		// trivially satisfies any budget.
 		res.Stats.note("specialization unavailable (%v); exact scan", err)
-		return e.binaryExact(info, class, res)
+		return e.binaryExact(info, class, res, par)
 	}
 	res.Stats.TrainSeconds += trainCost
 	head := model.HeadIndex(class)
@@ -61,59 +61,104 @@ func (e *Engine) executeBinary(info *frameql.Info) (*Result, error) {
 	limit := info.Limit
 	lastReturned := -1 << 40
 	verified := 0
-	for f := lo; f < hi; f++ {
-		score := infTest.TailProb(head, f, 1)
-		positive := false
-		switch {
-		case score < lowT:
-			// rejected unverified
-		case score >= highT:
-			positive = true
-		default:
-			res.Stats.addDetection(fullCost)
-			verified++
-			positive = e.DTest.CountAt(f, class) > 0
-		}
-		if !positive {
-			continue
-		}
-		if gap > 0 && f-lastReturned < gap {
-			continue
-		}
-		lastReturned = f
-		res.Frames = append(res.Frames, f)
-		if limit >= 0 && len(res.Frames) >= limit {
-			break
-		}
+	// Shard the scan: the cascade decision per frame (network score lookup,
+	// detector verification of the uncertain band) is pure and fans out;
+	// GAP/LIMIT bookkeeping and cost charging replay serially in the merge.
+	type binVerdict struct {
+		positive bool
+		verified bool
 	}
+	runSharded(par, binaryLayout(hi-lo, limit),
+		&e.exec,
+		func(s shard) []binVerdict {
+			c := e.DTest.NewCounter()
+			out := make([]binVerdict, 0, s.hi-s.lo)
+			for i := s.lo; i < s.hi; i++ {
+				f := lo + i
+				score := infTest.TailProb(head, f, 1)
+				var v binVerdict
+				switch {
+				case score < lowT:
+					// rejected unverified
+				case score >= highT:
+					v.positive = true
+				default:
+					v.verified = true
+					v.positive = c.CountAt(f, class) > 0
+				}
+				out = append(out, v)
+			}
+			return out
+		},
+		func(s shard, verdicts []binVerdict) bool {
+			for i := s.lo; i < s.hi; i++ {
+				f := lo + i
+				v := verdicts[i-s.lo]
+				if v.verified {
+					res.Stats.addDetection(fullCost)
+					verified++
+				}
+				if !v.positive {
+					continue
+				}
+				if gap > 0 && f-lastReturned < gap {
+					continue
+				}
+				lastReturned = f
+				res.Frames = append(res.Frames, f)
+				if limit >= 0 && len(res.Frames) >= limit {
+					return false
+				}
+			}
+			return true
+		})
 	res.Stats.note("verified %d of %d frames in the uncertain band", verified, hi-lo)
 	return res, nil
 }
 
 // binaryExact runs the detector on every frame — the fallback cascade-free
-// plan.
-func (e *Engine) binaryExact(info *frameql.Info, class vidsim.Class, res *Result) (*Result, error) {
+// plan. Counting shards across workers; GAP/LIMIT replay serially.
+func (e *Engine) binaryExact(info *frameql.Info, class vidsim.Class, res *Result, par int) (*Result, error) {
 	res.Stats.Plan = "binary-exact"
 	lo, hi := e.frameRange(info)
 	fullCost := e.DTest.FullFrameCost()
 	gap := info.Gap
 	limit := info.Limit
 	lastReturned := -1 << 40
-	for f := lo; f < hi; f++ {
-		res.Stats.addDetection(fullCost)
-		if e.DTest.CountAt(f, class) == 0 {
-			continue
-		}
-		if gap > 0 && f-lastReturned < gap {
-			continue
-		}
-		lastReturned = f
-		res.Frames = append(res.Frames, f)
-		if limit >= 0 && len(res.Frames) >= limit {
-			break
-		}
-	}
+	runSharded(par, binaryLayout(hi-lo, limit),
+		&e.exec,
+		func(s shard) []int32 {
+			c := e.DTest.NewCounter()
+			return c.CountRange(lo+s.lo, lo+s.hi, class, nil)
+		},
+		func(s shard, counts []int32) bool {
+			for i := s.lo; i < s.hi; i++ {
+				f := lo + i
+				res.Stats.addDetection(fullCost)
+				if counts[i-s.lo] == 0 {
+					continue
+				}
+				if gap > 0 && f-lastReturned < gap {
+					continue
+				}
+				lastReturned = f
+				res.Frames = append(res.Frames, f)
+				if limit >= 0 && len(res.Frames) >= limit {
+					return false
+				}
+			}
+			return true
+		})
 	return res, nil
+}
+
+// binaryLayout picks the shard layout for a binary scan: ramped when a
+// LIMIT may stop the scan early, full-size otherwise.
+func binaryLayout(n, limit int) []shard {
+	if limit >= 0 {
+		return rampShardRanges(n)
+	}
+	return shardRanges(n)
 }
 
 // binaryThresholds picks the cascade thresholds on the held-out day.

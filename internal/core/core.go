@@ -23,6 +23,25 @@
 // 10,000 fps, cheap filters at 100,000 fps). Training and threshold
 // computation are metered separately so results can be reported with and
 // without training time, as Figure 4 does.
+//
+// # Parallel execution and the per-shard PRNG scheme
+//
+// Every plan family executes its frame scan in parallel: the scan range is
+// split into fixed shardSpan-sized contiguous shards run by a bounded
+// worker pool (Options.Parallelism workers, default GOMAXPROCS), and
+// per-shard outputs are merged — and simulated costs charged — strictly in
+// shard order (see shard.go). Because the shard layout never depends on
+// the worker count, and because all per-frame randomness is counter-based,
+// a query's Result is bit-identical at every parallelism level.
+//
+// Sampling-based plans need randomness that survives this contract: a
+// shared sequential RNG would make draw order depend on worker scheduling.
+// Instead, each shard draws from its own hrand.Stream keyed by
+// (salt, seed, shard index) — shard s's k-th draw is the pure hash
+// U64(salt, seed, s, k) regardless of what any other shard has drawn (see
+// internal/aqp's sharded sampler). The schedule of draws across shards is
+// itself deterministic (round-robin in shard order), so statistical plans
+// are reproducible at any parallelism level, including 1.
 package core
 
 import (
@@ -52,6 +71,10 @@ type Options struct {
 	HeldOutSample int
 	// Seed drives sampling decisions inside plans.
 	Seed int64
+	// Parallelism is the worker count plan execution shards frame scans
+	// across (0 or negative means GOMAXPROCS). Results are bit-identical
+	// at every parallelism level; see the package comment.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +113,9 @@ type Engine struct {
 	mu     sync.Mutex
 	models map[string]*flight.Slot[*specnn.CountModel]
 	infs   map[string]*flight.Slot[*specnn.Inference]
+
+	// exec tracks parallel-execution activity for /statz reporting.
+	exec execCounters
 }
 
 // NewEngine builds an Engine for a named evaluation stream.
@@ -131,6 +157,13 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 
 // Options returns the engine's resolved options.
 func (e *Engine) Options() Options { return e.opts }
+
+// parallelism returns the engine's effective default worker count.
+func (e *Engine) parallelism() int { return ResolveParallelism(e.opts.Parallelism) }
+
+// Parallelism returns the effective worker count the engine executes plans
+// with by default (the configured value, or GOMAXPROCS when unset).
+func (e *Engine) Parallelism() int { return e.parallelism() }
 
 // modelKey canonicalizes a class set.
 func modelKey(classes []vidsim.Class) string {
@@ -260,24 +293,39 @@ func (e *Engine) Query(src string) (*Result, error) {
 	return e.Execute(info)
 }
 
-// Execute runs an analyzed query.
+// Execute runs an analyzed query at the engine's configured parallelism.
 func (e *Engine) Execute(info *frameql.Info) (*Result, error) {
+	return e.ExecuteParallel(info, 0)
+}
+
+// ExecuteParallel runs an analyzed query with an explicit worker count for
+// this execution (0 or negative uses the engine's configured parallelism).
+// The parallelism level affects wall-clock time only: the Result — answer,
+// sampled frames, and simulated cost meter — is bit-identical at every
+// level, which is why results cached at one level may be served to
+// requests asking for another.
+func (e *Engine) ExecuteParallel(info *frameql.Info, parallelism int) (*Result, error) {
 	if info.Video != "" && info.Video != e.Cfg.Name {
 		return nil, fmt.Errorf("core: query is over %q but engine holds %q", info.Video, e.Cfg.Name)
 	}
+	if parallelism <= 0 {
+		parallelism = e.opts.Parallelism
+	}
+	par := ResolveParallelism(parallelism)
+	e.exec.queries.Add(1)
 	switch info.Kind {
 	case frameql.KindAggregate:
-		return e.executeAggregate(info)
+		return e.executeAggregate(info, par)
 	case frameql.KindDistinct:
-		return e.executeDistinct(info)
+		return e.executeDistinct(info, par)
 	case frameql.KindScrubbing:
-		return e.executeScrubbing(info)
+		return e.executeScrubbing(info, par)
 	case frameql.KindSelection:
-		return e.executeSelection(info)
+		return e.executeSelection(info, par)
 	case frameql.KindBinary:
-		return e.executeBinary(info)
+		return e.executeBinary(info, par)
 	default:
-		return e.executeExhaustive(info)
+		return e.executeExhaustive(info, par)
 	}
 }
 

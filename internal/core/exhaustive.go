@@ -10,11 +10,49 @@ import (
 	"repro/internal/track"
 )
 
+// detArena is the compact per-shard product of a detection scan: all
+// detections of the shard's frames appended to one slice, with ends[i]
+// marking the end offset of the shard's i-th frame. Shards produce arenas
+// in parallel; the sequential merge slices them back per frame.
+type detArena struct {
+	dets []detect.Detection
+	ends []int32
+	// matched[j] is the pre-evaluated WHERE verdict for dets[j], filled
+	// only when the predicate is track-independent (see exprUsesTrackID).
+	matched []bool
+	err     error
+}
+
+// frame returns the detections of the shard's i-th frame.
+func (a *detArena) frame(i int) []detect.Detection {
+	lo := int32(0)
+	if i > 0 {
+		lo = a.ends[i-1]
+	}
+	return a.dets[lo:a.ends[i]]
+}
+
+// frameMatched returns the matched verdicts aligned with frame(i).
+func (a *detArena) frameMatched(i int) []bool {
+	lo := int32(0)
+	if i > 0 {
+		lo = a.ends[i-1]
+	}
+	return a.matched[lo:a.ends[i]]
+}
+
 // executeExhaustive answers queries the optimizer has no shortcut for by
 // materializing rows with the reference detector on every frame in range
 // and evaluating the WHERE expression per row with a general interpreter.
 // This is the semantics baseline every optimized plan is compared against.
-func (e *Engine) executeExhaustive(info *frameql.Info) (*Result, error) {
+//
+// The scan is sharded: workers run the detector (and, when the predicate
+// does not mention trackid, the WHERE interpreter) over contiguous frame
+// ranges in parallel, while the merge advances the entity-resolution
+// tracker, applies LIMIT/GAP, and charges the cost meter sequentially in
+// frame order — so track IDs, returned rows, and simulated cost are
+// identical to a serial scan.
+func (e *Engine) executeExhaustive(info *frameql.Info, par int) (*Result, error) {
 	stmt := info.Stmt
 	if stmt.Having != nil && info.Residual {
 		return nil, fmt.Errorf("core: unsupported HAVING clause: %s", stmt.Having)
@@ -28,44 +66,140 @@ func (e *Engine) executeExhaustive(info *frameql.Info) (*Result, error) {
 	limit := info.Limit
 	gap := info.Gap
 	lastReturned := -1 << 40
+	preEval := !exprUsesTrackID(stmt.Where)
 
-	var dets []detect.Detection
-	for f := lo; f < hi; f++ {
-		res.Stats.addDetection(fullCost)
-		dets = e.DTest.Detect(f, dets[:0])
-		ids := tracker.Advance(f, dets)
-		frameMatched := false
-		for i := range dets {
-			row := Row{
-				Timestamp:  f,
-				Class:      dets[i].Class,
-				Mask:       dets[i].Box,
-				TrackID:    ids[i],
-				Content:    dets[i].Color,
-				Confidence: dets[i].Confidence,
-			}
-			ok, err := evalPredicate(stmt.Where, &row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+	var evalErr error
+	produce := func(s shard) *detArena {
+		a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
+		var row Row
+		for i := s.lo; i < s.hi; i++ {
+			f := lo + i
+			start := len(a.dets)
+			a.dets = e.DTest.Detect(f, a.dets)
+			a.ends = append(a.ends, int32(len(a.dets)))
+			if !preEval {
 				continue
 			}
-			if gap > 0 && f-lastReturned < gap {
-				continue
-			}
-			frameMatched = true
-			res.Rows = append(res.Rows, row)
-			res.evalTruthIDs = append(res.evalTruthIDs, dets[i].TruthID())
-			if limit >= 0 && len(res.Rows) >= limit {
-				return res, nil
+			for j := start; j < len(a.dets); j++ {
+				row = Row{Timestamp: f}
+				rowFromDetection(&row, 0, &a.dets[j])
+				ok, err := evalPredicate(stmt.Where, &row)
+				if err != nil {
+					// Record the error and stop pre-evaluating: a.matched's
+					// length marks the erroring row's position, and the
+					// merge surfaces the error only when (and if) a serial
+					// scan would have reached that row — a LIMIT satisfied
+					// earlier still returns its rows.
+					a.err = err
+					return a
+				}
+				a.matched = append(a.matched, ok)
 			}
 		}
-		if frameMatched && gap > 0 {
-			lastReturned = f
+		return a
+	}
+	consume := func(s shard, a *detArena) bool {
+		// a.ends may cover only a prefix of the shard when pre-evaluation
+		// hit an error; the frames after it would never be reached by a
+		// serial scan that surfaces the error.
+		for i := s.lo; i < s.lo+len(a.ends); i++ {
+			f := lo + i
+			res.Stats.addDetection(fullCost)
+			detsStart := 0
+			if k := i - s.lo; k > 0 {
+				detsStart = int(a.ends[k-1])
+			}
+			dets := a.frame(i - s.lo)
+			ids := tracker.Advance(f, dets)
+			frameMatched := false
+			for j := range dets {
+				var ok bool
+				if preEval {
+					if detsStart+j >= len(a.matched) {
+						// The row whose predicate evaluation errored.
+						evalErr = a.err
+						return false
+					}
+					ok = a.matched[detsStart+j]
+				} else {
+					var row Row
+					row.Timestamp = f
+					rowFromDetection(&row, ids[j], &dets[j])
+					var err error
+					ok, err = evalPredicate(stmt.Where, &row)
+					if err != nil {
+						evalErr = err
+						return false
+					}
+				}
+				if !ok {
+					continue
+				}
+				if gap > 0 && f-lastReturned < gap {
+					continue
+				}
+				frameMatched = true
+				row := Row{Timestamp: f}
+				rowFromDetection(&row, ids[j], &dets[j])
+				res.Rows = append(res.Rows, row)
+				res.evalTruthIDs = append(res.evalTruthIDs, dets[j].TruthID())
+				if limit >= 0 && len(res.Rows) >= limit {
+					return false
+				}
+			}
+			if frameMatched && gap > 0 {
+				lastReturned = f
+			}
 		}
+		return true
+	}
+	layout := shardRanges(hi - lo)
+	if limit >= 0 {
+		// LIMIT may stop the scan early; ramped shards keep the worst-case
+		// speculative work small when the limit is satisfied quickly.
+		layout = rampShardRanges(hi - lo)
+	}
+	runSharded(par, layout, &e.exec, produce, consume)
+	if evalErr != nil {
+		return nil, evalErr
 	}
 	return res, nil
+}
+
+// rowFromDetection fills a Row from a detection, leaving Timestamp to the
+// caller (shard workers pre-evaluating predicates know the frame but not
+// the track ID; the merge knows both).
+func rowFromDetection(row *Row, trackID int, d *detect.Detection) {
+	row.Class = d.Class
+	row.Mask = d.Box
+	row.TrackID = trackID
+	row.Content = d.Color
+	row.Confidence = d.Confidence
+}
+
+// exprUsesTrackID reports whether the expression reads the trackid field —
+// the one Row input shard workers cannot pre-evaluate, because identity is
+// assigned by the sequential tracker at merge time.
+func exprUsesTrackID(expr frameql.Expr) bool {
+	switch ex := expr.(type) {
+	case nil:
+		return false
+	case *frameql.Ident:
+		return strings.EqualFold(ex.Name, "trackid")
+	case *frameql.ParenExpr:
+		return exprUsesTrackID(ex.E)
+	case *frameql.NotExpr:
+		return exprUsesTrackID(ex.E)
+	case *frameql.BinaryExpr:
+		return exprUsesTrackID(ex.L) || exprUsesTrackID(ex.R)
+	case *frameql.Call:
+		for _, a := range ex.Args {
+			if exprUsesTrackID(a) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // evalPredicate evaluates a WHERE expression against a row. A nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/frameql"
+	"repro/internal/parallel"
 	"repro/internal/scrub"
 	"repro/internal/vidsim"
 )
@@ -17,7 +18,7 @@ import (
 // If any requested class cannot be specialized (no examples in the
 // training day), the plan falls back to a sequential detector scan — the
 // paper's §7.1 default.
-func (e *Engine) executeScrubbing(info *frameql.Info) (*Result, error) {
+func (e *Engine) executeScrubbing(info *frameql.Info, par int) (*Result, error) {
 	reqs, classes, err := scrubRequirements(info)
 	if err != nil {
 		return nil, err
@@ -33,8 +34,7 @@ func (e *Engine) executeScrubbing(info *frameql.Info) (*Result, error) {
 	if err != nil {
 		res.Stats.Plan = "scrub-sequential-fallback"
 		res.Stats.note("specialization unavailable (%v); sequential scan", err)
-		order := rangeOrder(lo, hi)
-		sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+		sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, par)
 		res.Frames = sr.Frames
 		return res, nil
 	}
@@ -57,7 +57,7 @@ func (e *Engine) executeScrubbing(info *frameql.Info) (*Result, error) {
 		order = scrub.FilterOrder(order, func(f int) bool { return f >= lo && f < hi })
 	}
 	res.Stats.Plan = "scrub-importance"
-	sr := scrub.Search(order, limit, info.Gap, e.scrubVerifier(reqs, &res.Stats))
+	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, par)
 	if sr.Exhausted {
 		res.Stats.note("search exhausted after %d verifications with %d/%d found",
 			sr.Verified, len(sr.Frames), limit)
@@ -66,18 +66,112 @@ func (e *Engine) executeScrubbing(info *frameql.Info) (*Result, error) {
 	return res, nil
 }
 
-// scrubVerifier returns the costed detector check for the requirements.
-func (e *Engine) scrubVerifier(reqs []scrub.Requirement, stats *Stats) func(int) bool {
+// scrubChunk is the number of rank-order positions one prefetch chunk
+// verifies. Fixed (never derived from the worker count) so the set of
+// speculatively verified frames — and therefore everything observable —
+// is independent of the parallelism level.
+const scrubChunk = 64
+
+// scrubSearch runs scrub.Search over the rank order with detector
+// verification fanned out across par workers. The search itself — which
+// frame is probed next, how GAP suppression interacts with accepted
+// frames, when LIMIT stops — stays strictly serial; workers merely
+// precompute the pure verification verdicts for upcoming rank positions
+// in fixed scrubChunk batches ahead of the search frontier. Verification
+// cost is charged only for positions the serial search actually probes,
+// so Result and the cost meter are bit-identical at every parallelism
+// level; frames verified speculatively past the stopping point cost
+// wall-clock only.
+func (e *Engine) scrubSearch(order []int32, limit, gap int, reqs []scrub.Requirement, stats *Stats, par int) scrub.Result {
 	fullCost := e.DTest.FullFrameCost()
-	return func(f int) bool {
-		stats.addDetection(fullCost)
-		for _, r := range reqs {
-			if e.DTest.CountAt(f, r.Class) < r.N {
-				return false
-			}
-		}
-		return true
+	check := e.scrubChecker(reqs)
+	if par <= 1 || len(order) <= scrubChunk {
+		verify := check()
+		return scrub.Search(order, limit, gap, func(f int) bool {
+			stats.addDetection(fullCost)
+			return verify(f)
+		})
 	}
+	e.exec.fanouts.Add(1)
+	p := &scrubPrefetcher{order: order, results: make([]bool, len(order)), par: par, check: check, exec: &e.exec}
+	return scrub.Search(order, limit, gap, func(f int) bool {
+		stats.addDetection(fullCost)
+		return p.verify(f)
+	})
+}
+
+// scrubChecker returns a factory of per-worker verification functions for
+// the requirements: each worker gets its own detection buffers, and the
+// verdicts are pure, so any number may run concurrently.
+func (e *Engine) scrubChecker(reqs []scrub.Requirement) func() func(frame int) bool {
+	return func() func(frame int) bool {
+		c := e.DTest.NewCounter()
+		return func(f int) bool {
+			for _, r := range reqs {
+				if c.CountAt(f, r.Class) < r.N {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+// scrubPrefetcher precomputes verification verdicts for rank-order
+// positions in scrubChunk batches, keeping up to par chunks in flight
+// ahead of the serial search frontier.
+type scrubPrefetcher struct {
+	order   []int32
+	results []bool
+	ready   int // positions [0, ready) are computed
+	pos     int // serial search frontier
+	par     int
+	check   func() func(frame int) bool
+	exec    *execCounters
+}
+
+// verify returns the (pre)computed verdict for frame f, which must be the
+// next frame scrub.Search probes. Positions are consumed monotonically.
+func (p *scrubPrefetcher) verify(f int) bool {
+	for int(p.order[p.pos]) != f {
+		p.pos++
+	}
+	if p.pos >= p.ready {
+		p.fill()
+	}
+	v := p.results[p.pos]
+	p.pos++
+	return v
+}
+
+// fill computes the next batch of chunks: enough to cover the frontier
+// plus par-1 speculative chunks, one worker per chunk.
+func (p *scrubPrefetcher) fill() {
+	target := p.pos + 1
+	// Round up to a chunk boundary, then speculate one extra chunk per
+	// remaining worker.
+	target = ((target + scrubChunk - 1) / scrubChunk) * scrubChunk
+	target += (p.par - 1) * scrubChunk
+	if target > len(p.order) {
+		target = len(p.order)
+	}
+	lo := p.ready
+	nChunks := (target - lo + scrubChunk - 1) / scrubChunk
+	p.exec.shards.Add(uint64(nChunks))
+	// One verifier (with its own detection buffers) per chunk; verdicts
+	// are pure, so chunk-to-worker assignment is irrelevant.
+	parallel.For(p.par, nChunks, func(c int) {
+		verify := p.check()
+		cLo := lo + c*scrubChunk
+		cHi := cLo + scrubChunk
+		if cHi > target {
+			cHi = target
+		}
+		for i := cLo; i < cHi; i++ {
+			p.results[i] = verify(int(p.order[i]))
+		}
+	})
+	p.ready = target
 }
 
 // scrubRequirements converts analyzed minimum counts into scrub

@@ -41,8 +41,8 @@ func AllFilters() SelectionPlan {
 func NaivePlan() SelectionPlan { return SelectionPlan{} }
 
 // executeSelection runs a selection query with the full filter cascade.
-func (e *Engine) executeSelection(info *frameql.Info) (*Result, error) {
-	return e.ExecuteSelectionPlan(info, AllFilters())
+func (e *Engine) executeSelection(info *frameql.Info, par int) (*Result, error) {
+	return e.executeSelectionPlan(info, AllFilters(), par)
 }
 
 // trackAgg accumulates per-track state during selection.
@@ -56,12 +56,44 @@ type trackAgg struct {
 }
 
 // ExecuteSelectionPlan runs a selection query under an explicit filter
+// plan at the engine's configured parallelism.
+func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*Result, error) {
+	return e.executeSelectionPlan(info, plan, e.parallelism())
+}
+
+// selArena is the per-shard product of the selection scan: per-frame
+// cascade verdicts plus the target-class detections (and their
+// object-predicate verdicts) for frames that reached the detector.
+type selArena struct {
+	detArena
+	flags []uint8
+}
+
+// Cascade flag bits for one visited frame.
+const (
+	// selContentPass: the frame passed every content filter (meaningful
+	// only when content filters exist — gates whether the label stage ran).
+	selContentPass uint8 = 1 << iota
+	// selDetected: the frame survived the whole cascade and was detected.
+	selDetected
+)
+
+// executeSelectionPlan runs a selection query under an explicit filter
 // plan. The executor guarantees no false positives: every returned row is
 // detector-verified, and duration predicates are resolved exactly by
 // probing track boundaries with additional detector calls when sampling
 // leaves them ambiguous (§3: "BLAZEIT can always ensure no false
 // positives by running the most accurate method on the relevant frames").
-func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*Result, error) {
+//
+// The scan shards across par workers: each shard runs the cheap-filter
+// cascade (feature extraction, content filters, specialized-network label
+// filter) and the ROI detector over its frame range with its own
+// evaluator and buffers, while the merge replays cost charging, advances
+// the entity-resolution tracker, and assembles per-track state serially
+// in frame order. Duration probing then runs on the merged tracks in
+// ascending track-ID order, so the Result is bit-identical at every
+// parallelism level.
+func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, par int) (*Result, error) {
 	if len(info.Classes) != 1 {
 		return nil, fmt.Errorf("core: selection requires exactly one class predicate, got %v", info.Classes)
 	}
@@ -138,16 +170,10 @@ func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*
 		presence = e.Test.Counts(class)
 	}
 
-	// Lazy per-frame evaluation machinery.
-	ex := feature.NewExtractor(e.Test)
-	rawDesc := make([]float64, feature.Dim)
-	normDesc := make([]float64, feature.Dim)
-	var predictor interface {
-		Probs(x []float64) [][]float64
-	}
+	hasContent := len(contentFilters) > 0
+	hasLabel := labelFilter != nil
 	headIdx := -1
-	if labelFilter != nil {
-		predictor = model.Net.NewPredictor()
+	if hasLabel {
 		headIdx = labelFilter.Head
 	}
 
@@ -159,97 +185,147 @@ func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*
 		cutoff = 0.35
 	}
 	tracker := track.New(cutoff, 2*step)
-
 	tracks := make(map[int]*trackAgg)
-	var dets []detect.Detection
-	var matched []int
+	visited := (hi - lo + step - 1) / step
+	if hi <= lo {
+		visited = 0
+	}
 
-	for f := lo; f < hi; f += step {
-		if plan.NoScopeOracle {
-			if presence[f] == 0 {
-				continue
-			}
-		} else {
-			descReady := false
-			if len(contentFilters) > 0 {
-				ex.Frame(f, rawDesc)
-				res.Stats.FilterSeconds += feature.CostSeconds
-				descReady = true
+	var scanErr error
+	produce := func(s shard) *selArena {
+		a := &selArena{flags: make([]uint8, 0, s.hi-s.lo)}
+		a.ends = make([]int32, 0, s.hi-s.lo)
+		var ev *specnn.Evaluator
+		if !plan.NoScopeOracle && (hasContent || hasLabel) {
+			ev = specnn.NewEvaluator(model, e.Test)
+		}
+		var scratch []detect.Detection
+		for i := s.lo; i < s.hi; i++ {
+			f := lo + i*step
+			var fl uint8
+			if plan.NoScopeOracle {
+				if presence[f] > 0 {
+					fl = selDetected
+				}
+			} else {
 				pass := true
-				for _, cf := range contentFilters {
-					if !cf.Pass(rawDesc) {
-						pass = false
-						break
+				if hasContent {
+					ev.Seek(f)
+					raw := ev.Raw()
+					for _, cf := range contentFilters {
+						if !cf.Pass(raw) {
+							pass = false
+							break
+						}
+					}
+					if pass {
+						fl |= selContentPass
 					}
 				}
-				if !pass {
-					continue
+				if pass && hasLabel {
+					if !hasContent {
+						ev.Seek(f)
+					}
+					if ev.TailProb(headIdx, 1) < labelFilter.Threshold {
+						pass = false
+					}
+				}
+				if pass {
+					fl |= selDetected
 				}
 			}
-			if labelFilter != nil {
-				if !descReady {
-					ex.Frame(f, rawDesc)
+			if fl&selDetected != 0 {
+				scratch = e.DTest.DetectROI(f, roi, scratch[:0])
+				start := len(a.dets)
+				// Keep all detections of the target class for identity.
+				for j := range scratch {
+					if scratch[j].Class == class {
+						a.dets = append(a.dets, scratch[j])
+					}
+				}
+				for j := start; j < len(a.dets); j++ {
+					ok, err := filters.ObjectMatches(&a.dets[j], target)
+					if err != nil {
+						a.err = err
+						return a
+					}
+					a.matched = append(a.matched, ok)
+				}
+			}
+			a.flags = append(a.flags, fl)
+			a.ends = append(a.ends, int32(len(a.dets)))
+		}
+		return a
+	}
+	consume := func(s shard, a *selArena) bool {
+		if a.err != nil {
+			scanErr = a.err
+			return false
+		}
+		for i := s.lo; i < s.hi; i++ {
+			f := lo + i*step
+			fl := a.flags[i-s.lo]
+			if !plan.NoScopeOracle {
+				// Replay the cascade's filter charges exactly as a serial
+				// scan would interleave them.
+				if hasContent {
 					res.Stats.FilterSeconds += feature.CostSeconds
 				}
-				copy(normDesc, rawDesc)
-				model.Normalize(normDesc)
-				probs := predictor.Probs(normDesc)[headIdx]
-				res.Stats.FilterSeconds += specnn.InferenceCostSeconds
-				tail := 0.0
-				for c := 1; c < len(probs); c++ {
-					tail += probs[c]
+				if hasLabel && (!hasContent || fl&selContentPass != 0) {
+					if !hasContent {
+						res.Stats.FilterSeconds += feature.CostSeconds
+					}
+					res.Stats.FilterSeconds += specnn.InferenceCostSeconds
 				}
-				if tail < labelFilter.Threshold {
+			}
+			if fl&selDetected == 0 {
+				continue
+			}
+			res.Stats.addDetection(detCost)
+			classDets := a.frame(i - s.lo)
+			matched := a.frameMatched(i - s.lo)
+			ids := tracker.Advance(f, classDets)
+			for j := range classDets {
+				if !matched[j] {
 					continue
 				}
+				d := &classDets[j]
+				id := ids[j]
+				ta := tracks[id]
+				if ta == nil {
+					ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
+					tracks[id] = ta
+				}
+				ta.lastMatch = f
+				ta.lastBox = d.Box
+				ta.rows = append(ta.rows, Row{
+					Timestamp:  f,
+					Class:      d.Class,
+					Mask:       d.Box,
+					TrackID:    id,
+					Content:    d.Color,
+					Confidence: d.Confidence,
+				})
 			}
 		}
-
-		res.Stats.addDetection(detCost)
-		dets = e.DTest.DetectROI(f, roi, dets[:0])
-		// Track all detections of the target class for identity.
-		classDets := dets[:0:0]
-		for i := range dets {
-			if dets[i].Class == class {
-				classDets = append(classDets, dets[i])
-			}
-		}
-		ids := tracker.Advance(f, classDets)
-		matched = matched[:0]
-		for i := range classDets {
-			ok, err := filters.ObjectMatches(&classDets[i], target)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				matched = append(matched, i)
-			}
-		}
-		for _, i := range matched {
-			d := &classDets[i]
-			id := ids[i]
-			ta := tracks[id]
-			if ta == nil {
-				ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
-				tracks[id] = ta
-			}
-			ta.lastMatch = f
-			ta.lastBox = d.Box
-			ta.rows = append(ta.rows, Row{
-				Timestamp:  f,
-				Class:      d.Class,
-				Mask:       d.Box,
-				TrackID:    id,
-				Content:    d.Color,
-				Confidence: d.Confidence,
-			})
-		}
+		return true
+	}
+	runSharded(par, shardRanges(visited), &e.exec, produce, consume)
+	if scanErr != nil {
+		return nil, scanErr
 	}
 
 	// Resolve duration predicates, probing boundaries when sampling left
-	// them ambiguous.
+	// them ambiguous. Tracks resolve in ascending ID order so probe
+	// charges and evaluation metadata are deterministic.
 	minDur := info.MinDurationFrames
-	for id, ta := range tracks {
+	trackIDs := make([]int, 0, len(tracks))
+	for id := range tracks {
+		trackIDs = append(trackIDs, id)
+	}
+	sort.Ints(trackIDs)
+	for _, id := range trackIDs {
+		ta := tracks[id]
 		if minDur <= 1 {
 			ta.qualified = true
 		} else {

@@ -114,9 +114,10 @@ type Detection struct {
 // with the motion-IOU tracker.
 func (d Detection) TruthID() int { return d.truthID }
 
-// Detector simulates one detection model applied to one video. Methods are
-// pure with respect to the video and safe for concurrent use with separate
-// Detector values.
+// Detector simulates one detection model applied to one video. A Detector
+// is immutable after construction and its methods are pure, so a single
+// Detector is safe for concurrent use from any number of goroutines as
+// long as each call gets its own output buffer (or its own Counter).
 type Detector struct {
 	model     Model
 	video     *vidsim.Video
@@ -259,7 +260,8 @@ func (d *Detector) makeDetection(frame int, t *vidsim.Track, box vidsim.Box, con
 }
 
 // CountAt returns the number of detections of a class in a frame. It is a
-// convenience over Detect for counting queries.
+// convenience over Detect for counting queries; hot loops should prefer a
+// Counter, which reuses its buffers across calls.
 func (d *Detector) CountAt(frame int, class vidsim.Class) int {
 	var buf []Detection
 	buf = d.Detect(frame, buf)
@@ -270,6 +272,44 @@ func (d *Detector) CountAt(frame int, class vidsim.Class) int {
 		}
 	}
 	return n
+}
+
+// Counter counts detections with reusable buffers — the batched evaluation
+// handle sharded query plans hand each worker. A Counter is not safe for
+// concurrent use; create one per goroutine (the underlying Detector is
+// read-only and may back any number of Counters concurrently).
+type Counter struct {
+	d   *Detector
+	buf []Detection
+}
+
+// NewCounter returns a Counter over the detector.
+func (d *Detector) NewCounter() *Counter { return &Counter{d: d} }
+
+// CountAt returns the number of detections of the class in the frame,
+// identical to Detector.CountAt but allocation-free across calls.
+func (c *Counter) CountAt(frame int, class vidsim.Class) int {
+	c.buf = c.d.Detect(frame, c.buf[:0])
+	n := 0
+	for i := range c.buf {
+		if c.buf[i].Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// CountRange fills out[i] with the count of the class at frame lo+i for
+// the half-open range [lo, hi), growing out as needed and returning it.
+// Because detection noise is counter-based, the result is identical to
+// hi-lo individual CountAt calls in any order — which is what lets range
+// shards be evaluated concurrently and merged deterministically.
+func (c *Counter) CountRange(lo, hi int, class vidsim.Class, out []int32) []int32 {
+	out = out[:0]
+	for f := lo; f < hi; f++ {
+		out = append(out, int32(c.CountAt(f, class)))
+	}
+	return out
 }
 
 // detSalt namespaces detector noise within the per-stream hash domain.

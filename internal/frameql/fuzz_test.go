@@ -1,0 +1,85 @@
+package frameql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedQueries is the seed corpus: the example programs' queries plus
+// syntax-stressing variants (every clause, escapes, unary minus, nesting).
+var fuzzSeedQueries = []string{
+	`SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+	`SELECT FCOUNT(*) FROM night-street WHERE class='car' ERROR WITHIN 0.1`,
+	`SELECT COUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.05 AT CONFIDENCE 99%`,
+	`SELECT COUNT(DISTINCT trackid) FROM grand-canal WHERE class='boat' AND timestamp < 3000`,
+	`SELECT timestamp FROM rialto GROUP BY timestamp HAVING SUM(class='boat') >= 5 LIMIT 10 GAP 100`,
+	`SELECT timestamp FROM night-street GROUP BY timestamp HAVING SUM(class='car') >= 4 LIMIT 5`,
+	`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 3 LIMIT 10`,
+	`SELECT * FROM night-street WHERE class='car' AND redness(content) >= 17.5`,
+	`SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15`,
+	`SELECT * FROM amsterdam WHERE (class = 'car' OR class = 'bus') AND timestamp < 500 LIMIT 20`,
+	`SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`,
+	`SELECT * FROM feeder WHERE class = 'bird' AND NOT (classify(content) = 'crow')`,
+	`SELECT FCOUNT(*) FROM v WHERE x = 'it''s'`,
+	`SELECT * FROM v WHERE a >= -1.5e3 AND b != 'q';`,
+	``,
+	`SELECT`,
+	`SELECT * FROM`,
+	`SELECT ** FROM v`,
+	`SELECT * FROM v WHERE ((((x = 1))))`,
+	"SELECT * FROM v WHERE x = '\x00'",
+}
+
+// FuzzParse asserts the parser never panics and that a successfully parsed
+// statement round-trips: String() re-parses, and the re-parse is an equal
+// AST (String is a fixed point).
+func FuzzParse(f *testing.F) {
+	for _, q := range fuzzSeedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		s1 := stmt.String()
+		stmt2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String() output fails to re-parse:\n  input:  %q\n  output: %q\n  error:  %v", src, s1, err)
+		}
+		s2 := stmt2.String()
+		if s1 != s2 {
+			t.Fatalf("String() is not a fixed point:\n  first:  %q\n  second: %q", s1, s2)
+		}
+		// The canonical text must parse to an AST equal to its own
+		// re-parse — i.e. canonicalization converged after one round.
+		stmt3, err := Parse(s2)
+		if err != nil {
+			t.Fatalf("canonical text fails to re-parse: %q: %v", s2, err)
+		}
+		if !reflect.DeepEqual(stmt2, stmt3) {
+			t.Fatalf("canonical ASTs differ for %q", s2)
+		}
+	})
+}
+
+// FuzzLex asserts the lexer never panics and that token positions are
+// monotonically non-decreasing within the source.
+func FuzzLex(f *testing.F) {
+	for _, q := range fuzzSeedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		last := -1
+		for _, tok := range toks {
+			if tok.Pos < last {
+				t.Fatalf("token positions go backwards: %d after %d in %q", tok.Pos, last, src)
+			}
+			last = tok.Pos
+		}
+	})
+}

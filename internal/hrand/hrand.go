@@ -33,6 +33,49 @@ func Float64(keys ...int64) float64 {
 	return float64(U64(keys...)>>11) / (1 << 53)
 }
 
+// Stream is a sequential counter-based PRNG: a fixed key tuple plus an
+// incrementing draw counter. Two streams with different keys are
+// independent, and a stream's draw sequence depends only on its keys —
+// never on any other stream's activity. This is what lets sharded query
+// plans give each shard its own reproducible randomness derived from
+// (seed, shard index): the values shard 3 draws are identical whether it
+// runs first, last, or concurrently with every other shard.
+//
+// A Stream is not safe for concurrent use; give each goroutine its own.
+type Stream struct {
+	prefix uint64 // U64 fold of the key tuple
+	ctr    int64
+}
+
+// NewStream returns a Stream keyed by the given tuple (typically a salt,
+// a seed, and a shard index). The stream's n-th draw equals
+// U64(keys..., n), so draws are reproducible from the keys alone.
+func NewStream(keys ...int64) *Stream {
+	return &Stream{prefix: U64(keys...)}
+}
+
+// Uint64 returns the next uniform 64-bit draw.
+func (s *Stream) Uint64() uint64 {
+	h := mix(s.prefix ^ uint64(s.ctr))
+	s.ctr++
+	return h
+}
+
+// Intn returns the next uniform draw in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("hrand: Intn with non-positive n")
+	}
+	// Modulo reduction: the bias is < n/2^64, far below anything the
+	// statistical machinery downstream could observe.
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns the next uniform draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
 // Norm hashes the keys to a standard normal variate via the Box–Muller
 // transform over two derived uniforms.
 func Norm(keys ...int64) float64 {

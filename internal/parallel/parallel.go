@@ -1,0 +1,68 @@
+// Package parallel holds the one blessed implementation of the
+// barrier-style parallel loop the sharded executors share: spawn up to
+// `workers` goroutines over n independent work items, wait for all of
+// them, and re-raise the first worker panic on the caller's goroutine so
+// upstream containment (e.g. the serve pool's per-task recover) still
+// applies instead of the process dying on a bare goroutine.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on min(workers, n) goroutines and
+// returns when all calls have finished. Work items are claimed from a
+// shared counter, so callers must not rely on any assignment of items to
+// workers; fn must be safe to call concurrently for distinct items. With
+// workers <= 1 the loop runs inline on the caller's goroutine.
+//
+// If an fn call panics, that worker stops, the others finish their
+// claims, and the first recovered panic value is re-raised on the
+// caller's goroutine after the barrier.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

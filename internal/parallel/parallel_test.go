@@ -1,0 +1,41 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsEachItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 1000
+		var visits [n]atomic.Int32
+		For(workers, n, func(i int) { visits[i].Add(1) })
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	For(4, 0, func(i int) { t.Error("fn called for empty range") })
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Errorf("workers=%d: recovered %v, want \"kaboom\"", workers, r)
+				}
+			}()
+			For(workers, 100, func(i int) {
+				if i == 37 {
+					panic("kaboom")
+				}
+			})
+			t.Errorf("workers=%d: For returned instead of panicking", workers)
+		}()
+	}
+}

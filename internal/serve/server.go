@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +15,18 @@ import (
 	"repro/internal/frameql"
 	"repro/internal/vidsim"
 )
+
+// atoiDefault parses s as an int, returning def when empty or malformed.
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
 
 // Config configures a Server.
 type Config struct {
@@ -182,6 +196,11 @@ type queryRequest struct {
 	// MaxRows lowers the server's row cap for this response; it cannot
 	// raise it. 0 keeps the server limit.
 	MaxRows int `json:"max_rows,omitempty"`
+	// Parallelism is the worker count this query's plan shards its frame
+	// scan across: 0 uses the server default, and values are clamped to
+	// the server's maximum. Results are bit-identical at every level, so
+	// cached results are shared across requests regardless of this knob.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // statsJSON mirrors core.Stats for the wire.
@@ -239,6 +258,36 @@ type queryResponse struct {
 	Truncated bool      `json:"truncated,omitempty"`
 	Stats     statsJSON `json:"stats"`
 	WallMS    float64   `json:"wall_ms"`
+}
+
+// defaultParallelism is the worker count defaulted engines execute plans
+// with, resolved by the same rule the engine itself applies.
+func (s *Server) defaultParallelism() int {
+	return core.ResolveParallelism(s.cfg.Engine.Parallelism)
+}
+
+// maxParallelism is the highest per-query parallelism a request may ask
+// for: the configured engine default or GOMAXPROCS, whichever is larger
+// (more workers than cores buys nothing but scheduler churn).
+func (s *Server) maxParallelism() int {
+	maxPar := runtime.GOMAXPROCS(0)
+	if p := s.cfg.Engine.Parallelism; p > maxPar {
+		maxPar = p
+	}
+	return maxPar
+}
+
+// resolveParallelism clamps a request's parallelism override: 0 (and
+// negatives) defer to the engine default, larger values cap at the
+// server's maximum.
+func (s *Server) resolveParallelism(requested int) int {
+	if requested <= 0 {
+		return 0
+	}
+	if maxPar := s.maxParallelism(); requested > maxPar {
+		return maxPar
+	}
+	return requested
 }
 
 // maxRows resolves the row cap for a response: the server limit (Config
@@ -352,6 +401,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	par := s.resolveParallelism(req.Parallelism)
 	var res *core.Result
 	var execErr error
 	poolErr := s.pool.Do(ctx, func() {
@@ -360,7 +410,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
 			return
 		}
-		res, execErr = eng.Execute(info)
+		res, execErr = eng.ExecuteParallel(info, par)
 	})
 	switch {
 	case errors.Is(poolErr, ErrQueueFull):
@@ -457,6 +507,12 @@ type explainResponse struct {
 	Gap               int      `json:"gap,omitempty"`
 	MinDurationFrames int      `json:"min_duration_frames,omitempty"`
 	Residual          bool     `json:"residual,omitempty"`
+	// Parallelism is the worker count the plan's frame scan would shard
+	// across (the server default, or the clamped ?parallelism= override).
+	Parallelism int `json:"parallelism"`
+	// MaxParallelism is the highest per-query parallelism this server
+	// accepts.
+	MaxParallelism int `json:"max_parallelism"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -486,6 +542,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			"query is over %q but request targets stream %q", info.Video, stream)
 		return
 	}
+	effective := s.resolveParallelism(atoiDefault(r.URL.Query().Get("parallelism"), 0))
+	if effective <= 0 {
+		effective = s.defaultParallelism()
+	}
 	resp := explainResponse{
 		Kind:              info.Kind.String(),
 		Canonical:         info.Stmt.String(),
@@ -495,6 +555,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Gap:               info.Gap,
 		MinDurationFrames: info.MinDurationFrames,
 		Residual:          info.Residual,
+		Parallelism:       effective,
+		MaxParallelism:    s.maxParallelism(),
 	}
 	if info.Limit >= 0 {
 		l := info.Limit
@@ -510,8 +572,28 @@ type statzResponse struct {
 	Sim           simStatz          `json:"sim"`
 	Cache         CacheStats        `json:"cache"`
 	Pool          PoolStats         `json:"pool"`
+	Parallel      parallelStatz     `json:"parallel"`
 	Registry      registryStatz     `json:"registry"`
 	Streams       map[string]uint64 `json:"stream_queries"`
+}
+
+// parallelStatz reports sharded-execution activity aggregated across the
+// open engines: how many plan executions fanned out, how many shards they
+// produced, and the utilization of the request-level worker pool.
+type parallelStatz struct {
+	// DefaultParallelism is the engine default worker count.
+	DefaultParallelism int `json:"default_parallelism"`
+	// MaxParallelism is the highest per-query override accepted.
+	MaxParallelism int `json:"max_parallelism"`
+	// PlanExecutions counts plan executions across open engines.
+	PlanExecutions uint64 `json:"plan_executions"`
+	// Fanouts counts executions that ran shards on more than one worker.
+	Fanouts uint64 `json:"fanouts"`
+	// Shards is the total number of scan shards produced.
+	Shards uint64 `json:"shards"`
+	// PoolUtilization is the fraction of request-pool workers currently
+	// executing queries (0..1).
+	PoolUtilization float64 `json:"pool_utilization"`
 }
 
 type queriesStatz struct {
@@ -545,10 +627,27 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if open == nil {
 		open = []string{}
 	}
+	pool := s.pool.Stats()
+	par := parallelStatz{
+		DefaultParallelism: s.defaultParallelism(),
+		MaxParallelism:     s.maxParallelism(),
+	}
+	if pool.Workers > 0 {
+		par.PoolUtilization = float64(pool.Running) / float64(pool.Workers)
+	}
+	for _, name := range open {
+		if eng, ok := s.reg.Peek(name); ok {
+			es := eng.ExecStats()
+			par.PlanExecutions += es.Queries
+			par.Fanouts += es.Fanouts
+			par.Shards += es.Shards
+		}
+	}
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         cache,
-		Pool:          s.pool.Stats(),
+		Pool:          pool,
+		Parallel:      par,
 		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
 		Streams:       make(map[string]uint64),
 	}

@@ -385,6 +385,87 @@ func Run(m *CountModel, v *vidsim.Video) *Inference {
 // Frames returns the number of frames covered.
 func (inf *Inference) Frames() int { return inf.frames }
 
+// Inference values are immutable after Run returns: every accessor is a
+// pure read, so one Inference may be shared by any number of concurrent
+// shard workers.
+
+// Evaluator bundles the per-goroutine state needed to run a trained model
+// frame by frame over a video: a feature extractor, a predictor, and
+// descriptor buffers. It is the batched evaluation handle sharded query
+// plans hand each worker — the CountModel itself is read-only and shared,
+// while each worker owns one Evaluator. Not safe for concurrent use.
+type Evaluator struct {
+	m    *CountModel
+	ex   *feature.Extractor
+	pred interface {
+		Probs(x []float64) [][]float64
+	}
+	raw   []float64
+	norm  []float64
+	frame int
+	probs [][]float64 // lazily computed for the current frame
+}
+
+// NewEvaluator returns an Evaluator running m over v's frames. A nil
+// model is allowed for raw-descriptor-only use (Seek/Raw); Probs and
+// TailProb then must not be called.
+func NewEvaluator(m *CountModel, v *vidsim.Video) *Evaluator {
+	ev := &Evaluator{
+		m:     m,
+		ex:    feature.NewExtractor(v),
+		raw:   make([]float64, feature.Dim),
+		frame: -1,
+	}
+	if m != nil {
+		ev.pred = m.Net.NewPredictor()
+		ev.norm = make([]float64, feature.Dim)
+	}
+	return ev
+}
+
+// Seek positions the evaluator on a frame, extracting its raw descriptor.
+// The network run is deferred until Probs/TailProb is called, so callers
+// that reject a frame on the raw descriptor alone never pay for it.
+func (ev *Evaluator) Seek(frame int) {
+	ev.ex.Frame(frame, ev.raw)
+	ev.frame = frame
+	ev.probs = nil
+}
+
+// Raw returns the current frame's raw (unnormalized) descriptor — the
+// input the cheap content filters consume. Valid until the next Seek.
+func (ev *Evaluator) Raw() []float64 { return ev.raw }
+
+// Probs runs the network on the current frame (once; repeated calls are
+// free) and returns the per-head count distributions.
+func (ev *Evaluator) Probs() [][]float64 {
+	if ev.probs == nil {
+		copy(ev.norm, ev.raw)
+		ev.m.Normalize(ev.norm)
+		ev.probs = ev.pred.Probs(ev.norm)
+	}
+	return ev.probs
+}
+
+// TailProb returns P(count >= n) for the head on the current frame.
+func (ev *Evaluator) TailProb(head, n int) float64 {
+	probs := ev.Probs()[head]
+	if n >= len(probs) {
+		n = len(probs) - 1
+	}
+	if n <= 0 {
+		return 1
+	}
+	s := 0.0
+	for c := n; c < len(probs); c++ {
+		s += probs[c]
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
 // Prob returns P(count == c) for the head at the frame.
 func (inf *Inference) Prob(head, frame, c int) float64 {
 	k := inf.Model.HeadInfo[head].Classes
