@@ -118,6 +118,7 @@ func writeParallelBenchJSON() {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	writeParallelBenchJSON()
+	writePlanBenchJSON()
 	os.Exit(code)
 }
 

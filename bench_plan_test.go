@@ -1,0 +1,138 @@
+// Planner benchmarks: how long candidate enumeration and costing take on
+// a warm engine (planning overhead is pure CPU — no simulated cost), and
+// how closely each family's cost estimate tracks the executed plan's
+// actual simulated cost.
+//
+// When BLAZEIT_PLANBENCH_JSON names a file, a machine-readable summary
+// (planning ns/op, chosen plan, estimate vs actual simulated seconds, and
+// relative estimate error per family) is written there after the run —
+// CI uploads it as the BENCH_plan artifact so planning overhead and
+// estimate drift are tracked per commit.
+package blazeit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// planBenchQueries is one representative query per plan family.
+var planBenchQueries = []struct {
+	Family string
+	Query  string
+}{
+	{"aggregate", `SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`},
+	{"scrubbing", `SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 10 GAP 100`},
+	{"selection", `SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 GROUP BY trackid HAVING COUNT(*) > 15`},
+	{"binary-detection", `SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`},
+	{"distinct-count", `SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class='car' AND timestamp < 2000`},
+	{"exhaustive", `SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 1500`},
+}
+
+// planBenchRecord is one family's planning measurement.
+type planBenchRecord struct {
+	Family string `json:"family"`
+	Chosen string `json:"chosen"`
+	// PlanNsPerOp is the wall-clock cost of one ExplainPlan call on a
+	// warm engine (candidate enumeration + costing, no execution).
+	PlanNsPerOp float64 `json:"plan_ns_per_op"`
+	// EstimateSeconds and ActualSeconds compare the chosen candidate's
+	// priced simulated cost against the executed plan's recorded cost.
+	EstimateSeconds float64 `json:"estimate_seconds"`
+	ActualSeconds   float64 `json:"actual_seconds"`
+	// EstimateError is |actual−estimate|/estimate.
+	EstimateError float64 `json:"estimate_error"`
+}
+
+var planBench struct {
+	mu      sync.Mutex
+	records map[string]planBenchRecord
+}
+
+func recordPlanBench(r planBenchRecord) {
+	planBench.mu.Lock()
+	defer planBench.mu.Unlock()
+	if planBench.records == nil {
+		planBench.records = make(map[string]planBenchRecord)
+	}
+	planBench.records[r.Family] = r
+}
+
+// BenchmarkPlanner measures planning overhead per family: repeated
+// ExplainPlan calls on a warm engine, with one real execution beforehand
+// to record estimate-vs-actual accuracy.
+func BenchmarkPlanner(b *testing.B) {
+	sys := parBenchSystem(b)
+	for _, tc := range planBenchQueries {
+		b.Run(tc.Family, func(b *testing.B) {
+			res, err := sys.Query(tc.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := res.PlanReport
+			if rep == nil {
+				b.Fatal("no plan report")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ExplainPlan(tc.Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			rec := planBenchRecord{
+				Family:          tc.Family,
+				Chosen:          rep.Chosen,
+				PlanNsPerOp:     nsPerOp,
+				EstimateSeconds: rep.EstimateSeconds,
+				ActualSeconds:   rep.ActualSeconds,
+			}
+			if rep.EstimateSeconds > 0 {
+				rec.EstimateError = math.Abs(rep.ActualSeconds-rep.EstimateSeconds) / rep.EstimateSeconds
+			}
+			recordPlanBench(rec)
+		})
+	}
+}
+
+// planBenchJSON is the BENCH_plan.json schema.
+type planBenchJSON struct {
+	Scale             float64           `json:"scale"`
+	Records           []planBenchRecord `json:"records"`
+	MeanEstimateError float64           `json:"mean_estimate_error"`
+}
+
+// writePlanBenchJSON dumps collected records to the file named by
+// BLAZEIT_PLANBENCH_JSON (called from TestMain after the run).
+func writePlanBenchJSON() {
+	path := os.Getenv("BLAZEIT_PLANBENCH_JSON")
+	planBench.mu.Lock()
+	records := make([]planBenchRecord, 0, len(planBench.records))
+	for _, r := range planBench.records {
+		records = append(records, r)
+	}
+	planBench.mu.Unlock()
+	if path == "" || len(records) == 0 {
+		return
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Family < records[j].Family })
+	out := planBenchJSON{Scale: parBenchScale(), Records: records}
+	for _, r := range records {
+		out.MeanEstimateError += r.EstimateError
+	}
+	out.MeanEstimateError /= float64(len(records))
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plan bench json: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "plan bench json: %v\n", err)
+	}
+}

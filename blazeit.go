@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/specnn"
 	"repro/internal/vidsim"
@@ -47,6 +48,17 @@ type Stats = core.Stats
 
 // Row is one materialized FrameQL record (an object in a frame).
 type Row = core.Row
+
+// PlanReport is the planner's record of one query: the chosen physical
+// plan, every rejected candidate with its cost estimate, and — after
+// execution — the actual cost.
+type PlanReport = plan.Report
+
+// PlanCandidate is one enumerated physical plan with its cost estimate.
+type PlanCandidate = plan.Candidate
+
+// PlanCost is an estimated simulated-cost breakdown.
+type PlanCost = plan.Cost
 
 // Options configures a System.
 type Options struct {
@@ -83,8 +95,9 @@ type System struct {
 	eng *core.Engine
 }
 
-// toCore converts public options to engine options — the single place the
-// mapping (including the specialized-network seed derivation) lives.
+// toCore converts public options to engine options. The specialized-
+// network seed is left zero so core.Options.withDefaults derives it in
+// exactly one place (with its zero-collision guard).
 func (o Options) toCore() core.Options {
 	return core.Options{
 		Scale: o.Scale,
@@ -92,7 +105,6 @@ func (o Options) toCore() core.Options {
 		Spec: specnn.Options{
 			TrainFrames: o.TrainFrames,
 			Epochs:      o.Epochs,
-			Seed:        o.Seed + 17,
 		},
 		HeldOutSample: o.HeldOutSample,
 		Parallelism:   o.Parallelism,
@@ -133,6 +145,21 @@ func (s *System) Explain(q string) (kind, canonical string, err error) {
 		return "", "", err
 	}
 	return info.Kind.String(), info.Stmt.String(), nil
+}
+
+// ExplainPlan plans a query without executing it: the optimizer
+// enumerates every candidate physical plan for the query's family, prices
+// each one in simulated seconds, and reports the full candidate table
+// with its pick. Planning may prepare shared index state (train the
+// specialized network, compute held-out statistics) the first time a
+// class is seen, but no candidate executes. A SELECT /*+ PLAN(name) */
+// hint in the query marks the report forced.
+func (s *System) ExplainPlan(q string) (*PlanReport, error) {
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.ExplainPlan(info, 0)
 }
 
 // Engine exposes the underlying engine for advanced use (explicit plans,

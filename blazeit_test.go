@@ -93,6 +93,34 @@ func TestExplain(t *testing.T) {
 	}
 }
 
+func TestExplainPlanAndHints(t *testing.T) {
+	sys := openSmall(t)
+	rep, err := sys.ExplainPlan(`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Family != "aggregate" || rep.Chosen == "" || rep.Forced {
+		t.Fatalf("report = %+v", rep)
+	}
+	costed := 0
+	for _, c := range rep.Candidates {
+		if c.Feasible {
+			costed++
+		}
+	}
+	if costed < 2 {
+		t.Fatalf("want >= 2 costed candidates, got %d: %+v", costed, rep.Candidates)
+	}
+	// A hint forces the named plan through the public query path.
+	res, err := sys.Query(`SELECT /*+ PLAN(naive-exhaustive) */ FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Plan != "naive-exhaustive" || res.PlanReport == nil || !res.PlanReport.Forced {
+		t.Fatalf("hinted plan = %q, report = %+v", res.Stats.Plan, res.PlanReport)
+	}
+}
+
 func TestEngineAccess(t *testing.T) {
 	sys := openSmall(t)
 	if sys.Engine() == nil || sys.Engine().Test == nil {

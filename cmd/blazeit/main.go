@@ -29,7 +29,7 @@ func main() {
 	stream := flag.String("stream", "taipei", "stream name: "+strings.Join(blazeit.Streams(), ", "))
 	scale := flag.Float64("scale", 0.05, "stream scale factor (1.0 = full paper-length days)")
 	seed := flag.Int64("seed", 1, "random seed")
-	explain := flag.Bool("explain", false, "analyze the query and print the plan family without executing")
+	explain := flag.Bool("explain", false, "plan the query and print the costed candidate table without executing")
 	maxRows := flag.Int("maxrows", 10, "maximum rows to print")
 	flag.Parse()
 
@@ -50,7 +50,39 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		rep, err := sys.ExplainPlan(query)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("kind: %s\nquery: %s\n", kind, canonical)
+		if rep.Forced {
+			fmt.Printf("plan: %s (forced by hint)\n", rep.Chosen)
+		} else {
+			fmt.Printf("plan: %s (estimated %.1f simulated s)\n", rep.Chosen, rep.EstimateSeconds)
+		}
+		fmt.Println("candidates:")
+		for _, c := range rep.Candidates {
+			mark := " "
+			if c.Chosen {
+				mark = "*"
+			}
+			if !c.Feasible {
+				fmt.Printf("  %s %-26s infeasible: %s\n", mark, c.Name, c.Reason)
+				continue
+			}
+			bound := ""
+			if c.UpperBoundOnly {
+				bound = " (upper bound)"
+			}
+			fmt.Printf("  %s %-26s est %10.1f sim s  (detector %.1f, specnn %.1f, filter %.1f, train %.1f; ~%.0f detector calls)%s\n",
+				mark, c.Name, c.EstimateSeconds,
+				c.Estimate.DetectorSeconds, c.Estimate.SpecNNSeconds,
+				c.Estimate.FilterSeconds, c.Estimate.TrainSeconds,
+				c.Estimate.DetectorCalls, bound)
+			if c.Reason != "" {
+				fmt.Printf("    %s\n", c.Reason)
+			}
+		}
 		return
 	}
 

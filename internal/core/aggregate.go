@@ -7,72 +7,201 @@ import (
 	"repro/internal/aqp"
 	"repro/internal/detect"
 	"repro/internal/frameql"
+	"repro/internal/plan"
 	"repro/internal/specnn"
 	"repro/internal/track"
 	"repro/internal/vidsim"
 )
 
-// executeAggregate runs an FCOUNT/COUNT query following Algorithm 1 of the
-// paper: rewrite with the specialized network when its held-out error is
-// within the user's bound at the requested confidence; otherwise use the
-// network as a control variate; fall back to plain adaptive sampling when
-// no network can be trained; and run exhaustively when the query carries
-// no error tolerance at all.
-func (e *Engine) executeAggregate(info *frameql.Info, par int) (*Result, error) {
+// aggDesc describes an aggregate-family candidate.
+func aggDesc(name, detail string) plan.Description {
+	return plan.Description{Name: name, Family: frameql.KindAggregate.String(), Detail: detail}
+}
+
+// enumerateAggregate produces the aggregate candidate set of Algorithm 1:
+// specialized-network query rewriting, the method of control variates,
+// plain adaptive sampling, the naive exhaustive scan, and the gated
+// NoScope-oracle baseline. Feasibility mirrors the algorithm's
+// preconditions — rewriting requires the held-out error bound to pass at
+// the requested confidence, every sampled estimator requires an ERROR
+// WITHIN tolerance — and the cost model prices sampling need from cached
+// held-out count statistics.
+func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, error) {
 	if len(info.Classes) != 1 {
 		return nil, fmt.Errorf("core: aggregate queries need exactly one class predicate, got %v", info.Classes)
 	}
 	class := vidsim.Class(info.Classes[0])
-	res := &Result{Kind: info.Kind.String()}
+	full := e.DTest.FullFrameCost()
+	pop := e.Test.Frames
 
-	// No tolerance: the exact answer requires the detector on every frame.
-	if info.ErrorWithin == nil {
-		mean := e.naiveMeanCount(class, &res.Stats, par)
-		res.Stats.Plan = "naive-exhaustive"
-		res.Value = e.scaleAggregate(info, mean)
-		return res, nil
+	rewriteDesc := aggDesc("specialized-rewrite", "answer directly from the specialized network (no detector calls)")
+	cvDesc := aggDesc("control-variates", "adaptive sampling with the network's expected count as control variate (§6.3)")
+	aqpDesc := aggDesc("naive-aqp", "plain adaptive sampling to the error target (§6.1)")
+
+	naivePlan := &costedPlan{
+		desc: aggDesc("naive-exhaustive", "reference detector on every frame (exact)"),
+		est:  plan.Cost{DetectorCalls: float64(pop), DetectorSeconds: float64(pop) * full},
+		run: func() (*Result, error) {
+			return e.runAggregateNaive(info, class, par, "naive-exhaustive")
+		},
 	}
+	naiveCand := candidate{Plan: naivePlan, MarginalSeconds: naivePlan.est.DetectorSeconds, Accuracy: exactAccuracy}
+
+	base := e.baseStats(class)
+	noScopePlan := &costedPlan{
+		desc: aggDesc("noscope-oracle", "detector on exactly the frames the presence oracle marks occupied (§10.1.1)"),
+		est: plan.Cost{
+			DetectorCalls:   base.presence * float64(pop),
+			DetectorSeconds: base.presence * float64(pop) * full,
+		},
+		run: func() (*Result, error) { return e.runAggregateNoScope(info, class, par) },
+	}
+	noScopeCand := candidate{
+		Plan:            noScopePlan,
+		MarginalSeconds: noScopePlan.est.DetectorSeconds,
+		Gated:           true,
+		Accuracy:        sampledAccuracy,
+	}
+
+	if info.ErrorWithin == nil {
+		// Exact queries admit only the exhaustive scan. The pre-planner
+		// optimizer never trained a network for them, and neither does
+		// enumeration.
+		reason := "no ERROR WITHIN clause: sampled estimators cannot produce an exact answer"
+		return []candidate{
+			naiveCand,
+			infeasible(rewriteDesc, reason),
+			infeasible(cvDesc, reason),
+			infeasible(aqpDesc, reason),
+			noScopeCand,
+		}, nil
+	}
+
+	eps := *info.ErrorWithin
+	rangeK := float64(e.Train.MaxCount(class) + 1)
+	aqpN := plan.AdaptiveSamples(base.stdCount, eps, info.Confidence, rangeK, pop)
+	aqpPlan := &costedPlan{
+		desc: aqpDesc,
+		est:  plan.Cost{DetectorCalls: float64(aqpN), DetectorSeconds: float64(aqpN) * full},
+		run: func() (*Result, error) {
+			return e.runAggregateAQP(info, class, par)
+		},
+	}
+	aqpCand := candidate{Plan: aqpPlan, MarginalSeconds: aqpPlan.est.DetectorSeconds, Accuracy: sampledAccuracy}
 
 	model, trainCost, err := e.Model([]vidsim.Class{class})
 	if err != nil {
-		// Not enough examples to specialize (Algorithm 1's precondition):
-		// plain adaptive sampling.
-		res.Stats.note("specialization unavailable (%v); falling back to AQP", err)
-		return e.aggregateAQP(info, class, res, par)
+		// Not enough examples to specialize (Algorithm 1's precondition).
+		reason := fmt.Sprintf("specialization unavailable: %v", err)
+		aqpPlan.notes = []string{fmt.Sprintf("specialization unavailable (%v); falling back to AQP", err)}
+		return []candidate{
+			infeasible(rewriteDesc, reason),
+			infeasible(cvDesc, reason),
+			aqpCand,
+			naiveCand,
+			noScopeCand,
+		}, nil
 	}
-	res.Stats.TrainSeconds += trainCost
 
-	// Estimate held-out error and test it against the bound (the bootstrap
-	// P(err < uerr) >= conf check).
-	errs, simCost, err := specnn.HeldOutErrors(model, e.HeldOut, e.DHeld, class, e.opts.HeldOutSample, e.opts.Seed+3)
+	held, err := e.heldOutErrors(class, model)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.TrainSeconds += simCost
-	pWithin := specnn.BiasWithin(errs, *info.ErrorWithin, 500, e.opts.Seed+4)
-	res.Stats.note("P(held-out error < %.3g) = %.3f (need >= %.2f)", *info.ErrorWithin, pWithin, info.Confidence)
-
+	pWithin := e.biasWithin(class, held.errs, eps)
 	inf, infCost, err := e.Inference([]vidsim.Class{class}, e.Test)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.SpecNNSeconds += infCost
 	head := model.HeadIndex(class)
+	prep := aggPrep{
+		model: model, trainCost: trainCost,
+		heldCost: held.cost, pWithin: pWithin,
+		inf: inf, infCost: infCost, head: head,
+	}
+	prepCharges := plan.Cost{TrainSeconds: trainCost + held.cost, SpecNNSeconds: infCost}
 
-	if pWithin >= info.Confidence {
-		// Query rewriting: the specialized network answers directly.
-		res.Stats.Plan = "specialized-rewrite"
-		res.Value = e.scaleAggregate(info, inf.MeanExpectedCount(head))
-		return res, nil
+	rewritePlan := &costedPlan{
+		desc: rewriteDesc,
+		est:  prepCharges,
+		run: func() (*Result, error) {
+			return e.runAggregateRewrite(info, prep)
+		},
+	}
+	rewriteCand := candidate{
+		Plan: rewritePlan,
+		// Whole-day inference is index investment (the paper's indexed
+		// accounting): once labeled, rewriting answers for free.
+		MarginalSeconds: 0,
+		Accuracy:        exactAccuracy,
+	}
+	if pWithin < info.Confidence {
+		rewriteCand.Infeasible = fmt.Sprintf(
+			"P(held-out error < %.3g) = %.3f, below required confidence %.2f", eps, pWithin, info.Confidence)
 	}
 
-	// Control variates: the network's expected count is the auxiliary
-	// variable; its mean and variance over the test day are exact.
+	resid := e.residStats(class, model)
+	cvN := plan.AdaptiveSamples(resid.residStd, eps, info.Confidence, rangeK, pop)
+	cvEst := prepCharges
+	cvEst.DetectorCalls = float64(cvN)
+	cvEst.DetectorSeconds = float64(cvN) * full
+	cvPlan := &costedPlan{
+		desc: cvDesc,
+		est:  cvEst,
+		run: func() (*Result, error) {
+			return e.runAggregateCV(info, class, prep, par)
+		},
+	}
+	cvCand := candidate{
+		Plan:            cvPlan,
+		MarginalSeconds: cvEst.DetectorSeconds,
+		Accuracy:        sampledAccuracy,
+	}
+
+	return []candidate{rewriteCand, cvCand, aqpCand, naiveCand, noScopeCand}, nil
+}
+
+// aggPrep carries the shared preparation an aggregate enumeration
+// performed — the trained model, the held-out error verdict, and the
+// test-day inference — plus the per-call costs the executed plan must
+// charge, in the same order the pre-planner optimizer charged them.
+type aggPrep struct {
+	model     *specnn.CountModel
+	trainCost float64
+	heldCost  float64
+	pWithin   float64
+	inf       *specnn.Inference
+	infCost   float64
+	head      int
+}
+
+// charge replays the preparation charges and the held-out error note
+// exactly as the pre-planner code interleaved them.
+func (p *aggPrep) charge(info *frameql.Info, res *Result) {
+	res.Stats.TrainSeconds += p.trainCost
+	res.Stats.TrainSeconds += p.heldCost
+	res.Stats.note("P(held-out error < %.3g) = %.3f (need >= %.2f)", *info.ErrorWithin, p.pWithin, info.Confidence)
+	res.Stats.SpecNNSeconds += p.infCost
+}
+
+// runAggregateRewrite answers directly from the specialized network.
+func (e *Engine) runAggregateRewrite(info *frameql.Info, prep aggPrep) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	prep.charge(info, res)
+	res.Stats.Plan = "specialized-rewrite"
+	res.Value = e.scaleAggregate(info, prep.inf.MeanExpectedCount(prep.head))
+	return res, nil
+}
+
+// runAggregateCV samples with the network's expected count as the
+// auxiliary variable; its mean and variance over the test day are exact.
+func (e *Engine) runAggregateCV(info *frameql.Info, class vidsim.Class, prep aggPrep, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	prep.charge(info, res)
 	res.Stats.Plan = "control-variates"
-	tau, varT := inf.ExpectedMoments(head)
+	tau, varT := prep.inf.ExpectedMoments(prep.head)
 	cv := aqp.ControlVariates(e.samplingOptions(info, class, par),
 		e.concurrentCountMeasure(class),
-		func(f int) float64 { return inf.ExpectedCount(head, f) },
+		func(f int) float64 { return prep.inf.ExpectedCount(prep.head, f) },
 		tau, varT)
 	e.chargeSampleCost(&res.Stats, cv.Samples)
 	res.Stats.note("control variates: %d samples, corr=%.3f, c=%.3f", cv.Samples, cv.Correlation, cv.C)
@@ -81,14 +210,81 @@ func (e *Engine) executeAggregate(info *frameql.Info, par int) (*Result, error) 
 	return res, nil
 }
 
-// aggregateAQP runs the plain adaptive sampling plan.
-func (e *Engine) aggregateAQP(info *frameql.Info, class vidsim.Class, res *Result, par int) (*Result, error) {
+// runAggregateNaive runs the detector on every frame for the exact mean.
+func (e *Engine) runAggregateNaive(info *frameql.Info, class vidsim.Class, par int, label string) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	mean := e.naiveMeanCount(class, &res.Stats, par)
+	res.Stats.Plan = label
+	res.Value = e.scaleAggregate(info, mean)
+	return res, nil
+}
+
+// runAggregateAQP runs the plain adaptive sampling plan.
+func (e *Engine) runAggregateAQP(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
 	res.Stats.Plan = "naive-aqp"
 	r := aqp.Sample(e.samplingOptions(info, class, par), e.concurrentCountMeasure(class))
 	e.chargeSampleCost(&res.Stats, r.Samples)
 	res.Value = e.scaleAggregate(info, r.Estimate)
 	res.StdErr = r.StdErr
 	return res, nil
+}
+
+// runAggregateNoScope answers an aggregate with the NoScope presence
+// oracle: the detector runs only on frames the oracle says contain the
+// class (Figure 4's "NoScope (Oracle)" bar). Counting still requires
+// detection on every occupied frame, so streams with high occupancy
+// benefit little (§10.1.1).
+func (e *Engine) runAggregateNoScope(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "noscope-oracle"
+	presence := e.Test.Counts(class)
+	fullCost := e.DTest.FullFrameCost()
+	total := 0
+	runSharded(par, shardRanges(e.Test.Frames),
+		&e.exec,
+		func(s shard) int {
+			c := e.DTest.NewCounter()
+			sum := 0
+			for f := s.lo; f < s.hi; f++ {
+				if presence[f] != 0 {
+					sum += c.CountAt(f, class)
+				}
+			}
+			return sum
+		},
+		func(s shard, sum int) bool {
+			for f := s.lo; f < s.hi; f++ {
+				if presence[f] != 0 {
+					res.Stats.addDetection(fullCost)
+				}
+			}
+			total += sum
+			return true
+		})
+	res.Value = e.scaleAggregate(info, float64(total)/float64(e.Test.Frames))
+	return res, nil
+}
+
+// enumerateDistinct produces the single COUNT(DISTINCT trackid)
+// candidate: identity requires entity resolution across consecutive
+// frames, so the only sound plan detects on every frame and tracks.
+func (e *Engine) enumerateDistinct(info *frameql.Info, par int) ([]candidate, error) {
+	if len(info.Classes) != 1 {
+		return nil, fmt.Errorf("core: COUNT(DISTINCT trackid) needs exactly one class predicate")
+	}
+	lo, hi := e.frameRange(info)
+	full := e.DTest.FullFrameCost()
+	p := &costedPlan{
+		desc: plan.Description{
+			Name:   "exhaustive-tracking",
+			Family: frameql.KindDistinct.String(),
+			Detail: "detector on every frame with entity resolution (identity needs tracking, §4)",
+		},
+		est: plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
+		run: func() (*Result, error) { return e.executeDistinct(info, par) },
+	}
+	return []candidate{{Plan: p, MarginalSeconds: p.est.DetectorSeconds, Accuracy: exactAccuracy}}, nil
 }
 
 // concurrentCountMeasure returns a goroutine-safe measure function for the

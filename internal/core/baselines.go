@@ -1,30 +1,31 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/frameql"
-	"repro/internal/scrub"
-	"repro/internal/vidsim"
 )
 
-// This file implements the paper's comparison baselines (§10.1.1). The
-// NoScope oracle is deliberately idealized: it knows, for free, whether a
-// frame contains at least one object of a class — "strictly more powerful
-// — both in terms of accuracy and speed — than NoScope".
+// This file exposes the paper's comparison baselines (§10.1.1) as
+// hint-forced physical plans: every entry point routes through the same
+// planner enumeration and candidate execution the optimizer uses, with
+// the pick forced by name (the equivalent of a SELECT /*+ PLAN(name) */
+// hint). The NoScope oracle baselines are deliberately idealized: they
+// know, for free, whether a frame contains at least one object of a class
+// — "strictly more powerful — both in terms of accuracy and speed — than
+// NoScope". They are therefore gated candidates: forcible here or by
+// hint, never chosen by the cost-based pick.
+//
+// Sharing the planner path means a forced run still enumerates (and may
+// index-prepare: train, label, measure held-out statistics for) the
+// candidates it will not execute. That preparation is cached per engine
+// and is the same work the optimizer's own run of the query performs, so
+// in experiment sessions — which execute baselines alongside the planned
+// plan on one engine — it is paid exactly once either way; only a
+// baseline-only session on a cold engine pays it without later reuse.
 
 // AggregateNaive answers an aggregate query by running the detector on
 // every frame (Figure 4's "Naive" bar).
 func (e *Engine) AggregateNaive(info *frameql.Info) (*Result, error) {
-	class, err := singleClass(info)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "baseline-naive"
-	mean := e.naiveMeanCount(class, &res.Stats, e.parallelism())
-	res.Value = e.scaleAggregate(info, mean)
-	return res, nil
+	return e.ExecuteForced(info, 0, "naive-exhaustive")
 }
 
 // AggregateNoScope answers an aggregate query with the NoScope oracle:
@@ -34,72 +35,20 @@ func (e *Engine) AggregateNaive(info *frameql.Info) (*Result, error) {
 // (§10.1.1: counting cars in taipei requires detection on 64.4% of
 // frames).
 func (e *Engine) AggregateNoScope(info *frameql.Info) (*Result, error) {
-	class, err := singleClass(info)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "baseline-noscope-oracle"
-	presence := e.Test.Counts(class)
-	fullCost := e.DTest.FullFrameCost()
-	total := 0
-	runSharded(e.parallelism(), shardRanges(e.Test.Frames),
-		&e.exec,
-		func(s shard) int {
-			c := e.DTest.NewCounter()
-			sum := 0
-			for f := s.lo; f < s.hi; f++ {
-				if presence[f] != 0 {
-					sum += c.CountAt(f, class)
-				}
-			}
-			return sum
-		},
-		func(s shard, sum int) bool {
-			for f := s.lo; f < s.hi; f++ {
-				if presence[f] != 0 {
-					res.Stats.addDetection(fullCost)
-				}
-			}
-			total += sum
-			return true
-		})
-	res.Value = e.scaleAggregate(info, float64(total)/float64(e.Test.Frames))
-	return res, nil
+	return e.ExecuteForced(info, 0, "noscope-oracle")
 }
 
 // AggregateAQP answers an aggregate query with plain adaptive sampling,
 // never using specialization (Figure 4's "AQP (Naive)" bar). The query
 // must carry an error tolerance.
 func (e *Engine) AggregateAQP(info *frameql.Info) (*Result, error) {
-	class, err := singleClass(info)
-	if err != nil {
-		return nil, err
-	}
-	if info.ErrorWithin == nil {
-		return nil, fmt.Errorf("core: AQP requires an ERROR WITHIN clause")
-	}
-	res := &Result{Kind: info.Kind.String()}
-	return e.aggregateAQP(info, class, res, e.parallelism())
+	return e.ExecuteForced(info, 0, "naive-aqp")
 }
 
 // ScrubNaive answers a scrubbing query by sequential detector scan
 // (Figure 6's "Naive" bar).
 func (e *Engine) ScrubNaive(info *frameql.Info) (*Result, error) {
-	reqs, _, err := scrubRequirements(info)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "baseline-scrub-naive"
-	lo, hi := e.frameRange(info)
-	limit := info.Limit
-	if limit < 0 {
-		limit = int(^uint(0) >> 1)
-	}
-	sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, e.parallelism())
-	res.Frames = sr.Frames
-	return res, nil
+	return e.ExecuteForced(info, 0, "scrub-sequential", "scrub-sequential-fallback")
 }
 
 // ScrubNoScope answers a scrubbing query scanning only frames where the
@@ -107,49 +56,17 @@ func (e *Engine) ScrubNaive(info *frameql.Info) (*Result, error) {
 // (Oracle)" bar). The oracle is binary: it cannot distinguish one object
 // from five, so the detector must still verify counts.
 func (e *Engine) ScrubNoScope(info *frameql.Info) (*Result, error) {
-	reqs, classes, err := scrubRequirements(info)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "baseline-scrub-noscope-oracle"
-	presences := make([][]int32, len(classes))
-	for i, c := range classes {
-		presences[i] = e.Test.Counts(c)
-	}
-	lo, hi := e.frameRange(info)
-	order := scrub.FilterOrder(rangeOrder(lo, hi), func(f int) bool {
-		for _, p := range presences {
-			if p[f] == 0 {
-				return false
-			}
-		}
-		return true
-	})
-	limit := info.Limit
-	if limit < 0 {
-		limit = int(^uint(0) >> 1)
-	}
-	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, e.parallelism())
-	res.Frames = sr.Frames
-	return res, nil
+	return e.ExecuteForced(info, 0, "scrub-noscope-oracle")
 }
 
 // SelectionNaive runs a selection query with no filters (Figure 10's
 // "Naive" bar).
 func (e *Engine) SelectionNaive(info *frameql.Info) (*Result, error) {
-	return e.ExecuteSelectionPlan(info, NaivePlan())
+	return e.ExecuteForced(info, 0, "selection-naive")
 }
 
 // SelectionNoScope runs a selection query with only the oracle label
 // filter (Figure 10's "NoScope (oracle)" bar).
 func (e *Engine) SelectionNoScope(info *frameql.Info) (*Result, error) {
-	return e.ExecuteSelectionPlan(info, SelectionPlan{NoScopeOracle: true})
-}
-
-func singleClass(info *frameql.Info) (vidsim.Class, error) {
-	if len(info.Classes) != 1 {
-		return "", fmt.Errorf("core: baseline requires exactly one class predicate, got %v", info.Classes)
-	}
-	return vidsim.Class(info.Classes[0]), nil
+	return e.ExecuteForced(info, 0, "selection-noscope-oracle")
 }

@@ -1,24 +1,21 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/frameql"
+	"repro/internal/plan"
+	"repro/internal/specnn"
 	"repro/internal/vidsim"
 )
 
-// executeBinary answers NoScope-style binary detection queries: return the
-// timestamps of frames containing at least one object of the class, under
-// user-specified false-negative and false-positive rate budgets (paper §4's
-// FNR WITHIN / FPR WITHIN).
-//
-// The plan is a cascade, as in NoScope: the specialized network scores
-// every frame with P(count >= 1); frames scoring above a high threshold
-// are accepted and below a low threshold rejected without verification,
-// and the uncertain band in between goes to the reference detector. The
-// thresholds are chosen on the held-out day so that the unverified tails
-// stay within the budgets.
-func (e *Engine) executeBinary(info *frameql.Info, par int) (*Result, error) {
+// enumerateBinary produces the binary-detection candidate set (paper §4's
+// FNR WITHIN / FPR WITHIN queries): the NoScope-style cascade versus the
+// exact scan. The cascade's verification need is priced by measuring, on
+// the held-out day, how many frames score inside the uncertain band
+// between the cascade thresholds.
+func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, error) {
 	class := vidsim.Class(info.Classes[0])
 	fnrBudget, fprBudget := 0.0, 0.0
 	if info.FNRWithin != nil {
@@ -27,33 +24,131 @@ func (e *Engine) executeBinary(info *frameql.Info, par int) (*Result, error) {
 	if info.FPRWithin != nil {
 		fprBudget = *info.FPRWithin
 	}
-	res := &Result{Kind: info.Kind.String()}
+	lo, hi := e.frameRange(info)
+	span := hi - lo
+	full := e.DTest.FullFrameCost()
 
-	model, trainCost, err := e.Model([]vidsim.Class{class})
-	if err != nil {
+	exactEst := plan.Cost{DetectorCalls: float64(span), DetectorSeconds: float64(span) * full}
+	cascadeDesc := plan.Description{
+		Name:   "binary-cascade",
+		Family: frameql.KindBinary.String(),
+		Detail: "specialized-network cascade; detector verifies only the uncertain score band",
+	}
+
+	model, trainCost, modelErr := e.Model([]vidsim.Class{class})
+	if modelErr != nil {
 		// No specialization possible: the exact plan (detector everywhere)
 		// trivially satisfies any budget.
-		res.Stats.note("specialization unavailable (%v); exact scan", err)
-		return e.binaryExact(info, class, res, par)
+		exactPlan := &costedPlan{
+			desc:  binaryExactDesc(),
+			est:   exactEst,
+			notes: []string{fmt.Sprintf("specialization unavailable (%v); exact scan", modelErr)},
+			run: func() (*Result, error) {
+				return e.runBinaryExact(info, class, par)
+			},
+		}
+		return []candidate{
+			infeasible(cascadeDesc, fmt.Sprintf("specialization unavailable: %v", modelErr)),
+			binaryExactCand(exactPlan, info),
+		}, nil
 	}
-	res.Stats.TrainSeconds += trainCost
 	head := model.HeadIndex(class)
 
 	infHeld, heldCost, err := e.Inference([]vidsim.Class{class}, e.HeldOut)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.TrainSeconds += heldCost
-
 	lowT, highT := e.binaryThresholds(infHeld, head, class, fnrBudget, fprBudget)
-	res.Stats.Plan = "binary-cascade"
-	res.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", lowT, highT)
-
 	infTest, infCost, err := e.Inference([]vidsim.Class{class}, e.Test)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.SpecNNSeconds += infCost
+	// Uncertain-band fraction on the held-out day prices the cascade's
+	// verification volume; detector labels there are offline.
+	band := 0
+	for f := 0; f < infHeld.Frames(); f++ {
+		if s := infHeld.TailProb(head, f, 1); s >= lowT && s < highT {
+			band++
+		}
+	}
+	bandFrac := 0.0
+	if infHeld.Frames() > 0 {
+		bandFrac = float64(band) / float64(infHeld.Frames())
+	}
+	verifyEst := bandFrac * float64(span)
+	prep := binaryPrep{trainCost: trainCost, heldCost: heldCost, infCost: infCost,
+		lowT: lowT, highT: highT, infTest: infTest, head: head}
+	cascadePlan := &costedPlan{
+		desc: cascadeDesc,
+		est: plan.Cost{
+			TrainSeconds:    trainCost + heldCost,
+			SpecNNSeconds:   infCost,
+			DetectorCalls:   verifyEst,
+			DetectorSeconds: verifyEst * full,
+		},
+		run: func() (*Result, error) {
+			return e.runBinaryCascade(info, class, prep, par)
+		},
+	}
+	cascadeCand := candidate{
+		Plan: cascadePlan,
+		// Whole-day scoring is index investment (the paper's indexed
+		// accounting); the marginal cost is uncertain-band verification.
+		MarginalSeconds: verifyEst * full,
+		Accuracy:        binaryAccuracy,
+	}
+	exactPlan := &costedPlan{
+		desc: binaryExactDesc(),
+		est:  exactEst,
+		run: func() (*Result, error) {
+			return e.runBinaryExact(info, class, par)
+		},
+	}
+	return []candidate{cascadeCand, binaryExactCand(exactPlan, info)}, nil
+}
+
+func binaryExactDesc() plan.Description {
+	return plan.Description{
+		Name:   "binary-exact",
+		Family: frameql.KindBinary.String(),
+		Detail: "reference detector on every frame in range",
+	}
+}
+
+func binaryExactCand(p *costedPlan, info *frameql.Info) candidate {
+	return candidate{
+		Plan:            p,
+		MarginalSeconds: p.est.DetectorSeconds,
+		Accuracy:        exactAccuracy,
+		UpperBoundOnly:  info.Limit >= 0,
+	}
+}
+
+// binaryPrep carries the cascade's enumeration products: per-call index
+// charges, the held-out-chosen thresholds, and the test-day inference.
+type binaryPrep struct {
+	trainCost float64
+	heldCost  float64
+	infCost   float64
+	lowT      float64
+	highT     float64
+	infTest   *specnn.Inference
+	head      int
+}
+
+// runBinaryCascade scores every frame with the specialized network,
+// accepts above the high threshold, rejects below the low one, and sends
+// the uncertain band to the reference detector.
+func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep binaryPrep, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.TrainSeconds += prep.trainCost
+	res.Stats.TrainSeconds += prep.heldCost
+	lowT, highT := prep.lowT, prep.highT
+	res.Stats.Plan = "binary-cascade"
+	res.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", lowT, highT)
+	res.Stats.SpecNNSeconds += prep.infCost
+	infTest := prep.infTest
+	head := prep.head
 
 	lo, hi := e.frameRange(info)
 	fullCost := e.DTest.FullFrameCost()
@@ -116,9 +211,10 @@ func (e *Engine) executeBinary(info *frameql.Info, par int) (*Result, error) {
 	return res, nil
 }
 
-// binaryExact runs the detector on every frame — the fallback cascade-free
+// runBinaryExact runs the detector on every frame — the cascade-free
 // plan. Counting shards across workers; GAP/LIMIT replay serially.
-func (e *Engine) binaryExact(info *frameql.Info, class vidsim.Class, res *Result, par int) (*Result, error) {
+func (e *Engine) runBinaryExact(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
 	res.Stats.Plan = "binary-exact"
 	lo, hi := e.frameRange(info)
 	fullCost := e.DTest.FullFrameCost()

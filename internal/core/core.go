@@ -1,21 +1,32 @@
 // Package core is BlazeIt's query optimizer and execution engine — the
-// paper's primary contribution. It accepts analyzed FrameQL queries and,
-// with a rule-based optimizer (paper §5), picks and executes one of the
-// plan families:
+// paper's primary contribution. It accepts analyzed FrameQL queries and
+// plans them with a cost-based optimizer (paper §5): a per-family
+// enumerator produces every viable candidate physical plan, a cost model
+// prices each candidate in simulated seconds from cheap inputs (stream
+// configuration, cached held-out statistics, trained filter
+// selectivities) without executing it, and the candidate with the lowest
+// marginal estimate runs. Every Result carries a PlanReport recording the
+// chosen plan, the rejected candidates with their estimates, and the
+// actual cost. The candidate families:
 //
 //   - aggregation (§6): query rewriting with a specialized network when
 //     its held-out error passes the user's bound at the requested
-//     confidence (Algorithm 1), the method of control variates when it
-//     does not, and plain adaptive sampling when no network can be
-//     trained;
-//   - scrubbing (§7): importance sampling ordered by specialized-network
-//     confidence, with detector verification of every returned frame;
-//   - content-based selection (§8): inferred label / content / temporal /
-//     spatial filters ahead of detection, entity resolution with the
-//     motion-IOU tracker, and exact boundary probing for duration
-//     predicates;
+//     confidence (Algorithm 1), the method of control variates, plain
+//     adaptive sampling, and a naive exhaustive scan;
+//   - scrubbing (§7): importance-ordered detector verification ranked by
+//     specialized-network confidence, versus a sequential scan;
+//   - content-based selection (§8): the inferred label / content /
+//     temporal / spatial filter cascade in selectivity-ordered variants,
+//     versus a filterless scan; entity resolution with the motion-IOU
+//     tracker and exact boundary probing for duration predicates;
+//   - binary detection: the NoScope-style cascade versus an exact scan;
 //   - exhaustive: reference-detector evaluation of every candidate frame
-//     for anything the optimizer has no shortcut for.
+//     for anything the enumerators have no shortcut for.
+//
+// Idealized oracle baselines (the paper's §10.1.1 "NoScope (Oracle)")
+// are enumerated too, but gated: a SELECT /*+ PLAN(name) */ hint or a
+// baseline entry point can force them, while the cost-based pick never
+// chooses a plan that assumes free oracle knowledge.
 //
 // Every plan charges its work to a cost meter denominated in simulated
 // seconds using the same extrapolation the paper reports runtimes with
@@ -86,6 +97,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Spec.Seed == 0 {
 		o.Spec.Seed = o.Seed + 17
+		if o.Spec.Seed == 0 {
+			// Seed == -17 would derive the zero sentinel, which specnn
+			// silently re-defaults — changing the training seed and
+			// breaking reproducibility. Pin a nonzero stand-in instead.
+			o.Spec.Seed = -17
+		}
 	}
 	return o
 }
@@ -116,6 +133,10 @@ type Engine struct {
 
 	// exec tracks parallel-execution activity for /statz reporting.
 	exec execCounters
+
+	// planner holds the cost-based planner's cached held-out statistics
+	// and pick accounting (see planner.go).
+	planner plannerState
 }
 
 // NewEngine builds an Engine for a named evaluation stream.
@@ -141,6 +162,7 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 		opts:    opts,
 		models:  make(map[string]*flight.Slot[*specnn.CountModel]),
 		infs:    make(map[string]*flight.Slot[*specnn.Inference]),
+		planner: newPlannerState(),
 	}
 	var errD error
 	if e.DTrain, errD = detect.New(e.Train); errD != nil {
@@ -300,33 +322,24 @@ func (e *Engine) Execute(info *frameql.Info) (*Result, error) {
 
 // ExecuteParallel runs an analyzed query with an explicit worker count for
 // this execution (0 or negative uses the engine's configured parallelism).
-// The parallelism level affects wall-clock time only: the Result — answer,
-// sampled frames, and simulated cost meter — is bit-identical at every
-// level, which is why results cached at one level may be served to
-// requests asking for another.
+// The query is planned first: the family's candidate plans are enumerated
+// and priced, and the cheapest (or the hinted one) executes; the Result's
+// PlanReport records the decision. The parallelism level affects
+// wall-clock time only: the Result — answer, sampled frames, and
+// simulated cost meter — is bit-identical at every level, which is why
+// results cached at one level may be served to requests asking for
+// another. Plan choice is equally parallelism- and cache-state-
+// independent, so repeated queries always run the same plan.
 func (e *Engine) ExecuteParallel(info *frameql.Info, parallelism int) (*Result, error) {
-	if info.Video != "" && info.Video != e.Cfg.Name {
-		return nil, fmt.Errorf("core: query is over %q but engine holds %q", info.Video, e.Cfg.Name)
+	cands, err := e.planCandidates(info, parallelism)
+	if err != nil {
+		return nil, err
 	}
-	if parallelism <= 0 {
-		parallelism = e.opts.Parallelism
+	chosen, forced, err := pick(info, cands)
+	if err != nil {
+		return nil, err
 	}
-	par := ResolveParallelism(parallelism)
-	e.exec.queries.Add(1)
-	switch info.Kind {
-	case frameql.KindAggregate:
-		return e.executeAggregate(info, par)
-	case frameql.KindDistinct:
-		return e.executeDistinct(info, par)
-	case frameql.KindScrubbing:
-		return e.executeScrubbing(info, par)
-	case frameql.KindSelection:
-		return e.executeSelection(info, par)
-	case frameql.KindBinary:
-		return e.executeBinary(info, par)
-	default:
-		return e.executeExhaustive(info, par)
-	}
+	return e.runChosen(info, cands, chosen, forced)
 }
 
 // frameRange clips the query's timestamp bounds to the test day.

@@ -7,8 +7,35 @@ import (
 	"repro/internal/detect"
 	"repro/internal/filters"
 	"repro/internal/frameql"
+	"repro/internal/plan"
 	"repro/internal/track"
 )
+
+// enumerateExhaustive produces the single fallback candidate for queries
+// no specialized enumerator covers: materialize rows with the reference
+// detector on every frame in range and interpret the WHERE expression per
+// row. There is nothing to choose — the point of the exhaustive plan is
+// that it makes no assumptions — but pricing it keeps EXPLAIN and the
+// planner accounting uniform.
+func (e *Engine) enumerateExhaustive(info *frameql.Info, par int) ([]candidate, error) {
+	lo, hi := e.frameRange(info)
+	full := e.DTest.FullFrameCost()
+	p := &costedPlan{
+		desc: plan.Description{
+			Name:   "exhaustive",
+			Family: frameql.KindExhaustive.String(),
+			Detail: "detector on every frame; general WHERE interpreter per row",
+		},
+		est: plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
+		run: func() (*Result, error) { return e.executeExhaustive(info, par) },
+	}
+	return []candidate{{
+		Plan:            p,
+		MarginalSeconds: p.est.DetectorSeconds,
+		Accuracy:        exactAccuracy,
+		UpperBoundOnly:  info.Limit >= 0,
+	}}, nil
+}
 
 // detArena is the compact per-shard product of a detection scan: all
 // detections of the shard's frames appended to one slice, with ends[i]

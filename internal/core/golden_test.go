@@ -1,0 +1,200 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/specnn"
+)
+
+// This file pins the engine's observable output — answers, returned
+// frames and rows, and the full simulated cost meter, bit for bit — for a
+// fixed query sequence on a fresh engine. The golden file was captured
+// from the rule-based optimizer the cost-based planner replaced, so a
+// passing run proves the planner refactoring preserved every result
+// exactly, including the cold-engine training-charge sequence, at
+// parallelism 1, 4, and 8.
+//
+// Regenerate (only when an intentional semantic change lands) with:
+//
+//	BLAZEIT_CAPTURE_GOLDEN=1 go test -run TestGoldenResults ./internal/core/
+//
+// goldenQueries is executed in order on one fresh engine: order matters,
+// because model and inference caches make the first query per class pay
+// training costs that later queries do not.
+var goldenQueries = []string{
+	`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+	`SELECT FCOUNT(*) FROM taipei WHERE class='bus'`,
+	`SELECT FCOUNT(*) FROM taipei WHERE class='bear' ERROR WITHIN 0.1`,
+	`SELECT COUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.05 AT CONFIDENCE 99%`,
+	`SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class='bus' AND timestamp < 3000`,
+	`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`,
+	`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='bear') >= 1 AND timestamp < 4000 LIMIT 1`,
+	`SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 60000 GROUP BY trackid HAVING COUNT(*) > 15`,
+	`SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 2500`,
+	`SELECT * FROM taipei WHERE class='car' AND timestamp < 2500 LIMIT 5 GAP 100`,
+	`SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`,
+	`SELECT * FROM taipei WHERE class='car' AND redness(content) >= 17.5 AND timestamp < 2000`,
+}
+
+// goldenRecord is one execution's bit-exact fingerprint.
+type goldenRecord struct {
+	Query         string   `json:"query"`
+	Parallelism   int      `json:"parallelism"`
+	Kind          string   `json:"kind"`
+	Plan          string   `json:"plan"`
+	ValueBits     uint64   `json:"value_bits"`
+	StdErrBits    uint64   `json:"stderr_bits"`
+	FramesLen     int      `json:"frames_len"`
+	FramesHash    uint64   `json:"frames_hash"`
+	RowsLen       int      `json:"rows_len"`
+	RowsHash      uint64   `json:"rows_hash"`
+	TrackIDsLen   int      `json:"track_ids_len"`
+	TrackIDsHash  uint64   `json:"track_ids_hash"`
+	DetectorCalls int      `json:"detector_calls"`
+	DetectorBits  uint64   `json:"detector_bits"`
+	SpecNNBits    uint64   `json:"specnn_bits"`
+	FilterBits    uint64   `json:"filter_bits"`
+	TrainBits     uint64   `json:"train_bits"`
+	Notes         []string `json:"notes"`
+}
+
+func fingerprint(query string, par int, res *Result) goldenRecord {
+	h := func(write func(w *fnv64w)) uint64 {
+		w := &fnv64w{h: fnv.New64a()}
+		write(w)
+		return w.h.Sum64()
+	}
+	return goldenRecord{
+		Query:       query,
+		Parallelism: par,
+		Kind:        res.Kind,
+		Plan:        res.Stats.Plan,
+		ValueBits:   math.Float64bits(res.Value),
+		StdErrBits:  math.Float64bits(res.StdErr),
+		FramesLen:   len(res.Frames),
+		FramesHash: h(func(w *fnv64w) {
+			for _, f := range res.Frames {
+				w.int(f)
+			}
+		}),
+		RowsLen: len(res.Rows),
+		RowsHash: h(func(w *fnv64w) {
+			for _, r := range res.Rows {
+				w.int(r.Timestamp)
+				w.str(string(r.Class))
+				w.int(r.TrackID)
+				w.f64(r.Mask.X)
+				w.f64(r.Mask.Y)
+				w.f64(r.Mask.W)
+				w.f64(r.Mask.H)
+				w.f64(r.Confidence)
+			}
+		}),
+		TrackIDsLen: len(res.TrackIDs),
+		TrackIDsHash: h(func(w *fnv64w) {
+			for _, id := range res.TrackIDs {
+				w.int(id)
+			}
+		}),
+		DetectorCalls: res.Stats.DetectorCalls,
+		DetectorBits:  math.Float64bits(res.Stats.DetectorSeconds),
+		SpecNNBits:    math.Float64bits(res.Stats.SpecNNSeconds),
+		FilterBits:    math.Float64bits(res.Stats.FilterSeconds),
+		TrainBits:     math.Float64bits(res.Stats.TrainSeconds),
+		Notes:         res.Stats.Notes,
+	}
+}
+
+type fnv64w struct{ h hash.Hash64 }
+
+func (w *fnv64w) int(v int)     { fmt.Fprintf(w.h, "%d,", v) }
+func (w *fnv64w) f64(v float64) { fmt.Fprintf(w.h, "%x,", math.Float64bits(v)) }
+func (w *fnv64w) str(s string)  { fmt.Fprintf(w.h, "%s,", s) }
+
+const goldenPath = "testdata/planner_golden.json"
+
+// goldenRun executes the corpus on a fresh engine: each query twice (cold
+// then warm) at parallelism 1, then once warm at 4 and at 8.
+func goldenRun(t *testing.T) []goldenRecord {
+	t.Helper()
+	e, err := NewEngine("taipei", Options{
+		Scale: 0.02,
+		Seed:  1,
+		Spec: specnn.Options{
+			TrainFrames: 18000,
+			Epochs:      2,
+			Seed:        7,
+		},
+		HeldOutSample: 8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []goldenRecord
+	for _, q := range goldenQueries {
+		info, err := frameql.Analyze(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, par := range []int{1, 1, 4, 8} {
+			res, err := e.ExecuteParallel(info, par)
+			if err != nil {
+				t.Fatalf("%s (par %d): %v", q, par, err)
+			}
+			recs = append(recs, fingerprint(q, par, res))
+		}
+	}
+	return recs
+}
+
+// TestGoldenResults compares the fresh-engine corpus against the
+// pre-planner golden capture, or regenerates it when
+// BLAZEIT_CAPTURE_GOLDEN is set.
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	recs := goldenRun(t)
+	if os.Getenv("BLAZEIT_CAPTURE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("captured %d golden records to %s", len(recs), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (capture with BLAZEIT_CAPTURE_GOLDEN=1): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, golden has %d", len(recs), len(want))
+	}
+	for i := range recs {
+		g, w := recs[i], want[i]
+		// Notes are human-readable optimizer narration, not part of the
+		// answer; everything else must be bit-identical.
+		g.Notes, w.Notes = nil, nil
+		if fmt.Sprintf("%+v", g) != fmt.Sprintf("%+v", w) {
+			t.Errorf("record %d differs from pre-planner golden\n got: %+v\nwant: %+v", i, g, w)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/plan"
 	"repro/internal/vidsim"
 )
 
@@ -81,6 +82,10 @@ type Result struct {
 	TrackIDs []int
 	// Stats is the execution cost meter.
 	Stats Stats
+	// PlanReport records the planner's decision for this execution: the
+	// chosen plan, every rejected candidate with its cost estimate, and
+	// the actual cost for estimate-accuracy tracking.
+	PlanReport *plan.Report
 
 	// evalTruthIDs records generator track identities of returned rows for
 	// evaluation (FNR measurement); not part of the query answer.

@@ -5,20 +5,23 @@ import (
 
 	"repro/internal/frameql"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/scrub"
 	"repro/internal/vidsim"
 )
 
-// executeScrubbing runs a cardinality-limited scrubbing query (paper §7):
-// train a multi-head counting network for every class in the predicate,
-// label every test frame with it, rank frames by summed tail confidence,
-// and verify with the detector in rank order until LIMIT matches (GAP
-// apart) are found.
-//
-// If any requested class cannot be specialized (no examples in the
-// training day), the plan falls back to a sequential detector scan — the
-// paper's §7.1 default.
-func (e *Engine) executeScrubbing(info *frameql.Info, par int) (*Result, error) {
+// scrubDesc describes a scrubbing-family candidate.
+func scrubDesc(name, detail string) plan.Description {
+	return plan.Description{Name: name, Family: frameql.KindScrubbing.String(), Detail: detail}
+}
+
+// enumerateScrubbing produces the scrubbing candidate set (paper §7):
+// importance-ordered detector verification ranked by specialized-network
+// confidence, a sequential scan, and the gated presence-oracle baseline.
+// Verification need is priced from cached held-out match statistics —
+// the match rate for sequential order, the top-confidence precision for
+// importance order.
+func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, error) {
 	reqs, classes, err := scrubRequirements(info)
 	if err != nil {
 		return nil, err
@@ -27,28 +30,63 @@ func (e *Engine) executeScrubbing(info *frameql.Info, par int) (*Result, error) 
 	if limit < 0 {
 		limit = int(^uint(0) >> 1) // no LIMIT: find all matches
 	}
-	res := &Result{Kind: info.Kind.String()}
 	lo, hi := e.frameRange(info)
+	full := e.DTest.FullFrameCost()
+	span := hi - lo
 
-	_, trainCost, err := e.Model(classes)
-	if err != nil {
-		res.Stats.Plan = "scrub-sequential-fallback"
-		res.Stats.note("specialization unavailable (%v); sequential scan", err)
-		sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, par)
-		res.Frames = sr.Frames
-		return res, nil
+	model, trainCost, modelErr := e.Model(classes)
+	if modelErr != nil {
+		model = nil
 	}
-	res.Stats.TrainSeconds += trainCost
+	planReqs := make([]scrubReq, len(reqs))
+	for i, r := range reqs {
+		planReqs[i] = scrubReq{Class: r.Class, N: r.N}
+	}
+	ss := e.scrubPlanStats(planReqs, model)
+
+	seqProbes := plan.GeometricProbes(limit, ss.matchRate, span)
+	seqPlan := &costedPlan{
+		desc: scrubDesc("scrub-sequential", "detector verification in frame order (§7.1 default)"),
+		est:  plan.Cost{DetectorCalls: float64(seqProbes), DetectorSeconds: float64(seqProbes) * full},
+		run: func() (*Result, error) {
+			return e.runScrubSequential(info, reqs, limit, par, "scrub-sequential")
+		},
+	}
+	seqCand := candidate{Plan: seqPlan, MarginalSeconds: seqPlan.est.DetectorSeconds, Accuracy: scrubAccuracy}
+
+	nsProbes := plan.GeometricProbes(limit, ss.matchGivenPresent, int(ss.presentRate*float64(span)))
+	noScopePlan := &costedPlan{
+		desc: scrubDesc("scrub-noscope-oracle", "verification only where the presence oracle reports every class (§10.1.1)"),
+		est:  plan.Cost{DetectorCalls: float64(nsProbes), DetectorSeconds: float64(nsProbes) * full},
+		run: func() (*Result, error) {
+			return e.runScrubNoScope(info, reqs, classes, limit, par)
+		},
+	}
+	noScopeCand := candidate{
+		Plan:            noScopePlan,
+		MarginalSeconds: noScopePlan.est.DetectorSeconds,
+		Gated:           true,
+		Accuracy:        scrubAccuracy,
+	}
+
+	impDesc := scrubDesc("scrub-importance", "detector verification in specialized-network confidence order (§7)")
+	if modelErr != nil {
+		seqPlan.notes = []string{fmt.Sprintf("specialization unavailable (%v); sequential scan", modelErr)}
+		seqPlan.desc.Name = "scrub-sequential-fallback"
+		seqPlan.run = func() (*Result, error) {
+			return e.runScrubSequential(info, reqs, limit, par, "scrub-sequential-fallback")
+		}
+		return []candidate{
+			infeasible(impDesc, fmt.Sprintf("specialization unavailable: %v", modelErr)),
+			seqCand,
+			noScopeCand,
+		}, nil
+	}
 
 	inf, infCost, err := e.Inference(classes, e.Test)
 	if err != nil {
 		return nil, err
 	}
-	// Labeling the unseen video is the indexing step; when the inference
-	// is cached (pre-indexed, as in the paper's "BlazeIt (indexed)"), the
-	// cost is zero.
-	res.Stats.SpecNNSeconds += infCost
-
 	order, err := scrub.RankByConfidence(inf, reqs)
 	if err != nil {
 		return nil, err
@@ -56,12 +94,91 @@ func (e *Engine) executeScrubbing(info *frameql.Info, par int) (*Result, error) 
 	if lo > 0 || hi < e.Test.Frames {
 		order = scrub.FilterOrder(order, func(f int) bool { return f >= lo && f < hi })
 	}
+	impProbes := plan.GeometricProbes(limit, ss.importanceHitRate(limit), span)
+	impPlan := &costedPlan{
+		desc: impDesc,
+		est: plan.Cost{
+			TrainSeconds:    trainCost,
+			SpecNNSeconds:   infCost,
+			DetectorCalls:   float64(impProbes),
+			DetectorSeconds: float64(impProbes) * full,
+		},
+		run: func() (*Result, error) {
+			return e.runScrubImportance(info, reqs, scrubPrep{trainCost: trainCost, infCost: infCost, order: order}, limit, par)
+		},
+	}
+	impCand := candidate{
+		Plan: impPlan,
+		// Whole-day labeling is index investment (the paper's indexed
+		// accounting); the marginal cost is the verification work. The
+		// importance hit rate is floored at the sequential match rate, so
+		// when held-out statistics carry no signal (no sampled matches)
+		// the two candidates tie and enumeration order prefers the
+		// confidence-ranked search — never a worse order than sequential.
+		MarginalSeconds: impPlan.est.DetectorSeconds,
+		Accuracy:        scrubAccuracy,
+	}
+	return []candidate{impCand, seqCand, noScopeCand}, nil
+}
+
+// scrubPrep carries the importance plan's enumeration products: the
+// per-call index costs to charge and the confidence-ranked probe order.
+type scrubPrep struct {
+	trainCost float64
+	infCost   float64
+	order     []int32
+}
+
+// runScrubImportance verifies frames in specialized-network confidence
+// order until LIMIT matches (GAP apart) are found.
+func (e *Engine) runScrubImportance(info *frameql.Info, reqs []scrub.Requirement, prep scrubPrep, limit, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.TrainSeconds += prep.trainCost
+	// Labeling the unseen video is the indexing step; when the inference
+	// is cached (pre-indexed, as in the paper's "BlazeIt (indexed)"), the
+	// cost is zero.
+	res.Stats.SpecNNSeconds += prep.infCost
 	res.Stats.Plan = "scrub-importance"
-	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, par)
+	sr := e.scrubSearch(prep.order, limit, info.Gap, reqs, &res.Stats, par)
 	if sr.Exhausted {
 		res.Stats.note("search exhausted after %d verifications with %d/%d found",
 			sr.Verified, len(sr.Frames), limit)
 	}
+	res.Frames = sr.Frames
+	return res, nil
+}
+
+// runScrubSequential verifies frames in ascending frame order.
+func (e *Engine) runScrubSequential(info *frameql.Info, reqs []scrub.Requirement, limit, par int, label string) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = label
+	lo, hi := e.frameRange(info)
+	sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, par)
+	res.Frames = sr.Frames
+	return res, nil
+}
+
+// runScrubNoScope scans only frames where the oracle reports every
+// requested class present (Figure 6's "NoScope (Oracle)" bar). The
+// oracle is binary: it cannot distinguish one object from five, so the
+// detector must still verify counts.
+func (e *Engine) runScrubNoScope(info *frameql.Info, reqs []scrub.Requirement, classes []vidsim.Class, limit, par int) (*Result, error) {
+	res := &Result{Kind: info.Kind.String()}
+	res.Stats.Plan = "scrub-noscope-oracle"
+	presences := make([][]int32, len(classes))
+	for i, c := range classes {
+		presences[i] = e.Test.Counts(c)
+	}
+	lo, hi := e.frameRange(info)
+	order := scrub.FilterOrder(rangeOrder(lo, hi), func(f int) bool {
+		for _, p := range presences {
+			if p[f] == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, par)
 	res.Frames = sr.Frames
 	return res, nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/detect"
 	"repro/internal/feature"
 	"repro/internal/filters"
 	"repro/internal/frameql"
+	"repro/internal/plan"
 	"repro/internal/specnn"
 	"repro/internal/track"
 	"repro/internal/vidsim"
@@ -30,6 +32,12 @@ type SelectionPlan struct {
 	// NoScopeOracle replaces all filters with the free presence oracle of
 	// §10.1.1 (detector runs on exactly the frames containing the class).
 	NoScopeOracle bool
+	// LabelFirst runs the specialized-network label filter before the
+	// content filters in the cascade. The default (content first) is what
+	// the cost model prefers: the content check is an order of magnitude
+	// cheaper per frame, so running it first strictly dominates unless its
+	// selectivity is 1. Meaningful only when both filter kinds exist.
+	LabelFirst bool
 }
 
 // AllFilters is the default plan with every filter class enabled.
@@ -40,9 +48,227 @@ func AllFilters() SelectionPlan {
 // NaivePlan disables every filter: the detector runs on every frame.
 func NaivePlan() SelectionPlan { return SelectionPlan{} }
 
-// executeSelection runs a selection query with the full filter cascade.
-func (e *Engine) executeSelection(info *frameql.Info, par int) (*Result, error) {
-	return e.executeSelectionPlan(info, AllFilters(), par)
+// selDesc describes a selection-family candidate.
+func selDesc(name, detail string) plan.Description {
+	return plan.Description{Name: name, Family: frameql.KindSelection.String(), Detail: detail}
+}
+
+// enumerateSelection produces the selection candidate set (paper §8): the
+// full filter cascade in both orderings (content filters before or after
+// the specialized-network label filter, priced by their trained
+// selectivities), the filterless scan, and the gated presence-oracle
+// baseline. Training the filters is part of planning; the executed
+// variant replays the training charges exactly.
+func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, error) {
+	allPlan := AllFilters()
+	prep, err := e.selectionPrep(info, allPlan)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := e.frameRange(info)
+	full := e.DTest.FullFrameCost()
+	span := hi - lo
+	visited := 0
+	if span > 0 {
+		visited = (span + prep.step - 1) / prep.step
+	}
+
+	allEst := e.selectionEstimate(prep, visited, false)
+	allCost := &costedPlan{
+		desc: selDesc("selection-all-filters", "full cascade: spatial ROI, temporal step, content filters, then label filter (§8)"),
+		est:  allEst,
+		run: func() (*Result, error) {
+			return e.runSelectionPlan(info, allPlan, prep, par)
+		},
+	}
+	cands := []candidate{{
+		Plan:            allCost,
+		MarginalSeconds: allEst.DetectorSeconds + allEst.FilterSeconds,
+		Accuracy:        selectionAccuracy,
+	}}
+
+	lfDesc := selDesc("selection-label-first", "full cascade with the label filter ahead of the content filters")
+	if len(prep.contentFilters) > 0 && prep.labelFilter != nil {
+		lfPlan := allPlan
+		lfPlan.LabelFirst = true
+		lfEst := e.selectionEstimate(prep, visited, true)
+		lfCost := &costedPlan{
+			desc: lfDesc,
+			est:  lfEst,
+			run: func() (*Result, error) {
+				return e.runSelectionPlan(info, lfPlan, prep, par)
+			},
+		}
+		cands = append(cands, candidate{
+			Plan:            lfCost,
+			MarginalSeconds: lfEst.DetectorSeconds + lfEst.FilterSeconds,
+			Accuracy:        selectionAccuracy,
+		})
+	} else {
+		cands = append(cands, infeasible(lfDesc, "needs both content and label filters to reorder"))
+	}
+
+	naivePlan := NaivePlan()
+	naiveEst := plan.Cost{DetectorCalls: float64(span), DetectorSeconds: float64(span) * full}
+	naiveCost := &costedPlan{
+		desc: selDesc("selection-naive", "reference detector on every frame, no filters"),
+		est:  naiveEst,
+		run: func() (*Result, error) {
+			return e.executeSelectionPlan(info, naivePlan, par)
+		},
+	}
+	// Not UpperBoundOnly even under LIMIT: the selection executor scans
+	// every visited frame and applies LIMIT/GAP on the merged rows, so
+	// the full-scan estimate is what a run actually costs.
+	cands = append(cands, candidate{
+		Plan:            naiveCost,
+		MarginalSeconds: naiveEst.DetectorSeconds,
+		Accuracy:        exactAccuracy,
+	})
+
+	base := e.baseStats(prep.class)
+	nsPlan := SelectionPlan{NoScopeOracle: true}
+	nsEst := plan.Cost{
+		DetectorCalls:   base.presence * float64(span),
+		DetectorSeconds: base.presence * float64(span) * full,
+	}
+	nsCost := &costedPlan{
+		desc: selDesc("selection-noscope-oracle", "detector on exactly the frames the presence oracle marks occupied (§10.1.1)"),
+		est:  nsEst,
+		run: func() (*Result, error) {
+			return e.executeSelectionPlan(info, nsPlan, par)
+		},
+	}
+	cands = append(cands, candidate{
+		Plan:            nsCost,
+		MarginalSeconds: nsEst.DetectorSeconds,
+		Gated:           true,
+		Accuracy:        selectionAccuracy,
+	})
+	return cands, nil
+}
+
+// cascadeRates are measured held-out pass rates for a trained filter
+// cascade. The filters detect the same objects and are therefore highly
+// correlated — multiplying individual selectivities would badly
+// underestimate the joint pass rate, so the cascade is measured jointly.
+type cascadeRates struct {
+	// content is the fraction of frames passing every content filter.
+	content float64
+	// joint is the fraction passing content and label filters together —
+	// the frames the detector runs on.
+	joint float64
+}
+
+// cascadeKey identifies a trained cascade by its thresholds.
+func (p *selPrep) cascadeKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s", p.class)
+	for _, cf := range p.contentFilters {
+		fmt.Fprintf(&sb, "|%s>=%g", cf.UDF, cf.Threshold)
+	}
+	if p.labelFilter != nil {
+		fmt.Fprintf(&sb, "|label>=%g", p.labelFilter.Threshold)
+	}
+	return sb.String()
+}
+
+// measureCascade computes (and caches) the cascade's joint pass rates on
+// a strided sample of the held-out day — cheap planning work charged to
+// nobody, like every held-out statistic.
+func (e *Engine) measureCascade(prep *selPrep) *cascadeRates {
+	key := prep.cascadeKey()
+	e.planner.mu.Lock()
+	if r, ok := e.planner.cascade[key]; ok {
+		e.planner.mu.Unlock()
+		return r
+	}
+	e.planner.mu.Unlock()
+
+	stride := planStride(e.HeldOut.Frames, e.opts.HeldOutSample)
+	ev := specnn.NewEvaluator(prep.model, e.HeldOut)
+	head := -1
+	if prep.labelFilter != nil {
+		head = prep.labelFilter.Head
+	}
+	n, contentPass, jointPass := 0, 0, 0
+	for f := 0; f < e.HeldOut.Frames; f += stride {
+		n++
+		ev.Seek(f)
+		pass := true
+		raw := ev.Raw()
+		for _, cf := range prep.contentFilters {
+			if !cf.Pass(raw) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			contentPass++
+			if prep.labelFilter != nil && ev.TailProb(head, 1) < prep.labelFilter.Threshold {
+				pass = false
+			}
+		}
+		if pass {
+			jointPass++
+		}
+	}
+	r := &cascadeRates{content: 1, joint: 1}
+	if n > 0 {
+		r.content = float64(contentPass) / float64(n)
+		r.joint = float64(jointPass) / float64(n)
+	}
+	e.planner.mu.Lock()
+	if prev, ok := e.planner.cascade[key]; ok {
+		r = prev
+	} else {
+		e.planner.cascade[key] = r
+	}
+	e.planner.mu.Unlock()
+	return r
+}
+
+// selectionEstimate prices one cascade ordering: each stage charges its
+// per-frame cost to the frames surviving the stages before it (survival
+// measured jointly on the held-out day, since the filters correlate), and
+// the detector runs on what survives the whole cascade. Duration-probe
+// detector calls are not modeled; the candidate's accuracy factor absorbs
+// them.
+func (e *Engine) selectionEstimate(prep *selPrep, visited int, labelFirst bool) plan.Cost {
+	hasContent := len(prep.contentFilters) > 0
+	hasLabel := prep.labelFilter != nil
+	v := float64(visited)
+	est := plan.Cost{}
+	for _, c := range prep.charges {
+		est.TrainSeconds += c.train
+	}
+	survivors := v
+	if hasContent || hasLabel {
+		rates := e.measureCascade(prep)
+		survivors = v * rates.joint
+		switch {
+		case labelFirst && hasContent && hasLabel:
+			// Label first: every visited frame pays feature extraction plus
+			// network inference; content checks reuse the extracted features.
+			est.FilterSeconds += v * (feature.CostSeconds + specnn.InferenceCostSeconds)
+		default:
+			if hasContent {
+				est.FilterSeconds += v * feature.CostSeconds
+			}
+			if hasLabel {
+				reachLabel := v
+				if hasContent {
+					reachLabel = v * rates.content
+				} else {
+					est.FilterSeconds += v * feature.CostSeconds
+				}
+				est.FilterSeconds += reachLabel * specnn.InferenceCostSeconds
+			}
+		}
+	}
+	est.DetectorCalls = survivors
+	est.DetectorSeconds = survivors * prep.detCost
+	return est
 }
 
 // trackAgg accumulates per-track state during selection.
@@ -78,8 +304,145 @@ const (
 	selDetected
 )
 
-// executeSelectionPlan runs a selection query under an explicit filter
-// plan. The executor guarantees no false positives: every returned row is
+// selCharge is one recorded preparation charge: training seconds and an
+// optimizer note, replayed onto the executed plan's cost meter in the
+// exact order the preparation incurred them.
+type selCharge struct {
+	train    float64
+	hasTrain bool
+	note     string
+}
+
+// selPrep is the product of selection planning for one filter plan:
+// trained filters, scan geometry, and the ordered charge replay list.
+// One prep may be shared by several cascade-ordering candidates — the
+// filters and charges are identical; only the scan order differs.
+type selPrep struct {
+	class          vidsim.Class
+	target         filters.Target
+	roi            vidsim.Box
+	detCost        float64
+	step           int
+	contentFilters []*filters.ContentFilter
+	labelFilter    *filters.LabelFilter
+	model          *specnn.CountModel
+	presence       []int32
+	charges        []selCharge
+}
+
+// charge replays the preparation charges onto a cost meter.
+func (p *selPrep) charge(st *Stats) {
+	for _, c := range p.charges {
+		if c.hasTrain {
+			st.TrainSeconds += c.train
+		}
+		if c.note != "" {
+			st.Notes = append(st.Notes, c.note)
+		}
+	}
+}
+
+// selectionPrep splits predicates and trains the filters a selection plan
+// uses: spatial bounds become the ROI, duration constraints the temporal
+// step, content predicates frame-level threshold filters, and the class
+// predicate the specialized-network label filter. Every training charge
+// and optimizer note is recorded for replay instead of applied, so
+// planning can price candidates before any execution exists.
+func (e *Engine) selectionPrep(info *frameql.Info, plan SelectionPlan) (*selPrep, error) {
+	if len(info.Classes) != 1 {
+		return nil, fmt.Errorf("core: selection requires exactly one class predicate, got %v", info.Classes)
+	}
+	class := vidsim.Class(info.Classes[0])
+	w := float64(e.Cfg.Width)
+	h := float64(e.Cfg.Height)
+	p := &selPrep{
+		class:  class,
+		target: filters.Target{Class: class, Preds: info.UDFs},
+		roi:    vidsim.Box{X: 0, Y: 0, W: w, H: h},
+		step:   1,
+	}
+	note := func(format string, args ...interface{}) {
+		p.charges = append(p.charges, selCharge{note: fmt.Sprintf(format, args...)})
+	}
+	train := func(seconds float64) {
+		p.charges = append(p.charges, selCharge{train: seconds, hasTrain: true})
+	}
+
+	if plan.UseSpatial {
+		if r, ok := filters.ROIFromPreds(info.UDFs, w, h); ok {
+			// Keep some padding visible (paper §8.1).
+			const pad = 16
+			p.roi = vidsim.Box{X: r.X - pad, Y: r.Y - pad, W: r.W + 2*pad, H: r.H + 2*pad}.Clip(w, h)
+			note("spatial: ROI %.0fx%.0f (cost factor %.2f)",
+				p.roi.W, p.roi.H, e.DTest.CostFor(p.roi.W, p.roi.H)/e.DTest.FullFrameCost())
+		}
+	}
+	p.detCost = e.DTest.CostFor(p.roi.W, p.roi.H)
+
+	if plan.UseTemporal && info.MinDurationFrames > 1 {
+		p.step = filters.TemporalStep(info.MinDurationFrames)
+		note("temporal: step %d from duration >= %d frames", p.step, info.MinDurationFrames)
+	}
+
+	if plan.UseContent {
+		for _, pred := range info.UDFs {
+			if pred.Arg != "content" {
+				continue
+			}
+			cf := filters.TrainContentFilter(e.HeldOut, e.DHeld, p.target, pred, e.opts.HeldOutSample)
+			if cf != nil {
+				// Threshold computation scans the held-out day with the
+				// cheap frame UDF.
+				p.charges = append(p.charges, selCharge{
+					train:    float64(minInt(e.HeldOut.Frames, e.opts.HeldOutSample)) * feature.CostSeconds,
+					hasTrain: true,
+					note:     fmt.Sprintf("content: %s >= %.2f (selectivity %.3f)", cf.UDF, cf.Threshold, cf.Selectivity),
+				})
+				p.contentFilters = append(p.contentFilters, cf)
+			}
+		}
+	}
+
+	if plan.UseLabel {
+		m, trainCost, err := e.Model([]vidsim.Class{class})
+		if err == nil {
+			p.model = m
+			train(trainCost)
+			infHeld, heldCost, err := e.Inference([]vidsim.Class{class}, e.HeldOut)
+			if err != nil {
+				return nil, err
+			}
+			train(heldCost)
+			p.labelFilter = filters.TrainLabelFilter(e.HeldOut, e.DHeld, m, infHeld, p.target, e.opts.HeldOutSample)
+			if p.labelFilter != nil {
+				note("label: P(%s >= 1) >= %.3f (selectivity %.3f)",
+					class, p.labelFilter.Threshold, p.labelFilter.Selectivity)
+			}
+		} else {
+			note("label filter unavailable: %v", err)
+		}
+	}
+
+	// Oracle presence for the NoScope baseline (free, per §10.1.1).
+	if plan.NoScopeOracle {
+		p.presence = e.Test.Counts(class)
+	}
+	return p, nil
+}
+
+// executeSelectionPlan prepares and runs a selection query under an
+// explicit filter plan — the direct path the lesion-study benchmarks use;
+// planned executions share the preparation via runSelectionPlan.
+func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, par int) (*Result, error) {
+	prep, err := e.selectionPrep(info, plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.runSelectionPlan(info, plan, prep, par)
+}
+
+// runSelectionPlan runs a selection query with prepared filters. The
+// executor guarantees no false positives: every returned row is
 // detector-verified, and duration predicates are resolved exactly by
 // probing track boundaries with additional detector calls when sampling
 // leaves them ambiguous (§3: "BLAZEIT can always ensure no false
@@ -93,85 +456,24 @@ const (
 // in frame order. Duration probing then runs on the merged tracks in
 // ascending track-ID order, so the Result is bit-identical at every
 // parallelism level.
-func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, par int) (*Result, error) {
-	if len(info.Classes) != 1 {
-		return nil, fmt.Errorf("core: selection requires exactly one class predicate, got %v", info.Classes)
-	}
-	class := vidsim.Class(info.Classes[0])
+func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *selPrep, par int) (*Result, error) {
+	class := prep.class
 	res := &Result{Kind: info.Kind.String()}
 	res.Stats.Plan = planName(plan)
+	prep.charge(&res.Stats)
 
-	// Split predicates: spatial bounds become the ROI; everything applies
-	// object-level afterward (exactness).
-	w := float64(e.Cfg.Width)
-	h := float64(e.Cfg.Height)
-	target := filters.Target{Class: class, Preds: info.UDFs}
-
-	roi := vidsim.Box{X: 0, Y: 0, W: w, H: h}
-	if plan.UseSpatial {
-		if r, ok := filters.ROIFromPreds(info.UDFs, w, h); ok {
-			// Keep some padding visible (paper §8.1).
-			const pad = 16
-			roi = vidsim.Box{X: r.X - pad, Y: r.Y - pad, W: r.W + 2*pad, H: r.H + 2*pad}.Clip(w, h)
-			res.Stats.note("spatial: ROI %.0fx%.0f (cost factor %.2f)",
-				roi.W, roi.H, e.DTest.CostFor(roi.W, roi.H)/e.DTest.FullFrameCost())
-		}
-	}
-	detCost := e.DTest.CostFor(roi.W, roi.H)
-
-	step := 1
-	if plan.UseTemporal && info.MinDurationFrames > 1 {
-		step = filters.TemporalStep(info.MinDurationFrames)
-		res.Stats.note("temporal: step %d from duration >= %d frames", step, info.MinDurationFrames)
-	}
-
-	var contentFilters []*filters.ContentFilter
-	if plan.UseContent {
-		for _, p := range info.UDFs {
-			if p.Arg != "content" {
-				continue
-			}
-			cf := filters.TrainContentFilter(e.HeldOut, e.DHeld, target, p, e.opts.HeldOutSample)
-			if cf != nil {
-				// Threshold computation scans the held-out day with the
-				// cheap frame UDF.
-				res.Stats.TrainSeconds += float64(minInt(e.HeldOut.Frames, e.opts.HeldOutSample)) * feature.CostSeconds
-				res.Stats.note("content: %s >= %.2f (selectivity %.3f)", cf.UDF, cf.Threshold, cf.Selectivity)
-				contentFilters = append(contentFilters, cf)
-			}
-		}
-	}
-
-	var labelFilter *filters.LabelFilter
-	var model *specnn.CountModel
-	if plan.UseLabel {
-		m, trainCost, err := e.Model([]vidsim.Class{class})
-		if err == nil {
-			model = m
-			res.Stats.TrainSeconds += trainCost
-			infHeld, heldCost, err := e.Inference([]vidsim.Class{class}, e.HeldOut)
-			if err != nil {
-				return nil, err
-			}
-			res.Stats.TrainSeconds += heldCost
-			labelFilter = filters.TrainLabelFilter(e.HeldOut, e.DHeld, m, infHeld, target, e.opts.HeldOutSample)
-			if labelFilter != nil {
-				res.Stats.note("label: P(%s >= 1) >= %.3f (selectivity %.3f)",
-					class, labelFilter.Threshold, labelFilter.Selectivity)
-			}
-		} else {
-			res.Stats.note("label filter unavailable: %v", err)
-		}
-	}
-
-	// Oracle presence for the NoScope baseline (free, per §10.1.1).
-	var presence []int32
-	if plan.NoScopeOracle {
-		presence = e.Test.Counts(class)
-	}
+	target := prep.target
+	roi := prep.roi
+	detCost := prep.detCost
+	step := prep.step
+	contentFilters := prep.contentFilters
+	labelFilter := prep.labelFilter
+	model := prep.model
+	presence := prep.presence
 
 	hasContent := len(contentFilters) > 0
 	hasLabel := labelFilter != nil
+	labelFirst := plan.LabelFirst && hasContent && hasLabel
 	headIdx := -1
 	if hasLabel {
 		headIdx = labelFilter.Head
@@ -206,6 +508,23 @@ func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, pa
 			if plan.NoScopeOracle {
 				if presence[f] > 0 {
 					fl = selDetected
+				}
+			} else if labelFirst {
+				// Reordered cascade: the network gates first, content
+				// checks reuse its feature extraction on survivors.
+				ev.Seek(f)
+				pass := ev.TailProb(headIdx, 1) >= labelFilter.Threshold
+				if pass {
+					raw := ev.Raw()
+					for _, cf := range contentFilters {
+						if !cf.Pass(raw) {
+							pass = false
+							break
+						}
+					}
+				}
+				if pass {
+					fl |= selDetected
 				}
 			} else {
 				pass := true
@@ -265,7 +584,15 @@ func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, pa
 		for i := s.lo; i < s.hi; i++ {
 			f := lo + i*step
 			fl := a.flags[i-s.lo]
-			if !plan.NoScopeOracle {
+			switch {
+			case plan.NoScopeOracle:
+				// Oracle knowledge is free.
+			case labelFirst:
+				// Every visited frame pays feature extraction and network
+				// inference; content checks on survivors reuse both.
+				res.Stats.FilterSeconds += feature.CostSeconds
+				res.Stats.FilterSeconds += specnn.InferenceCostSeconds
+			default:
 				// Replay the cascade's filter charges exactly as a serial
 				// scan would interleave them.
 				if hasContent {
@@ -444,6 +771,8 @@ func planName(p SelectionPlan) string {
 		return "selection-noscope-oracle"
 	case !p.UseSpatial && !p.UseTemporal && !p.UseContent && !p.UseLabel:
 		return "selection-naive"
+	case p.LabelFirst && p.UseSpatial && p.UseTemporal && p.UseContent && p.UseLabel:
+		return "selection-label-first"
 	case p.UseSpatial && p.UseTemporal && p.UseContent && p.UseLabel:
 		return "selection-all-filters"
 	default:

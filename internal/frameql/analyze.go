@@ -108,6 +108,10 @@ type Info struct {
 	Limit, Gap int
 	// SelectsAll is true for SELECT *.
 	SelectsAll bool
+	// PlanHint is the lowercased physical-plan name from a
+	// SELECT /*+ PLAN(name) */ hint, or empty. The planner executes the
+	// named candidate instead of the cost-based pick.
+	PlanHint string
 	// Residual is true when WHERE/HAVING contained predicates the analyzer
 	// could not map onto optimizer structures (OR, NOT, exotic shapes);
 	// such queries fall back to exhaustive plans.
@@ -145,6 +149,9 @@ func AnalyzeStmt(stmt *SelectStmt) (*Info, error) {
 		info.Gap = *stmt.Gap
 	}
 
+	if err := info.analyzeHint(stmt.Hint); err != nil {
+		return nil, err
+	}
 	if err := info.analyzeWhere(stmt.Where); err != nil {
 		return nil, err
 	}
@@ -153,6 +160,25 @@ func AnalyzeStmt(stmt *SelectStmt) (*Info, error) {
 	}
 	info.classify(stmt)
 	return info, nil
+}
+
+// analyzeHint recognizes the supported hint forms. Only PLAN(name) exists
+// today; unknown hints are errors rather than silently ignored, so a typo
+// cannot demote a forced plan to a cost-based pick.
+func (info *Info) analyzeHint(hint string) error {
+	if hint == "" {
+		return nil
+	}
+	upper := strings.ToUpper(hint)
+	if !strings.HasPrefix(upper, "PLAN(") || !strings.HasSuffix(upper, ")") {
+		return &SyntaxError{Msg: fmt.Sprintf("unsupported hint %q (expected PLAN(name))", hint)}
+	}
+	name := strings.TrimSpace(hint[len("PLAN(") : len(hint)-1])
+	if name == "" {
+		return &SyntaxError{Msg: "empty plan name in PLAN() hint"}
+	}
+	info.PlanHint = strings.ToLower(name)
+	return nil
 }
 
 // analyzeWhere walks the WHERE conjunction and extracts class, UDF, and

@@ -137,6 +137,9 @@ func (s SelectItem) String() string {
 
 // SelectStmt is a parsed FrameQL query (Table 2's syntactic sugar included).
 type SelectStmt struct {
+	// Hint is the optimizer hint comment following SELECT, trimmed of the
+	// /*+ */ delimiters: "PLAN(name)" forces a named physical plan.
+	Hint string
 	// Items is the select list.
 	Items []SelectItem
 	// From is the video relation name.
@@ -165,6 +168,12 @@ type SelectStmt struct {
 func (s *SelectStmt) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
+	if s.Hint != "" {
+		// The hint is part of the canonical text: hinted and unhinted
+		// versions of a query choose different plans, so result caches must
+		// not conflate them.
+		sb.WriteString("/*+ " + s.Hint + " */ ")
+	}
 	for i, it := range s.Items {
 		if i > 0 {
 			sb.WriteString(", ")

@@ -20,6 +20,9 @@ var fuzzSeedQueries = []string{
 	`SELECT * FROM amsterdam WHERE (class = 'car' OR class = 'bus') AND timestamp < 500 LIMIT 20`,
 	`SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`,
 	`SELECT * FROM feeder WHERE class = 'bird' AND NOT (classify(content) = 'crow')`,
+	`SELECT /*+ PLAN(naive-aqp) */ FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1`,
+	`SELECT /* comment */ * FROM v WHERE class = 'car'`,
+	`SELECT /*+ */ * FROM v`,
 	`SELECT FCOUNT(*) FROM v WHERE x = 'it''s'`,
 	`SELECT * FROM v WHERE a >= -1.5e3 AND b != 'q';`,
 	``,

@@ -1,0 +1,111 @@
+package frameql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT /* a comment */ * FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.Kind == TokHint {
+			t.Fatalf("plain comment lexed as hint: %+v", tk)
+		}
+	}
+	if len(toks) != 5 { // SELECT * FROM v EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexHint(t *testing.T) {
+	toks, err := Lex("SELECT /*+ PLAN(naive-aqp) */ * FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokHint || toks[1].Text != "PLAN(naive-aqp)" {
+		t.Fatalf("hint token = %+v", toks[1])
+	}
+}
+
+func TestLexCommentErrors(t *testing.T) {
+	for _, src := range []string{"SELECT /* unterminated", "SELECT / FROM v", "SELECT /*+ PLAN(x) FROM v"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexEmptyHintIsComment(t *testing.T) {
+	toks, err := Lex("SELECT /*+ */ * FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind == TokHint {
+		t.Fatalf("empty hint should be whitespace, got %+v", toks[1])
+	}
+}
+
+func TestParseHintRoundTrip(t *testing.T) {
+	stmt, err := Parse("select /*+ plan(control-variates) */ FCOUNT(*) from taipei where class = 'car' error within 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Hint != "plan(control-variates)" {
+		t.Fatalf("hint = %q", stmt.Hint)
+	}
+	s := stmt.String()
+	if !strings.Contains(s, "/*+ plan(control-variates) */") {
+		t.Fatalf("canonical text lost the hint: %q", s)
+	}
+	again, err := Parse(s)
+	if err != nil {
+		t.Fatalf("canonical text fails to re-parse: %v", err)
+	}
+	if again.String() != s {
+		t.Fatalf("String not a fixed point: %q vs %q", again.String(), s)
+	}
+}
+
+func TestHintChangesCanonicalText(t *testing.T) {
+	plain, err := Parse("SELECT FCOUNT(*) FROM v WHERE class='car'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := Parse("SELECT /*+ PLAN(naive-exhaustive) */ FCOUNT(*) FROM v WHERE class='car'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result caches key on canonical text; a hinted query runs a
+	// different plan and must not share the unhinted entry.
+	if plain.String() == hinted.String() {
+		t.Fatal("hinted and unhinted queries share canonical text")
+	}
+}
+
+func TestAnalyzeHint(t *testing.T) {
+	info, err := Analyze("SELECT /*+ PLAN(Scrub-Importance) */ timestamp FROM v GROUP BY timestamp HAVING SUM(class='car') >= 2 LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PlanHint != "scrub-importance" {
+		t.Fatalf("plan hint = %q", info.PlanHint)
+	}
+	if info.Kind != KindScrubbing {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+}
+
+func TestAnalyzeHintErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT /*+ NOPE(x) */ * FROM v",
+		"SELECT /*+ PLAN() */ * FROM v",
+		"SELECT /*+ PLAN */ * FROM v",
+	} {
+		if _, err := Analyze(src); err == nil {
+			t.Errorf("%q: expected analyze error for malformed hint", src)
+		}
+	}
+}

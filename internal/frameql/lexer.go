@@ -57,6 +57,29 @@ func (l *lexer) next() (Token, error) {
 	case c == ';':
 		l.pos++
 		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case c == '/':
+		if l.pos+1 >= len(l.src) || l.src[l.pos+1] != '*' {
+			return Token{}, &SyntaxError{Pos: start, Msg: "unexpected '/'"}
+		}
+		l.pos += 2
+		hint := l.pos < len(l.src) && l.src[l.pos] == '+'
+		if hint {
+			l.pos++
+		}
+		body := l.pos
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				text := strings.TrimSpace(l.src[body:l.pos])
+				l.pos += 2
+				if hint && text != "" {
+					return Token{Kind: TokHint, Text: text, Pos: start}, nil
+				}
+				// Plain (and empty-hint) comments are whitespace.
+				return l.next()
+			}
+			l.pos++
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: "unterminated comment"}
 	case c == '=':
 		l.pos++
 		return Token{Kind: TokOp, Text: "=", Pos: start}, nil

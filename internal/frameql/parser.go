@@ -59,6 +59,11 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	}
 	stmt := &SelectStmt{}
 
+	// An optimizer hint comment may follow SELECT: /*+ PLAN(name) */.
+	if p.peek().Kind == TokHint {
+		stmt.Hint = p.advance().Text
+	}
+
 	// Select list.
 	for {
 		item, err := p.parseSelectItem()

@@ -42,6 +42,7 @@ const (
 	TokOp      // = != <> < <= > >=
 	TokPercent // %
 	TokSemi
+	TokHint // /*+ ... */ optimizer hint comment
 )
 
 func (k TokenKind) String() string {
@@ -70,6 +71,8 @@ func (k TokenKind) String() string {
 		return "'%'"
 	case TokSemi:
 		return "';'"
+	case TokHint:
+		return "hint"
 	}
 	return "unknown token"
 }

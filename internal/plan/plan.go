@@ -1,0 +1,285 @@
+// Package plan is BlazeIt's physical-plan layer: the vocabulary the
+// cost-based optimizer (paper §5) uses to enumerate, price, choose, and
+// report candidate execution plans.
+//
+// The engine's per-kind enumerators produce every viable candidate for a
+// query — e.g. specialized-network query rewriting, control variates,
+// plain adaptive sampling, and a naive scan for an aggregate — each priced
+// in the same simulated-seconds currency execution is metered in, from
+// cheap inputs only (stream configuration, cached held-out error
+// statistics, filter selectivities). Choose picks the candidate with the
+// lowest marginal estimate; Force selects a candidate by name, which is
+// how query hints and the experiment baselines run alternative plans
+// through the same machinery.
+//
+// Candidate selection uses the marginal (per-execution) estimate, not the
+// total: one-time index investments — specialized-network training and
+// whole-day labeling inference — are excluded from the comparison,
+// following the paper's "BlazeIt (indexed)" accounting in which those
+// costs amortize across every query over the same class. Excluding them
+// also keeps the pick cache-state-independent: a choice that flipped
+// between cold and warm caches would make repeated queries
+// non-deterministic. Ties resolve to enumeration order, so enumerators
+// list the preferred plan first.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Cost is an estimated simulated-cost breakdown, mirroring the execution
+// cost meter's components. Estimates are expected charges for the next
+// execution: training and inference components reflect the engine's cache
+// state (zero when already paid), so a candidate's estimate is directly
+// comparable to the Stats the execution actually records.
+type Cost struct {
+	// DetectorCalls estimates reference-detector invocations.
+	DetectorCalls float64 `json:"detector_calls"`
+	// DetectorSeconds is their simulated cost.
+	DetectorSeconds float64 `json:"detector_seconds"`
+	// SpecNNSeconds covers specialized-network inference.
+	SpecNNSeconds float64 `json:"specnn_seconds"`
+	// FilterSeconds covers cheap filters.
+	FilterSeconds float64 `json:"filter_seconds"`
+	// TrainSeconds covers training and threshold computation.
+	TrainSeconds float64 `json:"train_seconds"`
+}
+
+// Total is the full estimated simulated cost, training included.
+func (c Cost) Total() float64 {
+	return c.DetectorSeconds + c.SpecNNSeconds + c.FilterSeconds + c.TrainSeconds
+}
+
+// Description identifies a physical plan.
+type Description struct {
+	// Name is the plan's unique name within its family; it is also the
+	// Stats.Plan label the plan's execution records.
+	Name string `json:"name"`
+	// Family is the query kind the plan answers (aggregate, scrubbing, …).
+	Family string `json:"family"`
+	// Detail is a one-line human-readable summary of the strategy.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Plan is one executable physical plan for an analyzed query.
+type Plan[R any] interface {
+	// Describe identifies the plan.
+	Describe() Description
+	// EstimateCost prices the plan's next execution from cheap inputs,
+	// without executing it.
+	EstimateCost() Cost
+	// Run executes the plan.
+	Run() (R, error)
+}
+
+// Costed pairs a Plan with the planner's selection metadata.
+type Costed[R any] struct {
+	// Plan is the candidate itself; nil only for infeasible candidates.
+	Plan Plan[R]
+	// MarginalSeconds is the decision metric: the estimated
+	// per-execution cost excluding one-time index investments (training
+	// and whole-day labeling inference — the paper's indexed
+	// accounting). It is a pure function of the query and the cached
+	// planning statistics — never of cache state — so the pick is
+	// deterministic across repeated executions.
+	MarginalSeconds float64
+	// Infeasible, when non-empty, explains why the candidate cannot run
+	// for this query (it still appears in EXPLAIN output).
+	Infeasible string
+	// Gated marks plans that are enumerable and hint-forcible but never
+	// chosen by the cost-based pick: the idealized oracle baselines,
+	// which assume knowledge a deployed system does not have.
+	Gated bool
+	// Accuracy is the multiplicative accuracy factor claimed for the
+	// estimate: the actual cost of a fresh execution is expected within
+	// [Total/Accuracy, Total*Accuracy]. Zero means exact (within float
+	// noise).
+	Accuracy float64
+	// UpperBoundOnly marks estimates that are upper bounds: early-exit
+	// (LIMIT) scans may cost arbitrarily less than estimated.
+	UpperBoundOnly bool
+}
+
+// Choose picks the feasible, ungated candidate with the lowest marginal
+// estimate; ties resolve to enumeration order, so enumerators list the
+// preferred plan first. It returns an error when no candidate is
+// choosable.
+func Choose[R any](cands []Costed[R]) (*Costed[R], error) {
+	best := -1
+	for i := range cands {
+		c := &cands[i]
+		if c.Infeasible != "" || c.Gated || c.Plan == nil {
+			continue
+		}
+		if best < 0 || c.MarginalSeconds < cands[best].MarginalSeconds {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("plan: no feasible candidate among %s", candidateNames(cands))
+	}
+	return &cands[best], nil
+}
+
+// Force selects the first candidate matching one of the given names
+// (case-insensitive), for hint-forced execution. Gated candidates may be
+// forced; infeasible ones may not.
+func Force[R any](cands []Costed[R], names ...string) (*Costed[R], error) {
+	for _, name := range names {
+		for i := range cands {
+			c := &cands[i]
+			if c.Plan == nil || !strings.EqualFold(c.Plan.Describe().Name, name) {
+				continue
+			}
+			if c.Infeasible != "" {
+				return nil, fmt.Errorf("plan: %s is not executable for this query: %s", c.Plan.Describe().Name, c.Infeasible)
+			}
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: no candidate named %s; candidates are %s",
+		strings.Join(names, " or "), candidateNames(cands))
+}
+
+func candidateNames[R any](cands []Costed[R]) string {
+	names := make([]string, 0, len(cands))
+	for i := range cands {
+		if cands[i].Plan != nil {
+			names = append(names, cands[i].Plan.Describe().Name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Candidate is the report/wire form of one enumerated plan.
+type Candidate struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	// Estimate is the expected cost breakdown of the next execution.
+	Estimate Cost `json:"estimate"`
+	// EstimateSeconds is Estimate.Total(), denormalized for display.
+	EstimateSeconds float64 `json:"estimate_seconds"`
+	// MarginalSeconds is the cache-independent decision metric the
+	// planner compared candidates by.
+	MarginalSeconds float64 `json:"marginal_seconds"`
+	// Feasible reports whether the candidate could run for this query.
+	Feasible bool `json:"feasible"`
+	// Reason explains infeasibility or gating.
+	Reason string `json:"reason,omitempty"`
+	// Chosen marks the candidate the planner picked.
+	Chosen bool `json:"chosen"`
+	// Accuracy is the claimed multiplicative estimate accuracy factor.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// UpperBoundOnly marks upper-bound estimates (early-exit scans).
+	UpperBoundOnly bool `json:"upper_bound_only,omitempty"`
+}
+
+// Report records one planning decision: the candidate table, the pick,
+// and — after execution — the actual cost, for estimate-vs-actual
+// accuracy tracking.
+type Report struct {
+	// Family is the plan family (query kind) planned for.
+	Family string `json:"family"`
+	// Chosen is the picked candidate's name.
+	Chosen string `json:"chosen"`
+	// Forced reports whether a hint or baseline forced the pick.
+	Forced bool `json:"forced,omitempty"`
+	// EstimateSeconds is the chosen candidate's estimated total cost.
+	EstimateSeconds float64 `json:"estimate_seconds"`
+	// ActualSeconds is the executed plan's recorded total cost; zero for
+	// EXPLAIN reports, which do not execute.
+	ActualSeconds float64 `json:"actual_seconds,omitempty"`
+	// Candidates is the full table, in enumeration order.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// NewReport builds a Report from the candidate set and the pick.
+func NewReport[R any](family string, cands []Costed[R], chosen *Costed[R], forced bool) *Report {
+	rep := &Report{Family: family, Forced: forced}
+	for i := range cands {
+		c := &cands[i]
+		cand := Candidate{
+			Feasible:        c.Infeasible == "",
+			Reason:          c.Infeasible,
+			Accuracy:        c.Accuracy,
+			UpperBoundOnly:  c.UpperBoundOnly,
+			MarginalSeconds: c.MarginalSeconds,
+		}
+		if c.Plan != nil {
+			d := c.Plan.Describe()
+			cand.Name = d.Name
+			cand.Detail = d.Detail
+			if c.Infeasible == "" {
+				cand.Estimate = c.Plan.EstimateCost()
+				cand.EstimateSeconds = cand.Estimate.Total()
+			}
+		}
+		if c.Gated && cand.Reason == "" {
+			cand.Reason = "oracle baseline: forcible by hint, never cost-chosen"
+		}
+		if c == chosen {
+			cand.Chosen = true
+			rep.Chosen = cand.Name
+			rep.EstimateSeconds = cand.EstimateSeconds
+		}
+		rep.Candidates = append(rep.Candidates, cand)
+	}
+	return rep
+}
+
+// AdaptiveSamples estimates the terminal sample count of the §6.1
+// adaptive sampling procedure for an estimator with per-sample standard
+// deviation sigma, absolute error target eps at the given confidence,
+// value range rangeK, and population size. It reproduces the sampler's
+// round structure — a K/eps startup batch grown linearly until the CLT
+// bound passes — so the estimate lands on the same batch boundary the
+// real run stops at (the finite-population correction is ignored, making
+// the estimate slightly conservative).
+func AdaptiveSamples(sigma, eps, conf, rangeK float64, population int) int {
+	if population <= 0 || eps <= 0 {
+		return 0
+	}
+	startup := int(math.Ceil(rangeK / eps))
+	if startup < 2 {
+		startup = 2
+	}
+	if startup > population {
+		startup = population
+	}
+	z := stats.ZScoreForConfidence(conf)
+	// CLT terminal n: z*sigma/sqrt(n) < eps.
+	need := int(math.Ceil(z * z * sigma * sigma / (eps * eps)))
+	if need < startup {
+		need = startup
+	}
+	// Round up to the batch boundary the adaptive loop stops on.
+	rounds := (need + startup - 1) / startup
+	n := rounds * startup
+	if n > population {
+		n = population
+	}
+	return n
+}
+
+// GeometricProbes estimates how many candidates a scan probing in a fixed
+// order must verify to find limit matches when each probe hits with
+// probability hitRate, capped at the population. A zero hit rate prices
+// the full scan.
+func GeometricProbes(limit int, hitRate float64, population int) int {
+	if limit <= 0 || population <= 0 {
+		return 0
+	}
+	// Compare in float space before converting: a no-LIMIT query passes
+	// limit = MaxInt, and float64(MaxInt)/hitRate overflows an int
+	// conversion into garbage.
+	if hitRate <= 0 || float64(limit)/hitRate >= float64(population) {
+		return population
+	}
+	return int(math.Ceil(float64(limit) / hitRate))
+}

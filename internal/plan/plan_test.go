@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakePlan struct {
+	name string
+	est  Cost
+}
+
+func (p *fakePlan) Describe() Description { return Description{Name: p.name, Family: "test"} }
+func (p *fakePlan) EstimateCost() Cost    { return p.est }
+func (p *fakePlan) Run() (int, error)     { return 42, nil }
+
+func cand(name string, marginal float64) Costed[int] {
+	return Costed[int]{Plan: &fakePlan{name: name, est: Cost{DetectorSeconds: marginal}}, MarginalSeconds: marginal}
+}
+
+func TestChoosePicksMinimumMarginal(t *testing.T) {
+	cands := []Costed[int]{cand("a", 5), cand("b", 2), cand("c", 9)}
+	got, err := Choose(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan.Describe().Name != "b" {
+		t.Fatalf("chose %s, want b", got.Plan.Describe().Name)
+	}
+}
+
+func TestChooseTieBreaksByEnumerationOrder(t *testing.T) {
+	cands := []Costed[int]{cand("first", 3), cand("second", 3)}
+	got, err := Choose(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan.Describe().Name != "first" {
+		t.Fatalf("chose %s, want first (enumeration order breaks ties)", got.Plan.Describe().Name)
+	}
+}
+
+func TestChooseSkipsInfeasibleAndGated(t *testing.T) {
+	cheapButInfeasible := cand("infeasible", 1)
+	cheapButInfeasible.Infeasible = "nope"
+	oracle := cand("oracle", 0)
+	oracle.Gated = true
+	cands := []Costed[int]{cheapButInfeasible, oracle, cand("real", 7)}
+	got, err := Choose(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan.Describe().Name != "real" {
+		t.Fatalf("chose %s, want real", got.Plan.Describe().Name)
+	}
+	if _, err := Choose([]Costed[int]{cheapButInfeasible, oracle}); err == nil {
+		t.Fatal("expected error with no choosable candidate")
+	}
+}
+
+func TestForce(t *testing.T) {
+	oracle := cand("oracle", 0)
+	oracle.Gated = true
+	bad := cand("broken", 1)
+	bad.Infeasible = "missing model"
+	cands := []Costed[int]{cand("a", 5), oracle, bad}
+
+	// Gated candidates may be forced; names are case-insensitive.
+	got, err := Force(cands, "ORACLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Gated {
+		t.Fatal("expected the gated candidate")
+	}
+	// Infeasible candidates may not.
+	if _, err := Force(cands, "broken"); err == nil || !strings.Contains(err.Error(), "missing model") {
+		t.Fatalf("forcing infeasible candidate: err = %v", err)
+	}
+	// Fallback name list: first match wins.
+	got, err = Force(cands, "missing", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan.Describe().Name != "a" {
+		t.Fatalf("forced %s, want a", got.Plan.Describe().Name)
+	}
+	// Unknown names report the candidate list.
+	if _, err := Force(cands, "zzz"); err == nil || !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("unknown name error should list candidates, got %v", err)
+	}
+}
+
+func TestNewReportMarksChosen(t *testing.T) {
+	cands := []Costed[int]{cand("a", 5), cand("b", 2)}
+	chosen, err := Choose(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport("test", cands, chosen, false)
+	if rep.Chosen != "b" || rep.Family != "test" || rep.Forced {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(rep.Candidates))
+	}
+	if rep.Candidates[0].Chosen || !rep.Candidates[1].Chosen {
+		t.Fatalf("chosen flags wrong: %+v", rep.Candidates)
+	}
+	if rep.EstimateSeconds != 2 {
+		t.Fatalf("estimate = %v", rep.EstimateSeconds)
+	}
+}
+
+func TestCostTotal(t *testing.T) {
+	c := Cost{DetectorSeconds: 1, SpecNNSeconds: 2, FilterSeconds: 3, TrainSeconds: 4}
+	if c.Total() != 10 {
+		t.Fatalf("total = %v", c.Total())
+	}
+}
+
+func TestAdaptiveSamples(t *testing.T) {
+	// Zero variance stops at the startup batch: K/eps.
+	if got := AdaptiveSamples(0, 0.1, 0.95, 5, 100000); got != 50 {
+		t.Fatalf("zero-variance samples = %d, want the K/eps startup batch of 50", got)
+	}
+	// Higher variance needs more samples; estimates land on batch
+	// boundaries and never exceed the population.
+	lo := AdaptiveSamples(1, 0.1, 0.95, 5, 100000)
+	hi := AdaptiveSamples(3, 0.1, 0.95, 5, 100000)
+	if hi <= lo {
+		t.Fatalf("samples(σ=3)=%d should exceed samples(σ=1)=%d", hi, lo)
+	}
+	if lo%50 != 0 || hi%50 != 0 {
+		t.Fatalf("estimates %d, %d should land on 50-sample batch boundaries", lo, hi)
+	}
+	if got := AdaptiveSamples(1000, 0.1, 0.95, 5, 300); got != 300 {
+		t.Fatalf("population cap: got %d, want 300", got)
+	}
+	if got := AdaptiveSamples(1, 0, 0.95, 5, 100); got != 0 {
+		t.Fatalf("zero error target: got %d, want 0", got)
+	}
+}
+
+func TestGeometricProbes(t *testing.T) {
+	if got := GeometricProbes(10, 0.5, 1000); got != 20 {
+		t.Fatalf("probes = %d, want 20", got)
+	}
+	if got := GeometricProbes(10, 0, 1000); got != 1000 {
+		t.Fatalf("zero hit rate should price the full scan, got %d", got)
+	}
+	if got := GeometricProbes(10, 0.001, 1000); got != 1000 {
+		t.Fatalf("population cap: got %d, want 1000", got)
+	}
+	if got := GeometricProbes(0, 0.5, 1000); got != 0 {
+		t.Fatalf("zero limit: got %d, want 0", got)
+	}
+	// A no-LIMIT scrubbing query passes MaxInt as the limit; the
+	// division must not overflow the int conversion into negative probes.
+	if got := GeometricProbes(int(^uint(0)>>1), 0.5, 1000); got != 1000 {
+		t.Fatalf("MaxInt limit: got %d, want 1000", got)
+	}
+}

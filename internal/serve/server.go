@@ -13,19 +13,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/plan"
 	"repro/internal/vidsim"
 )
 
-// atoiDefault parses s as an int, returning def when empty or malformed.
-func atoiDefault(s string, def int) int {
+// intParam parses an integer query parameter strictly: an empty value
+// yields def, and a malformed one is the caller's 400 — silently treating
+// garbage as a default would mask client bugs.
+func intParam(s string, def int) (int, error) {
 	if s == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("not an integer: %q", s)
 	}
-	return v
+	return v, nil
 }
 
 // Config configures a Server.
@@ -257,7 +260,10 @@ type queryResponse struct {
 	TrackIDs  []int     `json:"track_ids,omitempty"`
 	Truncated bool      `json:"truncated,omitempty"`
 	Stats     statsJSON `json:"stats"`
-	WallMS    float64   `json:"wall_ms"`
+	// PlanReport is the planner's candidate table for this execution
+	// (for cached results, the execution that populated the cache).
+	PlanReport *plan.Report `json:"plan_report,omitempty"`
+	WallMS     float64      `json:"wall_ms"`
 }
 
 // defaultParallelism is the worker count defaulted engines execute plans
@@ -310,15 +316,16 @@ func (s *Server) maxRows(override int) int {
 
 func (s *Server) buildResponse(stream, canonical string, res *core.Result, cached bool, maxRows int, wall time.Duration) *queryResponse {
 	resp := &queryResponse{
-		Stream:    stream,
-		Canonical: canonical,
-		Kind:      res.Kind,
-		Plan:      res.Stats.Plan,
-		Cached:    cached,
-		Frames:    res.Frames,
-		TrackIDs:  res.TrackIDs,
-		Stats:     toStatsJSON(&res.Stats),
-		WallMS:    float64(wall.Microseconds()) / 1000,
+		Stream:     stream,
+		Canonical:  canonical,
+		Kind:       res.Kind,
+		Plan:       res.Stats.Plan,
+		Cached:     cached,
+		Frames:     res.Frames,
+		TrackIDs:   res.TrackIDs,
+		Stats:      toStatsJSON(&res.Stats),
+		PlanReport: res.PlanReport,
+		WallMS:     float64(wall.Microseconds()) / 1000,
 	}
 	if res.Kind == "aggregate" || res.Kind == "distinct-count" || res.Kind == "binary-detection" {
 		v := res.Value
@@ -495,8 +502,9 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// explainResponse is the GET /explain reply: the optimizer's analysis of a
-// query without executing it.
+// explainResponse is the GET /explain reply: the optimizer's analysis and
+// — when the request names a stream to plan against — the full costed
+// candidate table, without executing anything.
 type explainResponse struct {
 	Kind              string   `json:"kind"`
 	Canonical         string   `json:"canonical"`
@@ -513,6 +521,12 @@ type explainResponse struct {
 	// MaxParallelism is the highest per-query parallelism this server
 	// accepts.
 	MaxParallelism int `json:"max_parallelism"`
+	// Plan is the planner's candidate table: the chosen physical plan and
+	// every rejected candidate with its estimate. Present when the
+	// request names a stream (?stream=, or the query's FROM clause names
+	// a served stream); planning needs an engine for its cached held-out
+	// statistics.
+	Plan *plan.Report `json:"plan,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -542,7 +556,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			"query is over %q but request targets stream %q", info.Video, stream)
 		return
 	}
-	effective := s.resolveParallelism(atoiDefault(r.URL.Query().Get("parallelism"), 0))
+	requested, err := intParam(r.URL.Query().Get("parallelism"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid parallelism: %v", err)
+		return
+	}
+	effective := s.resolveParallelism(requested)
 	if effective <= 0 {
 		effective = s.defaultParallelism()
 	}
@@ -562,6 +581,61 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		l := info.Limit
 		resp.Limit = &l
 	}
+	// Plan against an engine when the request identifies one: the
+	// explicit ?stream= wins, else the query's FROM relation if served.
+	planStream := stream
+	if planStream == "" && s.allowed[info.Video] {
+		planStream = info.Video
+	}
+	if planStream != "" {
+		// Planning is real work — an engine open, possibly network
+		// training and whole-day inference — so it runs on the worker
+		// pool under the same admission control, timeout, and panic
+		// containment as query execution.
+		ctx := r.Context()
+		if s.cfg.QueryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+			defer cancel()
+		}
+		var rep *plan.Report
+		var planErr error
+		poolErr := s.pool.Do(ctx, func() {
+			eng, err := s.reg.Engine(ctx, planStream)
+			if err != nil {
+				planErr = fmt.Errorf("opening stream %q: %w", planStream, err)
+				return
+			}
+			rep, planErr = eng.ExplainPlan(info, effective)
+		})
+		switch {
+		case errors.Is(poolErr, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
+			return
+		case errors.Is(poolErr, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "planning timed out after %s", s.cfg.QueryTimeout)
+			return
+		case errors.Is(poolErr, context.Canceled):
+			writeError(w, 499, "client canceled request")
+			return
+		case errors.Is(poolErr, ErrTaskPanicked):
+			writeError(w, http.StatusInternalServerError, "internal error planning query: %v", poolErr)
+			return
+		case poolErr != nil:
+			writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+			return
+		}
+		if planErr != nil {
+			if errors.Is(planErr, context.DeadlineExceeded) || errors.Is(planErr, context.Canceled) {
+				writeError(w, http.StatusGatewayTimeout, "planning timed out: %v", planErr)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "planning failed: %v", planErr)
+			return
+		}
+		resp.Plan = rep
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -573,8 +647,25 @@ type statzResponse struct {
 	Cache         CacheStats        `json:"cache"`
 	Pool          PoolStats         `json:"pool"`
 	Parallel      parallelStatz     `json:"parallel"`
+	Planner       plannerStatz      `json:"planner"`
 	Registry      registryStatz     `json:"registry"`
 	Streams       map[string]uint64 `json:"stream_queries"`
+}
+
+// plannerStatz reports cost-based planner activity aggregated across the
+// open engines: how many executions were planned, how often a hint or
+// baseline forced the pick, which plan each family chose, and how closely
+// estimates tracked actual simulated cost.
+type plannerStatz struct {
+	// Planned counts executed planning decisions (forced included).
+	Planned uint64 `json:"planned"`
+	// Forced counts hint- or baseline-forced executions.
+	Forced uint64 `json:"forced"`
+	// Picks maps plan family → plan name → executions.
+	Picks map[string]map[string]uint64 `json:"picks,omitempty"`
+	// MeanEstimateError is the mean relative |actual−estimate|/estimate
+	// over cost-chosen executions.
+	MeanEstimateError float64 `json:"mean_estimate_error"`
 }
 
 // parallelStatz reports sharded-execution activity aggregated across the
@@ -635,19 +726,43 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if pool.Workers > 0 {
 		par.PoolUtilization = float64(pool.Running) / float64(pool.Workers)
 	}
+	planner := plannerStatz{Picks: make(map[string]map[string]uint64)}
+	var estErrSum float64
+	var estErrN uint64
 	for _, name := range open {
 		if eng, ok := s.reg.Peek(name); ok {
 			es := eng.ExecStats()
 			par.PlanExecutions += es.Queries
 			par.Fanouts += es.Fanouts
 			par.Shards += es.Shards
+			ps := eng.PlannerStats()
+			planner.Planned += ps.Planned
+			planner.Forced += ps.Forced
+			for fam, m := range ps.Picks {
+				dst := planner.Picks[fam]
+				if dst == nil {
+					dst = make(map[string]uint64)
+					planner.Picks[fam] = dst
+				}
+				for k, v := range m {
+					dst[k] += v
+				}
+			}
+			// Aggregate the underlying sums so the mean weights every
+			// cost-chosen execution equally across engines.
+			estErrSum += ps.EstimateErrorSum
+			estErrN += ps.EstimateErrorCount
 		}
+	}
+	if estErrN > 0 {
+		planner.MeanEstimateError = estErrSum / float64(estErrN)
 	}
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         cache,
 		Pool:          pool,
 		Parallel:      par,
+		Planner:       planner,
 		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
 		Streams:       make(map[string]uint64),
 	}
