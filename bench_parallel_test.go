@@ -119,6 +119,7 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	writeParallelBenchJSON()
 	writePlanBenchJSON()
+	writeIndexBenchJSON()
 	os.Exit(code)
 }
 

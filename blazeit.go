@@ -7,11 +7,11 @@
 // selection.
 //
 // The expensive reference object detector, the video streams, and the
-// pixel features are simulated (see DESIGN.md for the substitution table);
-// the specialized networks are real models trained from scratch in pure
-// Go. Query costs are reported in simulated seconds under the paper's cost
-// model (an accurate detector at ~3 fps, specialized networks at 10,000
-// fps, cheap filters at 100,000 fps).
+// pixel features are simulated (see README.md's experiments section for
+// the substitution table); the specialized networks are real models
+// trained from scratch in pure Go. Query costs are reported in simulated
+// seconds under the paper's cost model (an accurate detector at ~3 fps,
+// specialized networks at 10,000 fps, cheap filters at 100,000 fps).
 //
 // # Quick start
 //
@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/specnn"
@@ -86,6 +87,13 @@ type Options struct {
 	// of the two (e.g. Workers=GOMAXPROCS with Parallelism=1, or the
 	// reverse for single-query latency).
 	Parallelism int
+	// IndexDir roots the materialized frame-index tier on disk: trained
+	// specialized networks, whole-day inference segments with zone maps,
+	// sampled ground-truth labels, and planner summaries persist under
+	// it, keyed by a configuration fingerprint. A system reopened on the
+	// same directory warm-starts — identical results, zero training and
+	// inference cost charged. Empty keeps the tier in memory only.
+	IndexDir string
 }
 
 // System is an opened video stream with its query engine: three generated
@@ -108,6 +116,7 @@ func (o Options) toCore() core.Options {
 		},
 		HeldOutSample: o.HeldOutSample,
 		Parallelism:   o.Parallelism,
+		IndexDir:      o.IndexDir,
 	}
 }
 
@@ -166,6 +175,31 @@ func (s *System) ExplainPlan(q string) (*PlanReport, error) {
 // baseline comparisons, direct access to the generated days).
 func (s *System) Engine() *core.Engine { return s.eng }
 
+// IndexStats is a snapshot of the materialized frame-index tier's
+// activity: segments built versus loaded, zone-map chunk inventory,
+// ground-truth label coverage, and the simulated cost invested in builds.
+type IndexStats = index.Stats
+
+// BuildIndex materializes the frame-index tier for the given object
+// classes without charging any query: the specialized network is trained
+// (or loaded), the held-out and test days are labeled into columnar
+// segments with per-chunk zone maps, and — when Options.IndexDir is set —
+// everything persists to disk. Subsequent queries over those classes read
+// the index instead of re-running training or inference, the paper's
+// "BlazeIt (indexed)" mode of operation.
+func (s *System) BuildIndex(classes ...string) error {
+	return s.eng.BuildIndex(toClasses(classes))
+}
+
+// IndexStats returns a snapshot of the system's index tier.
+func (s *System) IndexStats() IndexStats { return s.eng.IndexStats() }
+
+// FlushIndex persists the index tier's incrementally growing artifacts
+// (sampled ground-truth labels, planner summaries) to Options.IndexDir.
+// Models and segments persist when built; call FlushIndex before exit so
+// the next session warm-starts completely.
+func (s *System) FlushIndex() error { return s.eng.FlushIndex() }
+
 // ExportModel serializes the trained specialized network for the given
 // object classes (training it first if necessary), so a later session can
 // warm-start with ImportModel and skip training entirely — the paper's
@@ -221,6 +255,12 @@ type ServeOptions struct {
 	// open); started queries run to completion. 0 means no server-side
 	// limit.
 	QueryTimeout time.Duration
+	// BackgroundIndex materializes each stream's frame index (models,
+	// whole-day inference segments, zone maps) in the background when the
+	// stream's engine opens, so queries find the index warm; with
+	// Options.IndexDir set the build persists for future sessions. Close
+	// waits for the in-flight build and flushes partial state.
+	BackgroundIndex bool
 }
 
 // Server is a concurrent multi-stream query-serving front end: it pools
@@ -235,13 +275,14 @@ type Server struct {
 // NewServer builds a Server. Call Close when done.
 func NewServer(opts ServeOptions) *Server {
 	return &Server{s: serve.New(serve.Config{
-		Engine:       opts.Options.toCore(),
-		Streams:      opts.Streams,
-		Workers:      opts.Workers,
-		QueueDepth:   opts.QueueDepth,
-		CacheEntries: opts.CacheEntries,
-		MaxRows:      opts.MaxRows,
-		QueryTimeout: opts.QueryTimeout,
+		Engine:          opts.Options.toCore(),
+		Streams:         opts.Streams,
+		Workers:         opts.Workers,
+		QueueDepth:      opts.QueueDepth,
+		CacheEntries:    opts.CacheEntries,
+		MaxRows:         opts.MaxRows,
+		QueryTimeout:    opts.QueryTimeout,
+		BackgroundIndex: opts.BackgroundIndex,
 	})}
 }
 
@@ -257,7 +298,9 @@ func (s *Server) Preopen(ctx context.Context, stream string) error {
 // ServedStreams returns the stream names this server serves.
 func (s *Server) ServedStreams() []string { return s.s.Streams() }
 
-// Close drains in-flight queries and stops the worker pool.
+// Close drains in-flight queries, waits for background index builds,
+// stops the worker pool, and flushes every open engine's index tier to
+// disk (when an IndexDir is configured).
 func (s *Server) Close() { s.s.Close() }
 
 // Serve builds a Server and listens on addr until the listener fails.

@@ -157,3 +157,53 @@ func TestWarmStartAcrossSystems(t *testing.T) {
 		t.Error("junk import should fail")
 	}
 }
+
+// TestIndexDirWarmStart: the public index API end to end — build and
+// persist with one System, reopen on the same directory, and get the
+// identical answer with zero training or inference charged and zero
+// rebuilt artifacts.
+func TestIndexDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Scale: 0.015, Seed: 3, TrainFrames: 12000, Epochs: 2,
+		HeldOutSample: 6000, IndexDir: dir,
+	}
+	query := `SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1`
+
+	first, err := Open("taipei", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.BuildIndex("car"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.IndexStats(); st.SegmentsBuilt == 0 || st.BuildSimSeconds <= 0 {
+		t.Fatalf("BuildIndex materialized nothing: %+v", st)
+	}
+	if err := first.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Open("taipei", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Stats.Plan != want.Stats.Plan {
+		t.Fatalf("warm answer %v (%s), want %v (%s)", got.Value, got.Stats.Plan, want.Value, want.Stats.Plan)
+	}
+	if got.Stats.SpecNNSeconds != 0 {
+		t.Errorf("warm query charged %v inference seconds", got.Stats.SpecNNSeconds)
+	}
+	st := second.IndexStats()
+	if st.ModelsTrained != 0 || st.SegmentsBuilt != 0 || st.ModelsLoaded == 0 {
+		t.Fatalf("reopened system rebuilt instead of loading: %+v", st)
+	}
+}

@@ -1,5 +1,6 @@
 // Command blazebench regenerates every table and figure of the BlazeIt
-// paper's evaluation (see DESIGN.md's per-experiment index).
+// paper's evaluation (see README.md's "Experiments: reproducing the
+// paper's evaluation" section for the per-experiment index).
 //
 // Usage:
 //

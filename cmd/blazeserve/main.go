@@ -1,24 +1,35 @@
 // Command blazeserve runs the BlazeIt query server: an HTTP JSON API that
 // serves FrameQL queries concurrently across the built-in streams, with
-// per-stream engine pooling, a canonicalized result cache, and a bounded
-// worker-pool executor.
+// per-stream engine pooling, a canonicalized result cache, a bounded
+// worker-pool executor, and an optional on-disk materialized frame index.
 //
 // Usage:
 //
 //	blazeserve [-addr :8089] [-scale 0.05] [-seed 1] [-workers 8]
 //	           [-queue 32] [-cache 256] [-timeout 30s] [-streams taipei,rialto]
-//	           [-preopen taipei]
+//	           [-preopen taipei] [-index-dir /var/lib/blazeit/index]
 //
 // Endpoints:
 //
 //	POST /query    {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."}
 //	GET  /streams  stream names with open state and per-stream counters
 //	GET  /explain  ?q=QUERY[&stream=NAME] — plan family + canonical text
-//	GET  /statz    cache/pool/registry counters and simulated-cost totals
+//	GET  /statz    cache/pool/registry/indexz counters and simulated-cost totals
+//
+// With -index-dir, each opened stream's specialized networks, whole-day
+// inference segments (with zone maps), sampled ground-truth labels, and
+// planner summaries persist under the directory: index builds run in the
+// background on stream open, and a restarted server warm-starts from the
+// same directory with zero training or inference cost. Results are
+// bit-identical either way.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight queries, waits for the running background index build, and
+// flushes partial index state before exiting.
 //
 // Example:
 //
-//	blazeserve -scale 0.02 &
+//	blazeserve -scale 0.02 -index-dir ./idx &
 //	curl -s localhost:8089/query -d '{"stream":"taipei","query":
 //	  "SELECT FCOUNT(*) FROM taipei WHERE class='\''car'\'' ERROR WITHIN 0.1 AT CONFIDENCE 95%"}'
 package main
@@ -50,22 +61,29 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "admission timeout: bounds queue/open wait, started queries run to completion (0 = none)")
 	streams := flag.String("streams", "", "comma-separated servable streams (default: all built-ins)")
 	preopen := flag.String("preopen", "", "comma-separated streams to open (and warm) before listening")
+	indexDir := flag.String("index-dir", "", "root of the persistent materialized frame index; opened streams build their index in the background and restarts warm-start from it")
+	bgIndex := flag.Bool("bg-index", true, "build each opened stream's frame index in the background (models, segments, zone maps); always useful, and persistent with -index-dir")
 	flag.Parse()
 
 	opts := blazeit.ServeOptions{
-		Options:      blazeit.Options{Scale: *scale, Seed: *seed, Parallelism: *parallelism},
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxRows:      *maxRows,
-		QueryTimeout: *timeout,
+		Options: blazeit.Options{
+			Scale:       *scale,
+			Seed:        *seed,
+			Parallelism: *parallelism,
+			IndexDir:    *indexDir,
+		},
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		MaxRows:         *maxRows,
+		QueryTimeout:    *timeout,
+		BackgroundIndex: *bgIndex,
 	}
 	if *streams != "" {
 		opts.Streams = splitList(*streams)
 	}
 
 	srv := blazeit.NewServer(opts)
-	defer srv.Close()
 
 	for _, name := range splitList(*preopen) {
 		log.Printf("pre-opening stream %q (scale %g)", name, *scale)
@@ -78,7 +96,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
+		// Stop accepting and let in-flight HTTP requests finish; the
+		// queries they carry drain through the worker pool below.
 		<-ctx.Done()
+		log.Print("blazeserve: signal received, stopping accept and draining")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shutCtx)
@@ -86,9 +107,14 @@ func main() {
 
 	log.Printf("blazeserve listening on %s (streams: %s)", *addr, strings.Join(srv.ServedStreams(), ", "))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
 		log.Fatal(err)
 	}
-	log.Print("blazeserve shut down")
+	// Accepting has stopped and HTTP handlers have returned: drain the
+	// executor, wait for the running background index build, and flush
+	// partial index state (labels, planner summaries) to -index-dir.
+	srv.Close()
+	log.Print("blazeserve shut down cleanly")
 }
 
 func splitList(s string) []string {

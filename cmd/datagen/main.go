@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -58,15 +59,19 @@ func main() {
 	if err := w.Write(header); err != nil {
 		fatal(err)
 	}
-	counts := make([][]int32, len(cfg.Classes))
+	// Stream rows with a per-class track-boundary sweep instead of
+	// materializing per-frame count series: memory stays O(tracks), flat
+	// in the frame count, so full-scale (-scale 1.0) dumps of
+	// million-frame days don't buffer the whole day.
+	sweeps := make([]*countSweep, len(cfg.Classes))
 	for i, cc := range cfg.Classes {
-		counts[i] = v.Counts(cc.Class)
+		sweeps[i] = newCountSweep(v, cc.Class)
 	}
 	rec := make([]string, len(header))
 	for fr := 0; fr < v.Frames; fr++ {
 		rec[0] = strconv.Itoa(fr)
-		for i := range cfg.Classes {
-			rec[i+1] = strconv.Itoa(int(counts[i][fr]))
+		for i := range sweeps {
+			rec[i+1] = strconv.Itoa(sweeps[i].advance(fr))
 		}
 		if err := w.Write(rec); err != nil {
 			fatal(err)
@@ -77,6 +82,44 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *csvPath)
+}
+
+// countSweep produces a class's per-frame ground-truth count one frame at
+// a time from sorted track boundaries: O(tracks) memory, O(tracks log
+// tracks) setup, O(1) amortized per frame.
+type countSweep struct {
+	starts, ends []int32 // sorted frame boundaries of the class's tracks
+	si, ei       int
+	count        int
+}
+
+func newCountSweep(v *vidsim.Video, class vidsim.Class) *countSweep {
+	s := &countSweep{}
+	for i := range v.Tracks {
+		t := &v.Tracks[i]
+		if t.Class != class {
+			continue
+		}
+		s.starts = append(s.starts, int32(t.Start))
+		s.ends = append(s.ends, int32(t.End))
+	}
+	sort.Slice(s.starts, func(i, j int) bool { return s.starts[i] < s.starts[j] })
+	sort.Slice(s.ends, func(i, j int) bool { return s.ends[i] < s.ends[j] })
+	return s
+}
+
+// advance returns the count at frame, which must be called with strictly
+// increasing frames.
+func (s *countSweep) advance(frame int) int {
+	for s.si < len(s.starts) && int(s.starts[s.si]) <= frame {
+		s.count++
+		s.si++
+	}
+	for s.ei < len(s.ends) && int(s.ends[s.ei]) <= frame {
+		s.count--
+		s.ei++
+	}
+	return s.count
 }
 
 func fatal(err error) {

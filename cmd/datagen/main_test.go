@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+// TestCountSweepMatchesCounts pins the streaming sweep to the reference
+// difference-array count series: identical at every frame, for every
+// class, so the -csv output is unchanged by the streaming rewrite.
+func TestCountSweepMatchesCounts(t *testing.T) {
+	cfg, err := vidsim.Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.01)
+	v := vidsim.Generate(cfg, 2)
+	for _, cc := range cfg.Classes {
+		want := v.Counts(cc.Class)
+		sweep := newCountSweep(v, cc.Class)
+		for f := 0; f < v.Frames; f++ {
+			if got := sweep.advance(f); got != int(want[f]) {
+				t.Fatalf("class %s frame %d: sweep %d, counts %d", cc.Class, f, got, want[f])
+			}
+		}
+	}
+}

@@ -290,13 +290,28 @@ func (e *Engine) enumerateDistinct(info *frameql.Info, par int) ([]candidate, er
 // concurrentCountMeasure returns a goroutine-safe measure function for the
 // detector's per-frame count of a class, with per-worker Counter buffers
 // pooled. Cost is not charged here — sampled plans charge per sample in
-// deterministic order via chargeSampleCost after sampling returns.
+// deterministic order via chargeSampleCost after sampling returns,
+// regardless of how the measurement was served.
+//
+// Measurements flow through the index tier's ground-truth label store:
+// frames already labeled (by an earlier query this session, or persisted
+// by a previous one under -index-dir) are served from the store — the
+// detector is deterministic, so the stored count is the exact value a
+// fresh simulation would produce — and fresh measurements are recorded
+// for the store. Lookups see only labels committed before this query
+// began, so the hit pattern (and everything else) is independent of how
+// parallel samplers interleave.
 func (e *Engine) concurrentCountMeasure(class vidsim.Class) func(frame int) float64 {
+	labels := e.idx.Labels(e.Test.Day)
 	pool := sync.Pool{New: func() interface{} { return e.DTest.NewCounter() }}
 	return func(f int) float64 {
+		if n, ok := labels.Lookup(class, f); ok {
+			return float64(n)
+		}
 		c := pool.Get().(*detect.Counter)
 		n := c.CountAt(f, class)
 		pool.Put(c)
+		labels.Observe(class, f, int32(n))
 		return float64(n)
 	}
 }

@@ -5,8 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/frameql"
+	"repro/internal/index"
 	"repro/internal/plan"
-	"repro/internal/specnn"
 	"repro/internal/vidsim"
 )
 
@@ -59,7 +59,7 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 		return nil, err
 	}
 	lowT, highT := e.binaryThresholds(infHeld, head, class, fnrBudget, fprBudget)
-	infTest, infCost, err := e.Inference([]vidsim.Class{class}, e.Test)
+	segTest, infCost, err := e.segment([]vidsim.Class{class}, e.Test)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 	}
 	verifyEst := bandFrac * float64(span)
 	prep := binaryPrep{trainCost: trainCost, heldCost: heldCost, infCost: infCost,
-		lowT: lowT, highT: highT, infTest: infTest, head: head}
+		lowT: lowT, highT: highT, seg: segTest, head: head}
 	cascadePlan := &costedPlan{
 		desc: cascadeDesc,
 		est: plan.Cost{
@@ -125,14 +125,15 @@ func binaryExactCand(p *costedPlan, info *frameql.Info) candidate {
 }
 
 // binaryPrep carries the cascade's enumeration products: per-call index
-// charges, the held-out-chosen thresholds, and the test-day inference.
+// charges, the held-out-chosen thresholds, and the test-day segment
+// (columns plus zone maps).
 type binaryPrep struct {
 	trainCost float64
 	heldCost  float64
 	infCost   float64
 	lowT      float64
 	highT     float64
-	infTest   *specnn.Inference
+	seg       *index.Segment
 	head      int
 }
 
@@ -147,7 +148,8 @@ func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep b
 	res.Stats.Plan = "binary-cascade"
 	res.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", lowT, highT)
 	res.Stats.SpecNNSeconds += prep.infCost
-	infTest := prep.infTest
+	seg := prep.seg
+	infTest := seg.Inference()
 	head := prep.head
 
 	lo, hi := e.frameRange(info)
@@ -159,19 +161,47 @@ func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep b
 	// Shard the scan: the cascade decision per frame (network score lookup,
 	// detector verification of the uncertain band) is pure and fans out;
 	// GAP/LIMIT bookkeeping and cost charging replay serially in the merge.
+	//
+	// Zone-map skipping: a chunk whose maximum presence tail is below the
+	// reject threshold cannot contain a verified or accepted frame — every
+	// frame in it is rejected unverified, which charges nothing and emits
+	// nothing. Such chunk ranges are skipped without reading per-frame
+	// scores; the zero-valued verdicts stand in for the rejections, so the
+	// answer and the simulated meter are bit-identical to the full scan.
 	type binVerdict struct {
 		positive bool
 		verified bool
 	}
+	type binArena struct {
+		verdicts      []binVerdict
+		chunksSkipped int
+		framesSkipped int
+	}
 	runSharded(par, binaryLayout(hi-lo, limit),
 		&e.exec,
-		func(s shard) []binVerdict {
+		func(s shard) *binArena {
 			c := e.DTest.NewCounter()
-			out := make([]binVerdict, 0, s.hi-s.lo)
+			a := &binArena{verdicts: make([]binVerdict, s.hi-s.lo)}
+			curChunk, skipChunk := -1, false
 			for i := s.lo; i < s.hi; i++ {
 				f := lo + i
+				if ci := index.ChunkOf(f); ci != curChunk {
+					curChunk = ci
+					skipChunk = zoneSkipsEnabled && seg.CanSkipTail(ci, head, 1, lowT)
+					// Count each skipped chunk once per scan — at the
+					// frame where the whole scan (not this shard) first
+					// enters it — so shard boundaries straddling a chunk
+					// never double-count it.
+					if skipChunk && (i == 0 || index.ChunkOf(f-1) != ci) {
+						a.chunksSkipped++
+					}
+				}
+				if skipChunk {
+					a.framesSkipped++
+					continue // rejected unverified, proven by the zone map
+				}
 				score := infTest.TailProb(head, f, 1)
-				var v binVerdict
+				v := &a.verdicts[i-s.lo]
 				switch {
 				case score < lowT:
 					// rejected unverified
@@ -181,14 +211,15 @@ func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep b
 					v.verified = true
 					v.positive = c.CountAt(f, class) > 0
 				}
-				out = append(out, v)
 			}
-			return out
+			return a
 		},
-		func(s shard, verdicts []binVerdict) bool {
+		func(s shard, a *binArena) bool {
+			res.Stats.IndexChunksSkipped += a.chunksSkipped
+			res.Stats.IndexFramesSkipped += a.framesSkipped
 			for i := s.lo; i < s.hi; i++ {
 				f := lo + i
-				v := verdicts[i-s.lo]
+				v := a.verdicts[i-s.lo]
 				if v.verified {
 					res.Stats.addDetection(fullCost)
 					verified++

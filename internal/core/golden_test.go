@@ -121,11 +121,9 @@ func (w *fnv64w) str(s string)  { fmt.Fprintf(w.h, "%s,", s) }
 
 const goldenPath = "testdata/planner_golden.json"
 
-// goldenRun executes the corpus on a fresh engine: each query twice (cold
-// then warm) at parallelism 1, then once warm at 4 and at 8.
-func goldenRun(t *testing.T) []goldenRecord {
-	t.Helper()
-	e, err := NewEngine("taipei", Options{
+// goldenOptions is the pinned engine configuration of the golden corpus.
+func goldenOptions(indexDir string) Options {
+	return Options{
 		Scale: 0.02,
 		Seed:  1,
 		Spec: specnn.Options{
@@ -134,7 +132,15 @@ func goldenRun(t *testing.T) []goldenRecord {
 			Seed:        7,
 		},
 		HeldOutSample: 8000,
-	})
+		IndexDir:      indexDir,
+	}
+}
+
+// goldenRun executes the corpus on a fresh engine: each query twice (cold
+// then warm) at parallelism 1, then once warm at 4 and at 8.
+func goldenRun(t *testing.T, indexDir string) []goldenRecord {
+	t.Helper()
+	e, err := NewEngine("taipei", goldenOptions(indexDir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +158,11 @@ func goldenRun(t *testing.T) []goldenRecord {
 			recs = append(recs, fingerprint(q, par, res))
 		}
 	}
+	if indexDir != "" {
+		if err := e.FlushIndex(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	return recs
 }
 
@@ -162,7 +173,7 @@ func TestGoldenResults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains models")
 	}
-	recs := goldenRun(t)
+	recs := goldenRun(t, "")
 	if os.Getenv("BLAZEIT_CAPTURE_GOLDEN") != "" {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
@@ -196,5 +207,72 @@ func TestGoldenResults(t *testing.T) {
 		if fmt.Sprintf("%+v", g) != fmt.Sprintf("%+v", w) {
 			t.Errorf("record %d differs from pre-planner golden\n got: %+v\nwant: %+v", i, g, w)
 		}
+	}
+}
+
+// compareGolden asserts a record matches a golden record, ignoring Notes.
+func compareGolden(t *testing.T, label string, got, want goldenRecord) {
+	t.Helper()
+	got.Notes, want.Notes = nil, nil
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("%s differs from golden\n got: %+v\nwant: %+v", label, got, want)
+	}
+}
+
+// TestGoldenResultsIndexDisk pins the index tier against the same golden
+// capture in both disk modes the acceptance criteria name:
+//
+//   - index-cold: a fresh engine with an index *directory* must charge
+//     and answer exactly like the memory-only engine — the full golden
+//     sequence, cold training charges included, while also persisting
+//     everything it builds;
+//   - index-warm: an engine *restarted* onto that directory must
+//     reproduce the golden corpus's warm records (the 2nd/3rd/4th
+//     execution of each query, where training and inference are cached)
+//     on its very first execution of every query, at parallelism 1, 4,
+//     and 8 — the disk-warm engine is indistinguishable from the
+//     in-session-warm one, bit for bit.
+func TestGoldenResultsIndexDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (capture with BLAZEIT_CAPTURE_GOLDEN=1): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4*len(goldenQueries) {
+		t.Fatalf("golden has %d records, want %d", len(want), 4*len(goldenQueries))
+	}
+
+	dir := filepath.Join(t.TempDir(), "idx")
+	cold := goldenRun(t, dir)
+	for i := range cold {
+		compareGolden(t, fmt.Sprintf("index-cold record %d", i), cold[i], want[i])
+	}
+
+	e, err := NewEngine("taipei", goldenOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range goldenQueries {
+		info, err := frameql.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, par := range []int{1, 4, 8} {
+			res, err := e.ExecuteParallel(info, par)
+			if err != nil {
+				t.Fatalf("%s (par %d): %v", q, par, err)
+			}
+			compareGolden(t, fmt.Sprintf("index-warm %q par %d", q, par),
+				fingerprint(q, par, res), want[4*qi+1+pi])
+		}
+	}
+	if st := e.IndexStats(); st.ModelsTrained != 0 || st.SegmentsBuilt != 0 {
+		t.Fatalf("index-warm engine rebuilt artifacts: %+v", st)
 	}
 }

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// indexTestOptions mirrors testEngine's configuration with an index
+// directory attached.
+func indexTestOptions(dir string) Options {
+	return Options{
+		Scale: 0.02,
+		Seed:  1,
+		Spec: specnn.Options{
+			TrainFrames: 18000,
+			Epochs:      2,
+			Seed:        7,
+		},
+		HeldOutSample: 8000,
+		IndexDir:      dir,
+	}
+}
+
+// indexCorpus exercises every index consumer: aggregation (rewrite /
+// control variates / AQP + the label store), scrubbing importance,
+// selection with and without content filters, and the binary cascade.
+var indexCorpus = []string{
+	`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+	`SELECT COUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.05 AT CONFIDENCE 99%`,
+	`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`,
+	`SELECT * FROM taipei WHERE class='car' AND timestamp < 2500 LIMIT 5 GAP 100`,
+	`SELECT * FROM taipei WHERE class='car' AND redness(content) >= 17.5 AND timestamp < 2000`,
+	`SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`,
+}
+
+// TestIndexRestartRoundTrip is the tier's acceptance test: an engine
+// restarted onto the same index directory must serve results
+// bit-identical to the first engine's warm executions, while charging
+// zero training and inference — everything loads, nothing rebuilds.
+func TestIndexRestartRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	dir := t.TempDir()
+
+	a, err := NewEngine("taipei", indexTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := make([]*frameql.Info, len(indexCorpus))
+	for i, q := range indexCorpus {
+		if infos[i], err = frameql.Analyze(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// Cold pass builds (and persists) the index; the second pass is the
+	// in-session warm baseline a restart must reproduce exactly.
+	for _, info := range infos {
+		if _, err := a.Execute(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := make([]*Result, len(infos))
+	for i, info := range infos {
+		if warm[i], err = a.Execute(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.IndexStats(); st.SegmentsBuilt == 0 || st.ModelsTrained == 0 {
+		t.Fatalf("cold engine stats = %+v, expected fresh builds", st)
+	}
+	if err := a.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewEngine("taipei", indexTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range infos {
+		got, err := b.Execute(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, "restart: "+indexCorpus[i], warm[i], got)
+		if got.Stats.SpecNNSeconds != 0 {
+			t.Errorf("%s: restarted engine charged %v specnn seconds; the index was on disk",
+				indexCorpus[i], got.Stats.SpecNNSeconds)
+		}
+	}
+	st := b.IndexStats()
+	if st.ModelsTrained != 0 || st.SegmentsBuilt != 0 {
+		t.Fatalf("restarted engine rebuilt: %+v", st)
+	}
+	if st.ModelsLoaded == 0 || st.SegmentsLoaded == 0 {
+		t.Fatalf("restarted engine loaded nothing: %+v", st)
+	}
+	// The persisted ground-truth labels must serve the sampling plans:
+	// every test-day sample the warm pass measured is now a store hit.
+	for _, ld := range st.Labels {
+		if ld.Day == 2 && ld.Hits == 0 {
+			t.Errorf("restarted engine had zero label-store hits on day 2: %+v", st.Labels)
+		}
+	}
+}
+
+// TestZoneSkipAnswerNeutral pins the skipping contract: executions that
+// skip chunks via zone maps are bit-identical — answer and full cost
+// meter — to the same executions forced to scan every frame. The bus
+// class at a moderate FNR budget gives the binary cascade a reject
+// threshold that provably excludes quiet chunks (wider budgets make the
+// thresholds cross and swap, shrinking the reject band again); the
+// selection query runs the segment-backed label path too, though its
+// no-false-negative threshold is too low to skip chunks at this scale.
+func TestZoneSkipAnswerNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	queries := []string{
+		`SELECT timestamp FROM taipei WHERE class = 'bus' FNR WITHIN 0.2 FPR WITHIN 0.2`,
+		`SELECT * FROM taipei WHERE class='bus' GROUP BY trackid HAVING COUNT(*) > 10`,
+	}
+	skipsSeen := 0
+	for _, q := range queries {
+		info, err := frameql.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm caches so both runs pay identical (cached) charges.
+		if _, err := e.Execute(info); err != nil {
+			t.Fatal(err)
+		}
+		skipped, err := e.Execute(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skipsSeen += skipped.Stats.IndexChunksSkipped
+
+		zoneSkipsEnabled = false
+		full, err := e.Execute(info)
+		zoneSkipsEnabled = true
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Stats.IndexChunksSkipped != 0 {
+			t.Fatalf("%s: skips recorded with skipping disabled", q)
+		}
+		resultsIdentical(t, "zone skip: "+q, full, skipped)
+	}
+	if skipsSeen == 0 {
+		t.Fatal("no zone-map skips fired across the corpus; the test exercises nothing")
+	}
+}
+
+// TestParallelismIndependentSkipAccounting: the skip counters are part of
+// the deterministic result surface — identical at every parallelism
+// level, like everything else.
+func TestParallelismIndependentSkipAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	info, err := frameql.Analyze(`SELECT timestamp FROM taipei WHERE class = 'bus' FNR WITHIN 0.2 FPR WITHIN 0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(info); err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.ExecuteParallel(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.IndexChunksSkipped == 0 {
+		t.Skip("no skips at this scale; nothing to compare")
+	}
+	for _, par := range []int{4, 8} {
+		got, err := e.ExecuteParallel(info, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.IndexChunksSkipped != base.Stats.IndexChunksSkipped ||
+			got.Stats.IndexFramesSkipped != base.Stats.IndexFramesSkipped {
+			t.Fatalf("parallelism %d: skips (%d, %d) differ from serial (%d, %d)",
+				par, got.Stats.IndexChunksSkipped, got.Stats.IndexFramesSkipped,
+				base.Stats.IndexChunksSkipped, base.Stats.IndexFramesSkipped)
+		}
+	}
+}
+
+// TestIngestIndexLiveFrames: IngestIndex picks up frames appended to a
+// live test day and extends the persisted segment without a rebuild.
+func TestIngestIndexLiveFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	dir := t.TempDir()
+	e, err := NewEngine("taipei", indexTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a live test day: the same generated day, with only a prefix
+	// of its frames visible so far.
+	fullFrames := e.Test.Frames
+	e.Test = vidsim.GenerateLive(e.Cfg, 2, 8192)
+
+	classes := []vidsim.Class{vidsim.Car}
+	if err := e.BuildIndex(classes); err != nil {
+		t.Fatal(err)
+	}
+	before := e.IndexStats()
+
+	e.Test.AppendFrames(fullFrames) // clamped to the day's end
+	added, err := e.IngestIndex(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != fullFrames-8192 {
+		t.Fatalf("ingested %d frames, want %d", added, fullFrames-8192)
+	}
+	after := e.IndexStats()
+	if after.SegmentsBuilt != before.SegmentsBuilt {
+		t.Fatalf("ingest rebuilt segments: %+v -> %+v", before, after)
+	}
+	for _, seg := range after.Segments {
+		if seg.Key.Day == 2 && seg.Frames != fullFrames {
+			t.Fatalf("test-day segment covers %d frames after ingest, want %d", seg.Frames, fullFrames)
+		}
+	}
+}

@@ -113,6 +113,10 @@ func pick(info *frameql.Info, cands []candidate) (*candidate, bool, error) {
 func (e *Engine) runChosen(info *frameql.Info, cands []candidate, chosen *candidate, forced bool) (*Result, error) {
 	e.exec.queries.Add(1)
 	res, err := chosen.Plan.Run()
+	// Ground-truth labels observed while sampling are published for the
+	// next query regardless of the outcome; mid-query lookups saw only
+	// the pre-query snapshot, keeping executions deterministic.
+	e.idx.CommitLabels()
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +126,8 @@ func (e *Engine) runChosen(info *frameql.Info, cands []candidate, chosen *candid
 	}
 	rep := plan.NewReport(info.Kind.String(), cands, chosen, forced)
 	rep.ActualSeconds = res.Stats.TotalSeconds()
+	rep.IndexChunksSkipped = res.Stats.IndexChunksSkipped
+	rep.IndexFramesSkipped = res.Stats.IndexFramesSkipped
 	res.PlanReport = rep
 	e.planner.record(rep)
 	return res, nil

@@ -44,6 +44,17 @@ type Stats struct {
 	Plan string
 	// Notes carries human-readable optimizer decisions.
 	Notes []string
+
+	// IndexChunksSkipped counts zone-map skip decisions this execution
+	// made: chunk ranges the materialized index proved could not satisfy
+	// the plan's predicate, eliding their per-frame evaluation. Skips are
+	// answer-neutral and charge-neutral — the fields above are
+	// bit-identical with and without them — so skip accounting lives in
+	// these dedicated fields rather than mutating the simulated meter.
+	IndexChunksSkipped int
+	// IndexFramesSkipped counts the frames those skipped chunk ranges
+	// covered.
+	IndexFramesSkipped int
 }
 
 // TotalSeconds is the full simulated runtime, training included.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/frameql"
+	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/scrub"
@@ -83,11 +84,11 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 		}, nil
 	}
 
-	inf, infCost, err := e.Inference(classes, e.Test)
+	seg, infCost, err := e.segment(classes, e.Test)
 	if err != nil {
 		return nil, err
 	}
-	order, err := scrub.RankByConfidence(inf, reqs)
+	order, chunksSkipped, framesSkipped, err := rankFromSegment(seg, reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +105,10 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 			DetectorSeconds: float64(impProbes) * full,
 		},
 		run: func() (*Result, error) {
-			return e.runScrubImportance(info, reqs, scrubPrep{trainCost: trainCost, infCost: infCost, order: order}, limit, par)
+			return e.runScrubImportance(info, reqs, scrubPrep{
+				trainCost: trainCost, infCost: infCost, order: order,
+				chunksSkipped: chunksSkipped, framesSkipped: framesSkipped,
+			}, limit, par)
 		},
 	}
 	impCand := candidate{
@@ -121,12 +125,35 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 	return []candidate{impCand, seqCand, noScopeCand}, nil
 }
 
+// rankFromSegment builds the importance order from the materialized
+// segment's columns: descending combined-confidence score with the
+// paper's sum combiner, bit-identical to scrub.RankByConfidence over the
+// same inference, while chunks whose zone maps prove a zero score for
+// every requirement skip the per-frame score computation (their frames
+// sort into the zero-score tail by frame order either way).
+func rankFromSegment(seg *index.Segment, reqs []scrub.Requirement) (order []int32, chunksSkipped, framesSkipped int, err error) {
+	model := seg.Model()
+	ireqs := make([]index.Req, len(reqs))
+	for i, r := range reqs {
+		h := model.HeadIndex(r.Class)
+		if h < 0 {
+			return nil, 0, 0, &scrub.MissingHeadError{Class: r.Class}
+		}
+		ireqs[i] = index.Req{Head: h, N: r.N}
+	}
+	order, chunksSkipped, framesSkipped = seg.RankSum(ireqs)
+	return order, chunksSkipped, framesSkipped, nil
+}
+
 // scrubPrep carries the importance plan's enumeration products: the
-// per-call index costs to charge and the confidence-ranked probe order.
+// per-call index costs to charge, the confidence-ranked probe order, and
+// the zone-map skip accounting from building it.
 type scrubPrep struct {
-	trainCost float64
-	infCost   float64
-	order     []int32
+	trainCost     float64
+	infCost       float64
+	order         []int32
+	chunksSkipped int
+	framesSkipped int
 }
 
 // runScrubImportance verifies frames in specialized-network confidence
@@ -138,6 +165,8 @@ func (e *Engine) runScrubImportance(info *frameql.Info, reqs []scrub.Requirement
 	// is cached (pre-indexed, as in the paper's "BlazeIt (indexed)"), the
 	// cost is zero.
 	res.Stats.SpecNNSeconds += prep.infCost
+	res.Stats.IndexChunksSkipped += prep.chunksSkipped
+	res.Stats.IndexFramesSkipped += prep.framesSkipped
 	res.Stats.Plan = "scrub-importance"
 	sr := e.scrubSearch(prep.order, limit, info.Gap, reqs, &res.Stats, par)
 	if sr.Exhausted {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/filters"
 	"repro/internal/frameql"
+	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/specnn"
 	"repro/internal/track"
@@ -289,10 +290,13 @@ func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*
 
 // selArena is the per-shard product of the selection scan: per-frame
 // cascade verdicts plus the target-class detections (and their
-// object-predicate verdicts) for frames that reached the detector.
+// object-predicate verdicts) for frames that reached the detector, and
+// the shard's zone-map skip accounting.
 type selArena struct {
 	detArena
-	flags []uint8
+	flags         []uint8
+	chunksSkipped int
+	framesSkipped int
 }
 
 // Cascade flag bits for one visited frame.
@@ -328,6 +332,17 @@ type selPrep struct {
 	model          *specnn.CountModel
 	presence       []int32
 	charges        []selCharge
+	// seg is the test day's materialized index segment when one already
+	// exists (built by an earlier query, a background build, or loaded
+	// from a warm index directory) — the label filter then reads its
+	// exact presence-tail column instead of running the network per
+	// frame, and zone maps skip chunks that cannot pass. Reads are
+	// bit-identical to the on-the-fly Evaluator, so presence or absence
+	// of the segment changes wall-clock only; nil falls back to the
+	// Evaluator. Selection never *builds* the segment: the cascade's
+	// simulated charges are per-visited-frame, and triggering a
+	// whole-day inference here would change the cost accounting.
+	seg *index.Segment
 }
 
 // charge replays the preparation charges onto a cost meter.
@@ -417,6 +432,12 @@ func (e *Engine) selectionPrep(info *frameql.Info, plan SelectionPlan) (*selPrep
 			if p.labelFilter != nil {
 				note("label: P(%s >= 1) >= %.3f (selectivity %.3f)",
 					class, p.labelFilter.Threshold, p.labelFilter.Selectivity)
+				p.seg = e.idx.PeekSegment([]vidsim.Class{class}, e.Test)
+				if p.seg != nil && p.seg.Model() != m {
+					// A model imported after the segment was built: the
+					// columns no longer mirror this model's outputs.
+					p.seg = nil
+				}
 			}
 		} else {
 			note("label filter unavailable: %v", err)
@@ -493,18 +514,65 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 		visited = 0
 	}
 
+	// With a materialized segment the label filter reads the index's exact
+	// presence-tail column (bit-identical to Evaluator.TailProb) instead of
+	// running the network per frame, and chunks whose zone map proves the
+	// label threshold unreachable skip frame evaluation entirely wherever
+	// the cascade has no earlier stage that must still run. Skipped frames
+	// produce the same zero flags a label rejection would, so the merge's
+	// charge replay — and therefore the whole Result — is unchanged.
+	seg := prep.seg
+	useSeg := seg != nil && hasLabel && !plan.NoScopeOracle
 	var scanErr error
 	produce := func(s shard) *selArena {
 		a := &selArena{flags: make([]uint8, 0, s.hi-s.lo)}
 		a.ends = make([]int32, 0, s.hi-s.lo)
 		var ev *specnn.Evaluator
 		if !plan.NoScopeOracle && (hasContent || hasLabel) {
-			ev = specnn.NewEvaluator(model, e.Test)
+			if useSeg {
+				if hasContent {
+					// Raw descriptors only: the network never runs here.
+					ev = specnn.NewEvaluator(nil, e.Test)
+				}
+			} else {
+				ev = specnn.NewEvaluator(model, e.Test)
+			}
 		}
+		labelPass := func(f int) bool {
+			if useSeg {
+				return seg.Tail1(headIdx, f) >= labelFilter.Threshold
+			}
+			return ev.TailProb(headIdx, 1) >= labelFilter.Threshold
+		}
+		// canSkip applies only where the label filter is the first stage
+		// that would touch the frame, so a skip elides real work without
+		// changing any flag the merge replays charges from.
+		canSkip := zoneSkipsEnabled && useSeg && (labelFirst || !hasContent)
+		curChunk, skipChunk := -1, false
 		var scratch []detect.Detection
 		for i := s.lo; i < s.hi; i++ {
 			f := lo + i*step
 			var fl uint8
+			if canSkip {
+				if ci := index.ChunkOf(f); ci != curChunk {
+					curChunk = ci
+					skipChunk = seg.CanSkipTail1(ci, headIdx, labelFilter.Threshold)
+					// Count each skipped chunk once per scan — at the
+					// visited frame where the whole scan first enters it —
+					// so shard boundaries straddling a chunk never
+					// double-count it.
+					if skipChunk && (i == 0 || index.ChunkOf(f-step) != ci) {
+						a.chunksSkipped++
+					}
+				}
+				if skipChunk {
+					// Proven label rejection: same zero flags, no work.
+					a.framesSkipped++
+					a.flags = append(a.flags, 0)
+					a.ends = append(a.ends, int32(len(a.dets)))
+					continue
+				}
+			}
 			if plan.NoScopeOracle {
 				if presence[f] > 0 {
 					fl = selDetected
@@ -512,9 +580,14 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 			} else if labelFirst {
 				// Reordered cascade: the network gates first, content
 				// checks reuse its feature extraction on survivors.
-				ev.Seek(f)
-				pass := ev.TailProb(headIdx, 1) >= labelFilter.Threshold
+				if !useSeg {
+					ev.Seek(f)
+				}
+				pass := labelPass(f)
 				if pass {
+					if useSeg {
+						ev.Seek(f)
+					}
 					raw := ev.Raw()
 					for _, cf := range contentFilters {
 						if !cf.Pass(raw) {
@@ -542,10 +615,10 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 					}
 				}
 				if pass && hasLabel {
-					if !hasContent {
+					if !hasContent && !useSeg {
 						ev.Seek(f)
 					}
-					if ev.TailProb(headIdx, 1) < labelFilter.Threshold {
+					if !labelPass(f) {
 						pass = false
 					}
 				}
@@ -581,6 +654,8 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 			scanErr = a.err
 			return false
 		}
+		res.Stats.IndexChunksSkipped += a.chunksSkipped
+		res.Stats.IndexFramesSkipped += a.framesSkipped
 		for i := s.lo; i < s.hi; i++ {
 			f := lo + i*step
 			fl := a.flags[i-s.lo]

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/vidsim"
+)
+
+// This file persists the planner's held-out summaries — the cached
+// statistics candidate pricing reads — into the index tier, so a
+// restarted engine prices candidates from the materialized index instead
+// of re-scanning the held-out day. Every summary is a deterministic
+// function of the engine configuration (which the index fingerprint
+// covers), so loading is purely a real-time optimization: a cold recompute
+// produces bit-identical values, and therefore bit-identical plans,
+// charges, and answers.
+
+// summariesBlob is the gob wire form of plannerState's caches.
+type summariesBlob struct {
+	Base     map[vidsim.Class]baseStatsWire
+	Resid    map[vidsim.Class]residStatsWire
+	HeldErrs map[vidsim.Class]heldErrsWire
+	Bias     map[string]float64
+	Scrub    map[string]scrubStatsWire
+	Cascade  map[string]cascadeWire
+}
+
+type baseStatsWire struct {
+	MeanCount, StdCount, Presence float64
+}
+
+type residStatsWire struct {
+	ResidStd, Corr float64
+}
+
+type heldErrsWire struct {
+	Errs []float64
+	Cost float64
+}
+
+type scrubStatsWire struct {
+	MatchRate         float64
+	PresentRate       float64
+	MatchGivenPresent float64
+	RankedMatches     []bool
+}
+
+type cascadeWire struct {
+	Content, Joint float64
+}
+
+// savePlannerSummaries snapshots the planner caches into the index tier.
+func (e *Engine) savePlannerSummaries() error {
+	p := &e.planner
+	p.mu.Lock()
+	blob := summariesBlob{
+		Base:     make(map[vidsim.Class]baseStatsWire, len(p.base)),
+		Resid:    make(map[vidsim.Class]residStatsWire, len(p.resid)),
+		HeldErrs: make(map[vidsim.Class]heldErrsWire, len(p.heldErrs)),
+		Bias:     make(map[string]float64, len(p.bias)),
+		Scrub:    make(map[string]scrubStatsWire, len(p.scrub)),
+		Cascade:  make(map[string]cascadeWire, len(p.cascade)),
+	}
+	for c, s := range p.base {
+		blob.Base[c] = baseStatsWire{s.meanCount, s.stdCount, s.presence}
+	}
+	for c, s := range p.resid {
+		blob.Resid[c] = residStatsWire{s.residStd, s.corr}
+	}
+	for c, s := range p.heldErrs {
+		blob.HeldErrs[c] = heldErrsWire{append([]float64(nil), s.errs...), s.cost}
+	}
+	for k, v := range p.bias {
+		blob.Bias[k] = v
+	}
+	for k, s := range p.scrub {
+		blob.Scrub[k] = scrubStatsWire{s.matchRate, s.presentRate, s.matchGivenPresent, append([]bool(nil), s.rankedMatches...)}
+	}
+	for k, s := range p.cascade {
+		blob.Cascade[k] = cascadeWire{s.content, s.joint}
+	}
+	p.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return err
+	}
+	return e.idx.SaveSummaries(buf.Bytes())
+}
+
+// loadPlannerSummaries seeds the planner caches from a persisted
+// snapshot, if the index tier holds a valid one. Missing or invalid
+// summaries simply leave the caches to recompute (deterministically) on
+// demand.
+func (e *Engine) loadPlannerSummaries() {
+	data, ok := e.idx.LoadSummaries()
+	if !ok {
+		return
+	}
+	var blob summariesBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return
+	}
+	p := &e.planner
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c, s := range blob.Base {
+		p.base[c] = &baseStats{meanCount: s.MeanCount, stdCount: s.StdCount, presence: s.Presence}
+	}
+	for c, s := range blob.Resid {
+		p.resid[c] = &residStats{residStd: s.ResidStd, corr: s.Corr}
+	}
+	for c, s := range blob.HeldErrs {
+		p.heldErrs[c] = &heldErrsEntry{errs: s.Errs, cost: s.Cost}
+	}
+	for k, v := range blob.Bias {
+		p.bias[k] = v
+	}
+	for k, s := range blob.Scrub {
+		p.scrub[k] = &scrubStatsEntry{
+			matchRate:         s.MatchRate,
+			presentRate:       s.PresentRate,
+			matchGivenPresent: s.MatchGivenPresent,
+			rankedMatches:     s.RankedMatches,
+		}
+	}
+	for k, s := range blob.Cascade {
+		p.cascade[k] = &cascadeRates{content: s.Content, joint: s.Joint}
+	}
+}

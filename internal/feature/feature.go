@@ -77,8 +77,12 @@ func (e *Extractor) Frame(frame int, dst []float64) []float64 {
 	w := float64(cfg.Width)
 	h := float64(cfg.Height)
 
-	// Diurnal brightness: ±12% over the day.
-	bright := 1 + 0.12*math.Sin(2*math.Pi*float64(frame)/float64(e.video.Frames))
+	// Diurnal brightness: ±12% over the day. Time-of-day is the frame's
+	// position in the full generated day (FramesPerDay), not the video's
+	// currently visible frame count — a live video that has only produced
+	// its first hour must light that hour the same way the finished day
+	// does, or incremental indexing would disagree with a full build.
+	bright := 1 + 0.12*math.Sin(2*math.Pi*float64(frame)/float64(e.video.Config.FramesPerDay))
 	bg := cfg.Background
 	base := [3]float64{bg.R * bright, bg.G * bright, bg.B * bright}
 

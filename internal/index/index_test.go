@@ -1,0 +1,515 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/scrub"
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// testWorld is a tiny trained world shared by the package's tests.
+type testWorld struct {
+	cfg   vidsim.StreamConfig
+	train *vidsim.Video
+	test  *vidsim.Video
+	model *specnn.CountModel
+}
+
+var worldCache *testWorld
+
+func world(t *testing.T) *testWorld {
+	t.Helper()
+	if worldCache != nil {
+		return worldCache
+	}
+	cfg, err := vidsim.Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.01)
+	train := vidsim.Generate(cfg, 0)
+	det, err := detect.New(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := specnn.Train(train, det, []vidsim.Class{vidsim.Car, vidsim.Bus}, specnn.Options{
+		TrainFrames: 8000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worldCache = &testWorld{cfg: cfg, train: train, test: vidsim.Generate(cfg, 2), model: model}
+	return worldCache
+}
+
+func testKey(w *testWorld, day int) Key {
+	return Key{Stream: w.cfg.Name, Fingerprint: 0xfeed, Day: day, Classes: ClassKey([]vidsim.Class{vidsim.Car, vidsim.Bus})}
+}
+
+// TestSegmentMatchesRun pins the reconstruction guarantee: a built
+// segment's Inference is bit-identical to a fresh specnn.Run, and its
+// exact tail column is bit-identical to an on-the-fly Evaluator — the
+// two equivalences every index-backed plan execution rests on.
+func TestSegmentMatchesRun(t *testing.T) {
+	w := world(t)
+	seg, cost := Build(testKey(w, 2), w.model, w.test)
+	if cost <= 0 {
+		t.Fatalf("build cost = %v, want positive simulated seconds", cost)
+	}
+	ref := specnn.Run(w.model, w.test)
+	if seg.Inference().SimSeconds != ref.SimSeconds {
+		t.Errorf("SimSeconds %v vs %v", seg.Inference().SimSeconds, ref.SimSeconds)
+	}
+	for h := range w.model.HeadInfo {
+		if !reflect.DeepEqual(seg.Inference().HeadColumn(h), ref.HeadColumn(h)) {
+			t.Fatalf("head %d: distribution columns differ from specnn.Run", h)
+		}
+		ev := specnn.NewEvaluator(w.model, w.test)
+		for f := 0; f < w.test.Frames; f++ {
+			ev.Seek(f)
+			if got, want := seg.Tail1(h, f), ev.TailProb(h, 1); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("head %d frame %d: Tail1 %v, Evaluator.TailProb %v (not bit-identical)", h, f, got, want)
+			}
+		}
+	}
+}
+
+// TestZoneMapSoundness: every zone bound must dominate every per-frame
+// value it summarizes — an unsound bound would let a skip drop frames the
+// full scan keeps.
+func TestZoneMapSoundness(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	inf := seg.Inference()
+	covered := 0
+	for ci := 0; ci < seg.Chunks(); ci++ {
+		z := seg.Zone(ci)
+		lo := ci * ChunkFrames
+		for h, head := range w.model.HeadInfo {
+			for i := 0; i < z.Frames; i++ {
+				f := lo + i
+				pred := inf.PredCount(h, f)
+				if pred < int(z.MinPred[h]) || pred > int(z.MaxPred[h]) {
+					t.Fatalf("chunk %d head %d frame %d: pred %d outside [%d, %d]", ci, h, f, pred, z.MinPred[h], z.MaxPred[h])
+				}
+				if got := z.Presence[h][i/64]>>uint(i%64)&1 == 1; got != (pred >= 1) {
+					t.Fatalf("chunk %d head %d frame %d: presence bit %v, pred %d", ci, h, f, got, pred)
+				}
+				for n := 1; n < head.Classes; n++ {
+					if tp := inf.TailProb(h, f, n); tp > z.MaxTail[h][n] {
+						t.Fatalf("chunk %d head %d frame %d: TailProb(%d)=%v exceeds zone max %v", ci, h, f, n, tp, z.MaxTail[h][n])
+					}
+				}
+				if t1 := seg.Tail1(h, f); t1 > z.MaxTail1[h] {
+					t.Fatalf("chunk %d head %d frame %d: tail1 %v exceeds zone max %v", ci, h, f, t1, z.MaxTail1[h])
+				}
+			}
+		}
+		covered += z.Frames
+	}
+	if covered != w.test.Frames {
+		t.Fatalf("zones cover %d frames, video has %d", covered, w.test.Frames)
+	}
+}
+
+// TestRankSumMatchesScrub pins the ranking equivalence, including under
+// zone skips: zeroing a chunk's columns (so its mass-above-threshold is
+// exactly zero) must make RankSum skip it while still producing the
+// byte-identical order a full scrub.RankByConfidence sort yields.
+func TestRankSumMatchesScrub(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	reqs := []scrub.Requirement{{Class: vidsim.Car, N: 2}, {Class: vidsim.Bus, N: 1}}
+	ireqs := []Req{
+		{Head: w.model.HeadIndex(vidsim.Car), N: 2},
+		{Head: w.model.HeadIndex(vidsim.Bus), N: 1},
+	}
+
+	order, _, _ := seg.RankSum(ireqs)
+	want, err := scrub.RankByConfidence(seg.Inference(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatal("RankSum order differs from scrub.RankByConfidence")
+	}
+
+	// Zero out two chunks' columns so their tail mass is exactly zero —
+	// the only condition under which a scrubbing skip is provable — and
+	// rebuild the zones. (Softmax outputs are strictly positive, so in
+	// production this fires only on float32 underflow; the equivalence
+	// must hold regardless.)
+	for _, ci := range []int{1, seg.Chunks() - 1} {
+		lo := ci * ChunkFrames
+		hi := lo + seg.Zone(ci).Frames
+		for h, head := range w.model.HeadInfo {
+			k := head.Classes
+			for f := lo; f < hi; f++ {
+				for c := 1; c < k; c++ {
+					seg.probs[h][f*k+c] = 0
+				}
+				seg.probs[h][f*k] = 1
+				seg.tail1[h][f] = 0
+			}
+		}
+	}
+	seg.zones = seg.zones[:0]
+	seg.computeZones(0)
+
+	order2, chunks, frames := seg.RankSum(ireqs)
+	if chunks < 2 || frames < 2*1 {
+		t.Fatalf("zeroed chunks not skipped: %d chunks / %d frames", chunks, frames)
+	}
+	want2, err := scrub.RankByConfidence(seg.Inference(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order2, want2) {
+		t.Fatal("RankSum order with skips differs from full sort")
+	}
+	// A requirement at N<=0 scores a constant 1 everywhere; no zone map
+	// can prove that zero, so skipping must disable itself.
+	if _, chunks, _ := seg.RankSum([]Req{{Head: 0, N: 0}}); chunks != 0 {
+		t.Fatalf("N=0 requirement skipped %d chunks; its tail is identically 1", chunks)
+	}
+}
+
+// TestSegmentFileRoundTrip: write → read reproduces columns, zones, and
+// frames exactly.
+func TestSegmentFileRoundTrip(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	path := filepath.Join(t.TempDir(), "seg.blz")
+	if err := writeSegmentFile(path, seg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := readSegmentFile(path, seg.key, w.model, w.test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Frames() != seg.Frames() || loaded.Chunks() != seg.Chunks() {
+		t.Fatalf("loaded %d frames / %d chunks, want %d / %d", loaded.Frames(), loaded.Chunks(), seg.Frames(), seg.Chunks())
+	}
+	if !reflect.DeepEqual(loaded.probs, seg.probs) || !reflect.DeepEqual(loaded.tail1, seg.tail1) {
+		t.Fatal("columns changed across the file round trip")
+	}
+	if !reflect.DeepEqual(loaded.zones, seg.zones) {
+		t.Fatal("zone maps changed across the file round trip")
+	}
+}
+
+// TestSegmentFileCorruption: truncations and bit flips must surface as
+// errors (ErrCorrupt for structural damage), never as silently wrong
+// columns or panics.
+func TestSegmentFileCorruption(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.blz")
+	if err := writeSegmentFile(path, seg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stride := len(blob)/16 + 1
+	for cut := 10; cut < len(blob); cut += stride {
+		p := filepath.Join(dir, "trunc.blz")
+		if err := os.WriteFile(p, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readSegmentFile(p, seg.key, w.model, w.test); err == nil {
+			t.Fatalf("truncation to %d of %d bytes loaded without error", cut, len(blob))
+		}
+	}
+
+	// Flip one byte inside the first chunk's payload: the CRC must catch it.
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)/2] ^= 0xff
+	p := filepath.Join(dir, "flip.blz")
+	if err := os.WriteFile(p, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSegmentFile(p, seg.key, w.model, w.test); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+
+	// Wrong fingerprint: the key mismatch must reject the file.
+	badKey := seg.key
+	badKey.Fingerprint++
+	if _, err := readSegmentFile(path, badKey, w.model, w.test); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("fingerprint mismatch: err = %v, want ErrCorrupt", err)
+	}
+
+	// A corrupt blob file (model) must also reject.
+	mp := filepath.Join(dir, "model.blz")
+	if err := writeBlobFile(mp, magicModel, 0xfeed, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := os.ReadFile(mp)
+	mb[len(mb)-1] ^= 0xff // corrupt the checksum
+	if err := os.WriteFile(mp, mb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBlobFile(mp, magicModel, 0xfeed); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("blob checksum corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestIncrementalIngestMatchesOneShot: a live video indexed in chunk-size
+// increments must converge to a byte-identical segment file (and
+// identical in-memory columns) as a one-shot build over the full day —
+// appends extend, never invalidate.
+func TestIncrementalIngestMatchesOneShot(t *testing.T) {
+	w := world(t)
+	classes := []vidsim.Class{vidsim.Car, vidsim.Bus}
+
+	full := vidsim.Generate(w.cfg, 2)
+	oneShot, _ := Build(Key{Stream: w.cfg.Name, Fingerprint: 1, Day: 2, Classes: ClassKey(classes)}, w.model, full)
+	oneShotPath := filepath.Join(t.TempDir(), "oneshot.blz")
+	if err := writeSegmentFile(oneShotPath, oneShot); err != nil {
+		t.Fatal(err)
+	}
+
+	live := vidsim.GenerateLive(w.cfg, 2, 2*ChunkFrames+100)
+	dir := t.TempDir()
+	mgr := NewManager(Config{
+		Dir: dir, Stream: w.cfg.Name, Fingerprint: 1,
+		Train: func([]vidsim.Class) (*specnn.CountModel, error) { return w.model, nil },
+	})
+	if _, _, err := mgr.Segment(classes, live); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for live.Frames < full.Frames {
+		live.AppendFrames(ChunkFrames/2 + 17)
+		added, err := mgr.Ingest(classes, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added == 0 {
+			t.Fatal("append produced frames but Ingest added none")
+		}
+		steps++
+	}
+	if steps < 3 {
+		t.Fatalf("test exercised only %d incremental steps", steps)
+	}
+	if live.Frames != full.Frames {
+		t.Fatalf("live video ended at %d frames, full day has %d", live.Frames, full.Frames)
+	}
+
+	seg := mgr.PeekSegment(classes, live)
+	if seg == nil {
+		t.Fatal("segment not materialized after ingest")
+	}
+	if !reflect.DeepEqual(seg.probs, oneShot.probs) || !reflect.DeepEqual(seg.tail1, oneShot.tail1) {
+		t.Fatal("incrementally ingested columns differ from one-shot build")
+	}
+	if !reflect.DeepEqual(seg.zones, oneShot.zones) {
+		t.Fatal("incrementally ingested zones differ from one-shot build")
+	}
+
+	got, err := os.ReadFile(segmentPath(mgr.Dir(), seg.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(oneShotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("incrementally appended file (%d bytes) differs from one-shot file (%d bytes)", len(got), len(want))
+	}
+}
+
+// TestRestartMidIngestLoadsAndExtends: a session restart between ingest
+// batches must load the persisted partial segment and infer only the
+// missing tail — never rebuild from frame zero — and still converge to a
+// byte-identical file.
+func TestRestartMidIngestLoadsAndExtends(t *testing.T) {
+	w := world(t)
+	classes := []vidsim.Class{vidsim.Car, vidsim.Bus}
+	cfg := Config{
+		Dir: t.TempDir(), Stream: w.cfg.Name, Fingerprint: 9,
+		Train: func([]vidsim.Class) (*specnn.CountModel, error) { return w.model, nil },
+	}
+
+	// Session 1 indexes a prefix of the live day and exits.
+	prefix := 2*ChunkFrames + 200
+	live1 := vidsim.GenerateLive(w.cfg, 2, prefix)
+	mgr1 := NewManager(cfg)
+	if _, _, err := mgr1.Segment(classes, live1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2 restarts with the day further along: the persisted prefix
+	// must load, and only the tail may be inferred.
+	live2 := vidsim.GenerateLive(w.cfg, 2, w.cfg.FramesPerDay)
+	mgr2 := NewManager(cfg)
+	added, err := mgr2.Ingest(classes, live2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := w.cfg.FramesPerDay - prefix; added != want {
+		t.Fatalf("restart ingest reported %d new frames, want %d (the tail only)", added, want)
+	}
+	st := mgr2.Stats()
+	if st.SegmentsBuilt != 0 || st.SegmentsLoaded != 1 {
+		t.Fatalf("restart ingest rebuilt instead of extending: %+v", st)
+	}
+	if st.BuildSimSeconds <= 0 {
+		t.Fatal("extension inference not recorded as index investment")
+	}
+
+	// The resulting file is byte-identical to a one-shot build.
+	full := vidsim.Generate(w.cfg, 2)
+	oneShot, _ := Build(Key{Stream: w.cfg.Name, Fingerprint: 9, Day: 2, Classes: ClassKey(classes)}, w.model, full)
+	wantFile := filepath.Join(t.TempDir(), "oneshot.blz")
+	if err := writeSegmentFile(wantFile, oneShot); err != nil {
+		t.Fatal(err)
+	}
+	seg := mgr2.PeekSegment(classes, live2)
+	if seg == nil {
+		t.Fatal("segment missing after restart ingest")
+	}
+	got, err := os.ReadFile(segmentPath(mgr2.Dir(), seg.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(wantFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restart-extended file differs from one-shot build")
+	}
+}
+
+// TestLabelStoreSnapshotAndPersistence: mid-query observations stay
+// invisible until Commit, and committed labels survive a manager restart
+// through the append-only label file.
+func TestLabelStoreSnapshotAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Stream: "s", Fingerprint: 7}
+	mgr := NewManager(cfg)
+	ls := mgr.Labels(2)
+
+	ls.Observe(vidsim.Car, 10, 3)
+	if _, ok := ls.Lookup(vidsim.Car, 10); ok {
+		t.Fatal("pending observation visible before Commit")
+	}
+	if added := ls.Commit(); added != 1 {
+		t.Fatalf("Commit added %d, want 1", added)
+	}
+	if n, ok := ls.Lookup(vidsim.Car, 10); !ok || n != 3 {
+		t.Fatalf("Lookup after Commit = (%d, %v), want (3, true)", n, ok)
+	}
+	ls.Observe(vidsim.Car, 11, 1)
+	ls.Observe(vidsim.Bus, 10, 0)
+	ls.Commit()
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A second flush with nothing new must not duplicate batches.
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn := NewManager(cfg)
+	ls2 := reborn.Labels(2)
+	if ls2.Len() != 3 {
+		t.Fatalf("restarted store has %d labels, want 3", ls2.Len())
+	}
+	for _, tc := range []struct {
+		class vidsim.Class
+		frame int
+		want  int32
+	}{{vidsim.Car, 10, 3}, {vidsim.Car, 11, 1}, {vidsim.Bus, 10, 0}} {
+		if n, ok := ls2.Lookup(tc.class, tc.frame); !ok || n != tc.want {
+			t.Fatalf("restarted Lookup(%s, %d) = (%d, %v), want (%d, true)", tc.class, tc.frame, n, ok, tc.want)
+		}
+	}
+
+	// A wrong fingerprint must not read the labels.
+	other := NewManager(Config{Dir: dir, Stream: "s", Fingerprint: 8})
+	if n := other.Labels(2).Len(); n != 0 {
+		t.Fatalf("fingerprint-mismatched store loaded %d labels", n)
+	}
+}
+
+// TestManagerModelAndSegmentPersistence: a manager restart loads instead
+// of rebuilding, charges zero, and corruption falls back to a rebuild.
+func TestManagerModelAndSegmentPersistence(t *testing.T) {
+	w := world(t)
+	classes := []vidsim.Class{vidsim.Car, vidsim.Bus}
+	dir := t.TempDir()
+	trainCalls := 0
+	cfg := Config{
+		Dir: dir, Stream: w.cfg.Name, Fingerprint: 42,
+		Train: func([]vidsim.Class) (*specnn.CountModel, error) {
+			trainCalls++
+			return w.model, nil
+		},
+	}
+
+	mgr := NewManager(cfg)
+	if _, cost, err := mgr.Segment(classes, w.test); err != nil || cost <= 0 {
+		t.Fatalf("fresh build: cost %v, err %v", cost, err)
+	}
+	if trainCalls != 1 {
+		t.Fatalf("train calls = %d, want 1", trainCalls)
+	}
+
+	reborn := NewManager(cfg)
+	seg, cost, err := reborn.Segment(classes, w.test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("disk-loaded segment charged %v, want 0", cost)
+	}
+	if trainCalls != 1 {
+		t.Fatalf("restart retrained (train calls = %d)", trainCalls)
+	}
+	st := reborn.Stats()
+	if st.ModelsLoaded != 1 || st.SegmentsLoaded != 1 || st.ModelsTrained != 0 || st.SegmentsBuilt != 0 {
+		t.Fatalf("restart stats = %+v, want pure loads", st)
+	}
+	if seg.Frames() != w.test.Frames {
+		t.Fatalf("loaded segment covers %d frames, want %d", seg.Frames(), w.test.Frames)
+	}
+
+	// Corrupt the segment file: the next manager must detect it, rebuild,
+	// and rewrite.
+	sp := segmentPath(reborn.Dir(), seg.Key())
+	blob, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(sp, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := NewManager(cfg)
+	if _, cost, err := third.Segment(classes, w.test); err != nil || cost <= 0 {
+		t.Fatalf("rebuild after corruption: cost %v, err %v", cost, err)
+	}
+	st = third.Stats()
+	if st.SegmentsBuilt != 1 || len(st.Errors) == 0 {
+		t.Fatalf("corruption stats = %+v, want one rebuild and a recorded error", st)
+	}
+	if _, err := readSegmentFile(sp, seg.Key(), w.model, w.test); err != nil {
+		t.Fatalf("rewritten segment unreadable: %v", err)
+	}
+}

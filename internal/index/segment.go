@@ -1,0 +1,323 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/specnn"
+	"repro/internal/vidsim"
+)
+
+// Zone is the zone-map summary of one chunk: per-head bounds that let plan
+// executions prove a predicate cannot match anywhere in the chunk without
+// reading its per-frame columns. All bounds are computed through the same
+// accessors executions read frames with (Inference.TailProb, PredCount,
+// the exact tail column), so a zone comparison is exactly as strict as the
+// per-frame comparison it stands in for — a skip can never drop a frame
+// the full scan would have kept.
+type Zone struct {
+	// Frames is the number of frames the chunk covers (ChunkFrames except
+	// for the trailing chunk).
+	Frames int
+	// MinPred and MaxPred bound the per-head argmax predicted count.
+	MinPred, MaxPred []uint8
+	// MaxTail[h][n] is the per-head maximum of Inference.TailProb(h, f, n)
+	// over the chunk's frames — the mass-above-threshold summary. Index n
+	// ranges over the head's count classes; entry 0 is always 1.
+	MaxTail [][]float64
+	// MaxTail1 is the per-head maximum of the exact float64 presence-tail
+	// column (the quantity the selection label filter thresholds).
+	MaxTail1 []float64
+	// Presence is a per-head bitmap of frames whose predicted count is at
+	// least 1, bit i covering the chunk's i-th frame.
+	Presence [][]uint64
+}
+
+// Segment is one materialized class-set × day: the specialized network's
+// columnar outputs over every frame, chunked zone maps, and the model that
+// produced them. Segments are immutable to readers; Extend (live ingest)
+// must not race queries.
+type Segment struct {
+	key    Key
+	model  *specnn.CountModel
+	video  *vidsim.Video
+	frames int
+	probs  [][]float32 // per head, [frame*Classes + class]
+	tail1  [][]float64 // per head, exact P(count >= 1)
+	zones  []Zone
+	inf    *specnn.Inference
+}
+
+// Build materializes a segment for the video's current frames: one
+// specialized-network pass producing the distribution and exact-tail
+// columns, then zone maps per chunk. The returned simulated cost is the
+// inference pass (the index investment the paper's indexed accounting
+// amortizes across queries).
+func Build(key Key, model *specnn.CountModel, v *vidsim.Video) (*Segment, float64) {
+	probs, tail1, sim := specnn.RunRange(model, v, 0, v.Frames)
+	s := &Segment{
+		key:    key,
+		model:  model,
+		video:  v,
+		frames: v.Frames,
+		probs:  probs,
+		tail1:  tail1,
+	}
+	s.inf = specnn.NewInferenceFromColumns(model, v, s.frames, s.probs)
+	s.zones = make([]Zone, 0, chunkCount(s.frames))
+	s.computeZones(0)
+	return s, sim
+}
+
+// Key returns the segment's identity.
+func (s *Segment) Key() Key { return s.key }
+
+// Model returns the generating specialized network.
+func (s *Segment) Model() *specnn.CountModel { return s.model }
+
+// Frames returns the number of indexed frames.
+func (s *Segment) Frames() int { return s.frames }
+
+// Chunks returns the number of zone-mapped chunks.
+func (s *Segment) Chunks() int { return len(s.zones) }
+
+// Zone returns the chunk's zone map. The returned value shares the
+// segment's storage and must be treated as read-only.
+func (s *Segment) Zone(chunk int) *Zone { return &s.zones[chunk] }
+
+// Inference returns the columnar data as a specnn.Inference — bit-identical
+// to a fresh specnn.Run over the same frames, whether the columns were just
+// computed or loaded back from disk.
+func (s *Segment) Inference() *specnn.Inference { return s.inf }
+
+// Tail1 returns the exact float64 presence tail P(count >= 1) for the head
+// at the frame — the same bits an on-the-fly Evaluator.TailProb(head, 1)
+// would produce, which is what makes index-backed label filtering
+// answer-neutral.
+func (s *Segment) Tail1(head, frame int) float64 { return s.tail1[head][frame] }
+
+// ChunkOf returns the chunk index covering a frame.
+func ChunkOf(frame int) int { return frame / ChunkFrames }
+
+// CanSkipTail reports whether the zone map proves every frame of the chunk
+// has Inference.TailProb(head, f, n) < threshold — the binary cascade's
+// reject band. n is clamped the way TailProb clamps it; n <= 0 never skips
+// (the tail is identically 1).
+func (s *Segment) CanSkipTail(chunk, head, n int, threshold float64) bool {
+	k := s.model.HeadInfo[head].Classes
+	if n >= k {
+		n = k - 1
+	}
+	if n <= 0 {
+		return false
+	}
+	return s.zones[chunk].MaxTail[head][n] < threshold
+}
+
+// CanSkipTail1 reports whether the zone map proves every frame of the
+// chunk has an exact presence tail below the threshold — the selection
+// label filter's reject condition.
+func (s *Segment) CanSkipTail1(chunk, head int, threshold float64) bool {
+	return s.zones[chunk].MaxTail1[head] < threshold
+}
+
+// MemoryBytes estimates the segment's in-memory column and zone footprint.
+func (s *Segment) MemoryBytes() int64 {
+	var b int64
+	for h := range s.probs {
+		b += int64(len(s.probs[h]))*4 + int64(len(s.tail1[h]))*8
+	}
+	for i := range s.zones {
+		z := &s.zones[i]
+		b += int64(len(z.MinPred)) * 2
+		for h := range z.MaxTail {
+			b += int64(len(z.MaxTail[h]))*8 + 8 + int64(len(z.Presence[h]))*8
+		}
+	}
+	return b
+}
+
+// Extend ingests the video's newly arrived frames (beyond the segment's
+// current coverage) chunk by chunk: one network pass over the new range,
+// columns appended, and zone maps recomputed from the trailing partial
+// chunk onward — existing complete chunks are never touched. It returns
+// the number of frames added, the first chunk whose zone record changed
+// (for append-persistence), and the simulated cost of the incremental
+// inference pass (index investment, like Build's). Extend must not run
+// concurrently with readers of the same segment.
+func (s *Segment) Extend(v *vidsim.Video) (added, fromChunk int, simSeconds float64) {
+	if v.Frames <= s.frames {
+		return 0, len(s.zones), 0
+	}
+	probs, tail1, simSeconds := specnn.RunRange(s.model, v, s.frames, v.Frames)
+	for h := range s.probs {
+		s.probs[h] = append(s.probs[h], probs[h]...)
+		s.tail1[h] = append(s.tail1[h], tail1[h]...)
+	}
+	added = v.Frames - s.frames
+	fromChunk = s.frames / ChunkFrames
+	s.frames = v.Frames
+	s.video = v
+	s.inf = specnn.NewInferenceFromColumns(s.model, v, s.frames, s.probs)
+	s.zones = s.zones[:fromChunk]
+	s.computeZones(fromChunk)
+	return added, fromChunk, simSeconds
+}
+
+// computeZones (re)computes zone maps from the given chunk onward. Bounds
+// are read through the reconstructed Inference (and the exact tail
+// column), guaranteeing zone comparisons bound exactly what executions
+// compare.
+func (s *Segment) computeZones(from int) {
+	heads := s.model.HeadInfo
+	for ci := from; ci < chunkCount(s.frames); ci++ {
+		lo := ci * ChunkFrames
+		hi := lo + ChunkFrames
+		if hi > s.frames {
+			hi = s.frames
+		}
+		z := Zone{
+			Frames:   hi - lo,
+			MinPred:  make([]uint8, len(heads)),
+			MaxPred:  make([]uint8, len(heads)),
+			MaxTail:  make([][]float64, len(heads)),
+			MaxTail1: make([]float64, len(heads)),
+			Presence: make([][]uint64, len(heads)),
+		}
+		words := (z.Frames + 63) / 64
+		for h, head := range heads {
+			z.MaxTail[h] = make([]float64, head.Classes)
+			z.MaxTail[h][0] = 1
+			z.Presence[h] = make([]uint64, words)
+			minP, maxP := 255, 0
+			for f := lo; f < hi; f++ {
+				pred := s.inf.PredCount(h, f)
+				if pred < minP {
+					minP = pred
+				}
+				if pred > maxP {
+					maxP = pred
+				}
+				if pred >= 1 {
+					z.Presence[h][(f-lo)/64] |= 1 << uint((f-lo)%64)
+				}
+				for n := 1; n < head.Classes; n++ {
+					if t := s.inf.TailProb(h, f, n); t > z.MaxTail[h][n] {
+						z.MaxTail[h][n] = t
+					}
+				}
+				if t := s.tail1[h][f]; t > z.MaxTail1[h] {
+					z.MaxTail1[h] = t
+				}
+			}
+			z.MinPred[h] = uint8(minP)
+			z.MaxPred[h] = uint8(maxP)
+		}
+		s.zones = append(s.zones, z)
+	}
+}
+
+// Req is one scrubbing requirement resolved to a model head: at least N
+// objects of the head's class.
+type Req struct {
+	Head int
+	N    int
+}
+
+// RankSum orders all indexed frames by descending specialized-network
+// confidence for the requirements — the paper's sum combiner, reproducing
+// scrub.RankByConfidence bit for bit — while consulting zone maps to skip
+// the score computation for chunks where every requirement's
+// mass-above-threshold is exactly zero (every frame there scores exactly
+// 0, so the global sort's tie-break orders them identically either way).
+// It returns the order and the number of chunks and frames skipped.
+func (s *Segment) RankSum(reqs []Req) (order []int32, skippedChunks, skippedFrames int) {
+	// Clamp requirement thresholds the way TailProb clamps them; a
+	// requirement at or below zero contributes a constant 1, which no
+	// zone map can zero out.
+	clamped := make([]Req, len(reqs))
+	skipEligible := true
+	for i, r := range reqs {
+		k := s.model.HeadInfo[r.Head].Classes
+		n := r.N
+		if n >= k {
+			n = k - 1
+		}
+		clamped[i] = Req{Head: r.Head, N: n}
+		if n <= 0 {
+			skipEligible = false
+		}
+	}
+
+	n := s.frames
+	scores := make([]float32, n)
+	for ci := 0; ci < len(s.zones); ci++ {
+		lo := ci * ChunkFrames
+		hi := lo + s.zones[ci].Frames
+		skip := skipEligible
+		if skip {
+			for _, r := range clamped {
+				if s.zones[ci].MaxTail[r.Head][r.N] != 0 {
+					skip = false
+					break
+				}
+			}
+		}
+		if skip {
+			// Every frame's score is exactly 0 — the zero the slice
+			// already holds.
+			skippedChunks++
+			skippedFrames += s.zones[ci].Frames
+			continue
+		}
+		for f := lo; f < hi; f++ {
+			var sc float64
+			for _, r := range clamped {
+				sc += s.inf.TailProb(r.Head, f, r.N)
+			}
+			scores[f] = float32(sc)
+		}
+	}
+	order = make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := scores[order[i]], scores[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	return order, skippedChunks, skippedFrames
+}
+
+// validateHeads checks a loaded segment's head table against the model it
+// will serve reads for.
+func validateHeads(heads []specnn.Head, model *specnn.CountModel) error {
+	if len(heads) != len(model.HeadInfo) {
+		return fmt.Errorf("index: segment has %d heads, model has %d", len(heads), len(model.HeadInfo))
+	}
+	for i, h := range heads {
+		if h != model.HeadInfo[i] {
+			return fmt.Errorf("index: segment head %d is %v, model has %v", i, h, model.HeadInfo[i])
+		}
+	}
+	return nil
+}
+
+// classSlice parses a canonical class key back into classes.
+func classSlice(key string) []vidsim.Class {
+	if key == "" {
+		return nil
+	}
+	var out []vidsim.Class
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			out = append(out, vidsim.Class(key[start:i]))
+			start = i + 1
+		}
+	}
+	return out
+}

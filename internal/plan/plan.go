@@ -195,6 +195,13 @@ type Report struct {
 	// ActualSeconds is the executed plan's recorded total cost; zero for
 	// EXPLAIN reports, which do not execute.
 	ActualSeconds float64 `json:"actual_seconds,omitempty"`
+	// IndexChunksSkipped counts zone-map skip decisions the executed plan
+	// made against the materialized frame index: chunk ranges proven
+	// unable to satisfy the predicate, elided without reading per-frame
+	// columns. Skips never change answers or the simulated cost meter.
+	IndexChunksSkipped int `json:"index_chunks_skipped,omitempty"`
+	// IndexFramesSkipped counts the frames those skipped ranges covered.
+	IndexFramesSkipped int `json:"index_frames_skipped,omitempty"`
 	// Candidates is the full table, in enumeration order.
 	Candidates []Candidate `json:"candidates"`
 }

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStatzIndexzSection: /statz reports the index tier — segment
+// inventory after a query builds one, and label-store activity from the
+// sampling plan.
+func TestStatzIndexzSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Streams: []string{"taipei"}})
+	if resp, _ := postQuery(t, ts.URL, `{"stream":"taipei","query":"`+aggQuery+`"}`); resp.StatusCode != 200 {
+		t.Fatalf("query: HTTP %d", resp.StatusCode)
+	}
+	// A forced sampling plan exercises the ground-truth label store.
+	sampled := `SELECT /*+ PLAN(naive-aqp) */ FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`
+	if resp, _ := postQuery(t, ts.URL, `{"stream":"taipei","query":"`+sampled+`"}`); resp.StatusCode != 200 {
+		t.Fatalf("sampled query: HTTP %d", resp.StatusCode)
+	}
+	var st statzResponse
+	getJSON(t, ts.URL+"/statz", &st)
+	if st.Indexz.SegmentsBuilt == 0 || st.Indexz.Segments == 0 || st.Indexz.Chunks == 0 {
+		t.Errorf("indexz reports no segments after an aggregate query: %+v", st.Indexz)
+	}
+	if st.Indexz.ModelsTrained == 0 {
+		t.Errorf("indexz reports no trained models: %+v", st.Indexz)
+	}
+	if st.Indexz.BuildSimSeconds <= 0 {
+		t.Errorf("indexz reports no build investment: %+v", st.Indexz)
+	}
+	if st.Indexz.Labels == 0 || st.Indexz.LabelMisses == 0 {
+		t.Errorf("indexz reports no ground-truth label activity: %+v", st.Indexz)
+	}
+}
+
+// TestBackgroundIndexBuildAndCloseFlush: with BackgroundIndex on and an
+// index directory, opening a stream kicks off a build; Close waits for it
+// and flushes, leaving a directory a fresh server warm-starts from.
+func TestBackgroundIndexBuildAndCloseFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	cfg := Config{Workers: 2, Streams: []string{"taipei"}, BackgroundIndex: true}
+	cfg.Engine = testEngineOptions()
+	cfg.Engine.IndexDir = dir
+
+	s := New(cfg)
+	if err := s.Preopen(t.Context(), "taipei"); err != nil {
+		t.Fatal(err)
+	}
+	// The build runs in the background; poll its progress counters.
+	deadline := time.Now().Add(60 * time.Second)
+	for s.buildsDone.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background index build did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.buildsQueued.Load() != 1 || s.buildsFailed.Load() != 0 {
+		t.Fatalf("builds queued=%d failed=%d", s.buildsQueued.Load(), s.buildsFailed.Load())
+	}
+	eng, ok := s.reg.Peek("taipei")
+	if !ok {
+		t.Fatal("engine not open")
+	}
+	st := eng.IndexStats()
+	// taipei has two classes; each builds a held-out and a test segment.
+	if st.SegmentsBuilt < 4 {
+		t.Fatalf("background build materialized %d segments, want >= 4 (%+v)", st.SegmentsBuilt, st)
+	}
+	s.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("index directory empty after Close: %v", err)
+	}
+
+	// A fresh server on the same directory warm-starts: its background
+	// "build" loads everything instead of training.
+	s2 := New(cfg)
+	defer s2.Close()
+	if err := s2.Preopen(t.Context(), "taipei"); err != nil {
+		t.Fatal(err)
+	}
+	for s2.buildsDone.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("warm background build did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	eng2, ok := s2.reg.Peek("taipei")
+	if !ok {
+		t.Fatal("engine not open on restart")
+	}
+	st2 := eng2.IndexStats()
+	if st2.SegmentsBuilt != 0 || st2.ModelsTrained != 0 {
+		t.Fatalf("restarted server rebuilt instead of loading: %+v", st2)
+	}
+	if st2.SegmentsLoaded < 4 || st2.ModelsLoaded == 0 {
+		t.Fatalf("restarted server loaded nothing: %+v", st2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -56,6 +57,13 @@ type Config struct {
 	// returns its result. Zero means no server-side limit beyond the
 	// client's context.
 	QueryTimeout time.Duration
+	// BackgroundIndex builds the materialized frame index for every class
+	// of a stream in the background when the stream's engine opens, so
+	// queries find models, segments, and zone maps already warm. Builds
+	// are index investment (charged to no query) and, when the engine
+	// options set an IndexDir, persist for future sessions. Close waits
+	// for the in-flight build and skips pending ones.
+	BackgroundIndex bool
 	// Open overrides engine construction (used by tests); the default
 	// opens core.NewEngine(name, Engine).
 	Open Opener
@@ -84,6 +92,20 @@ type Server struct {
 	chargedSeconds float64
 	chargedCalls   uint64
 	queryErrors    uint64
+	skippedChunks  uint64
+	skippedFrames  uint64
+
+	// Background index-build tracking: Close sets closing and waits on
+	// builds, so partial index state flushes cleanly before exit. The
+	// closing flag and builds.Add share s.mu so a build can never be
+	// added after Close has observed a drained WaitGroup (the Add-during-
+	// Wait race); closing is additionally atomic for the cheap
+	// mid-build checks.
+	closing      atomic.Bool
+	builds       sync.WaitGroup
+	buildsQueued atomic.Uint64
+	buildsDone   atomic.Uint64
+	buildsFailed atomic.Uint64
 }
 
 // streamCounters tracks per-stream serving totals.
@@ -101,6 +123,19 @@ func New(cfg Config) *Server {
 			return core.NewEngine(name, cfg.Engine)
 		}
 	}
+	var s *Server
+	if cfg.BackgroundIndex {
+		// Wrap the opener so every successful open kicks off a
+		// background index build for the stream's classes.
+		inner := open
+		open = func(name string) (*core.Engine, error) {
+			eng, err := inner(name)
+			if err == nil {
+				s.startIndexBuild(eng)
+			}
+			return eng, err
+		}
+	}
 	names := cfg.Streams
 	if names == nil {
 		names = vidsim.StreamNames()
@@ -116,7 +151,7 @@ func New(cfg Config) *Server {
 	case cacheCap < 0:
 		cacheCap = 0
 	}
-	s := &Server{
+	s = &Server{
 		cfg:       cfg,
 		streams:   names,
 		allowed:   allowed,
@@ -140,8 +175,58 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Streams returns the stream names this server serves.
 func (s *Server) Streams() []string { return s.streams }
 
-// Close drains and stops the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close shuts the server down cleanly: it stops launching background
+// index builds and waits for the in-flight ones, drains and stops the
+// worker pool, and flushes every open engine's index tier (sampled
+// ground-truth labels, planner summaries) so a partially built index is
+// persisted rather than lost.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing.Store(true)
+	s.mu.Unlock()
+	s.builds.Wait()
+	s.pool.Close()
+	open, _ := s.reg.Open()
+	for _, name := range open {
+		if eng, ok := s.reg.Peek(name); ok {
+			_ = eng.FlushIndex()
+		}
+	}
+}
+
+// startIndexBuild launches a background materialization of the engine's
+// index: one single-class build per configured stream class, in one
+// goroutine so builds never compete with each other (they still share the
+// engine's singleflight slots with queries — whoever starts a given
+// artifact first wins, and the build is charged to no query either way).
+func (s *Server) startIndexBuild(eng *core.Engine) {
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		return
+	}
+	s.builds.Add(1)
+	s.mu.Unlock()
+	s.buildsQueued.Add(1)
+	go func() {
+		defer s.builds.Done()
+		failed := false
+		for _, cc := range eng.Cfg.Classes {
+			if s.closing.Load() {
+				// Shutdown: skip pending classes; completed segments are
+				// already persisted, and Close flushes the rest.
+				break
+			}
+			if err := eng.BuildIndex([]vidsim.Class{cc.Class}); err != nil {
+				failed = true
+			}
+		}
+		if failed {
+			s.buildsFailed.Add(1)
+		}
+		s.buildsDone.Add(1)
+	}()
+}
 
 // Preopen eagerly opens the named stream's engine so the first query
 // doesn't pay stream generation and detector setup.
@@ -459,6 +544,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	counters.queries++
 	s.chargedSeconds += res.Stats.TotalSeconds()
 	s.chargedCalls += uint64(res.Stats.DetectorCalls)
+	s.skippedChunks += uint64(res.Stats.IndexChunksSkipped)
+	s.skippedFrames += uint64(res.Stats.IndexFramesSkipped)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.buildResponse(
 		req.Stream, canonical, res, false, s.maxRows(req.MaxRows), time.Since(start)))
@@ -648,8 +735,49 @@ type statzResponse struct {
 	Pool          PoolStats         `json:"pool"`
 	Parallel      parallelStatz     `json:"parallel"`
 	Planner       plannerStatz      `json:"planner"`
+	Indexz        indexStatz        `json:"indexz"`
 	Registry      registryStatz     `json:"registry"`
 	Streams       map[string]uint64 `json:"stream_queries"`
+}
+
+// indexStatz reports the materialized frame-index tier aggregated across
+// the open engines: build-vs-load provenance, zone-map chunk inventory
+// and skip activity, ground-truth label coverage, and background build
+// progress.
+type indexStatz struct {
+	// Dir is the configured index directory ("" when memory-only).
+	Dir string `json:"dir,omitempty"`
+	// ModelsTrained / ModelsLoaded count fresh trainings vs disk loads.
+	ModelsTrained int `json:"models_trained"`
+	ModelsLoaded  int `json:"models_loaded"`
+	// SegmentsBuilt / SegmentsLoaded count fresh whole-day inference
+	// passes vs disk loads.
+	SegmentsBuilt  int `json:"segments_built"`
+	SegmentsLoaded int `json:"segments_loaded"`
+	// Segments and Chunks inventory the materialized columns.
+	Segments int `json:"segments"`
+	Chunks   int `json:"chunks"`
+	// Bytes is the in-memory column/zone footprint.
+	Bytes int64 `json:"bytes"`
+	// BuildSimSeconds is the simulated cost invested in index builds
+	// (training + whole-day inference), charged to no query.
+	BuildSimSeconds float64 `json:"build_sim_seconds"`
+	// Labels / LabelHits / LabelMisses cover the ground-truth label
+	// stores: committed entries and lookup outcomes.
+	Labels      int    `json:"labels"`
+	LabelHits   uint64 `json:"label_hits"`
+	LabelMisses uint64 `json:"label_misses"`
+	// ChunksSkipped / FramesSkipped total the zone-map skip decisions
+	// executed plans reported.
+	ChunksSkipped uint64 `json:"chunks_skipped"`
+	FramesSkipped uint64 `json:"frames_skipped"`
+	// Background build progress (streams, not classes).
+	BuildsQueued uint64 `json:"builds_queued"`
+	BuildsDone   uint64 `json:"builds_done"`
+	BuildsFailed uint64 `json:"builds_failed"`
+	// Errors carries recent persistence problems (the tier degrades to
+	// memory-only rather than failing queries).
+	Errors []string `json:"errors,omitempty"`
 }
 
 // plannerStatz reports cost-based planner activity aggregated across the
@@ -727,6 +855,12 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		par.PoolUtilization = float64(pool.Running) / float64(pool.Workers)
 	}
 	planner := plannerStatz{Picks: make(map[string]map[string]uint64)}
+	idx := indexStatz{
+		Dir:          s.cfg.Engine.IndexDir,
+		BuildsQueued: s.buildsQueued.Load(),
+		BuildsDone:   s.buildsDone.Load(),
+		BuildsFailed: s.buildsFailed.Load(),
+	}
 	var estErrSum float64
 	var estErrN uint64
 	for _, name := range open {
@@ -735,6 +869,23 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			par.PlanExecutions += es.Queries
 			par.Fanouts += es.Fanouts
 			par.Shards += es.Shards
+			is := eng.IndexStats()
+			idx.ModelsTrained += is.ModelsTrained
+			idx.ModelsLoaded += is.ModelsLoaded
+			idx.SegmentsBuilt += is.SegmentsBuilt
+			idx.SegmentsLoaded += is.SegmentsLoaded
+			idx.BuildSimSeconds += is.BuildSimSeconds
+			for _, seg := range is.Segments {
+				idx.Segments++
+				idx.Chunks += seg.Chunks
+				idx.Bytes += seg.Bytes
+			}
+			for _, ld := range is.Labels {
+				idx.Labels += ld.Entries
+				idx.LabelHits += ld.Hits
+				idx.LabelMisses += ld.Misses
+			}
+			idx.Errors = append(idx.Errors, is.Errors...)
 			ps := eng.PlannerStats()
 			planner.Planned += ps.Planned
 			planner.Forced += ps.Forced
@@ -763,10 +914,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Pool:          pool,
 		Parallel:      par,
 		Planner:       planner,
+		Indexz:        idx,
 		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
 		Streams:       make(map[string]uint64),
 	}
 	s.mu.Lock()
+	resp.Indexz.ChunksSkipped = s.skippedChunks
+	resp.Indexz.FramesSkipped = s.skippedFrames
 	for name, c := range s.perStream {
 		resp.Queries.Total += c.queries
 		resp.Queries.CacheHits += c.cacheHits

@@ -42,3 +42,89 @@ func TestCountModelUnmarshalCorrupt(t *testing.T) {
 		t.Error("corrupt payload should fail")
 	}
 }
+
+// TestCountModelExportImportByteIdentity pins the property the on-disk
+// index tier depends on: export → import → re-export reproduces the blob
+// byte for byte, so a persisted model can be checksummed, copied, and
+// re-persisted without drift.
+func TestCountModelExportImportByteIdentity(t *testing.T) {
+	s := setup(t, "taipei", 0.01)
+	m := trainSmall(t, s, []vidsim.Class{vidsim.Car})
+
+	first, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored CountModel
+	if err := restored.UnmarshalBinary(first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("re-export changed size: %d -> %d bytes", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("re-export differs at byte %d of %d", i, len(first))
+		}
+	}
+}
+
+// TestCountModelUnmarshalTruncated walks every truncation point of a
+// valid blob: each must fail cleanly (no panic, no silently accepted
+// half-model), since the index tier loads these blobs from disk where
+// torn writes are a fact of life. Non-byte-aligned truncations of gob
+// streams can in principle decode to a struct with missing fields; the
+// normalization-statistics check must catch those.
+func TestCountModelUnmarshalTruncated(t *testing.T) {
+	s := setup(t, "taipei", 0.01)
+	m := trainSmall(t, s, []vidsim.Class{vidsim.Car})
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := len(blob)/64 + 1
+	for cut := 0; cut < len(blob); cut += stride {
+		var restored CountModel
+		if err := restored.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(blob))
+		}
+	}
+}
+
+// TestCountModelUnmarshalBitFlips flips bytes across a valid blob: every
+// corruption must either fail to decode or (for flips confined to benign
+// metadata like the stored loss) still produce a structurally valid
+// model — never a panic.
+func TestCountModelUnmarshalBitFlips(t *testing.T) {
+	s := setup(t, "taipei", 0.01)
+	m := trainSmall(t, s, []vidsim.Class{vidsim.Car})
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := len(blob)/32 + 1
+	for pos := 0; pos < len(blob); pos += stride {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte flip at %d panicked: %v", pos, r)
+				}
+			}()
+			var restored CountModel
+			if err := restored.UnmarshalBinary(mut); err != nil {
+				return // rejected, as corruption should be
+			}
+			// Accepted: the flip must have been benign — the model must
+			// still be structurally sound.
+			if restored.Net == nil || len(restored.Mu) != restored.Net.Config().Inputs {
+				t.Fatalf("byte flip at %d accepted a structurally broken model", pos)
+			}
+		}()
+	}
+}

@@ -332,55 +332,107 @@ type Inference struct {
 // Run executes the specialized network over every frame of v, in parallel
 // across CPUs, and returns the per-frame count distributions.
 func Run(m *CountModel, v *vidsim.Video) *Inference {
-	inf := &Inference{
-		Model:      m,
-		Video:      v,
-		SimSeconds: float64(v.Frames) * (InferenceCostSeconds + feature.CostSeconds),
-		frames:     v.Frames,
+	probs, _, _ := RunRange(m, v, 0, v.Frames)
+	return NewInferenceFromColumns(m, v, v.Frames, probs)
+}
+
+// RunRange executes the specialized network over frames [lo, hi) of v, in
+// parallel across CPUs, and returns the raw columnar outputs: per-head
+// float32 count-distribution columns (indexed [(f-lo)*Classes + c], the
+// Inference storage format) plus a per-head float64 presence-tail column
+// holding P(count >= 1) at full predictor precision — the exact quantity
+// Evaluator.TailProb(head, 1) computes, before the float32 rounding the
+// distribution columns undergo. The materialized index persists both: the
+// distribution columns reconstruct an Inference bit-identically, and the
+// exact tail column lets the selection cascade's label filter compare
+// against its threshold with the same bits an on-the-fly Evaluator would.
+// The returned simulated cost covers the range's inference and feature
+// extraction.
+func RunRange(m *CountModel, v *vidsim.Video, lo, hi int) (probs [][]float32, tail1 [][]float64, simSeconds float64) {
+	n := hi - lo
+	if n < 0 {
+		n = 0
 	}
-	inf.probs = make([][]float32, len(m.HeadInfo))
-	for hi, h := range m.HeadInfo {
-		inf.probs[hi] = make([]float32, v.Frames*h.Classes)
+	probs = make([][]float32, len(m.HeadInfo))
+	tail1 = make([][]float64, len(m.HeadInfo))
+	for hIdx, h := range m.HeadInfo {
+		probs[hIdx] = make([]float32, n*h.Classes)
+		tail1[hIdx] = make([]float64, n)
+	}
+	simSeconds = float64(n) * (InferenceCostSeconds + feature.CostSeconds)
+	if n == 0 {
+		return probs, tail1, simSeconds
 	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > v.Frames {
+	if workers > n {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	chunk := (v.Frames + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > v.Frames {
-			hi = v.Frames
+		wLo := w * chunk
+		wHi := wLo + chunk
+		if wHi > n {
+			wHi = n
 		}
-		if lo >= hi {
+		if wLo >= wHi {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(wLo, wHi int) {
 			defer wg.Done()
 			ex := feature.NewExtractor(v)
 			pred := m.Net.NewPredictor()
 			x := make([]float64, feature.Dim)
-			for f := lo; f < hi; f++ {
-				ex.Frame(f, x)
+			for i := wLo; i < wHi; i++ {
+				ex.Frame(lo+i, x)
 				m.Normalize(x)
 				ps := pred.Probs(x)
 				for hIdx, headProbs := range ps {
 					k := m.HeadInfo[hIdx].Classes
-					dst := inf.probs[hIdx][f*k : (f+1)*k]
+					dst := probs[hIdx][i*k : (i+1)*k]
 					for c, p := range headProbs {
 						dst[c] = float32(p)
 					}
+					// Mirror Evaluator.TailProb(head, 1) exactly: float64
+					// summation in ascending count order, clamped at 1.
+					s := 0.0
+					for c := 1; c < len(headProbs); c++ {
+						s += headProbs[c]
+					}
+					if s > 1 {
+						s = 1
+					}
+					tail1[hIdx][i] = s
 				}
 			}
-		}(lo, hi)
+		}(wLo, wHi)
 	}
 	wg.Wait()
-	return inf
+	return probs, tail1, simSeconds
 }
+
+// NewInferenceFromColumns reconstructs an Inference from raw distribution
+// columns, as produced by RunRange (or loaded back from a persisted index
+// segment). probs must hold one column per model head, each of length
+// frames × head classes; the simulated cost is recomputed from the frame
+// count with the same formula Run charges, so a reconstructed Inference is
+// indistinguishable — bit for bit — from a freshly run one.
+func NewInferenceFromColumns(m *CountModel, v *vidsim.Video, frames int, probs [][]float32) *Inference {
+	return &Inference{
+		Model:      m,
+		Video:      v,
+		SimSeconds: float64(frames) * (InferenceCostSeconds + feature.CostSeconds),
+		frames:     frames,
+		probs:      probs,
+	}
+}
+
+// HeadColumn returns the head's raw distribution column, indexed
+// [frame*Classes + class]. The column is shared storage: callers must
+// treat it as read-only.
+func (inf *Inference) HeadColumn(head int) []float32 { return inf.probs[head] }
 
 // Frames returns the number of frames covered.
 func (inf *Inference) Frames() int { return inf.frames }

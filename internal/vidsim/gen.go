@@ -17,11 +17,29 @@ func daySeed(cfg *StreamConfig, day int) int64 {
 // the held-out (threshold) day, day 2 the test day. Generation is fully
 // deterministic given (config, day).
 func Generate(cfg StreamConfig, day int) *Video {
+	return GenerateLive(cfg, day, cfg.FramesPerDay)
+}
+
+// GenerateLive produces a day whose frames arrive over time: the full
+// day's track set is generated up front (deterministically, identical to
+// Generate's), but only the first initialFrames frames are visible —
+// queries and indexing see a prefix of the day. AppendFrames then extends
+// the visible range as the "live" stream produces more video, without
+// regenerating or reshuffling anything: a fully appended live video is
+// indistinguishable from Generate's output. initialFrames is clamped to
+// [0, FramesPerDay].
+func GenerateLive(cfg StreamConfig, day, initialFrames int) *Video {
+	if initialFrames < 0 {
+		initialFrames = 0
+	}
+	if initialFrames > cfg.FramesPerDay {
+		initialFrames = cfg.FramesPerDay
+	}
 	rng := rand.New(rand.NewSource(daySeed(&cfg, day)))
 	v := &Video{
 		Config: cfg,
 		Day:    day,
-		Frames: cfg.FramesPerDay,
+		Frames: initialFrames,
 	}
 	nextID := 0
 	for ci := range cfg.Classes {
@@ -29,7 +47,9 @@ func Generate(cfg StreamConfig, day int) *Video {
 		tracks := generateClass(cc, &cfg, day, int64(ci), rng, &nextID)
 		v.Tracks = append(v.Tracks, tracks...)
 	}
-	v.buildIndex()
+	// The overlap index covers the whole day, so appends only move the
+	// visible-frame horizon.
+	v.buildIndex(cfg.FramesPerDay)
 	return v
 }
 

@@ -1,0 +1,89 @@
+package vidsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateLiveMatchesGenerate: a live video is the same generated day
+// with a moving visibility horizon — same tracks, same per-frame state
+// within the visible prefix, and identical to Generate once fully
+// appended.
+func TestGenerateLiveMatchesGenerate(t *testing.T) {
+	cfg, err := Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.01)
+	full := Generate(cfg, 2)
+	live := GenerateLive(cfg, 2, 1000)
+
+	if live.Frames != 1000 {
+		t.Fatalf("live starts at %d frames, want 1000", live.Frames)
+	}
+	if !reflect.DeepEqual(live.Tracks, full.Tracks) {
+		t.Fatal("live track set differs from Generate's")
+	}
+
+	// Visible-prefix state matches the full day's.
+	var a, b []Object
+	for f := 0; f < live.Frames; f += 97 {
+		a = full.ObjectsAt(f, a[:0])
+		b = live.ObjectsAt(f, b[:0])
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("frame %d: live objects differ from full day", f)
+		}
+	}
+	// Frames beyond the horizon are not visible yet.
+	if got := live.ObjectsAt(live.Frames, nil); got != nil {
+		t.Fatalf("frame beyond horizon returned %d objects", len(got))
+	}
+	if live.CountAt(live.Frames+5, Car) != 0 {
+		t.Fatal("CountAt beyond horizon nonzero")
+	}
+
+	// Append in uneven steps to the end; count series must then be
+	// identical to the full day's.
+	steps := 0
+	for live.Frames < cfg.FramesPerDay {
+		live.AppendFrames(cfg.FramesPerDay/7 + 13)
+		steps++
+	}
+	if steps < 3 {
+		t.Fatalf("only %d append steps exercised", steps)
+	}
+	if got := live.AppendFrames(100); got != cfg.FramesPerDay {
+		t.Fatalf("append past day end moved horizon to %d", got)
+	}
+	for _, class := range []Class{Car, Bus} {
+		if !reflect.DeepEqual(full.Counts(class), live.Counts(class)) {
+			t.Fatalf("class %s: fully appended live counts differ from Generate", class)
+		}
+	}
+}
+
+// TestAppendFramesInvalidatesCountCache: count series computed before an
+// append must not be served stale afterwards.
+func TestAppendFramesInvalidatesCountCache(t *testing.T) {
+	cfg, err := Stream("taipei")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.01)
+	live := GenerateLive(cfg, 2, 2000)
+	before := live.Counts(Car)
+	if len(before) != 2000 {
+		t.Fatalf("prefix count series has %d frames, want 2000", len(before))
+	}
+	live.AppendFrames(3000)
+	after := live.Counts(Car)
+	if len(after) != 5000 {
+		t.Fatalf("post-append count series has %d frames, want 5000", len(after))
+	}
+	full := Generate(cfg, 2)
+	for f := 0; f < 5000; f++ {
+		if after[f] != full.Counts(Car)[f] {
+			t.Fatalf("frame %d: post-append count %d, full-day %d", f, after[f], full.Counts(Car)[f])
+		}
+	}
+}

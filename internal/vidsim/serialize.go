@@ -54,6 +54,6 @@ func ReadVideo(r io.Reader) (*Video, error) {
 		Frames: st.Frames,
 		Tracks: st.Tracks,
 	}
-	v.buildIndex()
+	v.buildIndex(v.Frames)
 	return v, nil
 }

@@ -12,13 +12,18 @@ const bucketShift = 8
 
 // Video is one generated day of a stream: the track set plus indexes for
 // per-frame lookup. It is immutable after Generate (apart from the
-// internally synchronized count-series cache) and safe for concurrent use.
+// internally synchronized count-series cache) and safe for concurrent
+// use. A video produced by GenerateLive additionally supports
+// AppendFrames, which must not race queries (single writer, quiesced
+// readers — the contract a live ingestion loop naturally provides between
+// batches).
 type Video struct {
 	// Config is the generating stream configuration.
 	Config StreamConfig
 	// Day is the day index this video was generated for.
 	Day int
-	// Frames is the number of frames.
+	// Frames is the number of frames currently visible. For Generate this
+	// is the whole day; for GenerateLive it grows via AppendFrames.
 	Frames int
 	// Tracks is every object track, ordered by class then start frame.
 	Tracks []Track
@@ -29,9 +34,14 @@ type Video struct {
 	counts   map[Class][]int32
 }
 
-// buildIndex constructs the frame-bucket overlap index.
-func (v *Video) buildIndex() {
-	nb := (v.Frames >> bucketShift) + 1
+// buildIndex constructs the frame-bucket overlap index over horizon
+// frames (the full day, which may exceed the currently visible Frames for
+// live videos).
+func (v *Video) buildIndex(horizon int) {
+	if horizon < v.Frames {
+		horizon = v.Frames
+	}
+	nb := (horizon >> bucketShift) + 1
 	v.buckets = make([][]int32, nb)
 	for i := range v.Tracks {
 		t := &v.Tracks[i]
@@ -42,6 +52,31 @@ func (v *Video) buildIndex() {
 		}
 	}
 	v.counts = make(map[Class][]int32)
+}
+
+// AppendFrames makes the next n generated frames of a live video visible
+// (clamped to the day's end) and returns the new visible frame count. The
+// underlying day was generated deterministically up front, so a fully
+// appended live video is identical to Generate's output — which is what
+// lets incremental index ingestion produce byte-identical segments.
+// AppendFrames must not run concurrently with queries over this video.
+func (v *Video) AppendFrames(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	frames := v.Frames + n
+	if frames > v.Config.FramesPerDay {
+		frames = v.Config.FramesPerDay
+	}
+	if frames == v.Frames {
+		return v.Frames
+	}
+	v.Frames = frames
+	// Cached count series cover the old horizon; recompute lazily.
+	v.countsMu.Lock()
+	v.counts = make(map[Class][]int32)
+	v.countsMu.Unlock()
+	return v.Frames
 }
 
 // ObjectsAt appends the ground-truth objects visible at the given frame to
@@ -106,11 +141,17 @@ func (v *Video) Counts(class Class) []int32 {
 	diff := make([]int32, v.Frames+1)
 	for i := range v.Tracks {
 		t := &v.Tracks[i]
-		if t.Class != class {
+		// Live videos hold the whole day's tracks; clip to the visible
+		// horizon (a track may start, or merely end, beyond it).
+		if t.Class != class || t.Start >= v.Frames {
 			continue
 		}
 		diff[t.Start]++
-		diff[t.End]--
+		end := t.End
+		if end > v.Frames {
+			end = v.Frames
+		}
+		diff[end]--
 	}
 	c := make([]int32, v.Frames)
 	var run int32
