@@ -73,9 +73,9 @@ func writeIndexBenchJSON() {
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Phase < records[j].Phase })
 	out := struct {
-		Scale           float64            `json:"scale"`
-		Records         []indexBenchRecord `json:"records"`
-		WarmSpeedupVsCold float64          `json:"warm_speedup_vs_cold,omitempty"`
+		Scale             float64            `json:"scale"`
+		Records           []indexBenchRecord `json:"records"`
+		WarmSpeedupVsCold float64            `json:"warm_speedup_vs_cold,omitempty"`
 	}{Scale: parBenchScale(), Records: records}
 	var cold, warm float64
 	for _, r := range records {

@@ -1,0 +1,205 @@
+// Continuous-query benchmarks: what the resumable-cursor tier buys on a
+// live stream. A standing query advancing after each ingest batch is
+// compared against re-executing the same query from frame 0 after each
+// batch (the pre-cursor behavior), and sustained ingest throughput
+// (frames/sec through AppendLive, index extension included) is measured.
+//
+// Scale comes from BLAZEIT_PARBENCH_SCALE (default 0.05 so CI stays
+// fast). When BLAZEIT_LIVEBENCH_JSON names a file, a machine-readable
+// summary (incremental-advance latency vs full re-execution speedup,
+// frames/sec sustained ingest) is written there after the run — CI
+// uploads it as the BENCH_live artifact.
+package blazeit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// liveBenchQuery is a scan-family standing query: the shape that
+// benefits most from cursors (suffix-only advance).
+const liveBenchQuery = `SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`
+
+// liveBenchRecord is one phase's measurement.
+type liveBenchRecord struct {
+	Phase        string  `json:"phase"`
+	Scale        float64 `json:"scale"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	Batches      int     `json:"batches,omitempty"`
+}
+
+var liveBench struct {
+	mu      sync.Mutex
+	records map[string]liveBenchRecord
+}
+
+func recordLiveBench(r liveBenchRecord) {
+	liveBench.mu.Lock()
+	defer liveBench.mu.Unlock()
+	if liveBench.records == nil {
+		liveBench.records = make(map[string]liveBenchRecord)
+	}
+	liveBench.records[r.Phase] = r
+}
+
+// writeLiveBenchJSON dumps collected records to the file named by
+// BLAZEIT_LIVEBENCH_JSON (called from TestMain after the run), with the
+// advance-vs-requery speedup summarized for trend dashboards.
+func writeLiveBenchJSON() {
+	path := os.Getenv("BLAZEIT_LIVEBENCH_JSON")
+	liveBench.mu.Lock()
+	records := make([]liveBenchRecord, 0, len(liveBench.records))
+	for _, r := range liveBench.records {
+		records = append(records, r)
+	}
+	liveBench.mu.Unlock()
+	if path == "" || len(records) == 0 {
+		return
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Phase < records[j].Phase })
+	out := struct {
+		Scale                  float64           `json:"scale"`
+		Records                []liveBenchRecord `json:"records"`
+		AdvanceSpeedupVsRescan float64           `json:"advance_speedup_vs_rescan,omitempty"`
+	}{Scale: parBenchScale(), Records: records}
+	var advance, rescan float64
+	for _, r := range records {
+		switch r.Phase {
+		case "advance":
+			advance = r.NsPerOp
+		case "rescan":
+			rescan = r.NsPerOp
+		}
+	}
+	if advance > 0 && rescan > 0 {
+		out.AdvanceSpeedupVsRescan = rescan / advance
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "live bench json: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "live bench json: %v\n", err)
+	}
+}
+
+// liveBenchBatches is how many ingest batches one benchmark iteration
+// plays through (the day arrives in this many pieces after the start).
+const liveBenchBatches = 4
+
+// newLiveBenchSystem opens a live system with 40% of the day visible and
+// the standing query's one-time preparation (training, thresholds) paid.
+func newLiveBenchSystem(b *testing.B, scale float64) *System {
+	b.Helper()
+	sys, err := Open("taipei", Options{Scale: scale, Seed: 1, LiveStart: 0.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Query(liveBenchQuery); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkLive measures the continuous tier in three phases:
+//
+//   - ingest: sustained AppendLive throughput (frame visibility plus
+//     incremental index extension), reported in frames/sec;
+//   - advance: a standing query advanced after each ingest batch
+//     (suffix-only work for this scan-family plan);
+//   - rescan: the same query re-executed from frame 0 after each batch —
+//     what every standing question cost before resumable cursors.
+func BenchmarkLive(b *testing.B) {
+	scale := parBenchScale()
+
+	b.Run("ingest", func(b *testing.B) {
+		var frames int
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sys := newLiveBenchSystem(b, scale)
+			ls := sys.LiveStats()
+			batch := (ls.DayFrames-ls.HorizonFrames)/liveBenchBatches + 1
+			frames = 0
+			for sys.LiveStats().HorizonFrames < ls.DayFrames {
+				added, err := sys.Append(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += added
+			}
+		}
+		elapsed := time.Since(start)
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(b.N)
+		fps := float64(frames) / (nsPerOp / 1e9)
+		b.ReportMetric(fps, "frames/s")
+		recordLiveBench(liveBenchRecord{Phase: "ingest", Scale: scale, NsPerOp: nsPerOp, FramesPerSec: fps, Batches: liveBenchBatches})
+	})
+
+	// advance and rescan time only the per-batch answer refresh — system
+	// construction, training warm-up, and Append run off the clock, since
+	// both strategies pay them identically and the point is the marginal
+	// cost of keeping a standing answer current.
+	b.Run("advance", func(b *testing.B) {
+		var answered time.Duration
+		for i := 0; i < b.N; i++ {
+			sys := newLiveBenchSystem(b, scale)
+			sq, err := sys.Subscribe(liveBenchQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ls := sys.LiveStats()
+			batch := (ls.DayFrames-ls.HorizonFrames)/liveBenchBatches + 1
+			for sys.LiveStats().HorizonFrames < ls.DayFrames {
+				if _, err := sys.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if _, err := sq.Advance(); err != nil {
+					b.Fatal(err)
+				}
+				answered += time.Since(start)
+			}
+		}
+		nsPerOp := float64(answered.Nanoseconds()) / float64(b.N)
+		b.ReportMetric(nsPerOp, "answer-ns/op")
+		recordLiveBench(liveBenchRecord{
+			Phase: "advance", Scale: scale,
+			NsPerOp: nsPerOp,
+			Batches: liveBenchBatches,
+		})
+	})
+
+	b.Run("rescan", func(b *testing.B) {
+		var answered time.Duration
+		for i := 0; i < b.N; i++ {
+			sys := newLiveBenchSystem(b, scale)
+			ls := sys.LiveStats()
+			batch := (ls.DayFrames-ls.HorizonFrames)/liveBenchBatches + 1
+			for sys.LiveStats().HorizonFrames < ls.DayFrames {
+				if _, err := sys.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if _, err := sys.Query(liveBenchQuery); err != nil {
+					b.Fatal(err)
+				}
+				answered += time.Since(start)
+			}
+		}
+		nsPerOp := float64(answered.Nanoseconds()) / float64(b.N)
+		b.ReportMetric(nsPerOp, "answer-ns/op")
+		recordLiveBench(liveBenchRecord{
+			Phase: "rescan", Scale: scale,
+			NsPerOp: nsPerOp,
+			Batches: liveBenchBatches,
+		})
+	})
+}

@@ -120,6 +120,7 @@ func TestMain(m *testing.M) {
 	writeParallelBenchJSON()
 	writePlanBenchJSON()
 	writeIndexBenchJSON()
+	writeLiveBenchJSON()
 	os.Exit(code)
 }
 

@@ -94,6 +94,14 @@ type Options struct {
 	// same directory warm-starts — identical results, zero training and
 	// inference cost charged. Empty keeps the tier in memory only.
 	IndexDir string
+	// LiveStart, in (0, 1), opens the test day as a live stream with only
+	// that fraction of its frames initially visible; Append then extends
+	// the horizon batch by batch, as a camera would, and standing queries
+	// (Subscribe) advance incrementally over the new frames. The
+	// underlying day is generated deterministically up front, so a fully
+	// appended live stream answers every query identically to a full one.
+	// 0 (the default) opens the whole day at once.
+	LiveStart float64
 }
 
 // System is an opened video stream with its query engine: three generated
@@ -117,6 +125,7 @@ func (o Options) toCore() core.Options {
 		HeldOutSample: o.HeldOutSample,
 		Parallelism:   o.Parallelism,
 		IndexDir:      o.IndexDir,
+		LiveStart:     o.LiveStart,
 	}
 }
 
@@ -213,6 +222,127 @@ func (s *System) ExportModel(classes ...string) ([]byte, error) {
 // carry no training cost.
 func (s *System) ImportModel(data []byte, classes ...string) error {
 	return s.eng.ImportModel(toClasses(classes), data)
+}
+
+// Cursor is the serializable suspension of one query execution: the
+// canonical query, the pinned physical plan, the stream horizon covered,
+// and the plan's accumulator snapshot. Cursors are the continuous tier's
+// unit of progress — a standing query is a cursor advanced after every
+// ingest — and they survive process restarts: a cursor suspended in one
+// session resumes in another opened on the same stream configuration,
+// bit-identically.
+type Cursor = plan.Cursor
+
+// LiveStats describes a system's live-stream position.
+type LiveStats struct {
+	// Live reports whether the test day was opened as a live stream.
+	Live bool
+	// HorizonFrames is the number of test-day frames currently visible;
+	// DayFrames the full day it grows toward.
+	HorizonFrames int
+	DayFrames     int
+	// Epoch counts Append calls that made frames visible; serving-layer
+	// result caches key on it.
+	Epoch uint64
+}
+
+// LiveStats returns the system's live-stream position.
+func (s *System) LiveStats() LiveStats {
+	return LiveStats{
+		Live:          s.eng.Live(),
+		HorizonFrames: s.eng.Horizon(),
+		DayFrames:     s.eng.DayFrames(),
+		Epoch:         s.eng.StreamEpoch(),
+	}
+}
+
+// Append makes the next n generated frames of a live stream visible
+// (clamped to the day's end), extends every materialized index segment to
+// the new horizon, and returns the number of frames appended. Append must
+// not run concurrently with queries on this system — the contract a live
+// ingestion loop naturally provides between batches. On a system opened
+// without LiveStart it is a no-op.
+func (s *System) Append(n int) (int, error) { return s.eng.AppendLive(n) }
+
+// StandingQuery is a registered continuous query over a live stream: a
+// pinned plan cursor plus its latest answer. After Append extends the
+// stream, Advance brings the answer up to the new horizon — scan plans
+// pay only the new frames; population-dependent plans (adaptive
+// sampling, confidence-ranked scrubbing) re-run deterministically — and
+// the advanced answer is exactly what a fresh query of the grown stream
+// returns.
+type StandingQuery struct {
+	sys    *System
+	cursor *Cursor
+	last   *Result
+}
+
+// Subscribe registers a standing query: the query is planned, executed to
+// the stream's current horizon, and suspended into a cursor for
+// incremental advancement.
+func (s *System) Subscribe(q string) (*StandingQuery, error) {
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	x, err := s.eng.BeginQuery(info, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := x.RunTo(-1); err != nil {
+		return nil, err
+	}
+	res, err := x.Result()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		return nil, err
+	}
+	return &StandingQuery{sys: s, cursor: cur, last: res}, nil
+}
+
+// ResumeSubscription reattaches a standing query from a cursor — the
+// restart path: a cursor suspended in a previous session continues on a
+// system opened with the same stream configuration.
+func (s *System) ResumeSubscription(cur *Cursor) (*StandingQuery, error) {
+	res, ncur, err := s.eng.Advance(cur)
+	if err != nil {
+		return nil, err
+	}
+	return &StandingQuery{sys: s, cursor: ncur, last: res}, nil
+}
+
+// Advance brings the standing query up to the stream's current horizon
+// and returns the updated answer. With no new frames since the last
+// advance it returns the current answer without touching the engine —
+// polling in a loop is free until something is ingested.
+func (sq *StandingQuery) Advance() (*Result, error) {
+	if sq.cursor.Done && sq.sys.eng.Horizon() <= sq.cursor.Horizon {
+		return sq.last, nil
+	}
+	res, ncur, err := sq.sys.eng.Advance(sq.cursor)
+	if err != nil {
+		return nil, err
+	}
+	sq.cursor = ncur
+	sq.last = res
+	return res, nil
+}
+
+// Result returns the standing query's latest answer.
+func (sq *StandingQuery) Result() *Result { return sq.last }
+
+// Cursor returns the standing query's serializable cursor (persist it to
+// resume the subscription in a later session).
+func (sq *StandingQuery) Cursor() *Cursor { return sq.cursor }
+
+// Advance resumes an arbitrary cursor on this system, runs it to the
+// stream's current horizon, and returns the result with the re-suspended
+// cursor — the low-level API StandingQuery wraps.
+func (s *System) Advance(cur *Cursor) (*Result, *Cursor, error) {
+	return s.eng.Advance(cur)
 }
 
 func toClasses(names []string) []vidsim.Class {

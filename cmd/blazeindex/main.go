@@ -6,19 +6,30 @@
 //
 // Usage:
 //
-//	blazeindex -dir ./idx [-stream taipei] [-scale 0.05] [-seed 1]
-//	           [-classes car,bus] [-stats]
+//	blazeindex [build|stats|ingest] -dir ./idx [-stream taipei] [-scale 0.05]
+//	           [-seed 1] [-classes car,bus]
+//	blazeindex ingest -dir ./idx -live-start 0.5 -frames 20000
 //
 // Build mode (the default) trains the specialized network for each class
 // (single-class sets, the common query shape), labels the held-out and
 // test days into chunked segments, and persists everything under -dir; a
 // blazeserve started with the same -index-dir and engine options then
-// serves warm from the first query. -stats skips building and prints what
-// the directory already holds for this configuration.
+// serves warm from the first query. The stats subcommand (or -stats)
+// skips building and prints what the directory already holds for this
+// configuration.
+//
+// The ingest subcommand exercises the live path offline: it opens the
+// stream live with -live-start of the day visible, builds any missing
+// segments over that prefix, then appends -frames newly "arriving" frames
+// and extends every segment incrementally — the same chunk-append a live
+// blazeserve performs on POST /ingest. Incremental extension is
+// byte-identical to a one-shot build over the same frames, so ingest-built
+// and batch-built directories are interchangeable.
 //
 // Example:
 //
 //	blazeindex -dir ./idx -stream taipei -scale 0.02 -classes car,bus
+//	blazeindex ingest -dir ./idx -stream taipei -scale 0.02 -live-start 0.5 -frames 5000
 //	blazeserve -index-dir ./idx -scale 0.02 -streams taipei
 package main
 
@@ -33,18 +44,45 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "index root directory (required)")
-	stream := flag.String("stream", "taipei", "stream name: "+strings.Join(blazeit.Streams(), ", "))
-	scale := flag.Float64("scale", 0.05, "stream scale factor (must match the serving configuration)")
-	seed := flag.Int64("seed", 1, "random seed (must match the serving configuration)")
-	classes := flag.String("classes", "", "comma-separated object classes to index (default: every class the stream generates)")
-	statsOnly := flag.Bool("stats", false, "inspect the index for this configuration instead of building")
-	flag.Parse()
+	mode := "build"
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		mode = args[0]
+		args = args[1:]
+	}
+	switch mode {
+	case "build", "stats", "ingest":
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q (build, stats, or ingest)", mode))
+	}
+
+	fs := flag.NewFlagSet("blazeindex "+mode, flag.ExitOnError)
+	dir := fs.String("dir", "", "index root directory (required)")
+	stream := fs.String("stream", "taipei", "stream name: "+strings.Join(blazeit.Streams(), ", "))
+	scale := fs.Float64("scale", 0.05, "stream scale factor (must match the serving configuration)")
+	seed := fs.Int64("seed", 1, "random seed (must match the serving configuration)")
+	classes := fs.String("classes", "", "comma-separated object classes to index (default: every class the stream generates)")
+	statsOnly := fs.Bool("stats", false, "inspect the index for this configuration instead of building")
+	liveStart := fs.Float64("live-start", 0.5, "ingest: fraction of the day initially visible before appending")
+	frames := fs.Int("frames", 0, "ingest: frames to append and index incrementally (0 = the rest of the day)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *statsOnly {
+		mode = "stats"
+	}
 
 	if *dir == "" {
 		fatal(fmt.Errorf("missing -dir: the index tier needs a directory to persist under"))
 	}
-	sys, err := blazeit.Open(*stream, blazeit.Options{Scale: *scale, Seed: *seed, IndexDir: *dir})
+	opts := blazeit.Options{Scale: *scale, Seed: *seed, IndexDir: *dir}
+	if mode == "ingest" {
+		if *liveStart <= 0 || *liveStart >= 1 {
+			fatal(fmt.Errorf("ingest needs -live-start in (0, 1), got %g", *liveStart))
+		}
+		opts.LiveStart = *liveStart
+	}
+	sys, err := blazeit.Open(*stream, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,14 +100,30 @@ func main() {
 		}
 	}
 
-	if !*statsOnly {
+	switch mode {
+	case "build", "ingest":
 		for _, class := range classList {
 			start := time.Now()
 			if err := sys.BuildIndex(class); err != nil {
 				fmt.Fprintf(os.Stderr, "blazeindex: class %q: %v\n", class, err)
 				continue
 			}
-			fmt.Printf("built %-8s in %.1fs wall\n", class, time.Since(start).Seconds())
+			fmt.Printf("built %-8s in %.1fs wall (through frame %d)\n",
+				class, time.Since(start).Seconds(), sys.LiveStats().HorizonFrames)
+		}
+		if mode == "ingest" {
+			n := *frames
+			if n <= 0 {
+				n = sys.LiveStats().DayFrames
+			}
+			start := time.Now()
+			added, err := sys.Append(n)
+			if err != nil {
+				fatal(err)
+			}
+			ls := sys.LiveStats()
+			fmt.Printf("ingested %d frames in %.1fs wall (horizon %d of %d, epoch %d)\n",
+				added, time.Since(start).Seconds(), ls.HorizonFrames, ls.DayFrames, ls.Epoch)
 		}
 		if err := sys.FlushIndex(); err != nil {
 			fmt.Fprintf(os.Stderr, "blazeindex: flush: %v\n", err)

@@ -8,13 +8,27 @@
 //	blazeserve [-addr :8089] [-scale 0.05] [-seed 1] [-workers 8]
 //	           [-queue 32] [-cache 256] [-timeout 30s] [-streams taipei,rialto]
 //	           [-preopen taipei] [-index-dir /var/lib/blazeit/index]
+//	           [-live 0.25]
 //
 // Endpoints:
 //
-//	POST /query    {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."}
-//	GET  /streams  stream names with open state and per-stream counters
-//	GET  /explain  ?q=QUERY[&stream=NAME] — plan family + canonical text
-//	GET  /statz    cache/pool/registry/indexz counters and simulated-cost totals
+//	POST /query      {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."}
+//	GET  /streams    stream names with open state and per-stream counters
+//	GET  /explain    ?q=QUERY[&stream=NAME] — plan family + canonical text
+//	GET  /statz      cache/pool/registry/indexz/livez counters and simulated-cost totals
+//	POST /ingest     {"stream": "taipei", "frames": 5000} — append frames to a live stream
+//	POST /subscribe  {"stream": "taipei", "query": "..."} — register a standing query
+//	GET  /poll       ?id=sub-1 — the standing query's latest answer (advanced after ingest)
+//	DELETE /subscribe?id=sub-1 — drop a standing query
+//
+// With -live F (a fraction in (0,1)), streams open as live: only F of the
+// test day is initially visible, POST /ingest appends newly "arriving"
+// frames (extending every materialized index segment incrementally), and
+// standing queries registered with /subscribe advance over the new frames
+// instead of re-paying the scan from frame 0 — scan plans pay only the
+// suffix; sampling and ranking plans re-run deterministically against the
+// index. Each ingest bumps the stream's epoch, which the result cache
+// keys on, so a cached answer can never be served stale across an ingest.
 //
 // With -index-dir, each opened stream's specialized networks, whole-day
 // inference segments (with zone maps), sampled ground-truth labels, and
@@ -63,7 +77,11 @@ func main() {
 	preopen := flag.String("preopen", "", "comma-separated streams to open (and warm) before listening")
 	indexDir := flag.String("index-dir", "", "root of the persistent materialized frame index; opened streams build their index in the background and restarts warm-start from it")
 	bgIndex := flag.Bool("bg-index", true, "build each opened stream's frame index in the background (models, segments, zone maps); always useful, and persistent with -index-dir")
+	live := flag.Float64("live", 0, "open streams live with this fraction of the day initially visible (0 disables); POST /ingest appends frames and /subscribe registers standing queries that advance incrementally")
 	flag.Parse()
+	if *live < 0 || *live >= 1 {
+		log.Fatalf("blazeserve: -live must be a fraction in (0, 1), got %g", *live)
+	}
 
 	opts := blazeit.ServeOptions{
 		Options: blazeit.Options{
@@ -71,6 +89,7 @@ func main() {
 			Seed:        *seed,
 			Parallelism: *parallelism,
 			IndexDir:    *indexDir,
+			LiveStart:   *live,
 		},
 		Workers:         *workers,
 		QueueDepth:      *queue,

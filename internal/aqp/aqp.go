@@ -20,8 +20,10 @@
 package aqp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/hrand"
 	"repro/internal/parallel"
@@ -234,6 +236,60 @@ func (s *shardedSampler) next() int {
 	}
 }
 
+// SamplerState is the serializable draw state of the sharded sampler: the
+// round-robin cursor plus, per shard, the number of draws made and the
+// lazy Fisher–Yates remap entries. The shard streams themselves need no
+// state beyond the draw count — the k-th draw is the pure hash
+// U64(salt, seed, shard, k).
+type SamplerState struct {
+	Cur    int                `json:"cur"`
+	Shards []SamplerShardSave `json:"shards"`
+}
+
+// SamplerShardSave is one shard's draw state.
+type SamplerShardSave struct {
+	Drawn int      `json:"drawn"`
+	Remap [][2]int `json:"remap,omitempty"`
+}
+
+// state snapshots the sampler.
+func (s *shardedSampler) state() SamplerState {
+	st := SamplerState{Cur: s.cur, Shards: make([]SamplerShardSave, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sv := SamplerShardSave{Drawn: sh.drawn}
+		for k, v := range sh.remap {
+			sv.Remap = append(sv.Remap, [2]int{k, v})
+		}
+		// Sorted so serialized state is deterministic (maps iterate
+		// randomly).
+		sort.Slice(sv.Remap, func(a, b int) bool { return sv.Remap[a][0] < sv.Remap[b][0] })
+		st.Shards[i] = sv
+	}
+	return st
+}
+
+// restore rewinds the sampler to a snapshotted state. The sampler must
+// have been built over the same (population, seed); the shard count pins
+// that.
+func (s *shardedSampler) restore(st SamplerState) error {
+	if len(st.Shards) != len(s.shards) {
+		return fmt.Errorf("aqp: sampler state has %d shards, sampler has %d", len(st.Shards), len(s.shards))
+	}
+	s.cur = st.Cur
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sv := &st.Shards[i]
+		sh.drawn = sv.Drawn
+		sh.stream.SeekTo(int64(sv.Drawn))
+		sh.remap = make(map[int]int, len(sv.Remap))
+		for _, kv := range sv.Remap {
+			sh.remap[kv[0]] = kv[1]
+		}
+	}
+	return nil
+}
+
 // measureInto fills vals[i] = measure(frames[i]), fanning out to
 // parallelism workers over contiguous chunks when asked. The output is
 // positional, so accumulation order never depends on worker scheduling.
@@ -255,48 +311,9 @@ func measureInto(frames []int, vals []float64, parallelism int, measure func(fra
 // measured with Options.Parallelism workers; measure must be safe for
 // concurrent use when that exceeds 1.
 func Sample(opts Options, measure func(frame int) float64) Result {
-	opts = opts.withDefaults()
-	z := stats.ZScoreForConfidence(opts.Confidence)
-	smp := newShardedSampler(opts.Population, opts.Seed)
-	var acc stats.Online
-	var frames []int
-	var vals []float64
-
-	res := Result{}
-	for {
-		res.Rounds++
-		// Linear growth: each round adds another startup-sized batch.
-		batch := opts.startupSamples()
-		if rem := opts.MaxSamples - acc.N(); batch > rem {
-			batch = rem
-		}
-		frames = frames[:0]
-		for i := 0; i < batch; i++ {
-			frames = append(frames, smp.next())
-		}
-		if cap(vals) < len(frames) {
-			vals = make([]float64, len(frames))
-		}
-		vals = vals[:len(frames)]
-		measureInto(frames, vals, opts.Parallelism, measure)
-		for _, v := range vals {
-			acc.Add(v)
-		}
-		se := acc.StdDev() / math.Sqrt(float64(acc.N())) *
-			stats.FinitePopulationCorrection(acc.N(), opts.Population)
-		if z*se < opts.ErrorTarget {
-			res.Converged = true
-			res.StdErr = se
-			break
-		}
-		if acc.N() >= opts.MaxSamples {
-			res.StdErr = se
-			break
-		}
-	}
-	res.Estimate = acc.Mean()
-	res.Samples = acc.N()
-	return res
+	r := NewRun(opts, measure)
+	r.RunTo(-1)
+	return r.Result()
 }
 
 // ControlVariates runs adaptive sampling with the method of control
@@ -305,61 +322,207 @@ func Sample(opts Options, measure func(frame int) float64) Result {
 // (computable because the specialized network is ~1000× cheaper than the
 // detector). measure remains the expensive ground-truth value m.
 func ControlVariates(opts Options, measure, signal func(frame int) float64, tau, varT float64) Result {
+	r := NewControlVariatesRun(opts, measure, signal, tau, varT)
+	r.RunTo(-1)
+	return r.Result()
+}
+
+// RunState is the serializable suspension point of an adaptive sampling
+// Run: the per-shard draw state and the partial moment accumulators. A
+// run restored from it continues the exact draw-and-accumulate sequence
+// an uninterrupted run performs, so suspend-then-resume estimates are
+// bit-identical — adaptive rounds are the suspension granularity.
+type RunState struct {
+	// Population pins the frame population the state was drawn from: a
+	// sampling schedule is meaningless over a different population, so
+	// restoring onto a grown live stream must start a fresh run instead.
+	Population int `json:"population"`
+	// Rounds / Converged / CV fields mirror the partial Result.
+	Rounds      int     `json:"rounds"`
+	Converged   bool    `json:"converged"`
+	StdErr      float64 `json:"std_err"`
+	C           float64 `json:"c"`
+	Correlation float64 `json:"correlation"`
+	Done        bool    `json:"done"`
+	// Sampler is the sharded sampler's draw state.
+	Sampler SamplerState `json:"sampler"`
+	// Acc holds the plain accumulator (Sample runs), Cov the paired one
+	// (control-variates runs).
+	Acc stats.OnlineState    `json:"acc"`
+	Cov stats.OnlineCovState `json:"cov"`
+}
+
+// Run is a suspendable adaptive sampling execution: Sample (and
+// ControlVariates) split into explicit rounds so a standing query can
+// stop between rounds, serialize its state, and continue later with
+// bit-identical results.
+type Run struct {
+	opts    Options
+	z       float64
+	smp     *shardedSampler
+	measure func(frame int) float64
+	signal  func(frame int) float64
+	cv      bool
+	tau     float64
+	varT    float64
+
+	acc    stats.Online
+	mo     stats.OnlineCov
+	res    Result
+	done   bool
+	frames []int
+	vals   []float64
+}
+
+// NewRun starts a plain adaptive sampling run (the §6.1 procedure).
+func NewRun(opts Options, measure func(frame int) float64) *Run {
 	opts = opts.withDefaults()
+	return &Run{
+		opts:    opts,
+		z:       stats.ZScoreForConfidence(opts.Confidence),
+		smp:     newShardedSampler(opts.Population, opts.Seed),
+		measure: measure,
+	}
+}
+
+// NewControlVariatesRun starts an adaptive sampling run with the method
+// of control variates (§6.3). A non-positive control variance degrades to
+// plain sampling, exactly as ControlVariates does.
+func NewControlVariatesRun(opts Options, measure, signal func(frame int) float64, tau, varT float64) *Run {
 	if varT <= 0 {
 		// A constant control signal cannot reduce variance.
-		return Sample(opts, measure)
+		return NewRun(opts, measure)
 	}
-	z := stats.ZScoreForConfidence(opts.Confidence)
-	smp := newShardedSampler(opts.Population, opts.Seed)
-	var mo stats.OnlineCov // (m, t) pairs
-	var frames []int
-	var vals []float64
+	r := NewRun(opts, measure)
+	r.cv = true
+	r.signal = signal
+	r.tau = tau
+	r.varT = varT
+	return r
+}
 
-	res := Result{}
-	for {
-		res.Rounds++
-		batch := opts.startupSamples()
-		if rem := opts.MaxSamples - mo.N(); batch > rem {
-			batch = rem
-		}
-		frames = frames[:0]
-		for i := 0; i < batch; i++ {
-			frames = append(frames, smp.next())
-		}
-		if cap(vals) < len(frames) {
-			vals = make([]float64, len(frames))
-		}
-		vals = vals[:len(frames)]
-		// The expensive measurement fans out; the cheap control signal is
-		// read during sequential accumulation.
-		measureInto(frames, vals, opts.Parallelism, measure)
-		for i, f := range frames {
-			mo.Add(vals[i], signal(f))
+// Done reports whether the run has terminated (converged or budget
+// exhausted).
+func (r *Run) Done() bool { return r.done }
+
+// Samples returns the number of expensive measurements taken so far.
+func (r *Run) Samples() int {
+	if r.cv {
+		return r.mo.N()
+	}
+	return r.acc.N()
+}
+
+// step executes one adaptive round: draw a batch, measure it (fanning out
+// per Options.Parallelism), accumulate sequentially, and apply the CLT
+// stopping rule. The body is the former Sample/ControlVariates loop body,
+// verbatim, so one-shot and stepped executions are bit-identical.
+func (r *Run) step() {
+	r.res.Rounds++
+	// Linear growth: each round adds another startup-sized batch.
+	batch := r.opts.startupSamples()
+	if rem := r.opts.MaxSamples - r.Samples(); batch > rem {
+		batch = rem
+	}
+	r.frames = r.frames[:0]
+	for i := 0; i < batch; i++ {
+		r.frames = append(r.frames, r.smp.next())
+	}
+	if cap(r.vals) < len(r.frames) {
+		r.vals = make([]float64, len(r.frames))
+	}
+	r.vals = r.vals[:len(r.frames)]
+	// The expensive measurement fans out; any cheap control signal is
+	// read during sequential accumulation.
+	measureInto(r.frames, r.vals, r.opts.Parallelism, r.measure)
+	var se float64
+	if r.cv {
+		for i, f := range r.frames {
+			r.mo.Add(r.vals[i], r.signal(f))
 		}
 		// Optimal coefficient from the samples so far, using the exact
 		// control variance (lower-variance estimate than the sample one).
-		c := -mo.Covariance() / varT
-		res.C = c
-		res.Correlation = mo.Correlation()
+		c := -r.mo.Covariance() / r.varT
+		r.res.C = c
+		r.res.Correlation = r.mo.Correlation()
 		// Var(m + c t) = Var(m) + c² Var(t) + 2c Cov(m, t).
-		v := mo.VarianceX() + c*c*varT + 2*c*mo.Covariance()
+		v := r.mo.VarianceX() + c*c*r.varT + 2*c*r.mo.Covariance()
 		if v < 0 {
 			v = 0
 		}
-		se := math.Sqrt(v/float64(mo.N())) *
-			stats.FinitePopulationCorrection(mo.N(), opts.Population)
-		if z*se < opts.ErrorTarget {
-			res.Converged = true
-			res.StdErr = se
-			break
+		se = math.Sqrt(v/float64(r.mo.N())) *
+			stats.FinitePopulationCorrection(r.mo.N(), r.opts.Population)
+	} else {
+		for _, v := range r.vals {
+			r.acc.Add(v)
 		}
-		if mo.N() >= opts.MaxSamples {
-			res.StdErr = se
-			break
-		}
+		se = r.acc.StdDev() / math.Sqrt(float64(r.acc.N())) *
+			stats.FinitePopulationCorrection(r.acc.N(), r.opts.Population)
 	}
-	res.Estimate = mo.MeanX() + res.C*(mo.MeanY()-tau)
-	res.Samples = mo.N()
+	if r.z*se < r.opts.ErrorTarget {
+		r.res.Converged = true
+		r.res.StdErr = se
+		r.done = true
+		return
+	}
+	if r.Samples() >= r.opts.MaxSamples {
+		r.res.StdErr = se
+		r.done = true
+	}
+}
+
+// RunTo executes adaptive rounds until at least `samples` measurements
+// have been taken or the run terminates; samples < 0 runs to completion.
+func (r *Run) RunTo(samples int) {
+	for !r.done && (samples < 0 || r.Samples() < samples) {
+		r.step()
+	}
+}
+
+// Result reports the run's outcome: final after Done, the running
+// estimate otherwise.
+func (r *Run) Result() Result {
+	res := r.res
+	if r.cv {
+		res.Estimate = r.mo.MeanX() + res.C*(r.mo.MeanY()-r.tau)
+		res.Samples = r.mo.N()
+	} else {
+		res.Estimate = r.acc.Mean()
+		res.Samples = r.acc.N()
+	}
 	return res
+}
+
+// State snapshots the run for later Restore.
+func (r *Run) State() RunState {
+	return RunState{
+		Population:  r.opts.Population,
+		Rounds:      r.res.Rounds,
+		Converged:   r.res.Converged,
+		StdErr:      r.res.StdErr,
+		C:           r.res.C,
+		Correlation: r.res.Correlation,
+		Done:        r.done,
+		Sampler:     r.smp.state(),
+		Acc:         r.acc.State(),
+		Cov:         r.mo.State(),
+	}
+}
+
+// Restore rewinds the run to a snapshotted state. It fails when the
+// state was drawn from a different population (the caller should start a
+// fresh run over the new population instead).
+func (r *Run) Restore(st RunState) error {
+	if st.Population != r.opts.Population {
+		return fmt.Errorf("aqp: state covers population %d, run targets %d", st.Population, r.opts.Population)
+	}
+	r.res.Rounds = st.Rounds
+	r.res.Converged = st.Converged
+	r.res.StdErr = st.StdErr
+	r.res.C = st.C
+	r.res.Correlation = st.Correlation
+	r.done = st.Done
+	r.acc.Restore(st.Acc)
+	r.mo.Restore(st.Cov)
+	return r.smp.restore(st.Sampler)
 }

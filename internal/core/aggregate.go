@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/aqp"
@@ -41,8 +43,8 @@ func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, e
 	naivePlan := &costedPlan{
 		desc: aggDesc("naive-exhaustive", "reference detector on every frame (exact)"),
 		est:  plan.Cost{DetectorCalls: float64(pop), DetectorSeconds: float64(pop) * full},
-		run: func() (*Result, error) {
-			return e.runAggregateNaive(info, class, par, "naive-exhaustive")
+		open: func() (plan.Execution[*Result], error) {
+			return e.newAggScanExec(info, class, par, "naive-exhaustive", false), nil
 		},
 	}
 	naiveCand := candidate{Plan: naivePlan, MarginalSeconds: naivePlan.est.DetectorSeconds, Accuracy: exactAccuracy}
@@ -54,7 +56,9 @@ func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, e
 			DetectorCalls:   base.presence * float64(pop),
 			DetectorSeconds: base.presence * float64(pop) * full,
 		},
-		run: func() (*Result, error) { return e.runAggregateNoScope(info, class, par) },
+		open: func() (plan.Execution[*Result], error) {
+			return e.newAggScanExec(info, class, par, "noscope-oracle", true), nil
+		},
 	}
 	noScopeCand := candidate{
 		Plan:            noScopePlan,
@@ -83,8 +87,8 @@ func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, e
 	aqpPlan := &costedPlan{
 		desc: aqpDesc,
 		est:  plan.Cost{DetectorCalls: float64(aqpN), DetectorSeconds: float64(aqpN) * full},
-		run: func() (*Result, error) {
-			return e.runAggregateAQP(info, class, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newAQPExec(info, class, par, nil), nil
 		},
 	}
 	aqpCand := candidate{Plan: aqpPlan, MarginalSeconds: aqpPlan.est.DetectorSeconds, Accuracy: sampledAccuracy}
@@ -123,8 +127,10 @@ func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, e
 	rewritePlan := &costedPlan{
 		desc: rewriteDesc,
 		est:  prepCharges,
-		run: func() (*Result, error) {
-			return e.runAggregateRewrite(info, prep)
+		open: func() (plan.Execution[*Result], error) {
+			return newAtomicExec(e, func() (*Result, error) {
+				return e.runAggregateRewrite(info, prep)
+			}), nil
 		},
 	}
 	rewriteCand := candidate{
@@ -147,8 +153,8 @@ func (e *Engine) enumerateAggregate(info *frameql.Info, par int) ([]candidate, e
 	cvPlan := &costedPlan{
 		desc: cvDesc,
 		est:  cvEst,
-		run: func() (*Result, error) {
-			return e.runAggregateCV(info, class, prep, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newAQPExec(info, class, par, &prep), nil
 		},
 	}
 	cvCand := candidate{
@@ -192,77 +198,184 @@ func (e *Engine) runAggregateRewrite(info *frameql.Info, prep aggPrep) (*Result,
 	return res, nil
 }
 
-// runAggregateCV samples with the network's expected count as the
-// auxiliary variable; its mean and variance over the test day are exact.
-func (e *Engine) runAggregateCV(info *frameql.Info, class vidsim.Class, prep aggPrep, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	prep.charge(info, res)
-	res.Stats.Plan = "control-variates"
-	tau, varT := prep.inf.ExpectedMoments(prep.head)
-	cv := aqp.ControlVariates(e.samplingOptions(info, class, par),
-		e.concurrentCountMeasure(class),
-		func(f int) float64 { return prep.inf.ExpectedCount(prep.head, f) },
-		tau, varT)
-	e.chargeSampleCost(&res.Stats, cv.Samples)
-	res.Stats.note("control variates: %d samples, corr=%.3f, c=%.3f", cv.Samples, cv.Correlation, cv.C)
-	res.Value = e.scaleAggregate(info, cv.Estimate)
-	res.StdErr = cv.StdErr
-	return res, nil
+// aggScanState is the serializable suspension of an exact aggregate scan
+// (naive-exhaustive, noscope-oracle): frame position, the integer count
+// sum (exact, so prefix+suffix accumulation equals one pass), and the
+// partial cost meter.
+type aggScanState struct {
+	Pos   int   `json:"pos"`
+	Sum   int64 `json:"sum"`
+	Stats Stats `json:"stats"`
 }
 
-// runAggregateNaive runs the detector on every frame for the exact mean.
-func (e *Engine) runAggregateNaive(info *frameql.Info, class vidsim.Class, par int, label string) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	mean := e.naiveMeanCount(class, &res.Stats, par)
-	res.Stats.Plan = label
-	res.Value = e.scaleAggregate(info, mean)
-	return res, nil
+// aggScanExec runs the detector over every frame (or, for the gated
+// oracle variant, every oracle-occupied frame) and averages the counts.
+// Progress units are frames; on a grown live stream the scan continues
+// over the new suffix and the mean re-derives from the extended sum —
+// bit-identical to a cold scan of the extended stream, because the sum is
+// integer arithmetic.
+type aggScanExec struct {
+	e     *Engine
+	info  *frameql.Info
+	class vidsim.Class
+	par   int
+	st    aggScanState
+	// oracle gates on the free presence oracle (Figure 4's "NoScope
+	// (Oracle)" bar): the detector runs only on occupied frames. Counting
+	// still requires detection on every occupied frame, so streams with
+	// high occupancy benefit little (§10.1.1).
+	oracle bool
 }
 
-// runAggregateAQP runs the plain adaptive sampling plan.
-func (e *Engine) runAggregateAQP(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "naive-aqp"
-	r := aqp.Sample(e.samplingOptions(info, class, par), e.concurrentCountMeasure(class))
-	e.chargeSampleCost(&res.Stats, r.Samples)
-	res.Value = e.scaleAggregate(info, r.Estimate)
-	res.StdErr = r.StdErr
-	return res, nil
+func (e *Engine) newAggScanExec(info *frameql.Info, class vidsim.Class, par int, label string, oracle bool) *aggScanExec {
+	x := &aggScanExec{e: e, info: info, class: class, par: par, oracle: oracle}
+	x.st.Stats.Plan = label
+	return x
 }
 
-// runAggregateNoScope answers an aggregate with the NoScope presence
-// oracle: the detector runs only on frames the oracle says contain the
-// class (Figure 4's "NoScope (Oracle)" bar). Counting still requires
-// detection on every occupied frame, so streams with high occupancy
-// benefit little (§10.1.1).
-func (e *Engine) runAggregateNoScope(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "noscope-oracle"
-	presence := e.Test.Counts(class)
+func (x *aggScanExec) Total() int { return x.e.Test.Frames }
+func (x *aggScanExec) Pos() int   { return x.st.Pos }
+func (x *aggScanExec) Done() bool { return x.st.Pos >= x.Total() }
+
+func (x *aggScanExec) RunTo(units int) error {
+	e, class := x.e, x.class
 	fullCost := e.DTest.FullFrameCost()
-	total := 0
-	runSharded(par, shardRanges(e.Test.Frames),
-		&e.exec,
-		func(s shard) int {
+	var presence []int32
+	if x.oracle {
+		presence = e.Test.Counts(class)
+	}
+	// Production stays sharded and parallel (per-frame integer counts are
+	// exact and order-free); consumption charges and sums per frame in
+	// order, so the scan suspends on exact frame boundaries.
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec,
+		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
-			sum := 0
+			counts := make([]int32, s.hi-s.lo)
 			for f := s.lo; f < s.hi; f++ {
-				if presence[f] != 0 {
-					sum += c.CountAt(f, class)
+				if x.oracle && presence[f] == 0 {
+					continue
 				}
+				counts[f-s.lo] = int32(c.CountAt(f, class))
 			}
-			return sum
+			return counts
 		},
-		func(s shard, sum int) bool {
-			for f := s.lo; f < s.hi; f++ {
-				if presence[f] != 0 {
-					res.Stats.addDetection(fullCost)
-				}
+		func(i, off int, counts []int32) bool {
+			if x.oracle && presence[i] == 0 {
+				return true
 			}
-			total += sum
+			x.st.Stats.addDetection(fullCost)
+			x.st.Sum += int64(counts[off])
 			return true
 		})
-	res.Value = e.scaleAggregate(info, float64(total)/float64(e.Test.Frames))
+	x.st.Pos = pos
+	return nil
+}
+
+func (x *aggScanExec) Snapshot() ([]byte, error) { return json.Marshal(&x.st) }
+
+func (x *aggScanExec) Restore(state []byte) error {
+	return json.Unmarshal(state, &x.st)
+}
+
+func (x *aggScanExec) Result() (*Result, error) {
+	if !x.Done() {
+		return nil, fmt.Errorf("core: aggregate scan suspended at frame %d of %d", x.st.Pos, x.Total())
+	}
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+	res.Value = x.e.scaleAggregate(x.info, float64(x.st.Sum)/float64(x.e.Test.Frames))
+	return res, nil
+}
+
+// aqpState is the serializable suspension of a sampled aggregate plan
+// (naive-aqp, control-variates): the base cost meter captured when the
+// execution first opened (preparation charges included, so a resumed
+// execution replays exactly what the original observed) plus the adaptive
+// sampler's draw-and-accumulate state.
+type aqpState struct {
+	Horizon int          `json:"horizon"`
+	Base    Stats        `json:"base"`
+	Run     aqp.RunState `json:"run"`
+}
+
+// aqpExec runs the adaptive sampling plans (§6.1, and §6.3 with a control
+// variate when prep is non-nil). Progress units are measured samples,
+// suspendable at adaptive round boundaries. Sampling schedules are a
+// function of the population, so a cursor restored onto a grown live
+// stream discards its draws and re-runs over the extended population —
+// deterministically, and with repeated ground-truth measurements served
+// from the committed label store, so re-running costs real time
+// proportional to the new samples only.
+type aqpExec struct {
+	e    *Engine
+	info *frameql.Info
+	base Stats
+	run  *aqp.Run
+}
+
+func (e *Engine) newAQPExec(info *frameql.Info, class vidsim.Class, par int, prep *aggPrep) *aqpExec {
+	x := &aqpExec{e: e, info: info}
+	measure := e.concurrentCountMeasure(class)
+	if prep != nil {
+		tmp := &Result{}
+		prep.charge(info, tmp)
+		tmp.Stats.Plan = "control-variates"
+		x.base = tmp.Stats
+		tau, varT := prep.inf.ExpectedMoments(prep.head)
+		inf, head := prep.inf, prep.head
+		x.run = aqp.NewControlVariatesRun(e.samplingOptions(info, class, par), measure,
+			func(f int) float64 { return inf.ExpectedCount(head, f) }, tau, varT)
+	} else {
+		x.base.Plan = "naive-aqp"
+		x.run = aqp.NewRun(e.samplingOptions(info, class, par), measure)
+	}
+	return x
+}
+
+func (x *aqpExec) cv() bool { return x.base.Plan == "control-variates" }
+
+func (x *aqpExec) Total() int { return -1 }
+func (x *aqpExec) Pos() int   { return x.run.Samples() }
+func (x *aqpExec) Done() bool { return x.run.Done() }
+
+func (x *aqpExec) RunTo(units int) error {
+	x.run.RunTo(units)
+	return nil
+}
+
+func (x *aqpExec) Snapshot() ([]byte, error) {
+	return json.Marshal(&aqpState{Horizon: x.e.Test.Frames, Base: x.base, Run: x.run.State()})
+}
+
+func (x *aqpExec) Restore(state []byte) error {
+	var st aqpState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.Horizon != x.e.Test.Frames {
+		// The stream grew: the sampling schedule covers a stale
+		// population. Keep the freshly opened run (drawing from the
+		// current population) and the freshly captured base charges —
+		// exactly what a new execution over the extended stream observes.
+		return nil
+	}
+	x.base = st.Base
+	return x.run.Restore(st.Run)
+}
+
+func (x *aqpExec) Result() (*Result, error) {
+	if !x.run.Done() {
+		return nil, fmt.Errorf("core: adaptive sampling suspended after %d samples", x.run.Samples())
+	}
+	r := x.run.Result()
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.base}
+	res.Stats.Notes = append([]string(nil), x.base.Notes...)
+	x.e.chargeSampleCost(&res.Stats, r.Samples)
+	if x.cv() {
+		res.Stats.note("control variates: %d samples, corr=%.3f, c=%.3f", r.Samples, r.Correlation, r.C)
+	}
+	res.Value = x.e.scaleAggregate(x.info, r.Estimate)
+	res.StdErr = r.StdErr
 	return res, nil
 }
 
@@ -281,8 +394,8 @@ func (e *Engine) enumerateDistinct(info *frameql.Info, par int) ([]candidate, er
 			Family: frameql.KindDistinct.String(),
 			Detail: "detector on every frame with entity resolution (identity needs tracking, §4)",
 		},
-		est: plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
-		run: func() (*Result, error) { return e.executeDistinct(info, par) },
+		est:  plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
+		open: func() (plan.Execution[*Result], error) { return e.newDistinctExec(info, par) },
 	}
 	return []candidate{{Plan: p, MarginalSeconds: p.est.DetectorSeconds, Accuracy: exactAccuracy}}, nil
 }
@@ -375,26 +488,58 @@ func (e *Engine) naiveMeanCount(class vidsim.Class, stats *Stats, par int) float
 	return float64(total) / float64(e.Test.Frames)
 }
 
-// executeDistinct answers COUNT(DISTINCT trackid) queries. Identity
-// requires entity resolution across consecutive frames, so the plan is
-// exhaustive: detect on every frame and track (paper §4 distinguishes this
-// query from FCOUNT precisely because it needs trackid). Detection shards
-// across workers; the tracker advances sequentially over the merged
-// per-frame detections.
-func (e *Engine) executeDistinct(info *frameql.Info, par int) (*Result, error) {
+// distinctState is the serializable suspension of a COUNT(DISTINCT
+// trackid) scan: frame position, tracker state, the distinct-ID set
+// (sorted for deterministic serialization), and the partial cost meter.
+type distinctState struct {
+	Pos      int         `json:"pos"`
+	Tracker  track.State `json:"tracker"`
+	Distinct []int       `json:"distinct,omitempty"`
+	Stats    Stats       `json:"stats"`
+}
+
+// distinctExec answers COUNT(DISTINCT trackid) queries. Identity requires
+// entity resolution across consecutive frames, so the plan is exhaustive:
+// detect on every frame and track (paper §4 distinguishes this query from
+// FCOUNT precisely because it needs trackid). Detection shards across
+// workers; the tracker advances sequentially over the merged per-frame
+// detections. Progress units are frames; a grown live stream continues
+// the same tracker over the new suffix, so identities never reset at
+// ingest boundaries.
+type distinctExec struct {
+	e        *Engine
+	info     *frameql.Info
+	class    vidsim.Class
+	par      int
+	st       distinctState
+	tracker  *track.Tracker
+	distinct map[int]bool
+}
+
+func (e *Engine) newDistinctExec(info *frameql.Info, par int) (*distinctExec, error) {
 	if len(info.Classes) != 1 {
 		return nil, fmt.Errorf("core: COUNT(DISTINCT trackid) needs exactly one class predicate")
 	}
-	class := vidsim.Class(info.Classes[0])
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "exhaustive-tracking"
+	x := &distinctExec{
+		e: e, info: info, class: vidsim.Class(info.Classes[0]), par: par,
+		tracker: track.New(0, 1), distinct: make(map[int]bool),
+	}
+	x.st.Stats.Plan = "exhaustive-tracking"
+	return x, nil
+}
 
-	lo, hi := e.frameRange(info)
+func (x *distinctExec) Total() int {
+	lo, hi := x.e.frameRange(x.info)
+	return hi - lo
+}
+func (x *distinctExec) Pos() int   { return x.st.Pos }
+func (x *distinctExec) Done() bool { return x.st.Pos >= x.Total() }
+
+func (x *distinctExec) RunTo(units int) error {
+	e := x.e
+	lo, _ := e.frameRange(x.info)
 	fullCost := e.DTest.FullFrameCost()
-	tr := track.New(0, 1)
-	distinct := make(map[int]bool)
-	runSharded(par, shardRanges(hi-lo),
-		&e.exec,
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec,
 		func(s shard) *detArena {
 			a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
 			for i := s.lo; i < s.hi; i++ {
@@ -403,19 +548,52 @@ func (e *Engine) executeDistinct(info *frameql.Info, par int) (*Result, error) {
 			}
 			return a
 		},
-		func(s shard, a *detArena) bool {
-			for i := s.lo; i < s.hi; i++ {
-				res.Stats.addDetection(fullCost)
-				dets := a.frame(i - s.lo)
-				ids := tr.Advance(lo+i, dets)
-				for j := range dets {
-					if dets[j].Class == class {
-						distinct[ids[j]] = true
-					}
+		func(i, off int, a *detArena) bool {
+			x.st.Stats.addDetection(fullCost)
+			dets := a.frame(off)
+			ids := x.tracker.Advance(lo+i, dets)
+			for j := range dets {
+				if dets[j].Class == x.class {
+					x.distinct[ids[j]] = true
 				}
 			}
 			return true
 		})
-	res.Value = float64(len(distinct))
+	x.st.Pos = pos
+	return nil
+}
+
+func (x *distinctExec) Snapshot() ([]byte, error) {
+	st := x.st
+	st.Tracker = x.tracker.Snapshot()
+	st.Distinct = make([]int, 0, len(x.distinct))
+	for id := range x.distinct {
+		st.Distinct = append(st.Distinct, id)
+	}
+	sort.Ints(st.Distinct)
+	return json.Marshal(&st)
+}
+
+func (x *distinctExec) Restore(state []byte) error {
+	var st distinctState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	x.st = st
+	x.tracker = track.FromState(st.Tracker)
+	x.distinct = make(map[int]bool, len(st.Distinct))
+	for _, id := range st.Distinct {
+		x.distinct[id] = true
+	}
+	return nil
+}
+
+func (x *distinctExec) Result() (*Result, error) {
+	if !x.Done() {
+		return nil, fmt.Errorf("core: distinct scan suspended at frame %d of %d", x.st.Pos, x.Total())
+	}
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+	res.Value = float64(len(x.distinct))
 	return res, nil
 }

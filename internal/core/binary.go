@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -43,8 +44,8 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 			desc:  binaryExactDesc(),
 			est:   exactEst,
 			notes: []string{fmt.Sprintf("specialization unavailable (%v); exact scan", modelErr)},
-			run: func() (*Result, error) {
-				return e.runBinaryExact(info, class, par)
+			open: func() (plan.Execution[*Result], error) {
+				return e.newBinaryExactExec(info, class, par), nil
 			},
 		}
 		return []candidate{
@@ -86,8 +87,8 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 			DetectorCalls:   verifyEst,
 			DetectorSeconds: verifyEst * full,
 		},
-		run: func() (*Result, error) {
-			return e.runBinaryCascade(info, class, prep, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newBinaryCascadeExec(info, class, prep, par), nil
 		},
 	}
 	cascadeCand := candidate{
@@ -100,8 +101,8 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 	exactPlan := &costedPlan{
 		desc: binaryExactDesc(),
 		est:  exactEst,
-		run: func() (*Result, error) {
-			return e.runBinaryExact(info, class, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newBinaryExactExec(info, class, par), nil
 		},
 	}
 	return []candidate{cascadeCand, binaryExactCand(exactPlan, info)}, nil
@@ -137,71 +138,112 @@ type binaryPrep struct {
 	head      int
 }
 
-// runBinaryCascade scores every frame with the specialized network,
+// binaryScanState is the serializable suspension of a binary-detection
+// scan: frame position, LIMIT/GAP progress, the uncertain-band
+// verification count (for the cascade's closing note), and the partial
+// cost meter with its prep charges.
+type binaryScanState struct {
+	Pos          int   `json:"pos"`
+	Finished     bool  `json:"finished"`
+	LastReturned int   `json:"last_returned"`
+	Verified     int   `json:"verified"`
+	Frames       []int `json:"frames,omitempty"`
+	Stats        Stats `json:"stats"`
+}
+
+// binaryCascadeExec scores every frame with the specialized network,
 // accepts above the high threshold, rejects below the low one, and sends
 // the uncertain band to the reference detector.
-func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep binaryPrep, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.TrainSeconds += prep.trainCost
-	res.Stats.TrainSeconds += prep.heldCost
+//
+// The scan shards: the cascade decision per frame (network score lookup,
+// detector verification of the uncertain band) is pure and fans out;
+// GAP/LIMIT bookkeeping and cost charging replay serially per frame in
+// the merge. Progress units are frames; a grown live stream continues
+// over the new suffix with the same held-out-chosen thresholds (ingest
+// extends the segment first, so scores cover the new horizon).
+//
+// Zone-map skipping: a chunk whose maximum presence tail is below the
+// reject threshold cannot contain a verified or accepted frame — every
+// frame in it is rejected unverified, which charges nothing and emits
+// nothing. Such chunk ranges are skipped without reading per-frame
+// scores; the zero-valued verdicts stand in for the rejections, so the
+// answer and the simulated meter are bit-identical to the full scan.
+type binaryCascadeExec struct {
+	e     *Engine
+	info  *frameql.Info
+	class vidsim.Class
+	prep  binaryPrep
+	par   int
+	st    binaryScanState
+}
+
+func (e *Engine) newBinaryCascadeExec(info *frameql.Info, class vidsim.Class, prep binaryPrep, par int) *binaryCascadeExec {
+	x := &binaryCascadeExec{e: e, info: info, class: class, prep: prep, par: par}
+	x.st.LastReturned = -1 << 40
+	x.st.Stats.TrainSeconds += prep.trainCost
+	x.st.Stats.TrainSeconds += prep.heldCost
+	x.st.Stats.Plan = "binary-cascade"
+	x.st.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", prep.lowT, prep.highT)
+	x.st.Stats.SpecNNSeconds += prep.infCost
+	return x
+}
+
+func (x *binaryCascadeExec) Total() int {
+	lo, hi := x.e.frameRange(x.info)
+	return hi - lo
+}
+func (x *binaryCascadeExec) Pos() int   { return x.st.Pos }
+func (x *binaryCascadeExec) Done() bool { return x.st.Finished || x.st.Pos >= x.Total() }
+
+type binVerdict struct {
+	positive bool
+	verified bool
+	skipped  bool
+	// chunkFirst marks the visited frame where the whole scan first
+	// enters a skipped chunk, so per-frame consumption counts each
+	// skipped chunk exactly once however shards straddle it.
+	chunkFirst bool
+}
+
+func (x *binaryCascadeExec) RunTo(units int) error {
+	if x.st.Finished {
+		return nil
+	}
+	e, prep := x.e, x.prep
 	lowT, highT := prep.lowT, prep.highT
-	res.Stats.Plan = "binary-cascade"
-	res.Stats.note("cascade thresholds: reject < %.4f, accept >= %.4f", lowT, highT)
-	res.Stats.SpecNNSeconds += prep.infCost
 	seg := prep.seg
 	infTest := seg.Inference()
 	head := prep.head
-
-	lo, hi := e.frameRange(info)
+	class := x.class
+	lo, _ := e.frameRange(x.info)
 	fullCost := e.DTest.FullFrameCost()
-	gap := info.Gap
-	limit := info.Limit
-	lastReturned := -1 << 40
-	verified := 0
-	// Shard the scan: the cascade decision per frame (network score lookup,
-	// detector verification of the uncertain band) is pure and fans out;
-	// GAP/LIMIT bookkeeping and cost charging replay serially in the merge.
-	//
-	// Zone-map skipping: a chunk whose maximum presence tail is below the
-	// reject threshold cannot contain a verified or accepted frame — every
-	// frame in it is rejected unverified, which charges nothing and emits
-	// nothing. Such chunk ranges are skipped without reading per-frame
-	// scores; the zero-valued verdicts stand in for the rejections, so the
-	// answer and the simulated meter are bit-identical to the full scan.
-	type binVerdict struct {
-		positive bool
-		verified bool
-	}
-	type binArena struct {
-		verdicts      []binVerdict
-		chunksSkipped int
-		framesSkipped int
-	}
-	runSharded(par, binaryLayout(hi-lo, limit),
-		&e.exec,
-		func(s shard) *binArena {
+	gap := x.info.Gap
+	limit := x.info.Limit
+
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec,
+		func(s shard) []binVerdict {
 			c := e.DTest.NewCounter()
-			a := &binArena{verdicts: make([]binVerdict, s.hi-s.lo)}
+			verdicts := make([]binVerdict, s.hi-s.lo)
 			curChunk, skipChunk := -1, false
 			for i := s.lo; i < s.hi; i++ {
 				f := lo + i
+				v := &verdicts[i-s.lo]
 				if ci := index.ChunkOf(f); ci != curChunk {
 					curChunk = ci
 					skipChunk = zoneSkipsEnabled && seg.CanSkipTail(ci, head, 1, lowT)
-					// Count each skipped chunk once per scan — at the
-					// frame where the whole scan (not this shard) first
-					// enters it — so shard boundaries straddling a chunk
-					// never double-count it.
+					// Mark each skipped chunk once per scan — at the frame
+					// where the whole scan (not this shard) first enters
+					// it — so shard boundaries straddling a chunk never
+					// double-count it.
 					if skipChunk && (i == 0 || index.ChunkOf(f-1) != ci) {
-						a.chunksSkipped++
+						v.chunkFirst = true
 					}
 				}
 				if skipChunk {
-					a.framesSkipped++
+					v.skipped = true
 					continue // rejected unverified, proven by the zone map
 				}
 				score := infTest.TailProb(head, f, 1)
-				v := &a.verdicts[i-s.lo]
 				switch {
 				case score < lowT:
 					// rejected unverified
@@ -212,80 +254,131 @@ func (e *Engine) runBinaryCascade(info *frameql.Info, class vidsim.Class, prep b
 					v.positive = c.CountAt(f, class) > 0
 				}
 			}
-			return a
+			return verdicts
 		},
-		func(s shard, a *binArena) bool {
-			res.Stats.IndexChunksSkipped += a.chunksSkipped
-			res.Stats.IndexFramesSkipped += a.framesSkipped
-			for i := s.lo; i < s.hi; i++ {
-				f := lo + i
-				v := a.verdicts[i-s.lo]
-				if v.verified {
-					res.Stats.addDetection(fullCost)
-					verified++
-				}
-				if !v.positive {
-					continue
-				}
-				if gap > 0 && f-lastReturned < gap {
-					continue
-				}
-				lastReturned = f
-				res.Frames = append(res.Frames, f)
-				if limit >= 0 && len(res.Frames) >= limit {
-					return false
-				}
+		func(i, off int, verdicts []binVerdict) bool {
+			f := lo + i
+			v := verdicts[off]
+			if v.chunkFirst {
+				x.st.Stats.IndexChunksSkipped++
+			}
+			if v.skipped {
+				x.st.Stats.IndexFramesSkipped++
+				return true
+			}
+			if v.verified {
+				x.st.Stats.addDetection(fullCost)
+				x.st.Verified++
+			}
+			if !v.positive {
+				return true
+			}
+			if gap > 0 && f-x.st.LastReturned < gap {
+				return true
+			}
+			x.st.LastReturned = f
+			x.st.Frames = append(x.st.Frames, f)
+			if limit >= 0 && len(x.st.Frames) >= limit {
+				x.st.Finished = true
+				return false
 			}
 			return true
 		})
-	res.Stats.note("verified %d of %d frames in the uncertain band", verified, hi-lo)
+	x.st.Pos = pos
+	return nil
+}
+
+func (x *binaryCascadeExec) Snapshot() ([]byte, error) { return json.Marshal(&x.st) }
+
+func (x *binaryCascadeExec) Restore(state []byte) error {
+	return json.Unmarshal(state, &x.st)
+}
+
+func (x *binaryCascadeExec) Result() (*Result, error) {
+	if !x.Done() {
+		return nil, fmt.Errorf("core: binary cascade suspended at frame %d of %d", x.st.Pos, x.Total())
+	}
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+	res.Frames = append([]int(nil), x.st.Frames...)
+	res.Stats.note("verified %d of %d frames in the uncertain band", x.st.Verified, x.Total())
 	return res, nil
 }
 
-// runBinaryExact runs the detector on every frame — the cascade-free
-// plan. Counting shards across workers; GAP/LIMIT replay serially.
-func (e *Engine) runBinaryExact(info *frameql.Info, class vidsim.Class, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "binary-exact"
-	lo, hi := e.frameRange(info)
+// binaryExactExec runs the detector on every frame — the cascade-free
+// plan. Counting shards across workers; GAP/LIMIT replay serially per
+// frame. Progress units are frames.
+type binaryExactExec struct {
+	e     *Engine
+	info  *frameql.Info
+	class vidsim.Class
+	par   int
+	st    binaryScanState
+}
+
+func (e *Engine) newBinaryExactExec(info *frameql.Info, class vidsim.Class, par int) *binaryExactExec {
+	x := &binaryExactExec{e: e, info: info, class: class, par: par}
+	x.st.LastReturned = -1 << 40
+	x.st.Stats.Plan = "binary-exact"
+	return x
+}
+
+func (x *binaryExactExec) Total() int {
+	lo, hi := x.e.frameRange(x.info)
+	return hi - lo
+}
+func (x *binaryExactExec) Pos() int   { return x.st.Pos }
+func (x *binaryExactExec) Done() bool { return x.st.Finished || x.st.Pos >= x.Total() }
+
+func (x *binaryExactExec) RunTo(units int) error {
+	if x.st.Finished {
+		return nil
+	}
+	e := x.e
+	lo, _ := e.frameRange(x.info)
 	fullCost := e.DTest.FullFrameCost()
-	gap := info.Gap
-	limit := info.Limit
-	lastReturned := -1 << 40
-	runSharded(par, binaryLayout(hi-lo, limit),
-		&e.exec,
+	gap := x.info.Gap
+	limit := x.info.Limit
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec,
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
-			return c.CountRange(lo+s.lo, lo+s.hi, class, nil)
+			return c.CountRange(lo+s.lo, lo+s.hi, x.class, nil)
 		},
-		func(s shard, counts []int32) bool {
-			for i := s.lo; i < s.hi; i++ {
-				f := lo + i
-				res.Stats.addDetection(fullCost)
-				if counts[i-s.lo] == 0 {
-					continue
-				}
-				if gap > 0 && f-lastReturned < gap {
-					continue
-				}
-				lastReturned = f
-				res.Frames = append(res.Frames, f)
-				if limit >= 0 && len(res.Frames) >= limit {
-					return false
-				}
+		func(i, off int, counts []int32) bool {
+			f := lo + i
+			x.st.Stats.addDetection(fullCost)
+			if counts[off] == 0 {
+				return true
+			}
+			if gap > 0 && f-x.st.LastReturned < gap {
+				return true
+			}
+			x.st.LastReturned = f
+			x.st.Frames = append(x.st.Frames, f)
+			if limit >= 0 && len(x.st.Frames) >= limit {
+				x.st.Finished = true
+				return false
 			}
 			return true
 		})
-	return res, nil
+	x.st.Pos = pos
+	return nil
 }
 
-// binaryLayout picks the shard layout for a binary scan: ramped when a
-// LIMIT may stop the scan early, full-size otherwise.
-func binaryLayout(n, limit int) []shard {
-	if limit >= 0 {
-		return rampShardRanges(n)
+func (x *binaryExactExec) Snapshot() ([]byte, error) { return json.Marshal(&x.st) }
+
+func (x *binaryExactExec) Restore(state []byte) error {
+	return json.Unmarshal(state, &x.st)
+}
+
+func (x *binaryExactExec) Result() (*Result, error) {
+	if !x.Done() {
+		return nil, fmt.Errorf("core: binary scan suspended at frame %d of %d", x.st.Pos, x.Total())
 	}
-	return shardRanges(n)
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+	res.Frames = append([]int(nil), x.st.Frames...)
+	return res, nil
 }
 
 // binaryThresholds picks the cascade thresholds on the held-out day.

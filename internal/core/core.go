@@ -75,6 +75,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"repro/internal/detect"
 	"repro/internal/frameql"
@@ -109,6 +110,17 @@ type Options struct {
 	// are bit-identical whether the index is cold, warm, on disk, or
 	// absent.
 	IndexDir string
+	// LiveStart, in (0, 1), opens the test day as a live stream with only
+	// that fraction of its frames initially visible; AppendLive then
+	// extends the visible horizon frame batch by frame batch, as a camera
+	// would. The underlying day is generated deterministically up front,
+	// so a fully appended live stream answers every query identically to
+	// a Generate'd one. 0 (the default) opens the whole day at once.
+	// Training and held-out days are always full: the paper's protocol
+	// labels them offline before serving begins. LiveStart does not enter
+	// the index fingerprint — a live engine extends the same persisted
+	// segments a full-day engine builds.
+	LiveStart float64
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +169,10 @@ type Engine struct {
 	// exec tracks parallel-execution activity for /statz reporting.
 	exec execCounters
 
+	// epoch counts live-stream ingests (AppendLive calls that made frames
+	// visible); serving-tier caches key on it.
+	epoch atomic.Uint64
+
 	// planner holds the cost-based planner's cached held-out statistics
 	// and pick accounting (see planner.go).
 	planner plannerState
@@ -177,11 +193,22 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 	if opts.Scale != 1 {
 		cfg = cfg.Scaled(opts.Scale)
 	}
+	if opts.LiveStart < 0 || opts.LiveStart >= 1 {
+		opts.LiveStart = 0
+	}
+	test := vidsim.Generate(cfg, 2)
+	if opts.LiveStart > 0 {
+		initial := int(opts.LiveStart * float64(cfg.FramesPerDay))
+		if initial < 1 {
+			initial = 1
+		}
+		test = vidsim.GenerateLive(cfg, 2, initial)
+	}
 	e := &Engine{
 		Cfg:     cfg,
 		Train:   vidsim.Generate(cfg, 0),
 		HeldOut: vidsim.Generate(cfg, 1),
-		Test:    vidsim.Generate(cfg, 2),
+		Test:    test,
 		opts:    opts,
 		planner: newPlannerState(),
 	}
@@ -316,6 +343,44 @@ func (e *Engine) BuildIndex(classes []vidsim.Class) error {
 	return e.FlushIndex()
 }
 
+// AppendLive makes the next n generated frames of a live test day
+// visible (clamped to the day's end), extends every already-materialized
+// test-day index segment to the new horizon, and bumps the stream epoch
+// that serving-tier result caches key on. It returns the number of
+// frames actually appended. AppendLive must not run concurrently with
+// query execution over this engine — the serving tier holds its
+// per-stream write lock across the call; embedding callers own the same
+// exclusion. On a full (non-live) engine it is a no-op.
+func (e *Engine) AppendLive(n int) (int, error) {
+	before := e.Test.Frames
+	after := e.Test.AppendFrames(n)
+	if after == before {
+		return 0, nil
+	}
+	e.epoch.Add(1)
+	if _, err := e.idx.IngestAll(e.Test); err != nil {
+		return after - before, err
+	}
+	return after - before, nil
+}
+
+// StreamEpoch returns the engine's ingest epoch: 0 at open, incremented
+// by every AppendLive that makes frames visible. Serving-tier result
+// caches include it in their keys, so answers computed over a shorter
+// stream can never be served after the stream has grown — the
+// epoch-based invalidation of the continuous tier.
+func (e *Engine) StreamEpoch() uint64 { return e.epoch.Load() }
+
+// Horizon returns the number of test-day frames currently visible.
+func (e *Engine) Horizon() int { return e.Test.Frames }
+
+// DayFrames returns the test day's full length; a live stream's horizon
+// grows toward it.
+func (e *Engine) DayFrames() int { return e.Cfg.FramesPerDay }
+
+// Live reports whether the engine's test day was opened as a live stream.
+func (e *Engine) Live() bool { return e.opts.LiveStart > 0 }
+
 // IngestIndex incrementally indexes test-day frames that arrived after
 // the class set's segment was built (a live stream extended with
 // vidsim.AppendFrames): new frames are labeled chunk by chunk and
@@ -391,7 +456,7 @@ func (e *Engine) ExecuteParallel(info *frameql.Info, parallelism int) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return e.runChosen(info, cands, chosen, forced)
+	return e.runChosen(info, cands, chosen, forced, e.effectiveParallelism(parallelism))
 }
 
 // frameRange clips the query's timestamp bounds to the test day.

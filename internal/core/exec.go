@@ -1,0 +1,372 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/frameql"
+	"repro/internal/plan"
+	"repro/internal/vidsim"
+)
+
+// This file is the engine's resumable execution layer: the bridge between
+// the plan package's Execution contract and the per-family exec
+// implementations, plus the continuous-query entry points (BeginQuery,
+// ResumeQuery, Advance) the serving tier's standing queries run on.
+//
+// The suspend/resume contract, engine-level: executing a query to
+// progress unit N, suspending into a plan.Cursor (a serializable blob),
+// and resuming — in this process or after a restart against the same
+// stream configuration — yields a Result bit-identical to one
+// uninterrupted execution, full simulated cost meter included, at every
+// parallelism level. Two mechanisms carry it:
+//
+//  1. Family exec state is exhaustive: frame position, tracker state,
+//     per-shard PRNG draw counts, partial accumulators and rows, LIMIT and
+//     GAP progress, and the partial cost meter — including the one-time
+//     preparation charges (training, held-out statistics, whole-day
+//     inference) captured when the execution first opened, so a resumed
+//     execution replays exactly what the original observed rather than
+//     re-reading cache state that has since changed.
+//  2. The plan itself is re-derived, not serialized: the cursor carries
+//     the canonical query text and the pinned plan name, and resuming
+//     re-plans and forces that candidate. Planner inputs are held-out
+//     statistics over the fixed held-out day, so within one stream
+//     configuration the same name always resolves to the same physical
+//     plan — which is also why Advance never re-prices a standing query's
+//     pick: the summaries it would re-price from cannot change.
+//
+// Advance extends a completed cursor over a live stream's newly appended
+// frames: scan families (exhaustive, selection, distinct, naive
+// aggregates, binary, sequential scrubbing) continue from their suspended
+// accumulators and pay only the new suffix, while population-dependent
+// families (adaptive sampling, control variates, specialized rewrite,
+// importance-ordered scrubbing) deterministically re-run over the
+// extended population — in both cases producing exactly what a fresh
+// execution of the same query over the extended stream produces.
+
+// Execution is one resumable query execution: a planned (or resumed)
+// candidate with its enumeration context, driving the family's exec.
+type Execution struct {
+	e      *Engine
+	info   *frameql.Info
+	cands  []candidate
+	chosen *candidate
+	forced bool
+	par    int
+	ex     plan.Execution[*Result]
+	final  *Result
+}
+
+// newExecution opens the chosen candidate's family exec and wraps it.
+func (e *Engine) newExecution(info *frameql.Info, cands []candidate, chosen *candidate, forced bool, par int) (*Execution, error) {
+	ex, err := chosen.Plan.Open()
+	if err != nil {
+		return nil, err
+	}
+	e.exec.queries.Add(1)
+	return &Execution{e: e, info: info, cands: cands, chosen: chosen, forced: forced, par: par, ex: ex}, nil
+}
+
+// BeginQuery plans an analyzed query and opens a resumable execution of
+// the picked (or hinted) candidate without running it. parallelism 0 uses
+// the engine default.
+func (e *Engine) BeginQuery(info *frameql.Info, parallelism int) (*Execution, error) {
+	cands, err := e.planCandidates(info, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	chosen, forced, err := pick(info, cands)
+	if err != nil {
+		return nil, err
+	}
+	return e.newExecution(info, cands, chosen, forced, e.effectiveParallelism(parallelism))
+}
+
+// RunTo executes until at least `units` of the plan's progress units are
+// consumed (frames visited, samples measured, rank positions probed —
+// family-specific) or the execution completes; units < 0 runs to
+// completion. Ground-truth labels observed while running are published
+// for subsequent queries whenever the execution completes or errors,
+// exactly as one-shot execution publishes them.
+func (x *Execution) RunTo(units int) error {
+	x.final = nil
+	err := x.ex.RunTo(units)
+	if err != nil || x.ex.Done() {
+		x.e.idx.CommitLabels()
+	}
+	return err
+}
+
+// Done reports whether the execution has completed for the stream's
+// current horizon.
+func (x *Execution) Done() bool { return x.ex.Done() }
+
+// Pos returns the progress units consumed; Total the units the current
+// input holds (-1 when unknown up front, as for adaptive sampling).
+func (x *Execution) Pos() int   { return x.ex.Pos() }
+func (x *Execution) Total() int { return x.ex.Total() }
+
+// Result finalizes and returns the execution's outcome: the family
+// result with planner notes prepended, the plan report attached, and the
+// decision recorded — the same post-processing one-shot execution
+// performs. It requires a completed execution (suspended executions have
+// no answer yet) and is repeatable: advancing the execution further and
+// calling Result again yields the updated outcome.
+func (x *Execution) Result() (*Result, error) {
+	if !x.ex.Done() {
+		return nil, fmt.Errorf("core: execution of %q suspended at unit %d; Result requires completion", x.chosen.Plan.Describe().Name, x.ex.Pos())
+	}
+	if x.final != nil {
+		return x.final, nil
+	}
+	res, err := x.ex.Result()
+	if err != nil {
+		return nil, err
+	}
+	cp := x.chosen.Plan.(*costedPlan)
+	if !x.forced && len(cp.notes) > 0 {
+		res.Stats.Notes = append(append([]string(nil), cp.notes...), res.Stats.Notes...)
+	}
+	rep := plan.NewReport(x.info.Kind.String(), x.cands, x.chosen, x.forced)
+	rep.ActualSeconds = res.Stats.TotalSeconds()
+	rep.IndexChunksSkipped = res.Stats.IndexChunksSkipped
+	rep.IndexFramesSkipped = res.Stats.IndexFramesSkipped
+	res.PlanReport = rep
+	x.e.planner.record(rep)
+	x.final = res
+	return res, nil
+}
+
+// Suspend serializes the execution into a cursor that ResumeQuery (here
+// or in a restarted process over the same stream configuration) can
+// continue from. Labels observed so far are published, as they would be
+// at execution end.
+func (x *Execution) Suspend() (*plan.Cursor, error) {
+	state, err := x.ex.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	x.e.idx.CommitLabels()
+	return &plan.Cursor{
+		Family:      x.info.Kind.String(),
+		Plan:        x.chosen.Plan.Describe().Name,
+		Query:       x.info.Stmt.String(),
+		Parallelism: x.par,
+		Horizon:     x.e.Test.Frames,
+		Units:       x.ex.Pos(),
+		Done:        x.ex.Done(),
+		Forced:      x.forced,
+		State:       state,
+	}, nil
+}
+
+// ResumeQuery re-opens a suspended execution from its cursor: the
+// canonical query is re-planned, the cursor's pinned candidate is forced,
+// and the family exec restores its accumulator snapshot.
+func (e *Engine) ResumeQuery(cur *plan.Cursor) (*Execution, error) {
+	info, err := frameql.Analyze(cur.Query)
+	if err != nil {
+		return nil, fmt.Errorf("core: resuming cursor: %w", err)
+	}
+	return e.resumeAnalyzed(info, cur)
+}
+
+func (e *Engine) resumeAnalyzed(info *frameql.Info, cur *plan.Cursor) (*Execution, error) {
+	if cur.Horizon > e.Test.Frames {
+		// The cursor covers frames this engine cannot see (a restart with
+		// an earlier LiveStart, or the wrong stream configuration).
+		// Scan-family state restored verbatim would report rows and sums
+		// over invisible frames; refuse rather than answer wrongly.
+		return nil, fmt.Errorf("core: cursor covers horizon %d but the stream's visible horizon is %d; re-open the stream at or beyond the cursor's horizon (or subscribe afresh)", cur.Horizon, e.Test.Frames)
+	}
+	cands, err := e.planCandidates(info, cur.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := plan.Force(cands, cur.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: resuming cursor: %w", err)
+	}
+	x, err := e.newExecution(info, cands, chosen, cur.Forced, cur.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	if len(cur.State) > 0 {
+		if err := x.ex.Restore(cur.State); err != nil {
+			return nil, fmt.Errorf("core: restoring cursor state for %s: %w", cur.Plan, err)
+		}
+	}
+	return x, nil
+}
+
+// Advance brings a standing query's cursor up to the stream's current
+// horizon: newly appended test-day frames are ingested into every open
+// index segment the query reads, the suspended execution resumes — scan
+// plans continue over the new suffix only; population-dependent plans
+// re-run deterministically over the extended population — runs to
+// completion, and re-suspends. The returned Result is exactly what a
+// fresh execution of the same query over the extended stream returns
+// (answers, rows, frames, and the scan-accumulated cost meter; one-time
+// preparation charges reflect what the standing query actually paid when
+// it first planned, which a fresh query on the same warm engine also
+// pays). A cursor already at the horizon re-derives the identical result
+// (re-planning included, since the result must be finalized against plan
+// state the cursor does not carry); callers polling in a loop should
+// check the horizon first, as the serving tier's /poll and the public
+// StandingQuery.Advance do.
+func (e *Engine) Advance(cur *plan.Cursor) (*Result, *plan.Cursor, error) {
+	info, err := frameql.Analyze(cur.Query)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)
+	}
+	if e.Test.Frames > cur.Horizon {
+		if err := e.ingestForQuery(info); err != nil {
+			return nil, nil, err
+		}
+	}
+	x, err := e.resumeAnalyzed(info, cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := x.RunTo(-1); err != nil {
+		return nil, nil, err
+	}
+	res, err := x.Result()
+	if err != nil {
+		return nil, nil, err
+	}
+	ncur, err := x.Suspend()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ncur, nil
+}
+
+// ingestForQuery extends every already-materialized test-day segment the
+// query's class sets address to the stream's current horizon, so resumed
+// executions (importance ranking, cascade scoring, label-filter columns)
+// read index columns that cover every visible frame. Segments are only
+// ever extended, never built here: a query whose plan did not pay for a
+// segment must not trigger a whole-day inference on advance.
+func (e *Engine) ingestForQuery(info *frameql.Info) error {
+	var sets [][]vidsim.Class
+	if info.Kind == frameql.KindScrubbing {
+		if _, classes, err := scrubRequirements(info); err == nil && len(classes) > 1 {
+			sets = append(sets, classes)
+		}
+	}
+	for _, c := range info.Classes {
+		sets = append(sets, []vidsim.Class{vidsim.Class(c)})
+	}
+	for _, set := range sets {
+		if e.idx.PeekSegment(set, e.Test) == nil {
+			continue
+		}
+		if _, err := e.idx.Ingest(set, e.Test); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resultState is the serializable form of a Result, evaluation metadata
+// included — the shape family execs snapshot completed answers in.
+type resultState struct {
+	Kind     string  `json:"kind"`
+	Value    float64 `json:"value"`
+	StdErr   float64 `json:"std_err"`
+	Frames   []int   `json:"frames,omitempty"`
+	Rows     []Row   `json:"rows,omitempty"`
+	TrackIDs []int   `json:"track_ids,omitempty"`
+	TruthIDs []int   `json:"truth_ids,omitempty"`
+	Stats    Stats   `json:"stats"`
+}
+
+func resultToState(r *Result) *resultState {
+	return &resultState{
+		Kind: r.Kind, Value: r.Value, StdErr: r.StdErr,
+		Frames: r.Frames, Rows: r.Rows, TrackIDs: r.TrackIDs,
+		TruthIDs: r.evalTruthIDs, Stats: r.Stats,
+	}
+}
+
+// toResult materializes a Result, deep-copying slices so callers may hold
+// the result while the execution continues to grow its state.
+func (st *resultState) toResult() *Result {
+	r := &Result{
+		Kind: st.Kind, Value: st.Value, StdErr: st.StdErr,
+		Frames:       append([]int(nil), st.Frames...),
+		Rows:         append([]Row(nil), st.Rows...),
+		TrackIDs:     append([]int(nil), st.TrackIDs...),
+		evalTruthIDs: append([]int(nil), st.TruthIDs...),
+		Stats:        st.Stats,
+	}
+	r.Stats.Notes = append([]string(nil), st.Stats.Notes...)
+	return r
+}
+
+// atomicExec adapts a plan with no internal progress structure — a pure
+// read over prepared state, like the specialized-rewrite answer — to the
+// resumable contract: one unit of work, executed on the first RunTo.
+// Restored onto a grown stream it discards the stored answer and re-runs,
+// because its answer covers the whole population.
+type atomicExec struct {
+	e   *Engine
+	run func() (*Result, error)
+	st  atomicState
+}
+
+type atomicState struct {
+	Done    bool         `json:"done"`
+	Horizon int          `json:"horizon"`
+	Result  *resultState `json:"result,omitempty"`
+}
+
+func newAtomicExec(e *Engine, run func() (*Result, error)) *atomicExec {
+	return &atomicExec{e: e, run: run}
+}
+
+func (x *atomicExec) RunTo(units int) error {
+	if x.st.Done || units == 0 {
+		return nil
+	}
+	res, err := x.run()
+	if err != nil {
+		return err
+	}
+	x.st = atomicState{Done: true, Horizon: x.e.Test.Frames, Result: resultToState(res)}
+	return nil
+}
+
+func (x *atomicExec) Done() bool { return x.st.Done }
+func (x *atomicExec) Pos() int {
+	if x.st.Done {
+		return 1
+	}
+	return 0
+}
+func (x *atomicExec) Total() int { return 1 }
+
+func (x *atomicExec) Snapshot() ([]byte, error) { return json.Marshal(&x.st) }
+
+func (x *atomicExec) Restore(state []byte) error {
+	var st atomicState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.Done && st.Horizon != x.e.Test.Frames {
+		// The stream grew: the stored answer covers a stale population.
+		// Re-run over the current one.
+		st = atomicState{}
+	}
+	x.st = st
+	return nil
+}
+
+func (x *atomicExec) Result() (*Result, error) {
+	if !x.st.Done || x.st.Result == nil {
+		return nil, fmt.Errorf("core: atomic execution has not run")
+	}
+	return x.st.Result.toResult(), nil
+}

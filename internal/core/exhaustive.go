@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -26,8 +27,8 @@ func (e *Engine) enumerateExhaustive(info *frameql.Info, par int) ([]candidate, 
 			Family: frameql.KindExhaustive.String(),
 			Detail: "detector on every frame; general WHERE interpreter per row",
 		},
-		est: plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
-		run: func() (*Result, error) { return e.executeExhaustive(info, par) },
+		est:  plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
+		open: func() (plan.Execution[*Result], error) { return e.newExhaustiveExec(info, par) },
 	}
 	return []candidate{{
 		Plan:            p,
@@ -68,7 +69,20 @@ func (a *detArena) frameMatched(i int) []bool {
 	return a.matched[lo:a.ends[i]]
 }
 
-// executeExhaustive answers queries the optimizer has no shortcut for by
+// exhaustiveState is the serializable suspension of an exhaustive scan:
+// frame position, LIMIT/GAP progress, tracker state, and the partial
+// result (rows, evaluation metadata, cost meter).
+type exhaustiveState struct {
+	Pos int `json:"pos"`
+	// Finished marks a LIMIT-satisfied scan: no further frame can change
+	// the result, even after the stream grows.
+	Finished     bool        `json:"finished"`
+	LastReturned int         `json:"last_returned"`
+	Tracker      track.State `json:"tracker"`
+	Result       resultState `json:"result"`
+}
+
+// exhaustiveExec answers queries the optimizer has no shortcut for by
 // materializing rows with the reference detector on every frame in range
 // and evaluating the WHERE expression per row with a general interpreter.
 // This is the semantics baseline every optimized plan is compared against.
@@ -78,24 +92,58 @@ func (a *detArena) frameMatched(i int) []bool {
 // ranges in parallel, while the merge advances the entity-resolution
 // tracker, applies LIMIT/GAP, and charges the cost meter sequentially in
 // frame order — so track IDs, returned rows, and simulated cost are
-// identical to a serial scan.
-func (e *Engine) executeExhaustive(info *frameql.Info, par int) (*Result, error) {
+// identical to a serial scan. Progress units are visited frames; the scan
+// suspends at any frame boundary and, on a grown live stream, continues
+// over the new suffix.
+type exhaustiveExec struct {
+	e       *Engine
+	info    *frameql.Info
+	par     int
+	st      exhaustiveState
+	tracker *track.Tracker
+	res     *Result
+	err     error
+}
+
+func (e *Engine) newExhaustiveExec(info *frameql.Info, par int) (*exhaustiveExec, error) {
 	stmt := info.Stmt
 	if stmt.Having != nil && info.Residual {
 		return nil, fmt.Errorf("core: unsupported HAVING clause: %s", stmt.Having)
 	}
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "exhaustive"
+	x := &exhaustiveExec{e: e, info: info, par: par, tracker: track.New(0, 1)}
+	x.st.LastReturned = -1 << 40
+	x.res = &Result{Kind: info.Kind.String()}
+	x.res.Stats.Plan = "exhaustive"
+	return x, nil
+}
 
-	lo, hi := e.frameRange(info)
+func (x *exhaustiveExec) Total() int {
+	lo, hi := x.e.frameRange(x.info)
+	return hi - lo
+}
+
+func (x *exhaustiveExec) Pos() int { return x.st.Pos }
+
+func (x *exhaustiveExec) Done() bool {
+	return x.st.Finished || x.st.Pos >= x.Total()
+}
+
+func (x *exhaustiveExec) RunTo(units int) error {
+	if x.err != nil {
+		return x.err
+	}
+	if x.st.Finished {
+		return nil
+	}
+	e, info := x.e, x.info
+	stmt := info.Stmt
+	lo, _ := e.frameRange(info)
 	fullCost := e.DTest.FullFrameCost()
-	tracker := track.New(0, 1)
 	limit := info.Limit
 	gap := info.Gap
-	lastReturned := -1 << 40
 	preEval := !exprUsesTrackID(stmt.Where)
+	res := x.res
 
-	var evalErr error
 	produce := func(s shard) *detArena {
 		a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
 		var row Row
@@ -125,72 +173,98 @@ func (e *Engine) executeExhaustive(info *frameql.Info, par int) (*Result, error)
 		}
 		return a
 	}
-	consume := func(s shard, a *detArena) bool {
-		// a.ends may cover only a prefix of the shard when pre-evaluation
-		// hit an error; the frames after it would never be reached by a
-		// serial scan that surfaces the error.
-		for i := s.lo; i < s.lo+len(a.ends); i++ {
-			f := lo + i
-			res.Stats.addDetection(fullCost)
-			detsStart := 0
-			if k := i - s.lo; k > 0 {
-				detsStart = int(a.ends[k-1])
-			}
-			dets := a.frame(i - s.lo)
-			ids := tracker.Advance(f, dets)
-			frameMatched := false
-			for j := range dets {
-				var ok bool
-				if preEval {
-					if detsStart+j >= len(a.matched) {
-						// The row whose predicate evaluation errored.
-						evalErr = a.err
-						return false
-					}
-					ok = a.matched[detsStart+j]
-				} else {
-					var row Row
-					row.Timestamp = f
-					rowFromDetection(&row, ids[j], &dets[j])
-					var err error
-					ok, err = evalPredicate(stmt.Where, &row)
-					if err != nil {
-						evalErr = err
-						return false
-					}
+	frame := func(i, off int, a *detArena) bool {
+		if off >= len(a.ends) {
+			// Pre-evaluation stopped inside this shard: a serial scan
+			// surfacing the error never reaches this frame.
+			x.err = a.err
+			return false
+		}
+		f := lo + i
+		res.Stats.addDetection(fullCost)
+		detsStart := 0
+		if off > 0 {
+			detsStart = int(a.ends[off-1])
+		}
+		dets := a.frame(off)
+		ids := x.tracker.Advance(f, dets)
+		frameMatched := false
+		for j := range dets {
+			var ok bool
+			if preEval {
+				if detsStart+j >= len(a.matched) {
+					// The row whose predicate evaluation errored.
+					x.err = a.err
+					return false
 				}
-				if !ok {
-					continue
-				}
-				if gap > 0 && f-lastReturned < gap {
-					continue
-				}
-				frameMatched = true
-				row := Row{Timestamp: f}
+				ok = a.matched[detsStart+j]
+			} else {
+				var row Row
+				row.Timestamp = f
 				rowFromDetection(&row, ids[j], &dets[j])
-				res.Rows = append(res.Rows, row)
-				res.evalTruthIDs = append(res.evalTruthIDs, dets[j].TruthID())
-				if limit >= 0 && len(res.Rows) >= limit {
+				var err error
+				ok, err = evalPredicate(stmt.Where, &row)
+				if err != nil {
+					x.err = err
 					return false
 				}
 			}
-			if frameMatched && gap > 0 {
-				lastReturned = f
+			if !ok {
+				continue
 			}
+			if gap > 0 && f-x.st.LastReturned < gap {
+				continue
+			}
+			frameMatched = true
+			row := Row{Timestamp: f}
+			rowFromDetection(&row, ids[j], &dets[j])
+			res.Rows = append(res.Rows, row)
+			res.evalTruthIDs = append(res.evalTruthIDs, dets[j].TruthID())
+			if limit >= 0 && len(res.Rows) >= limit {
+				x.st.Finished = true
+				return false
+			}
+		}
+		if frameMatched && gap > 0 {
+			x.st.LastReturned = f
 		}
 		return true
 	}
-	layout := shardRanges(hi - lo)
-	if limit >= 0 {
-		// LIMIT may stop the scan early; ramped shards keep the worst-case
-		// speculative work small when the limit is satisfied quickly.
-		layout = rampShardRanges(hi - lo)
+	// LIMIT may stop the scan early; ramped shards keep the worst-case
+	// speculative work small when the limit is satisfied quickly.
+	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec, produce, frame)
+	return x.err
+}
+
+func (x *exhaustiveExec) Snapshot() ([]byte, error) {
+	if x.err != nil {
+		return nil, fmt.Errorf("core: cannot suspend errored execution: %w", x.err)
 	}
-	runSharded(par, layout, &e.exec, produce, consume)
-	if evalErr != nil {
-		return nil, evalErr
+	st := x.st
+	st.Tracker = x.tracker.Snapshot()
+	st.Result = *resultToState(x.res)
+	return json.Marshal(&st)
+}
+
+func (x *exhaustiveExec) Restore(state []byte) error {
+	var st exhaustiveState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
 	}
-	return res, nil
+	x.st = st
+	x.tracker = track.FromState(st.Tracker)
+	x.res = st.Result.toResult()
+	return nil
+}
+
+func (x *exhaustiveExec) Result() (*Result, error) {
+	if x.err != nil {
+		return nil, x.err
+	}
+	if !x.Done() {
+		return nil, fmt.Errorf("core: exhaustive scan suspended at frame %d of %d", x.st.Pos, x.Total())
+	}
+	return resultToState(x.res).toResult(), nil
 }
 
 // rowFromDetection fills a Row from a detection, leaving Timestamp to the

@@ -40,11 +40,12 @@ const (
 type candidate = plan.Costed[*Result]
 
 // costedPlan is the engine's plan.Plan implementation: a description, an
-// estimate, and a closure executing the plan against this engine.
+// estimate, and an opener producing the plan's resumable execution
+// against this engine.
 type costedPlan struct {
 	desc plan.Description
 	est  plan.Cost
-	run  func() (*Result, error)
+	open func() (plan.Execution[*Result], error)
 	// notes is planner narration (e.g. fallback reasons) prepended to the
 	// result's notes when the cost-based pick — not a hint — runs this
 	// plan, reproducing the rule-based optimizer's messages.
@@ -53,11 +54,11 @@ type costedPlan struct {
 
 func (p *costedPlan) Describe() plan.Description { return p.desc }
 func (p *costedPlan) EstimateCost() plan.Cost    { return p.est }
-func (p *costedPlan) Run() (*Result, error) {
-	if p.run == nil {
+func (p *costedPlan) Open() (plan.Execution[*Result], error) {
+	if p.open == nil {
 		return nil, fmt.Errorf("core: plan %s is not executable", p.desc.Name)
 	}
-	return p.run()
+	return p.open()
 }
 
 // infeasible builds a description-only candidate for the EXPLAIN table.
@@ -85,16 +86,22 @@ func (e *Engine) enumerate(info *frameql.Info, par int) ([]candidate, error) {
 	}
 }
 
+// effectiveParallelism resolves a per-query parallelism override against
+// the engine default.
+func (e *Engine) effectiveParallelism(parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = e.opts.Parallelism
+	}
+	return ResolveParallelism(parallelism)
+}
+
 // planCandidates validates the query, resolves the effective parallelism,
 // and enumerates candidates.
 func (e *Engine) planCandidates(info *frameql.Info, parallelism int) ([]candidate, error) {
 	if info.Video != "" && info.Video != e.Cfg.Name {
 		return nil, fmt.Errorf("core: query is over %q but engine holds %q", info.Video, e.Cfg.Name)
 	}
-	if parallelism <= 0 {
-		parallelism = e.opts.Parallelism
-	}
-	return e.enumerate(info, ResolveParallelism(parallelism))
+	return e.enumerate(info, e.effectiveParallelism(parallelism))
 }
 
 // pick selects the candidate to execute: the query's hint when present,
@@ -108,29 +115,21 @@ func pick(info *frameql.Info, cands []candidate) (*candidate, bool, error) {
 	return c, false, err
 }
 
-// runChosen executes the picked candidate, attaches the planning report,
-// and records planner accounting.
-func (e *Engine) runChosen(info *frameql.Info, cands []candidate, chosen *candidate, forced bool) (*Result, error) {
-	e.exec.queries.Add(1)
-	res, err := chosen.Plan.Run()
-	// Ground-truth labels observed while sampling are published for the
-	// next query regardless of the outcome; mid-query lookups saw only
-	// the pre-query snapshot, keeping executions deterministic.
-	e.idx.CommitLabels()
+// runChosen executes the picked candidate to completion through the
+// resumable execution layer — the one-shot path. Ground-truth labels
+// observed while sampling are published for the next query regardless of
+// the outcome (Execution.RunTo commits them on completion and on error);
+// mid-query lookups saw only the pre-query snapshot, keeping executions
+// deterministic.
+func (e *Engine) runChosen(info *frameql.Info, cands []candidate, chosen *candidate, forced bool, par int) (*Result, error) {
+	x, err := e.newExecution(info, cands, chosen, forced, par)
 	if err != nil {
 		return nil, err
 	}
-	cp := chosen.Plan.(*costedPlan)
-	if !forced && len(cp.notes) > 0 {
-		res.Stats.Notes = append(append([]string(nil), cp.notes...), res.Stats.Notes...)
+	if err := x.RunTo(-1); err != nil {
+		return nil, err
 	}
-	rep := plan.NewReport(info.Kind.String(), cands, chosen, forced)
-	rep.ActualSeconds = res.Stats.TotalSeconds()
-	rep.IndexChunksSkipped = res.Stats.IndexChunksSkipped
-	rep.IndexFramesSkipped = res.Stats.IndexFramesSkipped
-	res.PlanReport = rep
-	e.planner.record(rep)
-	return res, nil
+	return x.Result()
 }
 
 // ExecuteForced runs an analyzed query with the first matching named
@@ -145,7 +144,7 @@ func (e *Engine) ExecuteForced(info *frameql.Info, parallelism int, names ...str
 	if err != nil {
 		return nil, err
 	}
-	return e.runChosen(info, cands, chosen, true)
+	return e.runChosen(info, cands, chosen, true, e.effectiveParallelism(parallelism))
 }
 
 // ExplainPlan enumerates and prices the candidate plans for an analyzed

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/plan"
+	"repro/internal/specnn"
+)
+
+// resumeCases is one query per plan family (plus fallback and hint-forced
+// variants), shared by the suspend/resume and advance tests.
+var resumeCases = []struct {
+	family string
+	query  string
+	// units is the watermark to suspend at when the execution's Total is
+	// unknown up front (adaptive sampling).
+	units int
+}{
+	{family: "aggregate-sampling", query: `SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`, units: 10},
+	{family: "aggregate-exhaustive", query: `SELECT FCOUNT(*) FROM taipei WHERE class='bus'`},
+	{family: "aggregate-aqp-fallback", query: `SELECT FCOUNT(*) FROM taipei WHERE class='bear' ERROR WITHIN 0.1`, units: 10},
+	{family: "aggregate-forced-naive", query: `SELECT /*+ PLAN(naive-exhaustive) */ FCOUNT(*) FROM taipei WHERE class='car'`},
+	{family: "aggregate-forced-oracle", query: `SELECT /*+ PLAN(noscope-oracle) */ FCOUNT(*) FROM taipei WHERE class='car'`},
+	{family: "distinct-tracking", query: `SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class='bus' AND timestamp < 3000`},
+	{family: "scrubbing-importance", query: `SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`},
+	{family: "scrubbing-forced-sequential", query: `SELECT /*+ PLAN(scrub-sequential) */ timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`},
+	{family: "selection-cascade", query: `SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 60000 GROUP BY trackid HAVING COUNT(*) > 15`},
+	{family: "exhaustive", query: `SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 2500`},
+	{family: "exhaustive-limit-gap", query: `SELECT * FROM taipei WHERE class='car' AND timestamp < 2500 LIMIT 5 GAP 100`},
+	{family: "binary-cascade", query: `SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`},
+}
+
+// suspendWatermark picks a mid-execution suspension point.
+func suspendWatermark(x *Execution, fallback int) int {
+	if total := x.Total(); total > 0 {
+		if total/2 > 0 {
+			return total / 2
+		}
+		return 1
+	}
+	if fallback > 0 {
+		return fallback
+	}
+	return 1
+}
+
+// runResumed executes a query by suspending at the watermark, serializing
+// the cursor through its wire form, resuming on eng, and completing.
+func runResumed(t *testing.T, eng *Engine, info *frameql.Info, par, watermarkFallback int) (*Result, *plan.Cursor) {
+	t.Helper()
+	x, err := eng.BeginQuery(info, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.RunTo(suspendWatermark(x, watermarkFallback)); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cursor must survive its wire form: a standing query's state
+	// crosses process boundaries as bytes.
+	wire, err := cur.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err = plan.DecodeCursor(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := eng.ResumeQuery(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := y.Pos(); got != cur.Units {
+		t.Fatalf("resumed execution starts at unit %d, cursor recorded %d", got, cur.Units)
+	}
+	if err := y.RunTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := y.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncur, err := y.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ncur
+}
+
+// TestSuspendResumeMatrix is the resumable-execution contract's
+// enforcement: for every plan family, executing to a mid-scan watermark,
+// serializing the cursor, and resuming must produce a Result bitwise
+// identical — answers, rows, frames, and the full simulated cost meter —
+// to one uninterrupted execution, at parallelism 1, 4, and 8.
+func TestSuspendResumeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	for _, tc := range resumeCases {
+		t.Run(tc.family, func(t *testing.T) {
+			info, err := frameql.Analyze(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the model/inference caches so one-shot and resumed
+			// executions see the same cached-cost accounting.
+			if _, err := e.ExecuteParallel(info, 1); err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{1, 4, 8} {
+				base, err := e.ExecuteParallel(info, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resumed, cur := runResumed(t, e, info, par, tc.units)
+				resultsIdentical(t, fmt.Sprintf("%s: one-shot vs resumed at parallelism %d", tc.family, par), base, resumed)
+				if !cur.Done {
+					t.Errorf("%s: completed execution's cursor not Done: %+v", tc.family, cur)
+				}
+			}
+		})
+	}
+}
+
+// TestSuspendResumeRepeated suspends an exhaustive scan at many
+// watermarks — cursor round-tripped at each — and still matches the
+// uninterrupted run bit for bit.
+func TestSuspendResumeRepeated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates streams")
+	}
+	e := testEngine(t, "taipei")
+	info, err := frameql.Analyze(`SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 2500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.ExecuteParallel(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.BeginQuery(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := x.Total()/7 + 1
+	for !x.Done() {
+		if err := x.RunTo(x.Pos() + step); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := x.Suspend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := cur.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur, err = plan.DecodeCursor(wire); err != nil {
+			t.Fatal(err)
+		}
+		if x, err = e.ResumeQuery(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := x.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "7-step suspend/resume vs one-shot", base, res)
+}
+
+// TestCursorResumesAcrossEngines pins the restart story: a cursor
+// suspended on one engine resumes on a second engine built from the same
+// configuration (as after a process restart) and completes bit-identical
+// to the uninterrupted run.
+func TestCursorResumesAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates streams")
+	}
+	opts := Options{Scale: 0.01, Seed: 1, Spec: specnn.Options{TrainFrames: 18000, Epochs: 2, Seed: 7}, HeldOutSample: 8000}
+	a, err := NewEngine("taipei", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine("taipei", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := frameql.Analyze(`SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 2500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := a.ExecuteParallel(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := a.BeginQuery(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.RunTo(x.Total() / 2); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := cur.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur, err = plan.DecodeCursor(wire); err != nil {
+		t.Fatal(err)
+	}
+	y, err := b.ResumeQuery(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := y.RunTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := y.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "cursor resumed on a restarted engine", base, res)
+}
+
+// TestCursorRejectedBeyondHorizon: a cursor covering frames an engine
+// cannot see (a restart with an earlier LiveStart) must be refused, not
+// restored into answers over invisible frames.
+func TestCursorRejectedBeyondHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates streams")
+	}
+	full, err := NewEngine("taipei", Options{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := NewEngine("taipei", Options{Scale: 0.01, Seed: 1, LiveStart: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := frameql.Analyze(`SELECT FCOUNT(*) FROM taipei WHERE class='car'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := full.BeginQuery(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.RunTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.ResumeQuery(cur); err == nil {
+		t.Fatal("resume beyond the visible horizon must fail")
+	}
+	if _, _, err := short.Advance(cur); err == nil {
+		t.Fatal("advance beyond the visible horizon must fail")
+	}
+}
+
+// liveTestEngine builds a live engine: half the test day visible, the
+// rest arriving via AppendLive.
+func liveTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine("taipei", Options{
+		Scale: 0.02,
+		Seed:  1,
+		Spec: specnn.Options{
+			TrainFrames: 18000,
+			Epochs:      2,
+			Seed:        7,
+		},
+		HeldOutSample: 8000,
+		LiveStart:     0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAdvanceMatchesFreshQuery is the continuous tier's core guarantee:
+// after a live stream appends frames, advancing a standing query's cursor
+// yields exactly what a fresh execution of the same query over the
+// extended stream yields — bitwise, full cost meter included — for every
+// plan family. Scan families pay only the new suffix; population-
+// dependent families re-run deterministically.
+func TestAdvanceMatchesFreshQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := liveTestEngine(t)
+	startHorizon := e.Horizon()
+	if !e.Live() || startHorizon >= e.DayFrames() {
+		t.Fatalf("engine not live: horizon %d of %d", startHorizon, e.DayFrames())
+	}
+
+	// Open one standing query per family against the initial horizon.
+	type standing struct {
+		family string
+		info   *frameql.Info
+		cur    *plan.Cursor
+	}
+	var subs []*standing
+	for _, tc := range resumeCases {
+		info, err := frameql.Analyze(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm one-time preparation (training, held-out statistics) so
+		// standing and fresh executions observe identical cached charges.
+		if _, err := e.ExecuteParallel(info, 1); err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.BeginQuery(info, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := x.RunTo(-1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.Result(); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := x.Suspend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Horizon != startHorizon {
+			t.Fatalf("%s: cursor horizon %d, want %d", tc.family, cur.Horizon, startHorizon)
+		}
+		subs = append(subs, &standing{family: tc.family, info: info, cur: cur})
+	}
+
+	// Two ingest batches; after each, every advanced cursor must match a
+	// fresh query of the extended stream.
+	for batch := 0; batch < 2; batch++ {
+		added, err := e.AppendLive(e.DayFrames() / 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added == 0 {
+			t.Fatal("AppendLive added no frames")
+		}
+		for _, s := range subs {
+			advanced, ncur, err := e.Advance(s.cur)
+			if err != nil {
+				t.Fatalf("%s: advance: %v", s.family, err)
+			}
+			if ncur.Horizon != e.Horizon() {
+				t.Fatalf("%s: advanced cursor horizon %d, want %d", s.family, ncur.Horizon, e.Horizon())
+			}
+			fresh, err := e.ExecuteParallel(s.info, 4)
+			if err != nil {
+				t.Fatalf("%s: fresh query: %v", s.family, err)
+			}
+			resultsIdentical(t, fmt.Sprintf("%s: batch %d advanced vs fresh", s.family, batch), advanced, fresh)
+			// A second advance with no new frames must be a stable fixpoint.
+			again, ncur2, err := e.Advance(ncur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ncur2.Horizon != ncur.Horizon {
+				t.Fatalf("%s: idle advance moved horizon %d -> %d", s.family, ncur.Horizon, ncur2.Horizon)
+			}
+			resultsIdentical(t, fmt.Sprintf("%s: batch %d idle advance", s.family, batch), advanced, again)
+			s.cur = ncur2
+		}
+	}
+}
+
+// TestAppendLiveSemantics pins AppendLive's contract: epoch bumps only
+// when frames appear, clamping at the day's end, and no-op on a full
+// (non-live) engine.
+func TestAppendLiveSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates streams")
+	}
+	e, err := NewEngine("taipei", Options{Scale: 0.01, Seed: 1, LiveStart: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StreamEpoch() != 0 {
+		t.Fatalf("fresh engine epoch = %d", e.StreamEpoch())
+	}
+	added, err := e.AppendLive(e.DayFrames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 || e.Horizon() != e.DayFrames() {
+		t.Fatalf("append to day end: added %d, horizon %d of %d", added, e.Horizon(), e.DayFrames())
+	}
+	if e.StreamEpoch() != 1 {
+		t.Fatalf("epoch after append = %d, want 1", e.StreamEpoch())
+	}
+	// Clamped: nothing left to append, epoch must not move.
+	added, err = e.AppendLive(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || e.StreamEpoch() != 1 {
+		t.Fatalf("append past day end: added %d, epoch %d", added, e.StreamEpoch())
+	}
+
+	full, err := NewEngine("taipei", Options{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Live() {
+		t.Fatal("full engine reports live")
+	}
+	added, err = full.AppendLive(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || full.StreamEpoch() != 0 {
+		t.Fatalf("full engine append: added %d, epoch %d", added, full.StreamEpoch())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/frameql"
@@ -49,8 +50,8 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 	seqPlan := &costedPlan{
 		desc: scrubDesc("scrub-sequential", "detector verification in frame order (§7.1 default)"),
 		est:  plan.Cost{DetectorCalls: float64(seqProbes), DetectorSeconds: float64(seqProbes) * full},
-		run: func() (*Result, error) {
-			return e.runScrubSequential(info, reqs, limit, par, "scrub-sequential")
+		open: func() (plan.Execution[*Result], error) {
+			return e.newScrubExec(info, reqs, limit, par, "scrub-sequential", scrubOrderSequential, scrubPrep{}), nil
 		},
 	}
 	seqCand := candidate{Plan: seqPlan, MarginalSeconds: seqPlan.est.DetectorSeconds, Accuracy: scrubAccuracy}
@@ -59,8 +60,8 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 	noScopePlan := &costedPlan{
 		desc: scrubDesc("scrub-noscope-oracle", "verification only where the presence oracle reports every class (§10.1.1)"),
 		est:  plan.Cost{DetectorCalls: float64(nsProbes), DetectorSeconds: float64(nsProbes) * full},
-		run: func() (*Result, error) {
-			return e.runScrubNoScope(info, reqs, classes, limit, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newScrubExec(info, reqs, limit, par, "scrub-noscope-oracle", scrubOrderNoScope, scrubPrep{classes: classes}), nil
 		},
 	}
 	noScopeCand := candidate{
@@ -74,8 +75,8 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 	if modelErr != nil {
 		seqPlan.notes = []string{fmt.Sprintf("specialization unavailable (%v); sequential scan", modelErr)}
 		seqPlan.desc.Name = "scrub-sequential-fallback"
-		seqPlan.run = func() (*Result, error) {
-			return e.runScrubSequential(info, reqs, limit, par, "scrub-sequential-fallback")
+		seqPlan.open = func() (plan.Execution[*Result], error) {
+			return e.newScrubExec(info, reqs, limit, par, "scrub-sequential-fallback", scrubOrderSequential, scrubPrep{}), nil
 		}
 		return []candidate{
 			infeasible(impDesc, fmt.Sprintf("specialization unavailable: %v", modelErr)),
@@ -96,6 +97,10 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 		order = scrub.FilterOrder(order, func(f int) bool { return f >= lo && f < hi })
 	}
 	impProbes := plan.GeometricProbes(limit, ss.importanceHitRate(limit), span)
+	impPrep := scrubPrep{
+		trainCost: trainCost, infCost: infCost, order: order,
+		chunksSkipped: chunksSkipped, framesSkipped: framesSkipped,
+	}
 	impPlan := &costedPlan{
 		desc: impDesc,
 		est: plan.Cost{
@@ -104,11 +109,8 @@ func (e *Engine) enumerateScrubbing(info *frameql.Info, par int) ([]candidate, e
 			DetectorCalls:   float64(impProbes),
 			DetectorSeconds: float64(impProbes) * full,
 		},
-		run: func() (*Result, error) {
-			return e.runScrubImportance(info, reqs, scrubPrep{
-				trainCost: trainCost, infCost: infCost, order: order,
-				chunksSkipped: chunksSkipped, framesSkipped: framesSkipped,
-			}, limit, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newScrubExec(info, reqs, limit, par, "scrub-importance", scrubOrderImportance, impPrep), nil
 		},
 	}
 	impCand := candidate{
@@ -147,70 +149,32 @@ func rankFromSegment(seg *index.Segment, reqs []scrub.Requirement) (order []int3
 
 // scrubPrep carries the importance plan's enumeration products: the
 // per-call index costs to charge, the confidence-ranked probe order, and
-// the zone-map skip accounting from building it.
+// the zone-map skip accounting from building it; the oracle variant
+// carries the class list its presence filter reads.
 type scrubPrep struct {
 	trainCost     float64
 	infCost       float64
 	order         []int32
 	chunksSkipped int
 	framesSkipped int
+	classes       []vidsim.Class
 }
 
-// runScrubImportance verifies frames in specialized-network confidence
-// order until LIMIT matches (GAP apart) are found.
-func (e *Engine) runScrubImportance(info *frameql.Info, reqs []scrub.Requirement, prep scrubPrep, limit, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.TrainSeconds += prep.trainCost
-	// Labeling the unseen video is the indexing step; when the inference
-	// is cached (pre-indexed, as in the paper's "BlazeIt (indexed)"), the
-	// cost is zero.
-	res.Stats.SpecNNSeconds += prep.infCost
-	res.Stats.IndexChunksSkipped += prep.chunksSkipped
-	res.Stats.IndexFramesSkipped += prep.framesSkipped
-	res.Stats.Plan = "scrub-importance"
-	sr := e.scrubSearch(prep.order, limit, info.Gap, reqs, &res.Stats, par)
-	if sr.Exhausted {
-		res.Stats.note("search exhausted after %d verifications with %d/%d found",
-			sr.Verified, len(sr.Frames), limit)
-	}
-	res.Frames = sr.Frames
-	return res, nil
-}
+// scrubOrder selects how a scrubbing execution builds its probe order.
+type scrubOrder int
 
-// runScrubSequential verifies frames in ascending frame order.
-func (e *Engine) runScrubSequential(info *frameql.Info, reqs []scrub.Requirement, limit, par int, label string) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = label
-	lo, hi := e.frameRange(info)
-	sr := e.scrubSearch(rangeOrder(lo, hi), limit, info.Gap, reqs, &res.Stats, par)
-	res.Frames = sr.Frames
-	return res, nil
-}
-
-// runScrubNoScope scans only frames where the oracle reports every
-// requested class present (Figure 6's "NoScope (Oracle)" bar). The
-// oracle is binary: it cannot distinguish one object from five, so the
-// detector must still verify counts.
-func (e *Engine) runScrubNoScope(info *frameql.Info, reqs []scrub.Requirement, classes []vidsim.Class, limit, par int) (*Result, error) {
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = "scrub-noscope-oracle"
-	presences := make([][]int32, len(classes))
-	for i, c := range classes {
-		presences[i] = e.Test.Counts(c)
-	}
-	lo, hi := e.frameRange(info)
-	order := scrub.FilterOrder(rangeOrder(lo, hi), func(f int) bool {
-		for _, p := range presences {
-			if p[f] == 0 {
-				return false
-			}
-		}
-		return true
-	})
-	sr := e.scrubSearch(order, limit, info.Gap, reqs, &res.Stats, par)
-	res.Frames = sr.Frames
-	return res, nil
-}
+const (
+	// scrubOrderSequential probes in ascending frame order (§7.1 default).
+	scrubOrderSequential scrubOrder = iota
+	// scrubOrderImportance probes in specialized-network confidence order
+	// (§7), the order carried in scrubPrep.
+	scrubOrderImportance
+	// scrubOrderNoScope probes frame order restricted to frames where the
+	// presence oracle reports every requested class (Figure 6's "NoScope
+	// (Oracle)" bar). The oracle is binary: it cannot distinguish one
+	// object from five, so the detector must still verify counts.
+	scrubOrderNoScope
+)
 
 // scrubChunk is the number of rank-order positions one prefetch chunk
 // verifies. Fixed (never derived from the worker count) so the set of
@@ -218,32 +182,152 @@ func (e *Engine) runScrubNoScope(info *frameql.Info, reqs []scrub.Requirement, c
 // is independent of the parallelism level.
 const scrubChunk = 64
 
-// scrubSearch runs scrub.Search over the rank order with detector
-// verification fanned out across par workers. The search itself — which
-// frame is probed next, how GAP suppression interacts with accepted
-// frames, when LIMIT stops — stays strictly serial; workers merely
-// precompute the pure verification verdicts for upcoming rank positions
-// in fixed scrubChunk batches ahead of the search frontier. Verification
-// cost is charged only for positions the serial search actually probes,
-// so Result and the cost meter are bit-identical at every parallelism
-// level; frames verified speculatively past the stopping point cost
-// wall-clock only.
-func (e *Engine) scrubSearch(order []int32, limit, gap int, reqs []scrub.Requirement, stats *Stats, par int) scrub.Result {
-	fullCost := e.DTest.FullFrameCost()
-	check := e.scrubChecker(reqs)
-	if par <= 1 || len(order) <= scrubChunk {
-		verify := check()
-		return scrub.Search(order, limit, gap, func(f int) bool {
-			stats.addDetection(fullCost)
-			return verify(f)
+// scrubExecState is the serializable suspension of a scrubbing search:
+// the search frontier (rank position, found frames, GAP bookkeeping) and
+// the partial cost meter with its prep charges.
+type scrubExecState struct {
+	Horizon int               `json:"horizon"`
+	Search  scrub.SearchState `json:"search"`
+	Stats   Stats             `json:"stats"`
+}
+
+// scrubExec verifies frames in its probe order until LIMIT matches (GAP
+// apart) are found. The search itself — which frame is probed next, how
+// GAP suppression interacts with accepted frames, when LIMIT stops —
+// stays strictly serial; with par > 1, workers precompute the pure
+// verification verdicts for upcoming rank positions in fixed scrubChunk
+// batches ahead of the search frontier. Verification cost is charged only
+// for positions the serial search actually probes, so Result and the cost
+// meter are bit-identical at every parallelism level; frames verified
+// speculatively past the stopping point cost wall-clock only.
+//
+// Progress units are rank positions considered. Sequential and oracle
+// orders are prefix-stable as a live stream grows (new frames append to
+// the order), so those searches continue over the suffix; the importance
+// order re-ranks the whole population, so a cursor restored onto a grown
+// stream restarts the search deterministically over the new ranking.
+type scrubExec struct {
+	e        *Engine
+	info     *frameql.Info
+	reqs     []scrub.Requirement
+	limit    int
+	par      int
+	kind     scrubOrder
+	order    []int32
+	searcher *scrub.Searcher
+	st       scrubExecState
+	prefetch *scrubPrefetcher
+}
+
+func (e *Engine) newScrubExec(info *frameql.Info, reqs []scrub.Requirement, limit, par int, label string, kind scrubOrder, prep scrubPrep) *scrubExec {
+	lo, hi := e.frameRange(info)
+	var order []int32
+	switch kind {
+	case scrubOrderImportance:
+		order = prep.order
+	case scrubOrderNoScope:
+		presences := make([][]int32, len(prep.classes))
+		for i, c := range prep.classes {
+			presences[i] = e.Test.Counts(c)
+		}
+		order = scrub.FilterOrder(rangeOrder(lo, hi), func(f int) bool {
+			for _, p := range presences {
+				if p[f] == 0 {
+					return false
+				}
+			}
+			return true
 		})
+	default:
+		order = rangeOrder(lo, hi)
 	}
-	e.exec.fanouts.Add(1)
-	p := &scrubPrefetcher{order: order, results: make([]bool, len(order)), par: par, check: check, exec: &e.exec}
-	return scrub.Search(order, limit, gap, func(f int) bool {
-		stats.addDetection(fullCost)
-		return p.verify(f)
+	x := &scrubExec{
+		e: e, info: info, reqs: reqs, limit: limit, par: par,
+		kind: kind, order: order, searcher: scrub.NewSearcher(order, limit, info.Gap),
+	}
+	x.st.Stats.Plan = label
+	if kind == scrubOrderImportance {
+		x.st.Stats.TrainSeconds += prep.trainCost
+		// Labeling the unseen video is the indexing step; when the
+		// inference is cached (pre-indexed, as in the paper's "BlazeIt
+		// (indexed)"), the cost is zero.
+		x.st.Stats.SpecNNSeconds += prep.infCost
+		x.st.Stats.IndexChunksSkipped += prep.chunksSkipped
+		x.st.Stats.IndexFramesSkipped += prep.framesSkipped
+	}
+	return x
+}
+
+func (x *scrubExec) Total() int { return len(x.order) }
+func (x *scrubExec) Pos() int   { return x.searcher.Pos() }
+func (x *scrubExec) Done() bool { return x.searcher.Done() }
+
+func (x *scrubExec) RunTo(units int) error {
+	if x.searcher.Done() {
+		return nil
+	}
+	e := x.e
+	fullCost := e.DTest.FullFrameCost()
+	check := e.scrubChecker(x.reqs)
+	var verify func(frame int) bool
+	if x.par <= 1 || len(x.order)-x.searcher.Pos() <= scrubChunk {
+		verify = check()
+	} else {
+		if x.prefetch == nil || x.prefetch.pos > x.searcher.Pos() {
+			e.exec.fanouts.Add(1)
+			x.prefetch = &scrubPrefetcher{
+				order: x.order, results: make([]bool, len(x.order)),
+				pos: x.searcher.Pos(), ready: x.searcher.Pos(),
+				par: x.par, check: check, exec: &e.exec,
+			}
+		}
+		verify = x.prefetch.verify
+	}
+	x.searcher.RunTo(units, func(f int) bool {
+		x.st.Stats.addDetection(fullCost)
+		return verify(f)
 	})
+	return nil
+}
+
+func (x *scrubExec) Snapshot() ([]byte, error) {
+	st := x.st
+	st.Horizon = x.e.Test.Frames
+	st.Search = x.searcher.State()
+	return json.Marshal(&st)
+}
+
+func (x *scrubExec) Restore(state []byte) error {
+	var st scrubExecState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if x.kind == scrubOrderImportance && st.Horizon != x.e.Test.Frames {
+		// The stream grew: the confidence ranking interleaves old and new
+		// frames, so the suspended frontier is meaningless over the new
+		// order. Keep the freshly opened search over the re-ranked
+		// population — deterministic, and exactly what a fresh query runs.
+		return nil
+	}
+	x.st = st
+	x.searcher.Restore(st.Search)
+	x.prefetch = nil
+	return nil
+}
+
+func (x *scrubExec) Result() (*Result, error) {
+	if !x.searcher.Done() {
+		return nil, fmt.Errorf("core: scrubbing search suspended at rank position %d of %d", x.searcher.Pos(), len(x.order))
+	}
+	sr := x.searcher.Result()
+	res := &Result{Kind: x.info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+	if x.kind == scrubOrderImportance && sr.Exhausted {
+		res.Stats.note("search exhausted after %d verifications with %d/%d found",
+			sr.Verified, len(sr.Frames), x.limit)
+	}
+	res.Frames = append([]int(nil), sr.Frames...)
+	return res, nil
 }
 
 // scrubChecker returns a factory of per-worker verification functions for

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -78,8 +79,8 @@ func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, e
 	allCost := &costedPlan{
 		desc: selDesc("selection-all-filters", "full cascade: spatial ROI, temporal step, content filters, then label filter (§8)"),
 		est:  allEst,
-		run: func() (*Result, error) {
-			return e.runSelectionPlan(info, allPlan, prep, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.newSelectionExec(info, allPlan, prep, par), nil
 		},
 	}
 	cands := []candidate{{
@@ -96,8 +97,8 @@ func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, e
 		lfCost := &costedPlan{
 			desc: lfDesc,
 			est:  lfEst,
-			run: func() (*Result, error) {
-				return e.runSelectionPlan(info, lfPlan, prep, par)
+			open: func() (plan.Execution[*Result], error) {
+				return e.newSelectionExec(info, lfPlan, prep, par), nil
 			},
 		}
 		cands = append(cands, candidate{
@@ -114,8 +115,8 @@ func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, e
 	naiveCost := &costedPlan{
 		desc: selDesc("selection-naive", "reference detector on every frame, no filters"),
 		est:  naiveEst,
-		run: func() (*Result, error) {
-			return e.executeSelectionPlan(info, naivePlan, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.openSelectionPlan(info, naivePlan, par)
 		},
 	}
 	// Not UpperBoundOnly even under LIMIT: the selection executor scans
@@ -136,8 +137,8 @@ func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, e
 	nsCost := &costedPlan{
 		desc: selDesc("selection-noscope-oracle", "detector on exactly the frames the presence oracle marks occupied (§10.1.1)"),
 		est:  nsEst,
-		run: func() (*Result, error) {
-			return e.executeSelectionPlan(info, nsPlan, par)
+		open: func() (plan.Execution[*Result], error) {
+			return e.openSelectionPlan(info, nsPlan, par)
 		},
 	}
 	cands = append(cands, candidate{
@@ -278,8 +279,6 @@ type trackAgg struct {
 	firstBox, lastBox     vidsim.Box
 	rows                  []Row
 	truthID               int
-	probed                bool
-	qualified             bool
 }
 
 // ExecuteSelectionPlan runs a selection query under an explicit filter
@@ -289,14 +288,12 @@ func (e *Engine) ExecuteSelectionPlan(info *frameql.Info, plan SelectionPlan) (*
 }
 
 // selArena is the per-shard product of the selection scan: per-frame
-// cascade verdicts plus the target-class detections (and their
-// object-predicate verdicts) for frames that reached the detector, and
-// the shard's zone-map skip accounting.
+// cascade verdicts (zone-map skip accounting encoded as flag bits) plus
+// the target-class detections (and their object-predicate verdicts) for
+// frames that reached the detector.
 type selArena struct {
 	detArena
-	flags         []uint8
-	chunksSkipped int
-	framesSkipped int
+	flags []uint8
 }
 
 // Cascade flag bits for one visited frame.
@@ -306,6 +303,15 @@ const (
 	selContentPass uint8 = 1 << iota
 	// selDetected: the frame survived the whole cascade and was detected.
 	selDetected
+	// selSkipped: a zone map proved the label filter rejects the frame's
+	// whole chunk; the frame was elided without per-frame work. For the
+	// charge replay the frame behaves exactly like a label rejection
+	// (zero cascade bits).
+	selSkipped
+	// selChunkFirst marks the visited frame where the whole scan first
+	// enters a skipped chunk, so per-frame consumption counts each
+	// skipped chunk exactly once however shards straddle it.
+	selChunkFirst
 )
 
 // selCharge is one recorded preparation charge: training seconds and an
@@ -453,16 +459,54 @@ func (e *Engine) selectionPrep(info *frameql.Info, plan SelectionPlan) (*selPrep
 
 // executeSelectionPlan prepares and runs a selection query under an
 // explicit filter plan — the direct path the lesion-study benchmarks use;
-// planned executions share the preparation via runSelectionPlan.
-func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, par int) (*Result, error) {
-	prep, err := e.selectionPrep(info, plan)
+// planned executions share the preparation via newSelectionExec.
+func (e *Engine) executeSelectionPlan(info *frameql.Info, selPlan SelectionPlan, par int) (*Result, error) {
+	x, err := e.openSelectionPlan(info, selPlan, par)
 	if err != nil {
 		return nil, err
 	}
-	return e.runSelectionPlan(info, plan, prep, par)
+	if err := x.RunTo(-1); err != nil {
+		return nil, err
+	}
+	return x.Result()
 }
 
-// runSelectionPlan runs a selection query with prepared filters. The
+// openSelectionPlan prepares filters for an explicit selection plan and
+// opens its resumable execution.
+func (e *Engine) openSelectionPlan(info *frameql.Info, selPlan SelectionPlan, par int) (*selectionExec, error) {
+	prep, err := e.selectionPrep(info, selPlan)
+	if err != nil {
+		return nil, err
+	}
+	return e.newSelectionExec(info, selPlan, prep, par), nil
+}
+
+// selTrackState is one track's serialized scan aggregate.
+type selTrackState struct {
+	ID         int        `json:"id"`
+	FirstMatch int        `json:"first_match"`
+	LastMatch  int        `json:"last_match"`
+	FirstBox   vidsim.Box `json:"first_box"`
+	LastBox    vidsim.Box `json:"last_box"`
+	TruthID    int        `json:"truth_id"`
+	Rows       []Row      `json:"rows,omitempty"`
+}
+
+// selectionState is the serializable suspension of a selection scan:
+// frame position, tracker state, the per-track aggregates (sorted by
+// track ID), and the partial cost meter with its preparation charges.
+// Duration probing, row ordering, and LIMIT/GAP are not part of the scan
+// state: they are finalization, re-derived from the aggregates each time
+// a result is read, so a standing query's answer always reflects probing
+// against the current horizon — exactly like a fresh query's.
+type selectionState struct {
+	Pos     int             `json:"pos"`
+	Tracker track.State     `json:"tracker"`
+	Tracks  []selTrackState `json:"tracks,omitempty"`
+	Stats   Stats           `json:"stats"`
+}
+
+// selectionExec runs a selection query with prepared filters. The
 // executor guarantees no false positives: every returned row is
 // detector-verified, and duration predicates are resolved exactly by
 // probing track boundaries with additional detector calls when sampling
@@ -474,15 +518,57 @@ func (e *Engine) executeSelectionPlan(info *frameql.Info, plan SelectionPlan, pa
 // filter) and the ROI detector over its frame range with its own
 // evaluator and buffers, while the merge replays cost charging, advances
 // the entity-resolution tracker, and assembles per-track state serially
-// in frame order. Duration probing then runs on the merged tracks in
-// ascending track-ID order, so the Result is bit-identical at every
-// parallelism level.
-func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *selPrep, par int) (*Result, error) {
-	class := prep.class
-	res := &Result{Kind: info.Kind.String()}
-	res.Stats.Plan = planName(plan)
-	prep.charge(&res.Stats)
+// per visited frame in frame order. Duration probing runs at
+// finalization on the merged tracks in ascending track-ID order, so the
+// Result is bit-identical at every parallelism level. Progress units are
+// visited (stride-sampled) frames; a grown live stream continues the
+// scan on the same stride grid over the new suffix.
+type selectionExec struct {
+	e       *Engine
+	info    *frameql.Info
+	plan    SelectionPlan
+	prep    *selPrep
+	par     int
+	st      selectionState
+	tracker *track.Tracker
+	tracks  map[int]*trackAgg
+	err     error
+}
 
+func (e *Engine) newSelectionExec(info *frameql.Info, selPlan SelectionPlan, prep *selPrep, par int) *selectionExec {
+	cutoff := track.DefaultCutoff
+	if prep.step > 1 {
+		// Sampled frames are step apart; inter-frame motion scales with the
+		// gap, so the matching cutoff must loosen accordingly.
+		cutoff = 0.35
+	}
+	x := &selectionExec{
+		e: e, info: info, plan: selPlan, prep: prep, par: par,
+		tracker: track.New(cutoff, 2*prep.step),
+		tracks:  make(map[int]*trackAgg),
+	}
+	x.st.Stats.Plan = planName(selPlan)
+	prep.charge(&x.st.Stats)
+	return x
+}
+
+func (x *selectionExec) Total() int {
+	lo, hi := x.e.frameRange(x.info)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo + x.prep.step - 1) / x.prep.step
+}
+
+func (x *selectionExec) Pos() int   { return x.st.Pos }
+func (x *selectionExec) Done() bool { return x.st.Pos >= x.Total() }
+
+func (x *selectionExec) RunTo(units int) error {
+	if x.err != nil {
+		return x.err
+	}
+	e, info, plan, prep := x.e, x.info, x.plan, x.prep
+	class := prep.class
 	target := prep.target
 	roi := prep.roi
 	detCost := prep.detCost
@@ -500,30 +586,17 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 		headIdx = labelFilter.Head
 	}
 
-	lo, hi := e.frameRange(info)
-	cutoff := track.DefaultCutoff
-	if step > 1 {
-		// Sampled frames are step apart; inter-frame motion scales with the
-		// gap, so the matching cutoff must loosen accordingly.
-		cutoff = 0.35
-	}
-	tracker := track.New(cutoff, 2*step)
-	tracks := make(map[int]*trackAgg)
-	visited := (hi - lo + step - 1) / step
-	if hi <= lo {
-		visited = 0
-	}
+	lo, _ := e.frameRange(info)
 
 	// With a materialized segment the label filter reads the index's exact
 	// presence-tail column (bit-identical to Evaluator.TailProb) instead of
 	// running the network per frame, and chunks whose zone map proves the
 	// label threshold unreachable skip frame evaluation entirely wherever
 	// the cascade has no earlier stage that must still run. Skipped frames
-	// produce the same zero flags a label rejection would, so the merge's
+	// replay the same charges a label rejection would, so the merge's
 	// charge replay — and therefore the whole Result — is unchanged.
 	seg := prep.seg
 	useSeg := seg != nil && hasLabel && !plan.NoScopeOracle
-	var scanErr error
 	produce := func(s shard) *selArena {
 		a := &selArena{flags: make([]uint8, 0, s.hi-s.lo)}
 		a.ends = make([]int32, 0, s.hi-s.lo)
@@ -562,13 +635,12 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 					// so shard boundaries straddling a chunk never
 					// double-count it.
 					if skipChunk && (i == 0 || index.ChunkOf(f-step) != ci) {
-						a.chunksSkipped++
+						fl |= selChunkFirst
 					}
 				}
 				if skipChunk {
-					// Proven label rejection: same zero flags, no work.
-					a.framesSkipped++
-					a.flags = append(a.flags, 0)
+					// Proven label rejection: same zero cascade bits, no work.
+					a.flags = append(a.flags, fl|selSkipped)
 					a.ends = append(a.ends, int32(len(a.dets)))
 					continue
 				}
@@ -649,97 +721,158 @@ func (e *Engine) runSelectionPlan(info *frameql.Info, plan SelectionPlan, prep *
 		}
 		return a
 	}
-	consume := func(s shard, a *selArena) bool {
+	frame := func(i, off int, a *selArena) bool {
 		if a.err != nil {
-			scanErr = a.err
+			x.err = a.err
 			return false
 		}
-		res.Stats.IndexChunksSkipped += a.chunksSkipped
-		res.Stats.IndexFramesSkipped += a.framesSkipped
-		for i := s.lo; i < s.hi; i++ {
-			f := lo + i*step
-			fl := a.flags[i-s.lo]
-			switch {
-			case plan.NoScopeOracle:
-				// Oracle knowledge is free.
-			case labelFirst:
-				// Every visited frame pays feature extraction and network
-				// inference; content checks on survivors reuse both.
-				res.Stats.FilterSeconds += feature.CostSeconds
-				res.Stats.FilterSeconds += specnn.InferenceCostSeconds
-			default:
-				// Replay the cascade's filter charges exactly as a serial
-				// scan would interleave them.
-				if hasContent {
-					res.Stats.FilterSeconds += feature.CostSeconds
-				}
-				if hasLabel && (!hasContent || fl&selContentPass != 0) {
-					if !hasContent {
-						res.Stats.FilterSeconds += feature.CostSeconds
-					}
-					res.Stats.FilterSeconds += specnn.InferenceCostSeconds
-				}
+		f := lo + i*step
+		fl := a.flags[off]
+		if fl&selChunkFirst != 0 {
+			x.st.Stats.IndexChunksSkipped++
+		}
+		if fl&selSkipped != 0 {
+			x.st.Stats.IndexFramesSkipped++
+		}
+		// The charge replay reads only the cascade bits: a zone-skipped
+		// frame replays exactly the charges of a label rejection.
+		fl &= selContentPass | selDetected
+		switch {
+		case plan.NoScopeOracle:
+			// Oracle knowledge is free.
+		case labelFirst:
+			// Every visited frame pays feature extraction and network
+			// inference; content checks on survivors reuse both.
+			x.st.Stats.FilterSeconds += feature.CostSeconds
+			x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
+		default:
+			// Replay the cascade's filter charges exactly as a serial
+			// scan would interleave them.
+			if hasContent {
+				x.st.Stats.FilterSeconds += feature.CostSeconds
 			}
-			if fl&selDetected == 0 {
+			if hasLabel && (!hasContent || fl&selContentPass != 0) {
+				if !hasContent {
+					x.st.Stats.FilterSeconds += feature.CostSeconds
+				}
+				x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
+			}
+		}
+		if fl&selDetected == 0 {
+			return true
+		}
+		x.st.Stats.addDetection(detCost)
+		classDets := a.frame(off)
+		matched := a.frameMatched(off)
+		ids := x.tracker.Advance(f, classDets)
+		for j := range classDets {
+			if !matched[j] {
 				continue
 			}
-			res.Stats.addDetection(detCost)
-			classDets := a.frame(i - s.lo)
-			matched := a.frameMatched(i - s.lo)
-			ids := tracker.Advance(f, classDets)
-			for j := range classDets {
-				if !matched[j] {
-					continue
-				}
-				d := &classDets[j]
-				id := ids[j]
-				ta := tracks[id]
-				if ta == nil {
-					ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
-					tracks[id] = ta
-				}
-				ta.lastMatch = f
-				ta.lastBox = d.Box
-				ta.rows = append(ta.rows, Row{
-					Timestamp:  f,
-					Class:      d.Class,
-					Mask:       d.Box,
-					TrackID:    id,
-					Content:    d.Color,
-					Confidence: d.Confidence,
-				})
+			d := &classDets[j]
+			id := ids[j]
+			ta := x.tracks[id]
+			if ta == nil {
+				ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
+				x.tracks[id] = ta
 			}
+			ta.lastMatch = f
+			ta.lastBox = d.Box
+			ta.rows = append(ta.rows, Row{
+				Timestamp:  f,
+				Class:      d.Class,
+				Mask:       d.Box,
+				TrackID:    id,
+				Content:    d.Color,
+				Confidence: d.Confidence,
+			})
 		}
 		return true
 	}
-	runSharded(par, shardRanges(visited), &e.exec, produce, consume)
-	if scanErr != nil {
-		return nil, scanErr
-	}
+	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec, produce, frame)
+	return x.err
+}
 
-	// Resolve duration predicates, probing boundaries when sampling left
-	// them ambiguous. Tracks resolve in ascending ID order so probe
-	// charges and evaluation metadata are deterministic.
+func (x *selectionExec) Snapshot() ([]byte, error) {
+	if x.err != nil {
+		return nil, fmt.Errorf("core: cannot suspend errored execution: %w", x.err)
+	}
+	st := x.st
+	st.Tracker = x.tracker.Snapshot()
+	ids := make([]int, 0, len(x.tracks))
+	for id := range x.tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	st.Tracks = make([]selTrackState, 0, len(ids))
+	for _, id := range ids {
+		ta := x.tracks[id]
+		st.Tracks = append(st.Tracks, selTrackState{
+			ID: id, FirstMatch: ta.firstMatch, LastMatch: ta.lastMatch,
+			FirstBox: ta.firstBox, LastBox: ta.lastBox,
+			TruthID: ta.truthID, Rows: ta.rows,
+		})
+	}
+	return json.Marshal(&st)
+}
+
+func (x *selectionExec) Restore(state []byte) error {
+	var st selectionState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	x.st = st
+	x.tracker = track.FromState(st.Tracker)
+	x.tracks = make(map[int]*trackAgg, len(st.Tracks))
+	for _, ts := range st.Tracks {
+		x.tracks[ts.ID] = &trackAgg{
+			firstMatch: ts.FirstMatch, lastMatch: ts.LastMatch,
+			firstBox: ts.FirstBox, lastBox: ts.LastBox,
+			truthID: ts.TruthID, rows: append([]Row(nil), ts.Rows...),
+		}
+	}
+	return nil
+}
+
+// Result finalizes the scan: duration predicates are resolved — probing
+// boundaries when sampling left them ambiguous — in ascending track-ID
+// order so probe charges and evaluation metadata are deterministic, rows
+// sort chronologically, and LIMIT/GAP apply. Finalization never mutates
+// scan state: probe charges land on the returned result's meter only, so
+// a standing query that ingests more frames and re-finalizes probes
+// against the new horizon exactly as a fresh query would.
+func (x *selectionExec) Result() (*Result, error) {
+	if x.err != nil {
+		return nil, x.err
+	}
+	if !x.Done() {
+		return nil, fmt.Errorf("core: selection scan suspended at visited frame %d of %d", x.st.Pos, x.Total())
+	}
+	e, info, prep := x.e, x.info, x.prep
+	lo, hi := e.frameRange(info)
+	res := &Result{Kind: info.Kind.String(), Stats: x.st.Stats}
+	res.Stats.Notes = append([]string(nil), x.st.Stats.Notes...)
+
 	minDur := info.MinDurationFrames
-	trackIDs := make([]int, 0, len(tracks))
-	for id := range tracks {
+	trackIDs := make([]int, 0, len(x.tracks))
+	for id := range x.tracks {
 		trackIDs = append(trackIDs, id)
 	}
 	sort.Ints(trackIDs)
 	for _, id := range trackIDs {
-		ta := tracks[id]
+		ta := x.tracks[id]
+		qualified := false
 		if minDur <= 1 {
-			ta.qualified = true
+			qualified = true
 		} else {
 			span := ta.lastMatch - ta.firstMatch + 1
 			if span >= minDur {
-				ta.qualified = true
-			} else if step > 1 {
-				ta.qualified = e.probeDuration(ta, target, roi, detCost, minDur, lo, hi, &res.Stats)
-				ta.probed = true
+				qualified = true
+			} else if prep.step > 1 {
+				qualified = e.probeDuration(ta, prep.target, prep.roi, prep.detCost, minDur, lo, hi, &res.Stats)
 			}
 		}
-		if ta.qualified {
+		if qualified {
 			res.TrackIDs = append(res.TrackIDs, id)
 			res.Rows = append(res.Rows, ta.rows...)
 			res.evalTruthIDs = append(res.evalTruthIDs, ta.truthID)

@@ -82,6 +82,63 @@ func shardRangesSpan(n, first int) []shard {
 	return shards
 }
 
+// resumeShards lays out a scan over visited frames [pos, hi): contiguous
+// spans sized like shardRanges — or, for early-exit (LIMIT) scans, like
+// rampShardRanges with the ramp restarting at the resume point. Scan-plan
+// outputs never depend on shard grouping: produce is pure per frame and
+// consumption is per frame in frame order, so a resumed scan may use a
+// fresh layout over the remaining range without disturbing bit-identity;
+// the layout only shapes speculative work.
+func resumeShards(pos, hi int, ramp bool) []shard {
+	span := shardSpan
+	if ramp {
+		span = rampSpan
+	}
+	shards := shardRangesSpan(hi-pos, span)
+	for i := range shards {
+		shards[i].lo += pos
+		shards[i].hi += pos
+	}
+	return shards
+}
+
+// runScan drives one resumable sharded frame scan: produce runs per shard
+// on the worker pool (pure, concurrent), and frame consumes one visited
+// frame at a time, strictly in frame order, on the caller's goroutine —
+// off is the frame's offset within its shard's product. The scan covers
+// visited frames [pos, stop) of a total of n (stop < 0 or stop > n means
+// n); frame returning false finishes the plan early (LIMIT satisfied,
+// predicate error). runScan returns the next unconsumed frame position
+// and whether the plan finished early.
+//
+// Per-frame consumption is what makes plan executions suspendable at any
+// frame boundary: stopping at a watermark mid-shard just stops the
+// consume loop there, and the resumed scan re-produces the remainder from
+// pure inputs.
+func runScan[T any](par, pos, n, stop int, ramp bool, counters *execCounters,
+	produce func(s shard) T, frame func(i, off int, v T) bool) (newPos int, finished bool) {
+	if stop < 0 || stop > n {
+		stop = n
+	}
+	if pos >= stop {
+		return pos, false
+	}
+	cur := pos
+	runSharded(par, resumeShards(pos, stop, ramp), counters, produce,
+		func(s shard, v T) bool {
+			for i := s.lo; i < s.hi; i++ {
+				ok := frame(i, i-s.lo, v)
+				cur = i + 1
+				if !ok {
+					finished = true
+					return false
+				}
+			}
+			return true
+		})
+	return cur, finished
+}
+
 // ResolveParallelism applies the engine's parallelism default:
 // non-positive means GOMAXPROCS. Exported so front ends (the serve layer)
 // report the same effective worker count plans actually run with.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/flight"
@@ -369,6 +370,42 @@ func (m *Manager) Ingest(classes []vidsim.Class, v *vidsim.Video) (int, error) {
 		}
 	}
 	return freshFrames + added, nil
+}
+
+// IngestAll extends every materialized segment of the video's day to the
+// video's current frame count (see Ingest), returning the total frames
+// newly indexed across segments. Class sets ingest in sorted key order so
+// ingest activity — and the resulting on-disk appends — is deterministic.
+// The continuous-query tier calls this after a live stream appends
+// frames, so standing queries and fresh queries alike find every open
+// segment covering the new horizon.
+func (m *Manager) IngestAll(v *vidsim.Video) (int, error) {
+	suffix := fmt.Sprintf("@day%d", v.Day)
+	m.mu.Lock()
+	var classKeys []string
+	for k, s := range m.segs {
+		if !strings.HasSuffix(k, suffix) {
+			continue
+		}
+		if _, err, done := s.TryWait(); done && err == nil {
+			classKeys = append(classKeys, strings.TrimSuffix(k, suffix))
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(classKeys)
+	total := 0
+	for _, ck := range classKeys {
+		var classes []vidsim.Class
+		for _, c := range strings.Split(ck, ",") {
+			classes = append(classes, vidsim.Class(c))
+		}
+		n, err := m.Ingest(classes, v)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // Labels returns the day's ground-truth label store, loading persisted

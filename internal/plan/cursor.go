@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Cursor is the serializable suspension of one plan execution: everything
+// needed to re-open the execution — in this process or another — and
+// continue it bit-identically. The engine re-derives the plan itself by
+// re-planning the canonical query text and forcing the named candidate
+// (held-out planning statistics are computed over the fixed held-out day,
+// so within a stream configuration the same name always resolves to the
+// same physical plan); State carries the plan family's accumulator
+// snapshot.
+//
+// Cursors are also the continuous-query tier's unit of progress: after a
+// live stream ingests new frames, advancing a cursor extends its
+// execution over the new suffix (or deterministically re-runs
+// population-dependent plans), yielding exactly what a cold re-query of
+// the extended stream would.
+type Cursor struct {
+	// Family is the plan family (query kind) the cursor belongs to.
+	Family string `json:"family"`
+	// Plan names the physical plan, pinned for the cursor's lifetime: a
+	// standing query never flip-flops between candidates mid-stream.
+	Plan string `json:"plan"`
+	// Query is the canonical FrameQL text the cursor answers.
+	Query string `json:"query"`
+	// Parallelism is the resolved worker count executions run with.
+	// Results are parallelism-independent; this is carried so resumed
+	// executions schedule the same way.
+	Parallelism int `json:"parallelism"`
+	// Horizon is the stream frame count the execution has been planned
+	// against. A live stream whose visible frames exceed it has new work
+	// for the cursor.
+	Horizon int `json:"horizon"`
+	// Units is the number of plan progress units consumed (frames visited,
+	// samples measured, rank positions probed — family-specific).
+	Units int `json:"units"`
+	// Done reports whether the execution completed for Horizon.
+	Done bool `json:"done"`
+	// Forced records that the plan was pinned by a hint or baseline entry
+	// point rather than the cost-based pick.
+	Forced bool `json:"forced,omitempty"`
+	// State is the family's serialized accumulator snapshot.
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+// Encode serializes the cursor to its wire form.
+func (c *Cursor) Encode() ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCursor parses a cursor from its wire form.
+func DecodeCursor(data []byte) (*Cursor, error) {
+	var c Cursor
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("plan: decoding cursor: %w", err)
+	}
+	if c.Plan == "" || c.Query == "" {
+		return nil, fmt.Errorf("plan: cursor missing plan or query")
+	}
+	return &c, nil
+}

@@ -67,14 +67,74 @@ type Description struct {
 }
 
 // Plan is one executable physical plan for an analyzed query.
+//
+// Plans are resumable operators, not one-shot functions: Open returns an
+// Execution that consumes the plan's work in deterministic progress units
+// and can suspend at any unit boundary into a serializable state blob.
+// The contract every implementation owes: an execution that suspends,
+// round-trips its state through Snapshot/Restore (possibly in another
+// process), and continues is bit-identical — answers, rows, and the full
+// simulated cost meter — to one uninterrupted run over the same input, at
+// every parallelism level. Run is the one-shot convenience over Open.
 type Plan[R any] interface {
 	// Describe identifies the plan.
 	Describe() Description
 	// EstimateCost prices the plan's next execution from cheap inputs,
 	// without executing it.
 	EstimateCost() Cost
-	// Run executes the plan.
-	Run() (R, error)
+	// Open starts a resumable execution of the plan.
+	Open() (Execution[R], error)
+}
+
+// Execution is one resumable run of a physical plan. Progress is measured
+// in plan-defined units consumed in a deterministic order: visited frames
+// for scan plans, measured samples for adaptive sampling plans, rank-order
+// positions for confidence-ranked search. Implementations may overshoot a
+// RunTo watermark to their next internal boundary (a sampling round, a
+// prefetch batch); because the unit sequence is fixed, where an execution
+// suspends can never change what it computes.
+type Execution[R any] interface {
+	// RunTo executes until at least `units` progress units are consumed or
+	// the plan completes; units < 0 runs to completion.
+	RunTo(units int) error
+	// Done reports whether the execution has completed: no further RunTo
+	// can change its result for the current input.
+	Done() bool
+	// Pos returns the number of progress units consumed so far; Total
+	// returns the number the full input holds (-1 when unknown up front,
+	// as for adaptive sampling).
+	Pos() int
+	Total() int
+	// Snapshot serializes the execution's accumulator state — frame
+	// position, PRNG stream positions, partial aggregates, LIMIT progress,
+	// emitted rows, the partial cost meter — into a self-contained blob.
+	Snapshot() ([]byte, error)
+	// Restore rewinds a freshly opened execution to a snapshotted state.
+	// When the plan's input has grown since the snapshot (a live stream
+	// extended by ingest), implementations either continue over the new
+	// suffix (prefix-decomposable scans) or deterministically restart over
+	// the full new input (population-dependent sampling and ranking) —
+	// both yield exactly what an uninterrupted run over the new input
+	// yields.
+	Restore(state []byte) error
+	// Result returns the execution's outcome; it must only be called once
+	// Done, and must not mutate execution state (a standing query reads a
+	// result, ingests more input, and continues).
+	Result() (R, error)
+}
+
+// Run executes a plan to completion — the one-shot path every
+// non-standing query takes.
+func Run[R any](p Plan[R]) (R, error) {
+	var zero R
+	ex, err := p.Open()
+	if err != nil {
+		return zero, err
+	}
+	if err := ex.RunTo(-1); err != nil {
+		return zero, err
+	}
+	return ex.Result()
 }
 
 // Costed pairs a Plan with the planner's selection metadata.

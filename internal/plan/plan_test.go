@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,33 @@ type fakePlan struct {
 
 func (p *fakePlan) Describe() Description { return Description{Name: p.name, Family: "test"} }
 func (p *fakePlan) EstimateCost() Cost    { return p.est }
-func (p *fakePlan) Run() (int, error)     { return 42, nil }
+func (p *fakePlan) Open() (Execution[int], error) {
+	return &fakeExec{}, nil
+}
+
+// fakeExec is a 3-unit counting execution used to exercise the resumable
+// contract: its result is the number of units consumed times ten.
+type fakeExec struct {
+	pos  int
+	dead bool
+}
+
+func (x *fakeExec) RunTo(units int) error {
+	for x.pos < 3 && (units < 0 || x.pos < units) {
+		x.pos++
+	}
+	return nil
+}
+func (x *fakeExec) Done() bool { return x.pos >= 3 }
+func (x *fakeExec) Pos() int   { return x.pos }
+func (x *fakeExec) Total() int { return 3 }
+func (x *fakeExec) Snapshot() ([]byte, error) {
+	return json.Marshal(x.pos)
+}
+func (x *fakeExec) Restore(state []byte) error {
+	return json.Unmarshal(state, &x.pos)
+}
+func (x *fakeExec) Result() (int, error) { return x.pos*10 + 12, nil }
 
 func cand(name string, marginal float64) Costed[int] {
 	return Costed[int]{Plan: &fakePlan{name: name, est: Cost{DetectorSeconds: marginal}}, MarginalSeconds: marginal}
@@ -109,6 +136,74 @@ func TestNewReportMarksChosen(t *testing.T) {
 	}
 	if rep.EstimateSeconds != 2 {
 		t.Fatalf("estimate = %v", rep.EstimateSeconds)
+	}
+}
+
+func TestRunExecutesToCompletion(t *testing.T) {
+	v, err := Run[int](&fakePlan{name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("Run = %d, want 42", v)
+	}
+}
+
+func TestExecutionSuspendResume(t *testing.T) {
+	p := &fakePlan{name: "p"}
+	ex, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.RunTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Done() || ex.Pos() != 1 {
+		t.Fatalf("after RunTo(1): done=%v pos=%d", ex.Done(), ex.Pos())
+	}
+	state, err := ex.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, _ := p.Open()
+	if err := ex2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.RunTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ex2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.Done() || v != 42 {
+		t.Fatalf("resumed execution: done=%v result=%d, want done, 42", ex2.Done(), v)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	c := &Cursor{
+		Family: "aggregate", Plan: "naive-aqp",
+		Query: "SELECT FCOUNT(*) FROM x", Parallelism: 4,
+		Horizon: 1000, Units: 250, State: json.RawMessage(`{"pos":250}`),
+	}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCursor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan != c.Plan || got.Query != c.Query || got.Horizon != 1000 || got.Units != 250 ||
+		string(got.State) != string(c.State) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeCursor([]byte(`{"family":"x"}`)); err == nil {
+		t.Fatal("cursor without plan/query must not decode")
+	}
+	if _, err := DecodeCursor([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage must not decode")
 	}
 }
 

@@ -129,24 +129,85 @@ func (e *MissingHeadError) Error() string {
 // Search verifies frames in the given order until limit matches at least
 // gap frames apart are found. verify runs the expensive detector check.
 func Search(order []int32, limit, gap int, verify func(frame int) bool) Result {
-	var res Result
-	var accepted []int // kept sorted
-	for _, f32 := range order {
-		if len(res.Frames) >= limit {
-			return res
-		}
-		f := int(f32)
-		if gap > 0 && tooClose(accepted, f, gap) {
+	s := NewSearcher(order, limit, gap)
+	s.RunTo(-1, verify)
+	return s.Result()
+}
+
+// SearchState is the serializable suspension point of a Searcher: the
+// rank-order frontier, the matches found so far, and the GAP-suppression
+// bookkeeping. A searcher restored from it and run over the same order
+// continues the exact probe sequence an uninterrupted Search performs.
+type SearchState struct {
+	// Pos is the next rank-order position to consider (gap-suppressed
+	// positions count as considered).
+	Pos int `json:"pos"`
+	// Frames are the matches found so far, in the order found.
+	Frames []int `json:"frames,omitempty"`
+	// Accepted is Frames kept sorted, for the GAP proximity check.
+	Accepted []int `json:"accepted,omitempty"`
+	// Verified counts detector verifications performed.
+	Verified int `json:"verified"`
+}
+
+// Searcher is a suspendable Search: the serial rank-order probe loop with
+// its progress externalized, so a standing scrubbing query can stop at any
+// rank position, serialize, and continue later (or in another process)
+// with bit-identical results.
+type Searcher struct {
+	order []int32
+	limit int
+	gap   int
+	st    SearchState
+}
+
+// NewSearcher returns a Searcher over the given rank order.
+func NewSearcher(order []int32, limit, gap int) *Searcher {
+	return &Searcher{order: order, limit: limit, gap: gap}
+}
+
+// State snapshots the searcher.
+func (s *Searcher) State() SearchState { return s.st }
+
+// Restore sets the searcher to a previously snapshotted state.
+func (s *Searcher) Restore(st SearchState) { s.st = st }
+
+// Pos returns the next rank-order position the searcher will consider.
+func (s *Searcher) Pos() int { return s.st.Pos }
+
+// Done reports whether the search is finished: the limit was reached or
+// the order is exhausted.
+func (s *Searcher) Done() bool {
+	return len(s.st.Frames) >= s.limit || s.st.Pos >= len(s.order)
+}
+
+// RunTo advances the search until at least `pos` rank-order positions have
+// been considered or the search finishes; pos < 0 runs to completion.
+// verify runs the expensive detector check and is called exactly as an
+// uninterrupted Search would call it.
+func (s *Searcher) RunTo(pos int, verify func(frame int) bool) {
+	for !s.Done() && (pos < 0 || s.st.Pos < pos) {
+		f := int(s.order[s.st.Pos])
+		s.st.Pos++
+		if s.gap > 0 && tooClose(s.st.Accepted, f, s.gap) {
 			continue
 		}
-		res.Verified++
+		s.st.Verified++
 		if verify(f) {
-			res.Frames = append(res.Frames, f)
-			accepted = insertSorted(accepted, f)
+			s.st.Frames = append(s.st.Frames, f)
+			s.st.Accepted = insertSorted(s.st.Accepted, f)
 		}
 	}
-	res.Exhausted = len(res.Frames) < limit
-	return res
+}
+
+// Result reports the search outcome so far; Exhausted is meaningful once
+// Done.
+func (s *Searcher) Result() Result {
+	return Result{
+		Frames:    s.st.Frames,
+		Verified:  s.st.Verified,
+		Exhausted: s.st.Pos >= len(s.order) && len(s.st.Frames) < s.limit,
+	}
 }
 
 // SequentialOrder returns frames in chronological order — the naive

@@ -2,17 +2,25 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
 )
 
-// CacheKey builds the result-cache key for a stream and a canonicalized
-// query (frameql.Analyze's Stmt.String()). Canonicalization means
-// formatting variants of the same query — whitespace, case of keywords,
-// predicate spelling the parser normalizes — share one entry.
-func CacheKey(stream, canonical string) string {
-	return stream + "\x00" + canonical
+// CacheKey builds the result-cache key for a stream, its ingest epoch,
+// and a canonicalized query (frameql.Analyze's Stmt.String()).
+// Canonicalization means formatting variants of the same query —
+// whitespace, case of keywords, predicate spelling the parser normalizes
+// — share one entry. The epoch (core.Engine.StreamEpoch, bumped by every
+// live ingest that makes frames visible) is part of the key so an answer
+// computed over a shorter stream can never be served after the stream has
+// grown: ingest invalidates by re-keying, and the stale generation ages
+// out of the LRU. Before the epoch entered the key, nothing evicted
+// results when IngestIndex appended frames — the continuous tier's
+// stale-read hazard.
+func CacheKey(stream string, epoch uint64, canonical string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", stream, epoch, canonical)
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness. Saved

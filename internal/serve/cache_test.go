@@ -21,7 +21,7 @@ func costedResult(value, detSeconds float64, calls int) *core.Result {
 
 func TestCacheHitReportsZeroCost(t *testing.T) {
 	c := NewResultCache(4)
-	key := CacheKey("taipei", "SELECT FCOUNT(*) FROM taipei")
+	key := CacheKey("taipei", 0, "SELECT FCOUNT(*) FROM taipei")
 	if got := c.Get(key); got != nil {
 		t.Fatal("hit on empty cache")
 	}

@@ -1,0 +1,541 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frameql"
+	"repro/internal/plan"
+)
+
+// This file is the serving layer's continuous-query tier: live streams
+// that grow via POST /ingest, standing queries registered with POST
+// /subscribe, and monotone incremental answers read with GET /poll.
+//
+// Concurrency contract: queries, planning, and subscription advances hold
+// a per-stream read lock while they touch the engine; ingest holds the
+// write lock across AppendLive (frame append plus index catch-up), so
+// appends never race executions — the single-writer/quiesced-readers
+// contract vidsim.AppendFrames requires, enforced at the serving
+// boundary. The result cache needs no locking against ingest at all: its
+// keys carry the stream epoch, so an ingest invalidates by re-keying (see
+// CacheKey).
+
+// maxSubscriptions bounds the standing-query registry; beyond it,
+// subscribe requests are shed with HTTP 429 like any other overload.
+const maxSubscriptions = 1024
+
+// subscription is one standing query: a pinned plan cursor plus its
+// latest answer. Advances serialize on mu, so concurrent polls of one
+// subscription collapse to one engine advance.
+type subscription struct {
+	id        string
+	stream    string
+	canonical string
+
+	mu     sync.Mutex
+	cursor *plan.Cursor
+	last   *core.Result
+	seq    uint64 // bumps every time the cursor's horizon advances
+	// maxRows is the subscription's row cap (0 = server default), applied
+	// to every poll response, not just the initial one.
+	maxRows int
+}
+
+// liveState is the Server's continuous-tier state and accounting.
+type liveState struct {
+	mu     sync.Mutex
+	subs   map[string]*subscription
+	nextID uint64
+
+	ingests        uint64
+	framesIngested uint64
+	subscribes     uint64
+	unsubscribes   uint64
+	polls          uint64
+	advances       uint64
+}
+
+// live reports whether the server opened its streams as live (growing)
+// streams.
+func (s *Server) live() bool { return s.cfg.Engine.LiveStart > 0 }
+
+// streamLock returns the per-stream RW mutex guarding engine access
+// against ingest.
+func (s *Server) streamLock(stream string) *sync.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.streamLocks[stream]
+	if !ok {
+		l = &sync.RWMutex{}
+		s.streamLocks[stream] = l
+	}
+	return l
+}
+
+// streamEpoch returns the stream's current ingest epoch (0 when the
+// engine has not been opened — an unopened engine cannot have ingested).
+func (s *Server) streamEpoch(stream string) uint64 {
+	if eng, ok := s.reg.Peek(stream); ok {
+		return eng.StreamEpoch()
+	}
+	return 0
+}
+
+// streamHorizon reads the stream's visible frame count under its read
+// lock — Engine.Horizon reads the live video's frame counter, which
+// ingest (the lone writer) mutates under the write lock.
+func (s *Server) streamHorizon(stream string) (int, bool) {
+	eng, ok := s.reg.Peek(stream)
+	if !ok {
+		return 0, false
+	}
+	lock := s.streamLock(stream)
+	lock.RLock()
+	defer lock.RUnlock()
+	return eng.Horizon(), true
+}
+
+// ingestRequest is the POST /ingest body.
+type ingestRequest struct {
+	// Stream names the live stream to append to.
+	Stream string `json:"stream"`
+	// Frames is how many frames to make visible (clamped to the day end).
+	Frames int `json:"frames"`
+}
+
+// ingestResponse is the POST /ingest reply.
+type ingestResponse struct {
+	Stream    string `json:"stream"`
+	Requested int    `json:"requested"`
+	Appended  int    `json:"appended"`
+	Horizon   int    `json:"horizon"`
+	DayFrames int    `json:"day_frames"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.live() {
+		writeError(w, http.StatusBadRequest, "server is not in live mode (start with a live start fraction)")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Stream == "" || req.Frames <= 0 {
+		writeError(w, http.StatusBadRequest, `body must set "stream" and a positive "frames"`)
+		return
+	}
+	if !s.allowed[req.Stream] {
+		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	var resp ingestResponse
+	var ingErr error
+	poolErr := s.pool.Do(ctx, func() {
+		eng, err := s.reg.Engine(ctx, req.Stream)
+		if err != nil {
+			ingErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
+			return
+		}
+		// Exclusive: appends must never race query execution (or each
+		// other) over this engine.
+		lock := s.streamLock(req.Stream)
+		lock.Lock()
+		defer lock.Unlock()
+		added, err := eng.AppendLive(req.Frames)
+		// AppendLive can fail partially: frames became visible (and the
+		// epoch bumped) but index extension failed. Report the applied
+		// state either way so a retrying client never double-appends.
+		resp = ingestResponse{
+			Stream: req.Stream, Requested: req.Frames, Appended: added,
+			Horizon: eng.Horizon(), DayFrames: eng.DayFrames(), Epoch: eng.StreamEpoch(),
+		}
+		ingErr = err
+	})
+	if done := s.writePoolError(w, poolErr, "ingest"); done {
+		return
+	}
+	if resp.Appended > 0 {
+		s.liveSt.mu.Lock()
+		s.liveSt.ingests++
+		s.liveSt.framesIngested += uint64(resp.Appended)
+		s.liveSt.mu.Unlock()
+	}
+	if ingErr != nil {
+		if resp.Appended > 0 {
+			writeError(w, http.StatusInternalServerError,
+				"ingest partially applied: %d frames are now visible (horizon %d, epoch %d) but index extension failed: %v — do not re-send these frames",
+				resp.Appended, resp.Horizon, resp.Epoch, ingErr)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "ingest failed: %v", ingErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// subscribeRequest is the POST /subscribe body.
+type subscribeRequest struct {
+	Stream string `json:"stream"`
+	Query  string `json:"query"`
+	// Parallelism is the worker count the standing query's executions
+	// shard across (0 = server default; clamped like /query).
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxRows caps rows per returned answer, like /query.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// subscribeResponse is the POST /subscribe (and GET /poll) reply: the
+// subscription handle plus the standing query's current answer.
+type subscribeResponse struct {
+	ID string `json:"id"`
+	// Seq increments every time the answer's horizon advances; pollers
+	// use it to detect updates.
+	Seq uint64 `json:"seq"`
+	// Horizon is the stream frame count the answer covers; DayFrames the
+	// full day it is growing toward.
+	Horizon   int    `json:"horizon"`
+	DayFrames int    `json:"day_frames"`
+	Plan      string `json:"plan"`
+	// Updated reports whether this poll advanced the answer (always true
+	// for the initial subscribe).
+	Updated bool           `json:"updated"`
+	Result  *queryResponse `json:"result"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+	case http.MethodDelete:
+		s.handleUnsubscribe(w, r)
+		return
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+		return
+	}
+	if !s.live() {
+		// Without live streams a standing query could never advance; it
+		// would only pin a registry slot forever. Symmetric with /ingest.
+		writeError(w, http.StatusBadRequest, "server is not in live mode (start with a live start fraction)")
+		return
+	}
+	var req subscribeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Stream == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, `body must set "stream" and "query"`)
+		return
+	}
+	if !s.allowed[req.Stream] {
+		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		return
+	}
+	info, err := frameql.Analyze(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		return
+	}
+	if info.Video != "" && info.Video != req.Stream {
+		writeError(w, http.StatusBadRequest,
+			"query is over %q but request targets stream %q", info.Video, req.Stream)
+		return
+	}
+	// Early shed before paying for execution; the bound is re-checked at
+	// insert time, where it is authoritative.
+	s.liveSt.mu.Lock()
+	if len(s.liveSt.subs) >= maxSubscriptions {
+		s.liveSt.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "subscription registry full (%d standing queries)", maxSubscriptions)
+		return
+	}
+	s.liveSt.mu.Unlock()
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	par := s.resolveParallelism(req.Parallelism)
+	start := time.Now()
+	var res *core.Result
+	var cur *plan.Cursor
+	var execErr error
+	poolErr := s.pool.Do(ctx, func() {
+		eng, err := s.reg.Engine(ctx, req.Stream)
+		if err != nil {
+			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
+			return
+		}
+		lock := s.streamLock(req.Stream)
+		lock.RLock()
+		defer lock.RUnlock()
+		x, err := eng.BeginQuery(info, par)
+		if err != nil {
+			execErr = err
+			return
+		}
+		if err := x.RunTo(-1); err != nil {
+			execErr = err
+			return
+		}
+		if res, execErr = x.Result(); execErr != nil {
+			return
+		}
+		cur, execErr = x.Suspend()
+	})
+	if done := s.writePoolError(w, poolErr, "subscribe"); done {
+		return
+	}
+	if execErr != nil {
+		s.mu.Lock()
+		s.queryErrors++
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "standing query failed: %v", execErr)
+		return
+	}
+
+	canonical := info.Stmt.String()
+	s.liveSt.mu.Lock()
+	// The registry bound is enforced here, where the insert happens: the
+	// pre-execution check is only an optimization, so concurrent
+	// subscribes racing past it cannot overfill the registry.
+	if len(s.liveSt.subs) >= maxSubscriptions {
+		s.liveSt.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "subscription registry full (%d standing queries)", maxSubscriptions)
+		return
+	}
+	s.liveSt.nextID++
+	s.liveSt.subscribes++
+	sub := &subscription{
+		id:        fmt.Sprintf("sub-%d", s.liveSt.nextID),
+		stream:    req.Stream,
+		canonical: canonical,
+		cursor:    cur,
+		last:      res,
+		seq:       1,
+		maxRows:   req.MaxRows,
+	}
+	if s.liveSt.subs == nil {
+		s.liveSt.subs = make(map[string]*subscription)
+	}
+	s.liveSt.subs[sub.id] = sub
+	s.liveSt.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, &subscribeResponse{
+		ID: sub.id, Seq: sub.seq,
+		Horizon: cur.Horizon, DayFrames: s.dayFrames(req.Stream),
+		Plan:    cur.Plan,
+		Updated: true,
+		Result:  s.buildResponse(req.Stream, canonical, res, false, s.maxRows(req.MaxRows), time.Since(start)),
+	})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing ?id= parameter")
+		return
+	}
+	s.liveSt.mu.Lock()
+	_, ok := s.liveSt.subs[id]
+	if ok {
+		delete(s.liveSt.subs, id)
+		s.liveSt.unsubscribes++
+	}
+	s.liveSt.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown subscription %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "unsubscribed"})
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing ?id= parameter")
+		return
+	}
+	maxRowsOverride, err := intParam(r.URL.Query().Get("max_rows"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid max_rows: %v", err)
+		return
+	}
+	s.liveSt.mu.Lock()
+	sub := s.liveSt.subs[id]
+	s.liveSt.polls++
+	s.liveSt.mu.Unlock()
+	if sub == nil {
+		writeError(w, http.StatusNotFound, "unknown subscription %q", id)
+		return
+	}
+
+	// Serialize advances per subscription: concurrent polls of one
+	// standing query collapse to a single engine advance.
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+
+	updated := false
+	start := time.Now()
+	horizon, open := s.streamHorizon(sub.stream)
+	eng, _ := s.reg.Peek(sub.stream)
+	if open && horizon > sub.cursor.Horizon {
+		ctx := r.Context()
+		if s.cfg.QueryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+			defer cancel()
+		}
+		var res *core.Result
+		var ncur *plan.Cursor
+		var advErr error
+		poolErr := s.pool.Do(ctx, func() {
+			lock := s.streamLock(sub.stream)
+			lock.RLock()
+			defer lock.RUnlock()
+			res, ncur, advErr = eng.Advance(sub.cursor)
+		})
+		if done := s.writePoolError(w, poolErr, "poll"); done {
+			return
+		}
+		if advErr != nil {
+			s.mu.Lock()
+			s.queryErrors++
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "advancing standing query: %v", advErr)
+			return
+		}
+		sub.cursor = ncur
+		sub.last = res
+		sub.seq++
+		updated = true
+		s.liveSt.mu.Lock()
+		s.liveSt.advances++
+		s.liveSt.mu.Unlock()
+	}
+
+	// The subscription's row cap applies to every poll; a ?max_rows=
+	// override can lower it further for this response.
+	maxRows := sub.maxRows
+	if maxRowsOverride > 0 && (maxRows <= 0 || maxRowsOverride < maxRows) {
+		maxRows = maxRowsOverride
+	}
+	writeJSON(w, http.StatusOK, &subscribeResponse{
+		ID: sub.id, Seq: sub.seq,
+		Horizon: sub.cursor.Horizon, DayFrames: s.dayFrames(sub.stream),
+		Plan:    sub.cursor.Plan,
+		Updated: updated,
+		Result:  s.buildResponse(sub.stream, sub.canonical, sub.last, !updated, s.maxRows(maxRows), time.Since(start)),
+	})
+}
+
+// dayFrames returns the stream's full-day frame count (0 when unopened).
+func (s *Server) dayFrames(stream string) int {
+	if eng, ok := s.reg.Peek(stream); ok {
+		return eng.DayFrames()
+	}
+	return 0
+}
+
+// writePoolError maps worker-pool admission failures to HTTP statuses;
+// it reports whether a response was written.
+func (s *Server) writePoolError(w http.ResponseWriter, poolErr error, what string) bool {
+	switch {
+	case poolErr == nil:
+		return false
+	case errors.Is(poolErr, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
+	case errors.Is(poolErr, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "%s timed out after %s", what, s.cfg.QueryTimeout)
+	case errors.Is(poolErr, context.Canceled):
+		writeError(w, 499, "client canceled request")
+	case errors.Is(poolErr, ErrTaskPanicked):
+		s.mu.Lock()
+		s.queryErrors++
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "internal error during %s: %v", what, poolErr)
+	default:
+		writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+	}
+	return true
+}
+
+// livezStatz is the /statz "livez" section: continuous-query activity
+// across the server's live streams.
+type livezStatz struct {
+	// Live reports whether streams were opened live; LiveStart is the
+	// initially visible fraction of the day.
+	Live      bool    `json:"live"`
+	LiveStart float64 `json:"live_start,omitempty"`
+	// Streams maps open stream names to their live position.
+	Streams map[string]liveStreamStatz `json:"streams,omitempty"`
+	// Ingests / FramesIngested total POST /ingest activity.
+	Ingests        uint64 `json:"ingests"`
+	FramesIngested uint64 `json:"frames_ingested"`
+	// Subscribes / Unsubscribes / SubscriptionsActive cover the standing-
+	// query registry; Polls and Advances its read activity (an advance is
+	// a poll that found new frames and moved a cursor).
+	Subscribes          uint64 `json:"subscribes"`
+	Unsubscribes        uint64 `json:"unsubscribes"`
+	SubscriptionsActive int    `json:"subscriptions_active"`
+	Polls               uint64 `json:"polls"`
+	Advances            uint64 `json:"advances"`
+}
+
+// liveStreamStatz is one open stream's live position.
+type liveStreamStatz struct {
+	Horizon   int    `json:"horizon"`
+	DayFrames int    `json:"day_frames"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// livezSnapshot assembles the livez section.
+func (s *Server) livezSnapshot() livezStatz {
+	lz := livezStatz{Live: s.live(), LiveStart: s.cfg.Engine.LiveStart, Streams: make(map[string]liveStreamStatz)}
+	open, _ := s.reg.Open()
+	for _, name := range open {
+		if eng, ok := s.reg.Peek(name); ok {
+			horizon, _ := s.streamHorizon(name)
+			lz.Streams[name] = liveStreamStatz{Horizon: horizon, DayFrames: eng.DayFrames(), Epoch: eng.StreamEpoch()}
+		}
+	}
+	s.liveSt.mu.Lock()
+	lz.Ingests = s.liveSt.ingests
+	lz.FramesIngested = s.liveSt.framesIngested
+	lz.Subscribes = s.liveSt.subscribes
+	lz.Unsubscribes = s.liveSt.unsubscribes
+	lz.SubscriptionsActive = len(s.liveSt.subs)
+	lz.Polls = s.liveSt.polls
+	lz.Advances = s.liveSt.advances
+	s.liveSt.mu.Unlock()
+	return lz
+}

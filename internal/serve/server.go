@@ -89,11 +89,16 @@ type Server struct {
 
 	mu             sync.Mutex
 	perStream      map[string]*streamCounters
+	streamLocks    map[string]*sync.RWMutex
 	chargedSeconds float64
 	chargedCalls   uint64
 	queryErrors    uint64
 	skippedChunks  uint64
 	skippedFrames  uint64
+
+	// liveSt is the continuous-query tier's state: live-stream ingest
+	// accounting and the standing-query registry (see live.go).
+	liveSt liveState
 
 	// Background index-build tracking: Close sets closing and waits on
 	// builds, so partial index state flushes cleanly before exit. The
@@ -152,20 +157,25 @@ func New(cfg Config) *Server {
 		cacheCap = 0
 	}
 	s = &Server{
-		cfg:       cfg,
-		streams:   names,
-		allowed:   allowed,
-		reg:       NewRegistry(open),
-		cache:     NewResultCache(cacheCap),
-		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		perStream: make(map[string]*streamCounters),
+		cfg:         cfg,
+		streams:     names,
+		allowed:     allowed,
+		reg:         NewRegistry(open),
+		cache:       NewResultCache(cacheCap),
+		pool:        NewPool(cfg.Workers, cfg.QueueDepth),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		perStream:   make(map[string]*streamCounters),
+		streamLocks: make(map[string]*sync.RWMutex),
 	}
+	s.liveSt.subs = make(map[string]*subscription)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("/poll", s.handlePoll)
 	return s
 }
 
@@ -217,7 +227,13 @@ func (s *Server) startIndexBuild(eng *core.Engine) {
 				// already persisted, and Close flushes the rest.
 				break
 			}
-			if err := eng.BuildIndex([]vidsim.Class{cc.Class}); err != nil {
+			// The read lock keeps the build from racing live-stream
+			// ingest over the engine's test day.
+			lock := s.streamLock(eng.Cfg.Name)
+			lock.RLock()
+			err := eng.BuildIndex([]vidsim.Class{cc.Class})
+			lock.RUnlock()
+			if err != nil {
 				failed = true
 			}
 		}
@@ -470,12 +486,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	canonical := info.Stmt.String()
-	key := CacheKey(req.Stream, canonical)
 	counters := s.counters(req.Stream)
 	start := time.Now()
 
 	if !req.NoCache {
-		if hit := s.cache.Get(key); hit != nil {
+		// The key carries the stream's ingest epoch: an answer computed
+		// before an ingest can never serve a request arriving after it.
+		if hit := s.cache.Get(CacheKey(req.Stream, s.streamEpoch(req.Stream), canonical)); hit != nil {
 			s.mu.Lock()
 			counters.queries++
 			counters.cacheHits++
@@ -496,35 +513,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	par := s.resolveParallelism(req.Parallelism)
 	var res *core.Result
 	var execErr error
+	var execEpoch uint64
 	poolErr := s.pool.Do(ctx, func() {
 		eng, err := s.reg.Engine(ctx, req.Stream)
 		if err != nil {
 			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
 			return
 		}
+		// The read lock keeps live-stream ingest (the lone writer) out
+		// while the query executes; the epoch read under it is the
+		// generation the result is valid for.
+		lock := s.streamLock(req.Stream)
+		lock.RLock()
+		defer lock.RUnlock()
+		execEpoch = eng.StreamEpoch()
 		res, execErr = eng.ExecuteParallel(info, par)
 	})
-	switch {
-	case errors.Is(poolErr, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
-		return
-	case errors.Is(poolErr, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "query timed out after %s", s.cfg.QueryTimeout)
-		return
-	case errors.Is(poolErr, context.Canceled):
-		// The client went away while the task was queued; 499 (nginx's
-		// "client closed request") keeps this out of server-error rates.
-		writeError(w, 499, "client canceled request")
-		return
-	case errors.Is(poolErr, ErrTaskPanicked):
-		s.mu.Lock()
-		s.queryErrors++
-		s.mu.Unlock()
-		writeError(w, http.StatusInternalServerError, "internal error executing query: %v", poolErr)
-		return
-	case poolErr != nil:
-		writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+	if s.writePoolError(w, poolErr, "query") {
 		return
 	}
 	if execErr != nil {
@@ -539,7 +544,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.cache.Put(key, res)
+	s.cache.Put(CacheKey(req.Stream, execEpoch, canonical), res)
 	s.mu.Lock()
 	counters.queries++
 	s.chargedSeconds += res.Stats.TotalSeconds()
@@ -693,24 +698,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				planErr = fmt.Errorf("opening stream %q: %w", planStream, err)
 				return
 			}
+			lock := s.streamLock(planStream)
+			lock.RLock()
+			defer lock.RUnlock()
 			rep, planErr = eng.ExplainPlan(info, effective)
 		})
-		switch {
-		case errors.Is(poolErr, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
-			return
-		case errors.Is(poolErr, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "planning timed out after %s", s.cfg.QueryTimeout)
-			return
-		case errors.Is(poolErr, context.Canceled):
-			writeError(w, 499, "client canceled request")
-			return
-		case errors.Is(poolErr, ErrTaskPanicked):
-			writeError(w, http.StatusInternalServerError, "internal error planning query: %v", poolErr)
-			return
-		case poolErr != nil:
-			writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+		if s.writePoolError(w, poolErr, "planning") {
 			return
 		}
 		if planErr != nil {
@@ -736,6 +729,7 @@ type statzResponse struct {
 	Parallel      parallelStatz     `json:"parallel"`
 	Planner       plannerStatz      `json:"planner"`
 	Indexz        indexStatz        `json:"indexz"`
+	Livez         livezStatz        `json:"livez"`
 	Registry      registryStatz     `json:"registry"`
 	Streams       map[string]uint64 `json:"stream_queries"`
 }
@@ -915,6 +909,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Parallel:      par,
 		Planner:       planner,
 		Indexz:        idx,
+		Livez:         s.livezSnapshot(),
 		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
 		Streams:       make(map[string]uint64),
 	}

@@ -204,6 +204,26 @@ func (o *Online) Variance() float64 {
 // StdDev returns the unbiased running sample standard deviation.
 func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
 
+// OnlineState is the serializable form of an Online accumulator, letting
+// suspended sampling plans carry their partial moments across sessions.
+// Restoring it reproduces the accumulator bit-for-bit: the fields are the
+// accumulator's exact internals, not derived statistics.
+type OnlineState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots the accumulator.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2}
+}
+
+// Restore sets the accumulator to a previously snapshotted state.
+func (o *Online) Restore(s OnlineState) {
+	o.n, o.mean, o.m2 = s.N, s.Mean, s.M2
+}
+
 // OnlineCov accumulates running covariance between two paired series, along
 // with the marginal moments of each. The zero value is ready to use.
 type OnlineCov struct {
@@ -270,6 +290,27 @@ func (o *OnlineCov) Correlation() float64 {
 		return 0
 	}
 	return o.Covariance() / math.Sqrt(vx*vy)
+}
+
+// OnlineCovState is the serializable form of an OnlineCov accumulator
+// (see OnlineState).
+type OnlineCovState struct {
+	N       int     `json:"n"`
+	MeanX   float64 `json:"mean_x"`
+	MeanY   float64 `json:"mean_y"`
+	M2X     float64 `json:"m2x"`
+	M2Y     float64 `json:"m2y"`
+	CMoment float64 `json:"c_moment"`
+}
+
+// State snapshots the accumulator.
+func (o *OnlineCov) State() OnlineCovState {
+	return OnlineCovState{N: o.n, MeanX: o.meanX, MeanY: o.meanY, M2X: o.m2x, M2Y: o.m2y, CMoment: o.cMoment}
+}
+
+// Restore sets the accumulator to a previously snapshotted state.
+func (o *OnlineCov) Restore(s OnlineCovState) {
+	o.n, o.meanX, o.meanY, o.m2x, o.m2y, o.cMoment = s.N, s.MeanX, s.MeanY, s.M2X, s.M2Y, s.CMoment
 }
 
 // Bootstrap resamples xs b times with replacement using rng and returns the

@@ -56,6 +56,45 @@ func (t *Tracker) Reset() {
 	t.lastFrame = -1 << 40
 }
 
+// State is a serializable tracker snapshot: everything identity
+// assignment depends on. A tracker restored from a State and fed the same
+// subsequent frames assigns the same IDs as one that never suspended —
+// the property resumable query plans rely on.
+type State struct {
+	Cutoff    float64      `json:"cutoff"`
+	MaxGap    int          `json:"max_gap"`
+	NextID    int          `json:"next_id"`
+	LastFrame int          `json:"last_frame"`
+	Prev      []TrackedBox `json:"prev,omitempty"`
+}
+
+// TrackedBox is one remembered detection of the previous processed frame.
+type TrackedBox struct {
+	ID    int          `json:"id"`
+	Class vidsim.Class `json:"class"`
+	Box   vidsim.Box   `json:"box"`
+}
+
+// Snapshot captures the tracker's full matching state.
+func (t *Tracker) Snapshot() State {
+	s := State{Cutoff: t.cutoff, MaxGap: t.maxGap, NextID: t.nextID, LastFrame: t.lastFrame}
+	for _, p := range t.prev {
+		s.Prev = append(s.Prev, TrackedBox{ID: p.id, Class: p.class, Box: p.box})
+	}
+	return s
+}
+
+// FromState reconstructs a tracker from a snapshot.
+func FromState(s State) *Tracker {
+	t := New(s.Cutoff, s.MaxGap)
+	t.nextID = s.NextID
+	t.lastFrame = s.LastFrame
+	for _, p := range s.Prev {
+		t.prev = append(t.prev, tracked{id: p.ID, class: p.Class, box: p.Box})
+	}
+	return t
+}
+
 // Advance matches the detections of a new frame against the previous frame
 // and returns a track ID per detection, in order. Detections of different
 // classes never match. Unmatched detections start new tracks.
