@@ -29,12 +29,14 @@ package blazeit
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frameql"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/specnn"
@@ -60,6 +62,16 @@ type PlanCandidate = plan.Candidate
 
 // PlanCost is an estimated simulated-cost breakdown.
 type PlanCost = plan.Cost
+
+// Trace is one query execution's span tree: plan selection, preparation
+// charges, the sharded scan with per-shard timing, and finalization, each
+// with wall-clock extent and the simulated-cost delta it charged. Tracing
+// is answer-neutral — a traced execution's result (cost meter included)
+// is bit-identical to an untraced one.
+type Trace = obs.Trace
+
+// Span is one named stage of a Trace.
+type Span = obs.Span
 
 // Options configures a System.
 type Options struct {
@@ -153,6 +165,24 @@ func (s *System) QueryParallel(q string, parallelism int) (*Result, error) {
 		return nil, err
 	}
 	return s.eng.ExecuteParallel(info, parallelism)
+}
+
+// QueryTraced is QueryParallel recording a span tree: the returned Trace
+// holds plan selection, preparation, per-shard scan, and finalize spans
+// with wall-clock and simulated-cost accounting. The Result is
+// bit-identical to the untraced query's.
+func (s *System) QueryTraced(q string, parallelism int) (*Result, *Trace, error) {
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTrace(info.Stmt.String())
+	res, err := s.eng.ExecuteParallelTraced(info, parallelism, tr)
+	tr.Finish()
+	if err != nil {
+		return nil, tr, err
+	}
+	return res, tr, nil
 }
 
 // Explain parses and analyzes a query without executing it, returning the
@@ -391,6 +421,15 @@ type ServeOptions struct {
 	// Options.IndexDir set the build persists for future sessions. Close
 	// waits for the in-flight build and flushes partial state.
 	BackgroundIndex bool
+	// Log receives the server's access log, slow-query log, and lifecycle
+	// records; nil discards them.
+	Log *slog.Logger
+	// SlowQuery is the wall-clock threshold above which a query's span
+	// tree is logged at warn level; 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceRingSize bounds the retained-trace ring behind GET /traces
+	// (0 means the default, 256).
+	TraceRingSize int
 }
 
 // Server is a concurrent multi-stream query-serving front end: it pools
@@ -413,11 +452,18 @@ func NewServer(opts ServeOptions) *Server {
 		MaxRows:         opts.MaxRows,
 		QueryTimeout:    opts.QueryTimeout,
 		BackgroundIndex: opts.BackgroundIndex,
+		Log:             opts.Log,
+		SlowQuery:       opts.SlowQuery,
+		TraceRingSize:   opts.TraceRingSize,
 	})}
 }
 
 // Handler returns the HTTP handler serving the JSON API.
 func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// MetricsHandler returns the Prometheus text-exposition handler (the same
+// one mounted at GET /metrics), for mirroring on a debug listener.
+func (s *Server) MetricsHandler() http.Handler { return s.s.MetricsHandler() }
 
 // Preopen eagerly opens the named stream's engine so the first query
 // doesn't pay stream generation and detector setup.

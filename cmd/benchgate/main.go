@@ -1,0 +1,273 @@
+// Command benchgate compares a fresh benchmark summary (BENCH_*.json, as
+// written by the root bench suites) against a committed baseline run and
+// fails on per-family regressions, so the CI bench job gates instead of
+// merely observing.
+//
+// Usage:
+//
+//	benchgate [-baseline-dir ci/bench-baseline] [-current-dir .]
+//	          [-threshold 1.25] [-sim-tol 0.01] BENCH_parallel.json ...
+//
+// Wall-clock time is noisy across CI machines and individual records
+// (two measured iterations per record), so ns/op is judged per plan
+// family after calibration: each family's score is the geometric mean of
+// its records' current/baseline ratios (absorbing single-record spikes),
+// and each score is judged relative to the median score across families —
+// a uniformly slower machine shifts the median, not the verdict. A family
+// fails when its calibrated score exceeds -threshold (default 1.25, i.e.
+// >25% slower than the fleet-wide drift).
+//
+// Simulated cost is deterministic, so it gets no such slack: a sim_seconds
+// drift beyond -sim-tol (default 1%) fails outright. That is the real
+// regression signal — an algorithmic change that pays more detector time
+// cannot hide behind machine variance, and an intentional change must
+// regenerate the baseline.
+//
+// Per file: a missing baseline is a warning (first run), a scale mismatch
+// skips the file (incomparable), and records present on only one side are
+// warnings — families come and go with the plan space.
+//
+// Exit status: 0 clean or skipped, 1 regression, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchFile is the shared shape of every BENCH_*.json: a scale and a list
+// of records. Records are decoded generically because each suite carries
+// different identifying and measured fields.
+type benchFile struct {
+	Scale   float64          `json:"scale"`
+	Records []map[string]any `json:"records"`
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// recordKey identifies a record across runs: the plan family (with the
+// parallelism level when present) or the suite's phase name.
+func recordKey(rec map[string]any) string {
+	if fam, ok := rec["family"].(string); ok && fam != "" {
+		if par, ok := rec["parallelism"].(float64); ok {
+			return fmt.Sprintf("%s/p%d", fam, int(par))
+		}
+		return fam
+	}
+	if phase, ok := rec["phase"].(string); ok && phase != "" {
+		return phase
+	}
+	return ""
+}
+
+// familyKey groups records for the wall-clock verdict: all parallelism
+// levels of one family are judged together.
+func familyKey(rec map[string]any) string {
+	if fam, ok := rec["family"].(string); ok && fam != "" {
+		return fam
+	}
+	if phase, ok := rec["phase"].(string); ok && phase != "" {
+		return phase
+	}
+	return ""
+}
+
+func num(rec map[string]any, fields ...string) (float64, bool) {
+	for _, f := range fields {
+		if v, ok := rec[f].(float64); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// verdict is one file comparison's outcome.
+type verdict struct {
+	failures []string
+	warnings []string
+	infos    []string
+}
+
+// compare judges one fresh bench file against its baseline.
+func compare(name string, base, cur *benchFile, threshold, simTol float64) *verdict {
+	v := &verdict{}
+	if base.Scale != cur.Scale {
+		v.warnings = append(v.warnings,
+			fmt.Sprintf("%s: scale %g vs baseline %g — incomparable, skipping", name, cur.Scale, base.Scale))
+		return v
+	}
+	baseBy := map[string]map[string]any{}
+	for _, r := range base.Records {
+		if k := recordKey(r); k != "" {
+			baseBy[k] = r
+		}
+	}
+
+	// First pass: match records, collect per-family wall ratios, and judge
+	// the deterministic simulated cost per record (no calibration, no
+	// grouping — any drift is an algorithmic change).
+	famRatios := map[string][]float64{}
+	var fams []string
+	seen := map[string]bool{}
+	matched := 0
+	for _, cr := range cur.Records {
+		k := recordKey(cr)
+		if k == "" {
+			continue
+		}
+		seen[k] = true
+		br, ok := baseBy[k]
+		if !ok {
+			v.warnings = append(v.warnings, fmt.Sprintf("%s: %s has no baseline record", name, k))
+			continue
+		}
+		matched++
+		bn, okB := num(br, "ns_per_op", "plan_ns_per_op")
+		cn, okC := num(cr, "ns_per_op", "plan_ns_per_op")
+		if okB && okC && bn > 0 && cn > 0 {
+			fam := familyKey(cr)
+			if _, ok := famRatios[fam]; !ok {
+				fams = append(fams, fam)
+			}
+			famRatios[fam] = append(famRatios[fam], cn/bn)
+		}
+		bs, okB := num(br, "sim_seconds", "actual_seconds")
+		cs, okC := num(cr, "sim_seconds", "actual_seconds")
+		if okB && okC && bs > 0 {
+			if drift := (cs - bs) / bs; drift > simTol || drift < -simTol {
+				v.failures = append(v.failures, fmt.Sprintf(
+					"%s: %s simulated-cost drift: %.6g -> %.6g (%+.2f%%, tolerance ±%.0f%%) — deterministic cost changed; regenerate the baseline if intentional",
+					name, k, bs, cs, 100*drift, 100*simTol))
+			}
+		}
+	}
+	for k := range baseBy {
+		if !seen[k] {
+			v.warnings = append(v.warnings, fmt.Sprintf("%s: baseline record %s missing from current run", name, k))
+		}
+	}
+
+	// Second pass: per-family wall verdicts. Each family's score is the
+	// geometric mean of its records' ratios, judged against the median
+	// score across families.
+	scores := make([]float64, 0, len(fams))
+	scoreBy := map[string]float64{}
+	for _, fam := range fams {
+		scoreBy[fam] = geomean(famRatios[fam])
+		scores = append(scores, scoreBy[fam])
+	}
+	cal := median(scores)
+	v.infos = append(v.infos, fmt.Sprintf("%s: %d records in %d families matched, median wall ratio %.3f",
+		name, matched, len(fams), cal))
+	for _, fam := range fams {
+		score := scoreBy[fam]
+		if calibrated := score / cal; calibrated > threshold {
+			v.failures = append(v.failures, fmt.Sprintf(
+				"%s: %s wall regression: %.2fx vs baseline (%.2fx after %.3f median calibration, threshold %.2fx; record ratios %s)",
+				name, fam, score, calibrated, cal, threshold, fmtRatios(famRatios[fam])))
+		}
+	}
+	return v
+}
+
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	p := 1.0
+	for _, v := range vs {
+		p *= v
+	}
+	return math.Pow(p, 1/float64(len(vs)))
+}
+
+func fmtRatios(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func main() {
+	baselineDir := flag.String("baseline-dir", "ci/bench-baseline", "directory holding the committed baseline BENCH_*.json files")
+	currentDir := flag.String("current-dir", ".", "directory holding the freshly produced BENCH_*.json files")
+	threshold := flag.Float64("threshold", 1.25, "maximum calibrated wall-clock ratio per family before failing")
+	simTol := flag.Float64("sim-tol", 0.01, "maximum relative simulated-cost drift per record before failing")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH_parallel.json ...")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range flag.Args() {
+		cur, err := readBenchFile(filepath.Join(*currentDir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// The bench step itself failed or was skipped; its
+				// continue-on-error already surfaced that.
+				fmt.Printf("SKIP %s: no current run (%v)\n", name, err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base, err := readBenchFile(filepath.Join(*baselineDir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Printf("WARN %s: no committed baseline — commit the current run to %s to arm the gate\n",
+					name, *baselineDir)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		v := compare(name, base, cur, *threshold, *simTol)
+		for _, s := range v.infos {
+			fmt.Println("INFO", s)
+		}
+		for _, s := range v.warnings {
+			fmt.Println("WARN", s)
+		}
+		for _, s := range v.failures {
+			fmt.Println("FAIL", s)
+			failed = true
+		}
+		if len(v.failures) == 0 {
+			fmt.Printf("OK   %s\n", name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

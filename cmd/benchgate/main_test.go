@@ -1,0 +1,151 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(family string, par int, ns, sim float64) map[string]any {
+	r := map[string]any{"family": family, "ns_per_op": ns}
+	if par > 0 {
+		r["parallelism"] = float64(par)
+	}
+	if sim > 0 {
+		r["sim_seconds"] = sim
+	}
+	return r
+}
+
+func file(scale float64, recs ...map[string]any) *benchFile {
+	return &benchFile{Scale: scale, Records: recs}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	base := file(0.05, rec("agg", 1, 100, 10), rec("agg", 4, 30, 10), rec("sel", 1, 200, 5))
+	cur := file(0.05, rec("agg", 1, 101, 10), rec("agg", 4, 29, 10), rec("sel", 1, 205, 5))
+	v := compare("BENCH_parallel.json", base, cur, 1.25, 0.01)
+	if len(v.failures) != 0 || len(v.warnings) != 0 {
+		t.Fatalf("clean run judged: failures %v, warnings %v", v.failures, v.warnings)
+	}
+}
+
+// TestCompareMedianCalibration pins the machine-variance defense: a run
+// that is uniformly 2x slower (a weaker CI machine) passes, because every
+// record moves with the median.
+func TestCompareMedianCalibration(t *testing.T) {
+	base := file(0.05, rec("agg", 1, 100, 10), rec("agg", 4, 30, 10), rec("sel", 1, 200, 5))
+	cur := file(0.05, rec("agg", 1, 200, 10), rec("agg", 4, 60, 10), rec("sel", 1, 400, 5))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 0 {
+		t.Fatalf("uniform slowdown judged a regression: %v", v.failures)
+	}
+}
+
+// TestCompareSingleFamilyRegression: one family uniformly 2x slower while
+// the rest hold still is a real regression the cross-family median cannot
+// absorb.
+func TestCompareSingleFamilyRegression(t *testing.T) {
+	base := file(0.05,
+		rec("agg", 1, 100, 10), rec("agg", 4, 30, 10),
+		rec("sel", 1, 200, 5), rec("sel", 4, 60, 5),
+		rec("exh", 1, 500, 20))
+	cur := file(0.05,
+		rec("agg", 1, 100, 10), rec("agg", 4, 30, 10),
+		rec("sel", 1, 400, 5), rec("sel", 4, 120, 5),
+		rec("exh", 1, 500, 20))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "sel wall regression") {
+		t.Fatalf("failures = %v, want one for family sel", v.failures)
+	}
+}
+
+// TestCompareSingleRecordSpikeAbsorbed: one record of a family spiking
+// (scheduler noise at two measured iterations) does not fail the gate as
+// long as the family's geometric mean stays under the threshold.
+func TestCompareSingleRecordSpikeAbsorbed(t *testing.T) {
+	base := file(0.05,
+		rec("agg", 1, 100, 10), rec("agg", 4, 30, 10),
+		rec("sel", 1, 200, 5), rec("sel", 4, 60, 5), rec("sel", 8, 40, 5),
+		rec("exh", 1, 500, 20))
+	cur := file(0.05,
+		rec("agg", 1, 100, 10), rec("agg", 4, 30, 10),
+		// sel/p1 spikes 1.5x, the other sel records hold: geomean ~1.12.
+		rec("sel", 1, 300, 5), rec("sel", 4, 62, 5), rec("sel", 8, 38, 5),
+		rec("exh", 1, 500, 20))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 0 {
+		t.Fatalf("single-record spike judged a regression: %v", v.failures)
+	}
+}
+
+// TestCompareSimDriftStrict: simulated cost is deterministic — any drift
+// beyond the tolerance fails even when wall time is fine.
+func TestCompareSimDriftStrict(t *testing.T) {
+	base := file(0.05, rec("agg", 1, 100, 10), rec("sel", 1, 200, 5))
+	cur := file(0.05, rec("agg", 1, 100, 10.5), rec("sel", 1, 200, 5))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "simulated-cost drift") {
+		t.Fatalf("failures = %v, want one sim drift", v.failures)
+	}
+	// Within tolerance: fine.
+	cur2 := file(0.05, rec("agg", 1, 100, 10.05), rec("sel", 1, 200, 5))
+	if v := compare("f", base, cur2, 1.25, 0.01); len(v.failures) != 0 {
+		t.Fatalf("0.5%% sim drift judged: %v", v.failures)
+	}
+}
+
+func TestCompareScaleMismatchSkips(t *testing.T) {
+	base := file(0.05, rec("agg", 1, 100, 10))
+	cur := file(0.02, rec("agg", 1, 1000, 99))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 0 || len(v.warnings) != 1 {
+		t.Fatalf("scale mismatch: failures %v, warnings %v", v.failures, v.warnings)
+	}
+}
+
+func TestCompareMissingRecordsWarn(t *testing.T) {
+	base := file(0.05, rec("agg", 1, 100, 10), rec("old", 1, 50, 1))
+	cur := file(0.05, rec("agg", 1, 100, 10), rec("new", 1, 70, 2))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 0 {
+		t.Fatalf("membership drift judged a regression: %v", v.failures)
+	}
+	if len(v.warnings) != 2 {
+		t.Fatalf("warnings = %v, want one per unmatched record", v.warnings)
+	}
+}
+
+// TestComparePlannerFieldNames: the planner suite writes plan_ns_per_op
+// and actual_seconds; the gate must judge those, not skip the file.
+func TestComparePlannerFieldNames(t *testing.T) {
+	prec := func(family string, ns, actual float64) map[string]any {
+		return map[string]any{"family": family, "plan_ns_per_op": ns, "actual_seconds": actual}
+	}
+	base := file(0.05, prec("agg", 100, 10), prec("sel", 200, 5), prec("exh", 500, 20))
+	cur := file(0.05, prec("agg", 100, 10), prec("sel", 200, 7), prec("exh", 500, 20))
+	v := compare("f", base, cur, 1.25, 0.01)
+	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "simulated-cost drift") {
+		t.Fatalf("failures = %v, want one actual_seconds drift", v.failures)
+	}
+	if len(v.infos) != 1 || !strings.Contains(v.infos[0], "3 records in 3 families") {
+		t.Fatalf("infos = %v, want 3 records in 3 families matched", v.infos)
+	}
+}
+
+// TestRecordKeyShapes covers the three record shapes the suites emit.
+func TestRecordKeyShapes(t *testing.T) {
+	cases := []struct {
+		rec  map[string]any
+		want string
+	}{
+		{map[string]any{"family": "agg", "parallelism": float64(4)}, "agg/p4"},
+		{map[string]any{"family": "aggregate", "chosen": "control-variates"}, "aggregate"},
+		{map[string]any{"phase": "cold-build"}, "cold-build"},
+		{map[string]any{"ns_per_op": float64(1)}, ""},
+	}
+	for _, tc := range cases {
+		if got := recordKey(tc.rec); got != tc.want {
+			t.Errorf("recordKey(%v) = %q, want %q", tc.rec, got, tc.want)
+		}
+	}
+}

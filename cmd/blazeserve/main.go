@@ -8,14 +8,16 @@
 //	blazeserve [-addr :8089] [-scale 0.05] [-seed 1] [-workers 8]
 //	           [-queue 32] [-cache 256] [-timeout 30s] [-streams taipei,rialto]
 //	           [-preopen taipei] [-index-dir /var/lib/blazeit/index]
-//	           [-live 0.25]
+//	           [-live 0.25] [-debug-addr :6060] [-slow-query 500ms] [-log-json]
 //
 // Endpoints:
 //
-//	POST /query      {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."}
+//	POST /query      {"stream": "taipei", "query": "SELECT FCOUNT(*) ..."} — ?trace=1 inlines the span tree
 //	GET  /streams    stream names with open state and per-stream counters
 //	GET  /explain    ?q=QUERY[&stream=NAME] — plan family + canonical text
 //	GET  /statz      cache/pool/registry/indexz/livez counters and simulated-cost totals
+//	GET  /metrics    Prometheus text exposition of every serving metric
+//	GET  /traces     recent execution traces; /traces/{id} one full span tree
 //	POST /ingest     {"stream": "taipei", "frames": 5000} — append frames to a live stream
 //	POST /subscribe  {"stream": "taipei", "query": "..."} — register a standing query
 //	GET  /poll       ?id=sub-1 — the standing query's latest answer (advanced after ingest)
@@ -37,6 +39,13 @@
 // same directory with zero training or inference cost. Results are
 // bit-identical either way.
 //
+// With -debug-addr, a second listener serves net/http/pprof under /debug/
+// and mirrors GET /metrics — profiling and scraping stay off the query
+// port. With -slow-query D, any query or standing-query advance slower
+// than D logs its full span tree at warn level. Every request is logged
+// with its method, path, status, duration, and trace ID (echoed to the
+// client in X-Trace-Id).
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight queries, waits for the running background index build, and
 // flushes partial index state before exiting.
@@ -52,8 +61,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,9 +88,16 @@ func main() {
 	indexDir := flag.String("index-dir", "", "root of the persistent materialized frame index; opened streams build their index in the background and restarts warm-start from it")
 	bgIndex := flag.Bool("bg-index", true, "build each opened stream's frame index in the background (models, segments, zone maps); always useful, and persistent with -index-dir")
 	live := flag.Float64("live", 0, "open streams live with this fraction of the day initially visible (0 disables); POST /ingest appends frames and /subscribe registers standing queries that advance incrementally")
+	debugAddr := flag.String("debug-addr", "", "separate debug listener serving net/http/pprof under /debug/ and mirroring /metrics (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log any query or advance slower than this with its full span tree (0 disables)")
+	logJSON := flag.Bool("log-json", false, "emit the access/slow-query log as JSON lines instead of logfmt text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger := newLogger(os.Stderr, *logLevel, *logJSON)
 	if *live < 0 || *live >= 1 {
-		log.Fatalf("blazeserve: -live must be a fraction in (0, 1), got %g", *live)
+		logger.Error("invalid -live fraction", "live", *live)
+		os.Exit(1)
 	}
 
 	opts := blazeit.ServeOptions{
@@ -97,6 +114,8 @@ func main() {
 		MaxRows:         *maxRows,
 		QueryTimeout:    *timeout,
 		BackgroundIndex: *bgIndex,
+		Log:             logger,
+		SlowQuery:       *slowQuery,
 	}
 	if *streams != "" {
 		opts.Streams = splitList(*streams)
@@ -105,10 +124,33 @@ func main() {
 	srv := blazeit.NewServer(opts)
 
 	for _, name := range splitList(*preopen) {
-		log.Printf("pre-opening stream %q (scale %g)", name, *scale)
+		logger.Info("pre-opening stream", "stream", name, "scale", *scale)
 		if err := srv.Preopen(context.Background(), name); err != nil {
-			log.Printf("pre-open %q failed: %v", name, err)
+			logger.Error("pre-open failed", "stream", name, "err", err)
 		}
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// The debug listener stays off the query port: pprof profiling and
+		// metric scraping never compete with query admission, and the port
+		// can be firewalled separately. pprof handlers are registered
+		// explicitly on a private mux so importing net/http/pprof does not
+		// touch http.DefaultServeMux.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.MetricsHandler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -118,22 +160,45 @@ func main() {
 		// Stop accepting and let in-flight HTTP requests finish; the
 		// queries they carry drain through the worker pool below.
 		<-ctx.Done()
-		log.Print("blazeserve: signal received, stopping accept and draining")
+		logger.Info("signal received, stopping accept and draining")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shutCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutCtx)
+		}
 	}()
 
-	log.Printf("blazeserve listening on %s (streams: %s)", *addr, strings.Join(srv.ServedStreams(), ", "))
+	logger.Info("blazeserve listening", "addr", *addr, "streams", strings.Join(srv.ServedStreams(), ","))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		srv.Close()
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
 	// Accepting has stopped and HTTP handlers have returned: drain the
 	// executor, wait for the running background index build, and flush
 	// partial index state (labels, planner summaries) to -index-dir.
 	srv.Close()
-	log.Print("blazeserve shut down cleanly")
+	logger.Info("blazeserve shut down cleanly")
+}
+
+func newLogger(w *os.File, level string, jsonOut bool) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
 }
 
 func splitList(s string) []string {

@@ -215,6 +215,7 @@ type aggScanState struct {
 // bit-identical to a cold scan of the extended stream, because the sum is
 // integer arithmetic.
 type aggScanExec struct {
+	traceHook
 	e     *Engine
 	info  *frameql.Info
 	class vidsim.Class
@@ -233,6 +234,8 @@ func (e *Engine) newAggScanExec(info *frameql.Info, class vidsim.Class, par int,
 	return x
 }
 
+func (x *aggScanExec) meter() *Stats { return &x.st.Stats }
+
 func (x *aggScanExec) Total() int { return x.e.Test.Frames }
 func (x *aggScanExec) Pos() int   { return x.st.Pos }
 func (x *aggScanExec) Done() bool { return x.st.Pos >= x.Total() }
@@ -247,7 +250,8 @@ func (x *aggScanExec) RunTo(units int) error {
 	// Production stays sharded and parallel (per-frame integer counts are
 	// exact and order-free); consumption charges and sums per frame in
 	// order, so the scan suspends on exact frame boundaries.
-	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec,
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false,
+		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
 			counts := make([]int32, s.hi-s.lo)
@@ -307,11 +311,14 @@ type aqpState struct {
 // from the committed label store, so re-running costs real time
 // proportional to the new samples only.
 type aqpExec struct {
+	traceHook
 	e    *Engine
 	info *frameql.Info
 	base Stats
 	run  *aqp.Run
 }
+
+func (x *aqpExec) meter() *Stats { return &x.base }
 
 func (e *Engine) newAQPExec(info *frameql.Info, class vidsim.Class, par int, prep *aggPrep) *aqpExec {
 	x := &aqpExec{e: e, info: info}
@@ -507,6 +514,7 @@ type distinctState struct {
 // the same tracker over the new suffix, so identities never reset at
 // ingest boundaries.
 type distinctExec struct {
+	traceHook
 	e        *Engine
 	info     *frameql.Info
 	class    vidsim.Class
@@ -515,6 +523,8 @@ type distinctExec struct {
 	tracker  *track.Tracker
 	distinct map[int]bool
 }
+
+func (x *distinctExec) meter() *Stats { return &x.st.Stats }
 
 func (e *Engine) newDistinctExec(info *frameql.Info, par int) (*distinctExec, error) {
 	if len(info.Classes) != 1 {
@@ -539,7 +549,8 @@ func (x *distinctExec) RunTo(units int) error {
 	e := x.e
 	lo, _ := e.frameRange(x.info)
 	fullCost := e.DTest.FullFrameCost()
-	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec,
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false,
+		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) *detArena {
 			a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
 			for i := s.lo; i < s.hi; i++ {

@@ -169,6 +169,7 @@ type binaryScanState struct {
 // scores; the zero-valued verdicts stand in for the rejections, so the
 // answer and the simulated meter are bit-identical to the full scan.
 type binaryCascadeExec struct {
+	traceHook
 	e     *Engine
 	info  *frameql.Info
 	class vidsim.Class
@@ -176,6 +177,8 @@ type binaryCascadeExec struct {
 	par   int
 	st    binaryScanState
 }
+
+func (x *binaryCascadeExec) meter() *Stats { return &x.st.Stats }
 
 func (e *Engine) newBinaryCascadeExec(info *frameql.Info, class vidsim.Class, prep binaryPrep, par int) *binaryCascadeExec {
 	x := &binaryCascadeExec{e: e, info: info, class: class, prep: prep, par: par}
@@ -220,7 +223,8 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 	gap := x.info.Gap
 	limit := x.info.Limit
 
-	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec,
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
+		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) []binVerdict {
 			c := e.DTest.NewCounter()
 			verdicts := make([]binVerdict, s.hi-s.lo)
@@ -309,12 +313,15 @@ func (x *binaryCascadeExec) Result() (*Result, error) {
 // plan. Counting shards across workers; GAP/LIMIT replay serially per
 // frame. Progress units are frames.
 type binaryExactExec struct {
+	traceHook
 	e     *Engine
 	info  *frameql.Info
 	class vidsim.Class
 	par   int
 	st    binaryScanState
 }
+
+func (x *binaryExactExec) meter() *Stats { return &x.st.Stats }
 
 func (e *Engine) newBinaryExactExec(info *frameql.Info, class vidsim.Class, par int) *binaryExactExec {
 	x := &binaryExactExec{e: e, info: info, class: class, par: par}
@@ -339,7 +346,8 @@ func (x *binaryExactExec) RunTo(units int) error {
 	fullCost := e.DTest.FullFrameCost()
 	gap := x.info.Gap
 	limit := x.info.Limit
-	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec,
+	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
+		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
 			return c.CountRange(lo+s.lo, lo+s.hi, x.class, nil)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/frameql"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/vidsim"
 )
@@ -56,6 +57,10 @@ type Execution struct {
 	par    int
 	ex     plan.Execution[*Result]
 	final  *Result
+	// tr is the attached trace hookup (nil for untraced executions); see
+	// trace.go. Tracing reads the meter and wall clock only — it never
+	// alters the execution's answer or simulated cost.
+	tr *execTrace
 }
 
 // newExecution opens the chosen candidate's family exec and wraps it.
@@ -91,7 +96,9 @@ func (e *Engine) BeginQuery(info *frameql.Info, parallelism int) (*Execution, er
 // exactly as one-shot execution publishes them.
 func (x *Execution) RunTo(units int) error {
 	x.final = nil
+	sc := x.traceScanStart(units)
 	err := x.ex.RunTo(units)
+	x.traceScanEnd(sc, err)
 	if err != nil || x.ex.Done() {
 		x.e.idx.CommitLabels()
 	}
@@ -120,8 +127,19 @@ func (x *Execution) Result() (*Result, error) {
 	if x.final != nil {
 		return x.final, nil
 	}
+	var fin *obs.Span
+	var preSim float64
+	var preDet int
+	if x.tr != nil {
+		fin = x.tr.root.Child("finalize")
+		if m := x.execMeter(); m != nil {
+			preSim = m.TotalSeconds()
+			preDet = m.DetectorCalls
+		}
+	}
 	res, err := x.ex.Result()
 	if err != nil {
+		fin.Fail(err)
 		return nil, err
 	}
 	cp := x.chosen.Plan.(*costedPlan)
@@ -134,6 +152,7 @@ func (x *Execution) Result() (*Result, error) {
 	rep.IndexFramesSkipped = res.Stats.IndexFramesSkipped
 	res.PlanReport = rep
 	x.e.planner.record(rep)
+	x.traceFinalize(fin, res, preSim, preDet)
 	x.final = res
 	return res, nil
 }
@@ -361,6 +380,15 @@ func (x *atomicExec) Restore(state []byte) error {
 		st = atomicState{}
 	}
 	x.st = st
+	return nil
+}
+
+// meter exposes the stored answer's cost meter for tracing; nil until
+// the atomic run has produced one.
+func (x *atomicExec) meter() *Stats {
+	if x.st.Done && x.st.Result != nil {
+		return &x.st.Result.Stats
+	}
 	return nil
 }
 

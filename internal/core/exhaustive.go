@@ -96,6 +96,7 @@ type exhaustiveState struct {
 // suspends at any frame boundary and, on a grown live stream, continues
 // over the new suffix.
 type exhaustiveExec struct {
+	traceHook
 	e       *Engine
 	info    *frameql.Info
 	par     int
@@ -104,6 +105,8 @@ type exhaustiveExec struct {
 	res     *Result
 	err     error
 }
+
+func (x *exhaustiveExec) meter() *Stats { return &x.res.Stats }
 
 func (e *Engine) newExhaustiveExec(info *frameql.Info, par int) (*exhaustiveExec, error) {
 	stmt := info.Stmt
@@ -232,7 +235,8 @@ func (x *exhaustiveExec) RunTo(units int) error {
 	}
 	// LIMIT may stop the scan early; ramped shards keep the worst-case
 	// speculative work small when the limit is satisfied quickly.
-	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0, &e.exec, produce, frame)
+	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
+		x.scanTrace(&e.exec, &x.res.Stats), produce, frame)
 	return x.err
 }
 

@@ -207,6 +207,7 @@ type scrubExecState struct {
 // order re-ranks the whole population, so a cursor restored onto a grown
 // stream restarts the search deterministically over the new ranking.
 type scrubExec struct {
+	traceHook
 	e        *Engine
 	info     *frameql.Info
 	reqs     []scrub.Requirement
@@ -218,6 +219,8 @@ type scrubExec struct {
 	st       scrubExecState
 	prefetch *scrubPrefetcher
 }
+
+func (x *scrubExec) meter() *Stats { return &x.st.Stats }
 
 func (e *Engine) newScrubExec(info *frameql.Info, reqs []scrub.Requirement, limit, par int, label string, kind scrubOrder, prep scrubPrep) *scrubExec {
 	lo, hi := e.frameRange(info)

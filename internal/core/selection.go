@@ -524,6 +524,7 @@ type selectionState struct {
 // visited (stride-sampled) frames; a grown live stream continues the
 // scan on the same stride grid over the new suffix.
 type selectionExec struct {
+	traceHook
 	e       *Engine
 	info    *frameql.Info
 	plan    SelectionPlan
@@ -534,6 +535,8 @@ type selectionExec struct {
 	tracks  map[int]*trackAgg
 	err     error
 }
+
+func (x *selectionExec) meter() *Stats { return &x.st.Stats }
 
 func (e *Engine) newSelectionExec(info *frameql.Info, selPlan SelectionPlan, prep *selPrep, par int) *selectionExec {
 	cutoff := track.DefaultCutoff
@@ -789,7 +792,8 @@ func (x *selectionExec) RunTo(units int) error {
 		}
 		return true
 	}
-	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, false, &e.exec, produce, frame)
+	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, false,
+		x.scanTrace(&e.exec, &x.st.Stats), produce, frame)
 	return x.err
 }
 

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the engine's parallel execution layer: every plan family
@@ -102,6 +107,25 @@ func resumeShards(pos, hi int, ramp bool) []shard {
 	return shards
 }
 
+// scanObs bundles what one sharded scan reports to observability: the
+// engine's exec counters (always) and, when the execution is traced, the
+// current RunTo's span plus the family's live cost meter — read for
+// per-shard simulated-cost deltas, never written. A nil span selects the
+// untraced fast path, which is byte-for-byte the pre-tracing code.
+type scanObs struct {
+	counters *execCounters
+	span     *obs.Span
+	meter    *Stats
+}
+
+// timedVal carries a shard product with the worker-side wall time spent
+// producing it, so traced scans attribute produce vs merge time per shard
+// without mutating spans off the caller's goroutine.
+type timedVal[T any] struct {
+	v      T
+	wallNS int64
+}
+
 // runScan drives one resumable sharded frame scan: produce runs per shard
 // on the worker pool (pure, concurrent), and frame consumes one visited
 // frame at a time, strictly in frame order, on the caller's goroutine —
@@ -115,8 +139,11 @@ func resumeShards(pos, hi int, ramp bool) []shard {
 // frame boundary: stopping at a watermark mid-shard just stops the
 // consume loop there, and the resumed scan re-produces the remainder from
 // pure inputs.
-func runScan[T any](par, pos, n, stop int, ramp bool, counters *execCounters,
+func runScan[T any](par, pos, n, stop int, ramp bool, ob *scanObs,
 	produce func(s shard) T, frame func(i, off int, v T) bool) (newPos int, finished bool) {
+	if ob == nil {
+		ob = &scanObs{}
+	}
 	if stop < 0 || stop > n {
 		stop = n
 	}
@@ -124,17 +151,64 @@ func runScan[T any](par, pos, n, stop int, ramp bool, counters *execCounters,
 		return pos, false
 	}
 	cur := pos
-	runSharded(par, resumeShards(pos, stop, ramp), counters, produce,
-		func(s shard, v T) bool {
+	if ob.span == nil {
+		runSharded(par, resumeShards(pos, stop, ramp), ob.counters, produce,
+			func(s shard, v T) bool {
+				for i := s.lo; i < s.hi; i++ {
+					ok := frame(i, i-s.lo, v)
+					cur = i + 1
+					if !ok {
+						finished = true
+						return false
+					}
+				}
+				return true
+			})
+		return cur, finished
+	}
+	// Traced: wrap produce to time it on the worker, and attach one child
+	// span per consumed shard with produce/merge wall time, the frames it
+	// merged, and the cost-meter delta its consumption charged. Span
+	// mutation stays on the caller's goroutine (consume is sequential), so
+	// tracing adds no synchronization to the scan.
+	tproduce := func(s shard) timedVal[T] {
+		t0 := time.Now()
+		v := produce(s)
+		return timedVal[T]{v: v, wallNS: time.Since(t0).Nanoseconds()}
+	}
+	runSharded(par, resumeShards(pos, stop, ramp), ob.counters, tproduce,
+		func(s shard, tv timedVal[T]) bool {
+			sp := ob.span.Child("shard")
+			sp.SetAttr("shard", strconv.Itoa(s.index))
+			sp.SetAttr("range", fmt.Sprintf("[%d,%d)", s.lo, s.hi))
+			sp.SetAttr("produce_ms", strconv.FormatFloat(float64(tv.wallNS)/1e6, 'g', -1, 64))
+			var sim0 float64
+			var det0, ch0, fr0 int
+			if ob.meter != nil {
+				sim0 = ob.meter.TotalSeconds()
+				det0 = ob.meter.DetectorCalls
+				ch0 = ob.meter.IndexChunksSkipped
+				fr0 = ob.meter.IndexFramesSkipped
+			}
+			ok := true
 			for i := s.lo; i < s.hi; i++ {
-				ok := frame(i, i-s.lo, v)
+				okf := frame(i, i-s.lo, tv.v)
 				cur = i + 1
-				if !ok {
+				sp.Frames++
+				if !okf {
 					finished = true
-					return false
+					ok = false
+					break
 				}
 			}
-			return true
+			if ob.meter != nil {
+				sp.SimSeconds = ob.meter.TotalSeconds() - sim0
+				sp.DetectorCalls = ob.meter.DetectorCalls - det0
+				sp.ChunksSkipped = ob.meter.IndexChunksSkipped - ch0
+				sp.FramesSkipped = ob.meter.IndexFramesSkipped - fr0
+			}
+			sp.End()
+			return ok
 		})
 	return cur, finished
 }

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/frameql"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// This file threads query-level tracing through the execution layer:
+// traced entry points (ExecuteParallelTraced, AdvanceTraced) record a
+// span tree — plan selection, preparation charges, each RunTo's sharded
+// scan with per-shard produce/merge timing, finalization — onto an
+// obs.Trace the caller owns.
+//
+// Tracing is answer-neutral by construction: every hook only *reads*
+// wall-clock time and the execution's already-charged cost meter. No span
+// ever adds to the meter, and trace IDs come from crypto/rand, never
+// from the engine's counter-based PRNG streams — so a traced execution
+// is bit-identical to an untraced one, full cost meter included, at
+// every parallelism level. The golden and determinism suites pin this.
+
+// execTrace is one traced execution's hookup: the execution root span
+// plus the span of the RunTo call currently in flight, which family
+// execs attach per-shard child spans to through their traceHook.
+type execTrace struct {
+	root *obs.Span
+	scan *obs.Span // in-flight RunTo's span; nil between calls
+}
+
+// traceHook is embedded in the family execs whose RunTo drives runScan;
+// it receives the execution's trace (when one is attached) and hands
+// runScan its observation bundle.
+type traceHook struct {
+	tr *execTrace
+}
+
+func (h *traceHook) setTrace(t *execTrace) { h.tr = t }
+
+// scanTrace bundles the exec counters with the current scan span and the
+// family's live cost meter. Untraced executions get a bundle with a nil
+// span, which runScan treats as the plain fast path.
+func (h *traceHook) scanTrace(counters *execCounters, meter *Stats) *scanObs {
+	ob := &scanObs{counters: counters}
+	if h.tr != nil {
+		ob.span = h.tr.scan
+		ob.meter = meter
+	}
+	return ob
+}
+
+// metered exposes a family exec's live cost meter for span deltas. The
+// meter is read-only to the tracing layer. A nil return (atomicExec
+// before it runs) skips meter deltas for the span.
+type metered interface{ meter() *Stats }
+
+// execMeter returns the family exec's live cost meter, or nil.
+func (x *Execution) execMeter() *Stats {
+	if m, ok := x.ex.(metered); ok {
+		return m.meter()
+	}
+	return nil
+}
+
+func fmtSeconds(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// attachTrace hooks an opened execution to a trace root: the root gets
+// plan identity attributes, a preparation span captures the one-time
+// charges (training, held-out statistics, whole-day inference) the
+// family exec paid when it opened — prepWall is the measured wall time
+// of that construction — and the family exec is wired to report
+// per-shard spans on subsequent RunTo calls.
+func (x *Execution) attachTrace(root *obs.Span, prepWall time.Duration, prepName string) {
+	if root == nil {
+		return
+	}
+	t := &execTrace{root: root}
+	x.tr = t
+	root.SetAttr("family", x.info.Kind.String())
+	root.SetAttr("plan", x.chosen.Plan.Describe().Name)
+	root.SetAttr("parallelism", strconv.Itoa(x.par))
+	if x.forced {
+		root.SetAttr("forced", "true")
+	}
+	if th, ok := x.ex.(interface{ setTrace(*execTrace) }); ok {
+		th.setTrace(t)
+	}
+	prep := root.Child(prepName)
+	// The construction already happened; shift the span back over it.
+	wallMS := float64(prepWall.Nanoseconds()) / 1e6
+	if prep != nil {
+		if prep.StartMS >= wallMS {
+			prep.StartMS -= wallMS
+		} else {
+			prep.StartMS = 0
+		}
+	}
+	if m := x.execMeter(); m != nil {
+		prep.SimSeconds = m.TotalSeconds()
+		prep.DetectorCalls = m.DetectorCalls
+		prep.ChunksSkipped = m.IndexChunksSkipped
+		prep.FramesSkipped = m.IndexFramesSkipped
+	}
+	if prep != nil && wallMS > 0 {
+		prep.DurMS = wallMS
+	} else {
+		prep.End()
+	}
+}
+
+// scanScope captures the meter and progress baselines at the start of one
+// traced RunTo, so the scan span records deltas.
+type scanScope struct {
+	sp      *obs.Span
+	pos0    int
+	sim0    float64
+	det0    int
+	chunks0 int
+	frames0 int
+}
+
+// traceScanStart opens the scan span for one RunTo (nil when untraced).
+func (x *Execution) traceScanStart(units int) *scanScope {
+	if x.tr == nil {
+		return nil
+	}
+	sp := x.tr.root.Child("scan")
+	if units >= 0 {
+		sp.SetAttr("units_requested", strconv.Itoa(units))
+	}
+	sc := &scanScope{sp: sp, pos0: x.ex.Pos()}
+	if m := x.execMeter(); m != nil {
+		sc.sim0 = m.TotalSeconds()
+		sc.det0 = m.DetectorCalls
+		sc.chunks0 = m.IndexChunksSkipped
+		sc.frames0 = m.IndexFramesSkipped
+	}
+	x.tr.scan = sp
+	return sc
+}
+
+// traceScanEnd closes the RunTo's scan span with progress and meter
+// deltas.
+func (x *Execution) traceScanEnd(sc *scanScope, err error) {
+	if sc == nil {
+		return
+	}
+	x.tr.scan = nil
+	sc.sp.Frames = x.ex.Pos() - sc.pos0
+	if m := x.execMeter(); m != nil {
+		sc.sp.SimSeconds = m.TotalSeconds() - sc.sim0
+		sc.sp.DetectorCalls = m.DetectorCalls - sc.det0
+		sc.sp.ChunksSkipped = m.IndexChunksSkipped - sc.chunks0
+		sc.sp.FramesSkipped = m.IndexFramesSkipped - sc.frames0
+	}
+	if err != nil {
+		sc.sp.Fail(err)
+	}
+	sc.sp.End()
+}
+
+// traceFinalize annotates the trace with the finalized result: the cost
+// charged during finalization itself (adaptive sampling settles its
+// per-sample cost and selection confirms tracks at Result time, after the
+// scan span closed — preSim/preDet are the meter baselines captured when
+// finalization began), plus the cost-vs-estimate comparison the planner's
+// feedback loop and the slow-query log read. With those deltas, prep +
+// scan + finalize sim-seconds reconcile to the result's full meter.
+func (x *Execution) traceFinalize(fin *obs.Span, res *Result, preSim float64, preDet int) {
+	if fin == nil {
+		return
+	}
+	if d := res.Stats.TotalSeconds() - preSim; d > 0 {
+		fin.SimSeconds = d
+	}
+	if d := res.Stats.DetectorCalls - preDet; d > 0 {
+		fin.DetectorCalls = d
+	}
+	fin.ChunksSkipped = res.Stats.IndexChunksSkipped
+	fin.FramesSkipped = res.Stats.IndexFramesSkipped
+	fin.End()
+	root := x.tr.root
+	root.SetAttr("actual_sim_seconds", fmtSeconds(res.Stats.TotalSeconds()))
+	root.SetAttr("detector_calls", strconv.Itoa(res.Stats.DetectorCalls))
+	if res.PlanReport != nil {
+		root.SetAttr("estimate_sim_seconds", fmtSeconds(res.PlanReport.EstimateSeconds))
+	}
+}
+
+// ExecuteParallelTraced is ExecuteParallel recording a span tree onto tr
+// (plan selection → prep charges → sharded scan → finalize). A nil trace
+// degrades to ExecuteParallel. The Result is bit-identical to the
+// untraced execution's — tracing reads the meter, never charges it.
+func (e *Engine) ExecuteParallelTraced(info *frameql.Info, parallelism int, tr *obs.Trace) (*Result, error) {
+	if tr == nil {
+		return e.ExecuteParallel(info, parallelism)
+	}
+	root := tr.Root
+	planSp := root.Child("plan")
+	cands, err := e.planCandidates(info, parallelism)
+	if err != nil {
+		planSp.Fail(err)
+		return nil, err
+	}
+	chosen, forced, err := pick(info, cands)
+	if err != nil {
+		planSp.Fail(err)
+		return nil, err
+	}
+	planSp.SetAttr("candidates", strconv.Itoa(len(cands)))
+	planSp.SetAttr("chosen", chosen.Plan.Describe().Name)
+	planSp.SetAttr("estimate_sim_seconds", fmtSeconds(chosen.Plan.EstimateCost().Total()))
+	if forced {
+		planSp.SetAttr("forced", "true")
+	}
+	planSp.End()
+
+	prepStart := time.Now()
+	x, err := e.newExecution(info, cands, chosen, forced, e.effectiveParallelism(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	x.attachTrace(root, time.Since(prepStart), "prep")
+	if err := x.RunTo(-1); err != nil {
+		return nil, err
+	}
+	return x.Result()
+}
+
+// AdvanceTraced is Advance recording a span tree onto tr: ingest
+// catch-up, cursor resume (re-plan plus state restore, carrying the
+// standing query's preparation charges), the incremental scan, finalize,
+// and re-suspension. A nil trace degrades to Advance.
+func (e *Engine) AdvanceTraced(cur *plan.Cursor, tr *obs.Trace) (*Result, *plan.Cursor, error) {
+	if tr == nil {
+		return e.Advance(cur)
+	}
+	root := tr.Root
+	root.SetAttr("standing", "true")
+	info, err := frameql.Analyze(cur.Query)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)
+	}
+	if e.Test.Frames > cur.Horizon {
+		ing := root.Child("ingest-catchup")
+		ing.SetAttr("from_horizon", strconv.Itoa(cur.Horizon))
+		ing.SetAttr("to_horizon", strconv.Itoa(e.Test.Frames))
+		if err := e.ingestForQuery(info); err != nil {
+			ing.Fail(err)
+			return nil, nil, err
+		}
+		ing.End()
+	}
+	resumeStart := time.Now()
+	x, err := e.resumeAnalyzed(info, cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	x.attachTrace(root, time.Since(resumeStart), "resume")
+	if err := x.RunTo(-1); err != nil {
+		return nil, nil, err
+	}
+	res, err := x.Result()
+	if err != nil {
+		return nil, nil, err
+	}
+	sus := root.Child("suspend")
+	ncur, err := x.Suspend()
+	if err != nil {
+		sus.Fail(err)
+		return nil, nil, err
+	}
+	sus.End()
+	return res, ncur, nil
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// TraceIDKey is the slog attribute key every request-scoped log record
+// carries, correlating log lines with /traces entries.
+const TraceIDKey = "trace_id"
+
+// NewLogger builds a slog.Logger writing to w: JSON records when json is
+// set, logfmt-style text otherwise.
+func NewLogger(w io.Writer, level slog.Leveler, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers so library users opt into log output explicitly.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

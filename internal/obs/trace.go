@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace is one request's execution record: a tree of timed spans under a
+// unique ID. A trace is recorded by one goroutine at a time (the request's
+// execution path; cross-goroutine handoffs must be externally
+// synchronized, as a worker pool's completion channel is) and becomes
+// immutable once Finish returns — which is when it may be published to a
+// TraceRing and read concurrently.
+type Trace struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMS float64   `json:"duration_ms"`
+	Root  *Span     `json:"root"`
+}
+
+// Span is one named stage of a trace: wall-clock extent relative to the
+// trace start, the simulated-cost-meter delta the stage charged, and the
+// frame/chunk counters it advanced. All counter fields are deltas local
+// to the span, not running totals.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"duration_ms"`
+	// SimSeconds is the simulated cost charged while this span ran —
+	// read from the execution's meter, never added to it.
+	SimSeconds    float64 `json:"sim_seconds,omitempty"`
+	DetectorCalls int     `json:"detector_calls,omitempty"`
+	// Frames counts progress units consumed (visited frames for scan
+	// families, samples or rank positions for the others).
+	Frames int `json:"frames,omitempty"`
+	// ChunksSkipped / FramesSkipped count index zone-map skip decisions
+	// made while this span ran.
+	ChunksSkipped int               `json:"chunks_skipped,omitempty"`
+	FramesSkipped int               `json:"frames_skipped,omitempty"`
+	Error         string            `json:"error,omitempty"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Children      []*Span           `json:"spans,omitempty"`
+
+	t     *Trace
+	start time.Time
+}
+
+// NewID returns a fresh 16-hex-character trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable enough to surface loudly.
+		panic("obs: reading random trace ID: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with a fresh ID; its root span is open.
+func NewTrace(name string) *Trace { return NewTraceID(name, NewID()) }
+
+// NewTraceID starts a trace under a caller-provided ID (the serving tier
+// assigns one ID per request and reuses it for the execution trace).
+func NewTraceID(name, id string) *Trace {
+	t := &Trace{ID: id, Name: name, Start: time.Now()}
+	t.Root = &Span{Name: name, t: t, start: t.Start}
+	return t
+}
+
+// Finish ends the root span and stamps the trace's total duration. The
+// trace must not be mutated afterwards.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+	t.DurMS = t.Root.DurMS
+}
+
+// Child starts a child span now. Nil-safe: a nil receiver returns nil,
+// and every Span method on nil is a no-op, so untraced code paths cost a
+// nil check and nothing else.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{Name: name, t: s.t, start: now, StartMS: ms(now.Sub(s.t.Start))}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End stamps the span's duration. Safe to call more than once; the first
+// call wins.
+func (s *Span) End() {
+	if s == nil || s.DurMS != 0 {
+		return
+	}
+	s.DurMS = ms(time.Since(s.start))
+	if s.DurMS == 0 {
+		// Preserve "ended" for the at-most-once guard on very fast spans.
+		s.DurMS = 0.0001
+	}
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+}
+
+// Fail records an error on the span and ends it.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Error = err.Error()
+	s.End()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// TraceSummary is one ring entry's listing line.
+type TraceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMS float64   `json:"duration_ms"`
+}
+
+// TraceRing retains the most recent finished traces in a bounded ring
+// buffer for GET /traces/{id}: old traces age out, memory stays bounded
+// no matter the query rate.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewTraceRing returns a ring retaining up to capacity traces
+// (non-positive capacity defaults to 256).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceRing{
+		buf:  make([]*Trace, capacity),
+		byID: make(map[string]*Trace, capacity),
+	}
+}
+
+// Add publishes a finished trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (r *TraceRing) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// List returns summaries of retained traces, newest first.
+func (r *TraceRing) List() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSummary, 0, len(r.byID))
+	n := len(r.buf)
+	for i := 1; i <= n; i++ {
+		t := r.buf[(r.next-i+n)%n]
+		if t == nil {
+			break
+		}
+		out = append(out, TraceSummary{ID: t.ID, Name: t.Name, Start: t.Start, DurMS: t.DurMS})
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("query")
+	if len(tr.ID) != 16 {
+		t.Fatalf("ID %q, want 16 hex chars", tr.ID)
+	}
+	plan := tr.Root.Child("plan")
+	plan.SetAttr("chosen", "specialized-rewrite")
+	plan.End()
+	scan := tr.Root.Child("scan")
+	sh := scan.Child("shard")
+	sh.Frames = 4096
+	sh.SimSeconds = 1.5
+	sh.End()
+	scan.End()
+	tr.Finish()
+
+	if tr.DurMS <= 0 {
+		t.Fatalf("DurMS = %v", tr.DurMS)
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("children = %d", len(tr.Root.Children))
+	}
+	if got := tr.Root.Children[0].Attrs["chosen"]; got != "specialized-rewrite" {
+		t.Fatalf("attr = %q", got)
+	}
+	// JSON round-trips the whole tree.
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Children[1].Children[0].Frames != 4096 {
+		t.Fatalf("round-trip lost shard frames: %s", b)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child != nil")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	s.Fail(fmt.Errorf("boom"))
+	var tr *Trace
+	tr.Finish()
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(fmt.Sprintf("q%d", i))
+		tr.Finish()
+		r.Add(tr)
+		ids = append(ids, tr.ID)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	for _, id := range ids[:2] {
+		if r.Get(id) != nil {
+			t.Fatalf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Fatalf("retained trace %s missing", id)
+		}
+	}
+	l := r.List()
+	if len(l) != 3 || l[0].ID != ids[4] || l[2].ID != ids[2] {
+		t.Fatalf("List order wrong: %+v (want newest first %v)", l, ids[2:])
+	}
+}

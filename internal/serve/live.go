@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -46,20 +48,19 @@ type subscription struct {
 	// maxRows is the subscription's row cap (0 = server default), applied
 	// to every poll response, not just the initial one.
 	maxRows int
+
+	// horizon mirrors cursor.Horizon for lock-free reads — the epoch-lag
+	// gauge must never block on mu, which an in-flight advance holds
+	// across engine execution.
+	horizon atomic.Int64
 }
 
-// liveState is the Server's continuous-tier state and accounting.
+// liveState is the Server's continuous-tier state; activity counters live
+// in the metrics registry, not here.
 type liveState struct {
 	mu     sync.Mutex
 	subs   map[string]*subscription
 	nextID uint64
-
-	ingests        uint64
-	framesIngested uint64
-	subscribes     uint64
-	unsubscribes   uint64
-	polls          uint64
-	advances       uint64
 }
 
 // live reports whether the server opened its streams as live (growing)
@@ -122,24 +123,24 @@ type ingestResponse struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST required")
 		return
 	}
 	if !s.live() {
-		writeError(w, http.StatusBadRequest, "server is not in live mode (start with a live start fraction)")
+		writeError(w, http.StatusBadRequest, codeNotLive, "server is not in live mode (start with a live start fraction)")
 		return
 	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
 		return
 	}
 	if req.Stream == "" || req.Frames <= 0 {
-		writeError(w, http.StatusBadRequest, `body must set "stream" and a positive "frames"`)
+		writeError(w, http.StatusBadRequest, codeBadRequest, `body must set "stream" and a positive "frames"`)
 		return
 	}
 	if !s.allowed[req.Stream] {
-		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		writeError(w, http.StatusNotFound, codeUnknownStream, "unknown stream %q (see /streams)", req.Stream)
 		return
 	}
 	ctx := r.Context()
@@ -175,19 +176,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if resp.Appended > 0 {
-		s.liveSt.mu.Lock()
-		s.liveSt.ingests++
-		s.liveSt.framesIngested += uint64(resp.Appended)
-		s.liveSt.mu.Unlock()
+		s.m.ingests.Inc()
+		s.m.ingestFrames.With(req.Stream).Add(float64(resp.Appended))
 	}
 	if ingErr != nil {
 		if resp.Appended > 0 {
-			writeError(w, http.StatusInternalServerError,
+			writeError(w, http.StatusInternalServerError, codeIngestFailed,
 				"ingest partially applied: %d frames are now visible (horizon %d, epoch %d) but index extension failed: %v — do not re-send these frames",
 				resp.Appended, resp.Horizon, resp.Epoch, ingErr)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "ingest failed: %v", ingErr)
+		writeError(w, http.StatusInternalServerError, codeIngestFailed, "ingest failed: %v", ingErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -229,35 +228,35 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.handleUnsubscribe(w, r)
 		return
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST or DELETE required")
 		return
 	}
 	if !s.live() {
 		// Without live streams a standing query could never advance; it
 		// would only pin a registry slot forever. Symmetric with /ingest.
-		writeError(w, http.StatusBadRequest, "server is not in live mode (start with a live start fraction)")
+		writeError(w, http.StatusBadRequest, codeNotLive, "server is not in live mode (start with a live start fraction)")
 		return
 	}
 	var req subscribeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
 		return
 	}
 	if req.Stream == "" || req.Query == "" {
-		writeError(w, http.StatusBadRequest, `body must set "stream" and "query"`)
+		writeError(w, http.StatusBadRequest, codeBadRequest, `body must set "stream" and "query"`)
 		return
 	}
 	if !s.allowed[req.Stream] {
-		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		writeError(w, http.StatusNotFound, codeUnknownStream, "unknown stream %q (see /streams)", req.Stream)
 		return
 	}
 	info, err := frameql.Analyze(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, "query error: %v", err)
 		return
 	}
 	if info.Video != "" && info.Video != req.Stream {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeInvalidQuery,
 			"query is over %q but request targets stream %q", info.Video, req.Stream)
 		return
 	}
@@ -267,7 +266,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if len(s.liveSt.subs) >= maxSubscriptions {
 		s.liveSt.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "subscription registry full (%d standing queries)", maxSubscriptions)
+		writeError(w, http.StatusTooManyRequests, codeSaturated, "subscription registry full (%d standing queries)", maxSubscriptions)
 		return
 	}
 	s.liveSt.mu.Unlock()
@@ -310,10 +309,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if execErr != nil {
-		s.mu.Lock()
-		s.queryErrors++
-		s.mu.Unlock()
-		writeError(w, http.StatusBadRequest, "standing query failed: %v", execErr)
+		s.m.queryErrs.Inc()
+		writeError(w, http.StatusBadRequest, codeQueryFailed, "standing query failed: %v", execErr)
 		return
 	}
 
@@ -325,11 +322,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if len(s.liveSt.subs) >= maxSubscriptions {
 		s.liveSt.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "subscription registry full (%d standing queries)", maxSubscriptions)
+		writeError(w, http.StatusTooManyRequests, codeSaturated, "subscription registry full (%d standing queries)", maxSubscriptions)
 		return
 	}
 	s.liveSt.nextID++
-	s.liveSt.subscribes++
 	sub := &subscription{
 		id:        fmt.Sprintf("sub-%d", s.liveSt.nextID),
 		stream:    req.Stream,
@@ -339,11 +335,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		seq:       1,
 		maxRows:   req.MaxRows,
 	}
+	sub.horizon.Store(int64(cur.Horizon))
 	if s.liveSt.subs == nil {
 		s.liveSt.subs = make(map[string]*subscription)
 	}
 	s.liveSt.subs[sub.id] = sub
 	s.liveSt.mu.Unlock()
+	s.m.subscribes.Inc()
 
 	writeJSON(w, http.StatusOK, &subscribeResponse{
 		ID: sub.id, Seq: sub.seq,
@@ -357,44 +355,44 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing ?id= parameter")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing ?id= parameter")
 		return
 	}
 	s.liveSt.mu.Lock()
 	_, ok := s.liveSt.subs[id]
 	if ok {
 		delete(s.liveSt.subs, id)
-		s.liveSt.unsubscribes++
 	}
 	s.liveSt.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown subscription %q", id)
+		writeError(w, http.StatusNotFound, codeUnknownSubscription, "unknown subscription %q", id)
 		return
 	}
+	s.m.unsubscribes.Inc()
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "unsubscribed"})
 }
 
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET required")
 		return
 	}
 	id := r.URL.Query().Get("id")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, "missing ?id= parameter")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing ?id= parameter")
 		return
 	}
 	maxRowsOverride, err := intParam(r.URL.Query().Get("max_rows"), 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid max_rows: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid max_rows: %v", err)
 		return
 	}
 	s.liveSt.mu.Lock()
 	sub := s.liveSt.subs[id]
-	s.liveSt.polls++
 	s.liveSt.mu.Unlock()
+	s.m.polls.Inc()
 	if sub == nil {
-		writeError(w, http.StatusNotFound, "unknown subscription %q", id)
+		writeError(w, http.StatusNotFound, codeUnknownSubscription, "unknown subscription %q", id)
 		return
 	}
 
@@ -404,6 +402,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	defer sub.mu.Unlock()
 
 	updated := false
+	var tr *obs.Trace
 	start := time.Now()
 	horizon, open := s.streamHorizon(sub.stream)
 	eng, _ := s.reg.Peek(sub.stream)
@@ -414,32 +413,43 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 			defer cancel()
 		}
+		// Every advance records a span tree into the ring — standing
+		// queries run unattended, so the trace is often the only record
+		// of what an advance cost.
+		tr = obs.NewTraceID(sub.canonical, traceIDFrom(r.Context()))
+		tr.Root.SetAttr("stream", sub.stream)
+		tr.Root.SetAttr("subscription", sub.id)
+		queueSp := tr.Root.Child("queue")
 		var res *core.Result
 		var ncur *plan.Cursor
 		var advErr error
 		poolErr := s.pool.Do(ctx, func() {
+			queueSp.End()
 			lock := s.streamLock(sub.stream)
 			lock.RLock()
 			defer lock.RUnlock()
-			res, ncur, advErr = eng.Advance(sub.cursor)
+			res, ncur, advErr = eng.AdvanceTraced(sub.cursor, tr)
 		})
 		if done := s.writePoolError(w, poolErr, "poll"); done {
 			return
 		}
 		if advErr != nil {
-			s.mu.Lock()
-			s.queryErrors++
-			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, "advancing standing query: %v", advErr)
+			s.m.queryErrs.Inc()
+			tr.Root.Fail(advErr)
+			tr.Finish()
+			s.traces.Add(tr)
+			writeError(w, http.StatusInternalServerError, codeInternal, "advancing standing query: %v", advErr)
 			return
 		}
+		tr.Finish()
+		s.traces.Add(tr)
 		sub.cursor = ncur
 		sub.last = res
 		sub.seq++
+		sub.horizon.Store(int64(ncur.Horizon))
 		updated = true
-		s.liveSt.mu.Lock()
-		s.liveSt.advances++
-		s.liveSt.mu.Unlock()
+		s.m.advances.Inc()
+		s.logSlowQuery("advance", sub.stream, sub.canonical, time.Since(start), tr)
 	}
 
 	// The subscription's row cap applies to every poll; a ?max_rows=
@@ -448,13 +458,20 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	if maxRowsOverride > 0 && (maxRows <= 0 || maxRowsOverride < maxRows) {
 		maxRows = maxRowsOverride
 	}
-	writeJSON(w, http.StatusOK, &subscribeResponse{
+	resp := &subscribeResponse{
 		ID: sub.id, Seq: sub.seq,
 		Horizon: sub.cursor.Horizon, DayFrames: s.dayFrames(sub.stream),
 		Plan:    sub.cursor.Plan,
 		Updated: updated,
 		Result:  s.buildResponse(sub.stream, sub.canonical, sub.last, !updated, s.maxRows(maxRows), time.Since(start)),
-	})
+	}
+	if tr != nil {
+		resp.Result.TraceID = tr.ID
+		if wantTrace(r) {
+			resp.Result.Trace = tr
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // dayFrames returns the stream's full-day frame count (0 when unopened).
@@ -473,18 +490,16 @@ func (s *Server) writePoolError(w http.ResponseWriter, poolErr error, what strin
 		return false
 	case errors.Is(poolErr, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server saturated: admission queue full")
+		writeError(w, http.StatusTooManyRequests, codeSaturated, "server saturated: admission queue full")
 	case errors.Is(poolErr, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "%s timed out after %s", what, s.cfg.QueryTimeout)
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, "%s timed out after %s", what, s.cfg.QueryTimeout)
 	case errors.Is(poolErr, context.Canceled):
-		writeError(w, 499, "client canceled request")
+		writeError(w, 499, codeCanceled, "client canceled request")
 	case errors.Is(poolErr, ErrTaskPanicked):
-		s.mu.Lock()
-		s.queryErrors++
-		s.mu.Unlock()
-		writeError(w, http.StatusInternalServerError, "internal error during %s: %v", what, poolErr)
+		s.m.queryErrs.Inc()
+		writeError(w, http.StatusInternalServerError, codeInternal, "internal error during %s: %v", what, poolErr)
 	default:
-		writeError(w, http.StatusServiceUnavailable, "executor unavailable: %v", poolErr)
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, "executor unavailable: %v", poolErr)
 	}
 	return true
 }
@@ -528,14 +543,14 @@ func (s *Server) livezSnapshot() livezStatz {
 			lz.Streams[name] = liveStreamStatz{Horizon: horizon, DayFrames: eng.DayFrames(), Epoch: eng.StreamEpoch()}
 		}
 	}
+	lz.Ingests = uint64(s.metrics.Value("blazeit_ingests_total"))
+	lz.FramesIngested = uint64(s.metrics.SumValues("blazeit_ingest_frames_total"))
+	lz.Subscribes = uint64(s.metrics.Value("blazeit_subscribes_total"))
+	lz.Unsubscribes = uint64(s.metrics.Value("blazeit_unsubscribes_total"))
+	lz.Polls = uint64(s.metrics.Value("blazeit_polls_total"))
+	lz.Advances = uint64(s.metrics.Value("blazeit_advances_total"))
 	s.liveSt.mu.Lock()
-	lz.Ingests = s.liveSt.ingests
-	lz.FramesIngested = s.liveSt.framesIngested
-	lz.Subscribes = s.liveSt.subscribes
-	lz.Unsubscribes = s.liveSt.unsubscribes
 	lz.SubscriptionsActive = len(s.liveSt.subs)
-	lz.Polls = s.liveSt.polls
-	lz.Advances = s.liveSt.advances
 	s.liveSt.mu.Unlock()
 	return lz
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/frameql"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/vidsim"
 )
@@ -67,6 +69,15 @@ type Config struct {
 	// Open overrides engine construction (used by tests); the default
 	// opens core.NewEngine(name, Engine).
 	Open Opener
+	// Log receives the access log, the slow-query log, and server
+	// lifecycle records; nil discards them.
+	Log *slog.Logger
+	// SlowQuery is the wall-clock threshold above which a query's full
+	// span tree is logged at warn level. Zero disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceRingSize bounds the retained-trace ring behind GET /traces
+	// (0 means the default, 256).
+	TraceRingSize int
 }
 
 const (
@@ -87,14 +98,16 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	mu             sync.Mutex
-	perStream      map[string]*streamCounters
-	streamLocks    map[string]*sync.RWMutex
-	chargedSeconds float64
-	chargedCalls   uint64
-	queryErrors    uint64
-	skippedChunks  uint64
-	skippedFrames  uint64
+	// Observability: every serving counter lives in the metrics registry
+	// (the source /metrics exports and /statz derives from), finished
+	// execution traces in the bounded ring behind /traces.
+	metrics *obs.Registry
+	m       *serverMetrics
+	traces  *obs.TraceRing
+	log     *slog.Logger
+
+	mu          sync.Mutex
+	streamLocks map[string]*sync.RWMutex
 
 	// liveSt is the continuous-query tier's state: live-stream ingest
 	// accounting and the standing-query registry (see live.go).
@@ -111,12 +124,6 @@ type Server struct {
 	buildsQueued atomic.Uint64
 	buildsDone   atomic.Uint64
 	buildsFailed atomic.Uint64
-}
-
-// streamCounters tracks per-stream serving totals.
-type streamCounters struct {
-	queries   uint64
-	cacheHits uint64
 }
 
 // New builds a Server from cfg. Call Close when done to drain the worker
@@ -156,6 +163,10 @@ func New(cfg Config) *Server {
 	case cacheCap < 0:
 		cacheCap = 0
 	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	s = &Server{
 		cfg:         cfg,
 		streams:     names,
@@ -165,17 +176,24 @@ func New(cfg Config) *Server {
 		pool:        NewPool(cfg.Workers, cfg.QueueDepth),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
-		perStream:   make(map[string]*streamCounters),
+		metrics:     obs.NewRegistry(),
+		traces:      obs.NewTraceRing(cfg.TraceRingSize),
+		log:         logger,
 		streamLocks: make(map[string]*sync.RWMutex),
 	}
+	s.m = newServerMetrics(s.metrics)
+	s.registerCollectors()
 	s.liveSt.subs = make(map[string]*subscription)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/streams", s.handleStreams)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/statz", s.handleStatz)
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
-	s.mux.HandleFunc("/poll", s.handlePoll)
+	s.mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	s.mux.HandleFunc("/streams", s.instrument("/streams", s.handleStreams))
+	s.mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
+	s.mux.HandleFunc("/statz", s.instrument("/statz", s.handleStatz))
+	s.mux.HandleFunc("/ingest", s.instrument("/ingest", s.handleIngest))
+	s.mux.HandleFunc("/subscribe", s.instrument("/subscribe", s.handleSubscribe))
+	s.mux.HandleFunc("/poll", s.instrument("/poll", s.handlePoll))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/traces", s.instrument("/traces", s.handleTraces))
+	s.mux.HandleFunc("/traces/", s.instrument("/traces", s.handleTraces))
 	return s
 }
 
@@ -260,20 +278,37 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Cache exposes the result cache (for tests and embedding callers).
 func (s *Server) Cache() *ResultCache { return s.cache }
 
-func (s *Server) counters(stream string) *streamCounters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.perStream[stream]
-	if !ok {
-		c = &streamCounters{}
-		s.perStream[stream] = c
-	}
-	return c
+// Machine-readable error codes carried in every error envelope, so
+// clients can branch on failure class without parsing messages.
+const (
+	codeMethodNotAllowed    = "method_not_allowed"
+	codeBadRequest          = "bad_request"
+	codeUnknownStream       = "unknown_stream"
+	codeInvalidQuery        = "invalid_query"
+	codeUnknownSubscription = "unknown_subscription"
+	codeUnknownTrace        = "unknown_trace"
+	codeSaturated           = "saturated"
+	codeTimeout             = "timeout"
+	codeCanceled            = "canceled"
+	codeInternal            = "internal"
+	codeUnavailable         = "unavailable"
+	codeNotLive             = "not_live"
+	codeQueryFailed         = "query_failed"
+	codeIngestFailed        = "ingest_failed"
+)
+
+// errorBody is the unified error payload every endpoint returns: the HTTP
+// status echoed for clients that lose it, a stable machine-readable code,
+// and the human-readable message.
+type errorBody struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -284,8 +319,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: errorBody{
+		Status:  status,
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // queryRequest is the POST /query body.
@@ -365,6 +404,12 @@ type queryResponse struct {
 	// (for cached results, the execution that populated the cache).
 	PlanReport *plan.Report `json:"plan_report,omitempty"`
 	WallMS     float64      `json:"wall_ms"`
+	// TraceID identifies this request's execution trace; the full span
+	// tree is retrievable at /traces/{id} while the ring retains it.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the span tree inline, present when the request asked for
+	// it with ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // defaultParallelism is the worker count defaulted engines execute plans
@@ -458,47 +503,58 @@ func (s *Server) buildResponse(stream, canonical string, res *core.Result, cache
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST required")
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
 		return
 	}
 	if req.Stream == "" || req.Query == "" {
-		writeError(w, http.StatusBadRequest, `body must set "stream" and "query"`)
+		writeError(w, http.StatusBadRequest, codeBadRequest, `body must set "stream" and "query"`)
 		return
 	}
 	if !s.allowed[req.Stream] {
-		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", req.Stream)
+		writeError(w, http.StatusNotFound, codeUnknownStream, "unknown stream %q (see /streams)", req.Stream)
 		return
 	}
 	info, err := frameql.Analyze(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, "query error: %v", err)
 		return
 	}
 	if info.Video != "" && info.Video != req.Stream {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeInvalidQuery,
 			"query is over %q but request targets stream %q", info.Video, req.Stream)
 		return
 	}
 
 	canonical := info.Stmt.String()
-	counters := s.counters(req.Stream)
+	traceID := traceIDFrom(r.Context())
+	inline := wantTrace(r)
 	start := time.Now()
 
 	if !req.NoCache {
 		// The key carries the stream's ingest epoch: an answer computed
 		// before an ingest can never serve a request arriving after it.
 		if hit := s.cache.Get(CacheKey(req.Stream, s.streamEpoch(req.Stream), canonical)); hit != nil {
-			s.mu.Lock()
-			counters.queries++
-			counters.cacheHits++
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, s.buildResponse(
-				req.Stream, canonical, hit, true, s.maxRows(req.MaxRows), time.Since(start)))
+			s.m.queries.With(req.Stream).Inc()
+			s.m.cacheHits.With(req.Stream).Inc()
+			resp := s.buildResponse(
+				req.Stream, canonical, hit, true, s.maxRows(req.MaxRows), time.Since(start))
+			resp.TraceID = traceID
+			if inline {
+				// A cache hit runs no execution; the trace records the
+				// lookup itself so traced requests always return a tree.
+				tr := obs.NewTraceID(canonical, traceID)
+				tr.Root.SetAttr("stream", req.Stream)
+				tr.Root.SetAttr("cached", "true")
+				tr.Finish()
+				s.traces.Add(tr)
+				resp.Trace = tr
+			}
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
@@ -511,10 +567,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	par := s.resolveParallelism(req.Parallelism)
+	// Every executed query is traced: tracing is answer-neutral (it reads
+	// the cost meter, never charges it) and the ring is bounded, so the
+	// span tree is always on record for /traces and the slow-query log.
+	// ?trace=1 only controls inline return.
+	tr := obs.NewTraceID(canonical, traceID)
+	tr.Root.SetAttr("stream", req.Stream)
+	queueSp := tr.Root.Child("queue")
 	var res *core.Result
 	var execErr error
 	var execEpoch uint64
 	poolErr := s.pool.Do(ctx, func() {
+		// The pool's handoff orders this with the handler goroutine, so
+		// the trace stays single-writer.
+		queueSp.End()
 		eng, err := s.reg.Engine(ctx, req.Stream)
 		if err != nil {
 			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
@@ -527,33 +593,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		lock.RLock()
 		defer lock.RUnlock()
 		execEpoch = eng.StreamEpoch()
-		res, execErr = eng.ExecuteParallel(info, par)
+		res, execErr = eng.ExecuteParallelTraced(info, par, tr)
 	})
 	if s.writePoolError(w, poolErr, "query") {
 		return
 	}
 	if execErr != nil {
-		s.mu.Lock()
-		s.queryErrors++
-		s.mu.Unlock()
+		s.m.queryErrs.Inc()
+		tr.Root.Fail(execErr)
+		tr.Finish()
+		s.traces.Add(tr)
 		if errors.Is(execErr, context.DeadlineExceeded) || errors.Is(execErr, context.Canceled) {
-			writeError(w, http.StatusGatewayTimeout, "query timed out: %v", execErr)
+			writeError(w, http.StatusGatewayTimeout, codeTimeout, "query timed out: %v", execErr)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "query failed: %v", execErr)
+		writeError(w, http.StatusBadRequest, codeQueryFailed, "query failed: %v", execErr)
 		return
 	}
+	tr.Finish()
+	s.traces.Add(tr)
 
 	s.cache.Put(CacheKey(req.Stream, execEpoch, canonical), res)
-	s.mu.Lock()
-	counters.queries++
-	s.chargedSeconds += res.Stats.TotalSeconds()
-	s.chargedCalls += uint64(res.Stats.DetectorCalls)
-	s.skippedChunks += uint64(res.Stats.IndexChunksSkipped)
-	s.skippedFrames += uint64(res.Stats.IndexFramesSkipped)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.buildResponse(
-		req.Stream, canonical, res, false, s.maxRows(req.MaxRows), time.Since(start)))
+	s.m.queries.With(req.Stream).Inc()
+	s.m.simSeconds.Add(res.Stats.TotalSeconds())
+	s.m.simCalls.Add(float64(res.Stats.DetectorCalls))
+	s.m.chunksSkip.Add(float64(res.Stats.IndexChunksSkipped))
+	s.m.framesSkip.Add(float64(res.Stats.IndexFramesSkipped))
+	s.observeEstimateError(res.PlanReport)
+	wall := time.Since(start)
+	s.logSlowQuery("query", req.Stream, canonical, wall, tr)
+	resp := s.buildResponse(req.Stream, canonical, res, false, s.maxRows(req.MaxRows), wall)
+	resp.TraceID = traceID
+	if inline {
+		resp.Trace = tr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // streamInfo is one GET /streams entry.
@@ -570,18 +644,16 @@ type streamInfo struct {
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET required")
 		return
 	}
 	out := make([]streamInfo, 0, len(s.streams))
 	for _, name := range s.streams {
-		si := streamInfo{Name: name}
-		s.mu.Lock()
-		if c, ok := s.perStream[name]; ok {
-			si.Queries = c.queries
-			si.CacheHits = c.cacheHits
+		si := streamInfo{
+			Name:      name,
+			Queries:   uint64(s.metrics.Value("blazeit_queries_total", name)),
+			CacheHits: uint64(s.metrics.Value("blazeit_query_cache_hits_total", name)),
 		}
-		s.mu.Unlock()
 		if eng, ok := s.reg.Peek(name); ok {
 			si.Open = true
 			si.Frames = eng.Test.Frames
@@ -623,34 +695,34 @@ type explainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET required")
 		return
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeError(w, http.StatusBadRequest, "missing ?q= query parameter")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing ?q= query parameter")
 		return
 	}
 	stream := r.URL.Query().Get("stream")
 	if stream != "" && !s.allowed[stream] {
-		writeError(w, http.StatusNotFound, "unknown stream %q (see /streams)", stream)
+		writeError(w, http.StatusNotFound, codeUnknownStream, "unknown stream %q (see /streams)", stream)
 		return
 	}
 	info, err := frameql.Analyze(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "query error: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidQuery, "query error: %v", err)
 		return
 	}
 	// Apply the same consistency check /query enforces, so a 200 here
 	// means the equivalent POST /query would be admitted.
 	if stream != "" && info.Video != "" && info.Video != stream {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeInvalidQuery,
 			"query is over %q but request targets stream %q", info.Video, stream)
 		return
 	}
 	requested, err := intParam(r.URL.Query().Get("parallelism"), 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid parallelism: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid parallelism: %v", err)
 		return
 	}
 	effective := s.resolveParallelism(requested)
@@ -708,10 +780,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		if planErr != nil {
 			if errors.Is(planErr, context.DeadlineExceeded) || errors.Is(planErr, context.Canceled) {
-				writeError(w, http.StatusGatewayTimeout, "planning timed out: %v", planErr)
+				writeError(w, http.StatusGatewayTimeout, codeTimeout, "planning timed out: %v", planErr)
 				return
 			}
-			writeError(w, http.StatusBadRequest, "planning failed: %v", planErr)
+			writeError(w, http.StatusBadRequest, codeQueryFailed, "planning failed: %v", planErr)
 			return
 		}
 		resp.Plan = rep
@@ -830,9 +902,12 @@ type registryStatz struct {
 	Opens   uint64   `json:"opens"`
 }
 
+// handleStatz assembles the human-oriented stats page. Serving counters
+// are read back from the metrics registry — /statz is a derived view of
+// the same families /metrics exports, never a second set of books.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET required")
 		return
 	}
 	cache := s.cache.Stats()
@@ -913,21 +988,21 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Registry:      registryStatz{Open: open, Opening: opening, Opens: s.reg.Opens()},
 		Streams:       make(map[string]uint64),
 	}
-	s.mu.Lock()
-	resp.Indexz.ChunksSkipped = s.skippedChunks
-	resp.Indexz.FramesSkipped = s.skippedFrames
-	for name, c := range s.perStream {
-		resp.Queries.Total += c.queries
-		resp.Queries.CacheHits += c.cacheHits
-		resp.Streams[name] = c.queries
+	resp.Indexz.ChunksSkipped = uint64(s.metrics.Value("blazeit_index_chunks_skipped_total"))
+	resp.Indexz.FramesSkipped = uint64(s.metrics.Value("blazeit_index_frames_skipped_total"))
+	resp.Queries.Total = uint64(s.metrics.SumValues("blazeit_queries_total"))
+	resp.Queries.CacheHits = uint64(s.metrics.SumValues("blazeit_query_cache_hits_total"))
+	resp.Queries.Errors = uint64(s.metrics.Value("blazeit_query_errors_total"))
+	for _, name := range s.streams {
+		if q := s.metrics.Value("blazeit_queries_total", name); q > 0 {
+			resp.Streams[name] = uint64(q)
+		}
 	}
-	resp.Queries.Errors = s.queryErrors
 	resp.Sim = simStatz{
-		ChargedSeconds:       s.chargedSeconds,
-		ChargedDetectorCalls: s.chargedCalls,
+		ChargedSeconds:       s.metrics.Value("blazeit_sim_charged_seconds_total"),
+		ChargedDetectorCalls: uint64(s.metrics.Value("blazeit_sim_charged_detector_calls_total")),
 		SavedSeconds:         cache.SavedSimSeconds,
 		SavedDetectorCalls:   cache.SavedDetectorCalls,
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
