@@ -23,9 +23,12 @@
 // cannot hide behind machine variance, and an intentional change must
 // regenerate the baseline.
 //
-// Per file: a missing baseline is a warning (first run), a scale mismatch
-// skips the file (incomparable), and records present on only one side are
-// warnings — families come and go with the plan space.
+// Per file: a missing baseline is a warning (first run), and a scale
+// mismatch skips the file (incomparable). A fresh-run record with no
+// baseline counterpart is informational — new families appear whenever
+// the plan space grows, and a brand-new family has nothing to regress
+// against — while a baseline record missing from the fresh run stays a
+// warning, since silently losing coverage is worth a look.
 //
 // Exit status: 0 clean or skipped, 1 regression, 2 usage or I/O error.
 package main
@@ -147,7 +150,7 @@ func compare(name string, base, cur *benchFile, threshold, simTol float64) *verd
 		seen[k] = true
 		br, ok := baseBy[k]
 		if !ok {
-			v.warnings = append(v.warnings, fmt.Sprintf("%s: %s has no baseline record", name, k))
+			v.infos = append(v.infos, fmt.Sprintf("%s: %s has no baseline record (new family; informational)", name, k))
 			continue
 		}
 		matched++

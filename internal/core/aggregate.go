@@ -249,27 +249,33 @@ func (x *aggScanExec) RunTo(units int) error {
 	}
 	// Production stays sharded and parallel (per-frame integer counts are
 	// exact and order-free); consumption charges and sums per frame in
-	// order, so the scan suspends on exact frame boundaries.
+	// order over chunk-aligned batches, so the scan suspends on exact
+	// frame boundaries.
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false,
 		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
+			if !x.oracle {
+				return c.CountRange(s.lo, s.hi, class, make([]int32, 0, s.hi-s.lo))
+			}
 			counts := make([]int32, s.hi-s.lo)
 			for f := s.lo; f < s.hi; f++ {
-				if x.oracle && presence[f] == 0 {
+				if presence[f] == 0 {
 					continue
 				}
 				counts[f-s.lo] = int32(c.CountAt(f, class))
 			}
 			return counts
 		},
-		func(i, off int, counts []int32) bool {
-			if x.oracle && presence[i] == 0 {
-				return true
+		func(blo, bhi, off0 int, counts []int32) (int, bool) {
+			for i := blo; i < bhi; i++ {
+				if x.oracle && presence[i] == 0 {
+					continue
+				}
+				x.st.Stats.addDetection(fullCost)
+				x.st.Sum += int64(counts[off0+(i-blo)])
 			}
-			x.st.Stats.addDetection(fullCost)
-			x.st.Sum += int64(counts[off])
-			return true
+			return bhi - blo, true
 		})
 	x.st.Pos = pos
 	return nil
@@ -553,22 +559,25 @@ func (x *distinctExec) RunTo(units int) error {
 		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) *detArena {
 			a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
+			c := e.DTest.NewCounter()
 			for i := s.lo; i < s.hi; i++ {
-				a.dets = e.DTest.Detect(lo+i, a.dets)
+				a.dets = c.Detect(lo+i, a.dets)
 				a.ends = append(a.ends, int32(len(a.dets)))
 			}
 			return a
 		},
-		func(i, off int, a *detArena) bool {
-			x.st.Stats.addDetection(fullCost)
-			dets := a.frame(off)
-			ids := x.tracker.Advance(lo+i, dets)
-			for j := range dets {
-				if dets[j].Class == x.class {
-					x.distinct[ids[j]] = true
+		func(blo, bhi, off0 int, a *detArena) (int, bool) {
+			for i := blo; i < bhi; i++ {
+				x.st.Stats.addDetection(fullCost)
+				dets := a.frame(off0 + (i - blo))
+				ids := x.tracker.Advance(lo+i, dets)
+				for j := range dets {
+					if dets[j].Class == x.class {
+						x.distinct[ids[j]] = true
+					}
 				}
 			}
-			return true
+			return bhi - blo, true
 		})
 	x.st.Pos = pos
 	return nil

@@ -226,67 +226,93 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
 		x.scanTrace(&e.exec, &x.st.Stats),
 		func(s shard) []binVerdict {
+			// The shard walks index-chunk-aligned frame ranges: one zone-map
+			// consultation per chunk decides whether the chunk's columns are
+			// read at all (predicate pushdown — a skipped chunk's scores are
+			// never decoded), and surviving ranges are scored in batch
+			// against the columnar distribution (ScoreTail reproduces the
+			// per-frame accessor bit for bit; the per-frame reference path
+			// stays selectable for the equivalence suite).
 			c := e.DTest.NewCounter()
 			verdicts := make([]binVerdict, s.hi-s.lo)
-			curChunk, skipChunk := -1, false
-			for i := s.lo; i < s.hi; i++ {
+			var scores []float64
+			for i := s.lo; i < s.hi; {
 				f := lo + i
-				v := &verdicts[i-s.lo]
-				if ci := index.ChunkOf(f); ci != curChunk {
-					curChunk = ci
-					skipChunk = zoneSkipsEnabled && seg.CanSkipTail(ci, head, 1, lowT)
-					// Mark each skipped chunk once per scan — at the frame
-					// where the whole scan (not this shard) first enters
-					// it — so shard boundaries straddling a chunk never
-					// double-count it.
-					if skipChunk && (i == 0 || index.ChunkOf(f-1) != ci) {
-						v.chunkFirst = true
+				ci := index.ChunkOf(f)
+				iEnd := s.hi // end of this chunk's visited range within the shard
+				if ce := (ci+1)*index.ChunkFrames - lo; ce < iEnd {
+					iEnd = ce
+				}
+				if zoneSkipsEnabled && seg.CanSkipTail(ci, head, 1, lowT) {
+					// Rejected unverified, proven by the zone map. Mark the
+					// chunk once per scan — at the frame where the whole scan
+					// (not this shard) first enters it — so shard boundaries
+					// straddling a chunk never double-count it.
+					if i == 0 || index.ChunkOf(f-1) != ci {
+						verdicts[i-s.lo].chunkFirst = true
 					}
+					for ; i < iEnd; i++ {
+						verdicts[i-s.lo].skipped = true
+					}
+					continue
 				}
-				if skipChunk {
-					v.skipped = true
-					continue // rejected unverified, proven by the zone map
+				if vectorScanEnabled {
+					if cap(scores) < iEnd-i {
+						scores = make([]float64, iEnd-i)
+					}
+					scores = scores[:iEnd-i]
+					seg.ScoreTail(head, 1, f, lo+iEnd, scores)
 				}
-				score := infTest.TailProb(head, f, 1)
-				switch {
-				case score < lowT:
-					// rejected unverified
-				case score >= highT:
-					v.positive = true
-				default:
-					v.verified = true
-					v.positive = c.CountAt(f, class) > 0
+				for ; i < iEnd; i++ {
+					v := &verdicts[i-s.lo]
+					var score float64
+					if vectorScanEnabled {
+						score = scores[len(scores)-(iEnd-i)]
+					} else {
+						score = infTest.TailProb(head, lo+i, 1)
+					}
+					switch {
+					case score < lowT:
+						// rejected unverified
+					case score >= highT:
+						v.positive = true
+					default:
+						v.verified = true
+						v.positive = c.CountAt(lo+i, class) > 0
+					}
 				}
 			}
 			return verdicts
 		},
-		func(i, off int, verdicts []binVerdict) bool {
-			f := lo + i
-			v := verdicts[off]
-			if v.chunkFirst {
-				x.st.Stats.IndexChunksSkipped++
+		func(blo, bhi, off0 int, verdicts []binVerdict) (int, bool) {
+			for i := blo; i < bhi; i++ {
+				f := lo + i
+				v := verdicts[off0+(i-blo)]
+				if v.chunkFirst {
+					x.st.Stats.IndexChunksSkipped++
+				}
+				if v.skipped {
+					x.st.Stats.IndexFramesSkipped++
+					continue
+				}
+				if v.verified {
+					x.st.Stats.addDetection(fullCost)
+					x.st.Verified++
+				}
+				if !v.positive {
+					continue
+				}
+				if gap > 0 && f-x.st.LastReturned < gap {
+					continue
+				}
+				x.st.LastReturned = f
+				x.st.Frames = append(x.st.Frames, f)
+				if limit >= 0 && len(x.st.Frames) >= limit {
+					x.st.Finished = true
+					return i - blo + 1, false
+				}
 			}
-			if v.skipped {
-				x.st.Stats.IndexFramesSkipped++
-				return true
-			}
-			if v.verified {
-				x.st.Stats.addDetection(fullCost)
-				x.st.Verified++
-			}
-			if !v.positive {
-				return true
-			}
-			if gap > 0 && f-x.st.LastReturned < gap {
-				return true
-			}
-			x.st.LastReturned = f
-			x.st.Frames = append(x.st.Frames, f)
-			if limit >= 0 && len(x.st.Frames) >= limit {
-				x.st.Finished = true
-				return false
-			}
-			return true
+			return bhi - blo, true
 		})
 	x.st.Pos = pos
 	return nil
@@ -352,22 +378,24 @@ func (x *binaryExactExec) RunTo(units int) error {
 			c := e.DTest.NewCounter()
 			return c.CountRange(lo+s.lo, lo+s.hi, x.class, nil)
 		},
-		func(i, off int, counts []int32) bool {
-			f := lo + i
-			x.st.Stats.addDetection(fullCost)
-			if counts[off] == 0 {
-				return true
+		func(blo, bhi, off0 int, counts []int32) (int, bool) {
+			for i := blo; i < bhi; i++ {
+				f := lo + i
+				x.st.Stats.addDetection(fullCost)
+				if counts[off0+(i-blo)] == 0 {
+					continue
+				}
+				if gap > 0 && f-x.st.LastReturned < gap {
+					continue
+				}
+				x.st.LastReturned = f
+				x.st.Frames = append(x.st.Frames, f)
+				if limit >= 0 && len(x.st.Frames) >= limit {
+					x.st.Finished = true
+					return i - blo + 1, false
+				}
 			}
-			if gap > 0 && f-x.st.LastReturned < gap {
-				return true
-			}
-			x.st.LastReturned = f
-			x.st.Frames = append(x.st.Frames, f)
-			if limit >= 0 && len(x.st.Frames) >= limit {
-				x.st.Finished = true
-				return false
-			}
-			return true
+			return bhi - blo, true
 		})
 	x.st.Pos = pos
 	return nil

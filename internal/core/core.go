@@ -251,6 +251,22 @@ func indexFingerprint(cfg vidsim.StreamConfig, opts Options) uint64 {
 // bit for bit. Never toggled concurrently with query execution.
 var zoneSkipsEnabled = true
 
+// vectorScanEnabled gates the chunk-vector produce paths: batch predicate
+// evaluation against the index's columnar storage (Segment.ScoreTail, the
+// chunked presence-tail read) instead of per-frame accessor calls. It
+// exists for tests only: flipping it off selects the per-frame reference
+// path the equivalence fuzz compares against bit for bit. Never toggled
+// concurrently with query execution.
+var vectorScanEnabled = true
+
+// selLimitSettleEnabled gates the selection finalizer's early-stopping
+// settlement for LIMIT queries (probe only the tracks whose rows can
+// still be returned). It exists for tests only: flipping it off selects
+// the settle-everything-then-trim reference path the LIMIT-trim test
+// compares answers against. Never toggled concurrently with query
+// execution.
+var selLimitSettleEnabled = true
+
 // Options returns the engine's resolved options.
 func (e *Engine) Options() Options { return e.opts }
 

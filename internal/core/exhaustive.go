@@ -149,11 +149,14 @@ func (x *exhaustiveExec) RunTo(units int) error {
 
 	produce := func(s shard) *detArena {
 		a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
+		// A Counter reuses the track-index scratch across the shard's
+		// frames; its detections are identical to Detector.Detect's.
+		c := e.DTest.NewCounter()
 		var row Row
 		for i := s.lo; i < s.hi; i++ {
 			f := lo + i
 			start := len(a.dets)
-			a.dets = e.DTest.Detect(f, a.dets)
+			a.dets = c.Detect(f, a.dets)
 			a.ends = append(a.ends, int32(len(a.dets)))
 			if !preEval {
 				continue
@@ -176,67 +179,74 @@ func (x *exhaustiveExec) RunTo(units int) error {
 		}
 		return a
 	}
-	frame := func(i, off int, a *detArena) bool {
-		if off >= len(a.ends) {
-			// Pre-evaluation stopped inside this shard: a serial scan
-			// surfacing the error never reaches this frame.
-			x.err = a.err
-			return false
-		}
-		f := lo + i
-		res.Stats.addDetection(fullCost)
-		detsStart := 0
-		if off > 0 {
-			detsStart = int(a.ends[off-1])
-		}
-		dets := a.frame(off)
-		ids := x.tracker.Advance(f, dets)
-		frameMatched := false
-		for j := range dets {
-			var ok bool
-			if preEval {
-				if detsStart+j >= len(a.matched) {
-					// The row whose predicate evaluation errored.
-					x.err = a.err
-					return false
+	// The batch consumer walks one chunk-aligned vector of the shard's
+	// frames, advancing the tracker, applying GAP/LIMIT, and charging the
+	// meter per frame in frame order — bit-identical to the per-frame
+	// merge it replaces, with early exits reported on the exact frame.
+	batch := func(blo, bhi, off0 int, a *detArena) (int, bool) {
+		for i := blo; i < bhi; i++ {
+			off := off0 + (i - blo)
+			if off >= len(a.ends) {
+				// Pre-evaluation stopped inside this shard: a serial scan
+				// surfacing the error never reaches this frame.
+				x.err = a.err
+				return i - blo + 1, false
+			}
+			f := lo + i
+			res.Stats.addDetection(fullCost)
+			detsStart := 0
+			if off > 0 {
+				detsStart = int(a.ends[off-1])
+			}
+			dets := a.frame(off)
+			ids := x.tracker.Advance(f, dets)
+			frameMatched := false
+			for j := range dets {
+				var ok bool
+				if preEval {
+					if detsStart+j >= len(a.matched) {
+						// The row whose predicate evaluation errored.
+						x.err = a.err
+						return i - blo + 1, false
+					}
+					ok = a.matched[detsStart+j]
+				} else {
+					var row Row
+					row.Timestamp = f
+					rowFromDetection(&row, ids[j], &dets[j])
+					var err error
+					ok, err = evalPredicate(stmt.Where, &row)
+					if err != nil {
+						x.err = err
+						return i - blo + 1, false
+					}
 				}
-				ok = a.matched[detsStart+j]
-			} else {
-				var row Row
-				row.Timestamp = f
+				if !ok {
+					continue
+				}
+				if gap > 0 && f-x.st.LastReturned < gap {
+					continue
+				}
+				frameMatched = true
+				row := Row{Timestamp: f}
 				rowFromDetection(&row, ids[j], &dets[j])
-				var err error
-				ok, err = evalPredicate(stmt.Where, &row)
-				if err != nil {
-					x.err = err
-					return false
+				res.Rows = append(res.Rows, row)
+				res.evalTruthIDs = append(res.evalTruthIDs, dets[j].TruthID())
+				if limit >= 0 && len(res.Rows) >= limit {
+					x.st.Finished = true
+					return i - blo + 1, false
 				}
 			}
-			if !ok {
-				continue
-			}
-			if gap > 0 && f-x.st.LastReturned < gap {
-				continue
-			}
-			frameMatched = true
-			row := Row{Timestamp: f}
-			rowFromDetection(&row, ids[j], &dets[j])
-			res.Rows = append(res.Rows, row)
-			res.evalTruthIDs = append(res.evalTruthIDs, dets[j].TruthID())
-			if limit >= 0 && len(res.Rows) >= limit {
-				x.st.Finished = true
-				return false
+			if frameMatched && gap > 0 {
+				x.st.LastReturned = f
 			}
 		}
-		if frameMatched && gap > 0 {
-			x.st.LastReturned = f
-		}
-		return true
+		return bhi - blo, true
 	}
 	// LIMIT may stop the scan early; ramped shards keep the worst-case
 	// speculative work small when the limit is satisfied quickly.
 	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
-		x.scanTrace(&e.exec, &x.res.Stats), produce, frame)
+		x.scanTrace(&e.exec, &x.res.Stats), produce, batch)
 	return x.err
 }
 

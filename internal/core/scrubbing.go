@@ -189,6 +189,15 @@ type scrubExecState struct {
 	Horizon int               `json:"horizon"`
 	Search  scrub.SearchState `json:"search"`
 	Stats   Stats             `json:"stats"`
+	// PrefetchReady / PrefetchWindow serialize the parallel prefetcher's
+	// speculative verdict window at suspension: verdicts for the rank
+	// positions [Search.Pos, PrefetchReady) that workers had already
+	// computed ahead of the search frontier. A resumed search seeds its
+	// prefetcher from the window instead of re-running the detector over
+	// those positions; verdicts are pure, so the seed is bit-identical to
+	// recomputation and only the redundant wall-clock work disappears.
+	PrefetchReady  int    `json:"prefetch_ready,omitempty"`
+	PrefetchWindow []bool `json:"prefetch_window,omitempty"`
 }
 
 // scrubExec verifies frames in its probe order until LIMIT matches (GAP
@@ -218,6 +227,10 @@ type scrubExec struct {
 	searcher *scrub.Searcher
 	st       scrubExecState
 	prefetch *scrubPrefetcher
+	// restoredReady / restoredWin hold a Restore'd prefetch window until
+	// the next RunTo builds a prefetcher to seed with it.
+	restoredReady int
+	restoredWin   []bool
 }
 
 func (x *scrubExec) meter() *Stats { return &x.st.Stats }
@@ -283,9 +296,17 @@ func (x *scrubExec) RunTo(units int) error {
 				pos: x.searcher.Pos(), ready: x.searcher.Pos(),
 				par: x.par, check: check, exec: &e.exec,
 			}
+			if sp := x.prefetch.pos; x.restoredReady > sp {
+				// Seed the verdict window serialized at suspension: the
+				// prefetcher resumes with [pos, ready) already computed and
+				// re-probes none of it.
+				n := copy(x.prefetch.results[sp:], x.restoredWin)
+				x.prefetch.ready = sp + n
+			}
 		}
 		verify = x.prefetch.verify
 	}
+	x.restoredReady, x.restoredWin = 0, nil
 	x.searcher.RunTo(units, func(f int) bool {
 		x.st.Stats.addDetection(fullCost)
 		return verify(f)
@@ -297,6 +318,13 @@ func (x *scrubExec) Snapshot() ([]byte, error) {
 	st := x.st
 	st.Horizon = x.e.Test.Frames
 	st.Search = x.searcher.State()
+	st.PrefetchReady, st.PrefetchWindow = 0, nil
+	if p := x.prefetch; p != nil {
+		if sp := x.searcher.Pos(); p.ready > sp {
+			st.PrefetchReady = p.ready
+			st.PrefetchWindow = append([]bool(nil), p.results[sp:p.ready]...)
+		}
+	}
 	return json.Marshal(&st)
 }
 
@@ -305,6 +333,7 @@ func (x *scrubExec) Restore(state []byte) error {
 	if err := json.Unmarshal(state, &st); err != nil {
 		return err
 	}
+	x.restoredReady, x.restoredWin = 0, nil
 	if x.kind == scrubOrderImportance && st.Horizon != x.e.Test.Frames {
 		// The stream grew: the confidence ranking interleaves old and new
 		// frames, so the suspended frontier is meaningless over the new
@@ -313,8 +342,13 @@ func (x *scrubExec) Restore(state []byte) error {
 		return nil
 	}
 	x.st = st
+	x.st.PrefetchReady, x.st.PrefetchWindow = 0, nil
 	x.searcher.Restore(st.Search)
 	x.prefetch = nil
+	if st.PrefetchReady > x.searcher.Pos() && len(st.PrefetchWindow) > 0 {
+		x.restoredReady = st.PrefetchReady
+		x.restoredWin = st.PrefetchWindow
+	}
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/plan"
+)
+
+// TestScrubResumeKeepsPrefetchWindow pins the suspended-prefetcher fix: a
+// scrubbing cursor serialized mid-search carries the prefetcher's
+// speculative verdict window, and resuming from it re-verifies none of
+// those positions. The resumed run must stay bit-identical — answer and
+// full cost meter — to the uninterrupted run, while dispatching strictly
+// fewer verification chunks than a resume from the same cursor with the
+// window stripped (the pre-fix wire format, which the fix must also keep
+// accepting).
+func TestScrubResumeKeepsPrefetchWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	info, err := frameql.Analyze(`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm training and held-out statistics so every execution below sees
+	// identical cached charges.
+	if _, err := e.ExecuteParallel(info, 1); err != nil {
+		t.Fatal(err)
+	}
+	const par = 4
+	base, err := e.ExecuteParallel(info, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the search in small steps until it suspends with verdicts
+	// computed ahead of the frontier — the state the fix preserves.
+	x, err := e.BeginQuery(info, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, ok := x.ex.(*scrubExec)
+	if !ok {
+		t.Fatalf("scrubbing query opened a %T, want *scrubExec", x.ex)
+	}
+	for !x.Done() {
+		if err := x.RunTo(x.Pos() + 8); err != nil {
+			t.Fatal(err)
+		}
+		if p := sx.prefetch; p != nil && p.ready > sx.searcher.Pos() {
+			break
+		}
+	}
+	if x.Done() {
+		t.Fatal("search completed before the prefetcher ran ahead; cannot exercise the window")
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(cur.State, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["prefetch_window"]; !ok {
+		t.Fatalf("suspended scrub state carries no prefetch window: %s", cur.State)
+	}
+
+	// finish resumes a cursor through its wire form and reports the
+	// result plus how many verification chunks the resumed portion
+	// dispatched.
+	finish := func(cur *plan.Cursor) (*Result, uint64) {
+		wire, err := cur.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = plan.DecodeCursor(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := e.exec.shards.Load()
+		y, err := e.ResumeQuery(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := y.RunTo(-1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := y.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, e.exec.shards.Load() - before
+	}
+
+	withWin, chunksWith := finish(cur)
+	resultsIdentical(t, "resume with prefetch window vs one-shot", base, withWin)
+
+	// Strip the window (a pre-fix cursor): still bit-identical, but the
+	// resumed search must redo the speculative verification.
+	stripped := *cur
+	delete(raw, "prefetch_window")
+	delete(raw, "prefetch_ready")
+	if stripped.State, err = json.Marshal(raw); err != nil {
+		t.Fatal(err)
+	}
+	without, chunksWithout := finish(&stripped)
+	resultsIdentical(t, "resume without prefetch window vs one-shot", base, without)
+
+	if chunksWith >= chunksWithout {
+		t.Fatalf("resume with serialized window dispatched %d verification chunks, want fewer than the %d a stripped cursor dispatches",
+			chunksWith, chunksWithout)
+	}
+}

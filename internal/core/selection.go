@@ -614,8 +614,17 @@ func (x *selectionExec) RunTo(units int) error {
 				ev = specnn.NewEvaluator(model, e.Test)
 			}
 		}
+		// With a segment the label threshold reads the current chunk's
+		// exact presence-tail column, fetched once per chunk range (the
+		// chunk-vector read); the per-frame accessor stays selectable for
+		// the equivalence suite. Both read the same float64 storage.
+		var t1col []float64
+		t1lo := -1
 		labelPass := func(f int) bool {
 			if useSeg {
+				if t1col != nil {
+					return t1col[f-t1lo] >= labelFilter.Threshold
+				}
 				return seg.Tail1(headIdx, f) >= labelFilter.Threshold
 			}
 			return ev.TailProb(headIdx, 1) >= labelFilter.Threshold
@@ -624,30 +633,10 @@ func (x *selectionExec) RunTo(units int) error {
 		// that would touch the frame, so a skip elides real work without
 		// changing any flag the merge replays charges from.
 		canSkip := zoneSkipsEnabled && useSeg && (labelFirst || !hasContent)
-		curChunk, skipChunk := -1, false
+		c := e.DTest.NewCounter()
 		var scratch []detect.Detection
-		for i := s.lo; i < s.hi; i++ {
-			f := lo + i*step
+		visit := func(f int) (uint8, bool) {
 			var fl uint8
-			if canSkip {
-				if ci := index.ChunkOf(f); ci != curChunk {
-					curChunk = ci
-					skipChunk = seg.CanSkipTail1(ci, headIdx, labelFilter.Threshold)
-					// Count each skipped chunk once per scan — at the
-					// visited frame where the whole scan first enters it —
-					// so shard boundaries straddling a chunk never
-					// double-count it.
-					if skipChunk && (i == 0 || index.ChunkOf(f-step) != ci) {
-						fl |= selChunkFirst
-					}
-				}
-				if skipChunk {
-					// Proven label rejection: same zero cascade bits, no work.
-					a.flags = append(a.flags, fl|selSkipped)
-					a.ends = append(a.ends, int32(len(a.dets)))
-					continue
-				}
-			}
 			if plan.NoScopeOracle {
 				if presence[f] > 0 {
 					fl = selDetected
@@ -702,7 +691,7 @@ func (x *selectionExec) RunTo(units int) error {
 				}
 			}
 			if fl&selDetected != 0 {
-				scratch = e.DTest.DetectROI(f, roi, scratch[:0])
+				scratch = c.DetectROI(f, roi, scratch[:0])
 				start := len(a.dets)
 				// Keep all detections of the target class for identity.
 				for j := range scratch {
@@ -714,86 +703,140 @@ func (x *selectionExec) RunTo(units int) error {
 					ok, err := filters.ObjectMatches(&a.dets[j], target)
 					if err != nil {
 						a.err = err
-						return a
+						return fl, false
 					}
 					a.matched = append(a.matched, ok)
 				}
 			}
-			a.flags = append(a.flags, fl)
-			a.ends = append(a.ends, int32(len(a.dets)))
+			return fl, true
+		}
+		// The shard walks index-chunk-aligned ranges of its visited
+		// frames: one zone-map consultation per chunk proves a whole
+		// range's label rejection without decoding its column (predicate
+		// pushdown), and surviving ranges fetch the chunk's tail column
+		// once.
+		for i := s.lo; i < s.hi; {
+			iEnd := s.hi
+			if useSeg {
+				f := lo + i*step
+				ci := index.ChunkOf(f)
+				chunkHi := (ci + 1) * index.ChunkFrames
+				// First visited index whose frame leaves the chunk.
+				if ce := i + (chunkHi-f+step-1)/step; ce < iEnd {
+					iEnd = ce
+				}
+				if canSkip && seg.CanSkipTail1(ci, headIdx, labelFilter.Threshold) {
+					// Proven label rejection for the whole range: same zero
+					// cascade bits, no per-frame work. Count each skipped
+					// chunk once per scan — at the visited frame where the
+					// whole scan first enters it — so shard boundaries
+					// straddling a chunk never double-count it.
+					var fl uint8
+					if i == 0 || index.ChunkOf(f-step) != ci {
+						fl = selChunkFirst
+					}
+					for ; i < iEnd; i++ {
+						a.flags = append(a.flags, fl|selSkipped)
+						a.ends = append(a.ends, int32(len(a.dets)))
+						fl = 0
+					}
+					continue
+				}
+				if vectorScanEnabled {
+					end := chunkHi
+					if fr := seg.Frames(); end > fr {
+						end = fr
+					}
+					t1lo = ci * index.ChunkFrames
+					t1col = seg.Tail1Range(headIdx, t1lo, end)
+				} else {
+					t1col = nil
+				}
+			}
+			for ; i < iEnd; i++ {
+				fl, ok := visit(lo + i*step)
+				if !ok {
+					return a
+				}
+				a.flags = append(a.flags, fl)
+				a.ends = append(a.ends, int32(len(a.dets)))
+			}
 		}
 		return a
 	}
-	frame := func(i, off int, a *selArena) bool {
-		if a.err != nil {
-			x.err = a.err
-			return false
-		}
-		f := lo + i*step
-		fl := a.flags[off]
-		if fl&selChunkFirst != 0 {
-			x.st.Stats.IndexChunksSkipped++
-		}
-		if fl&selSkipped != 0 {
-			x.st.Stats.IndexFramesSkipped++
-		}
-		// The charge replay reads only the cascade bits: a zone-skipped
-		// frame replays exactly the charges of a label rejection.
-		fl &= selContentPass | selDetected
-		switch {
-		case plan.NoScopeOracle:
-			// Oracle knowledge is free.
-		case labelFirst:
-			// Every visited frame pays feature extraction and network
-			// inference; content checks on survivors reuse both.
-			x.st.Stats.FilterSeconds += feature.CostSeconds
-			x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
-		default:
-			// Replay the cascade's filter charges exactly as a serial
-			// scan would interleave them.
-			if hasContent {
-				x.st.Stats.FilterSeconds += feature.CostSeconds
+	batch := func(blo, bhi, off0 int, a *selArena) (int, bool) {
+		for i := blo; i < bhi; i++ {
+			if a.err != nil {
+				x.err = a.err
+				return i - blo + 1, false
 			}
-			if hasLabel && (!hasContent || fl&selContentPass != 0) {
-				if !hasContent {
+			off := off0 + (i - blo)
+			f := lo + i*step
+			fl := a.flags[off]
+			if fl&selChunkFirst != 0 {
+				x.st.Stats.IndexChunksSkipped++
+			}
+			if fl&selSkipped != 0 {
+				x.st.Stats.IndexFramesSkipped++
+			}
+			// The charge replay reads only the cascade bits: a zone-skipped
+			// frame replays exactly the charges of a label rejection.
+			fl &= selContentPass | selDetected
+			switch {
+			case plan.NoScopeOracle:
+				// Oracle knowledge is free.
+			case labelFirst:
+				// Every visited frame pays feature extraction and network
+				// inference; content checks on survivors reuse both.
+				x.st.Stats.FilterSeconds += feature.CostSeconds
+				x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
+			default:
+				// Replay the cascade's filter charges exactly as a serial
+				// scan would interleave them.
+				if hasContent {
 					x.st.Stats.FilterSeconds += feature.CostSeconds
 				}
-				x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
+				if hasLabel && (!hasContent || fl&selContentPass != 0) {
+					if !hasContent {
+						x.st.Stats.FilterSeconds += feature.CostSeconds
+					}
+					x.st.Stats.FilterSeconds += specnn.InferenceCostSeconds
+				}
 			}
-		}
-		if fl&selDetected == 0 {
-			return true
-		}
-		x.st.Stats.addDetection(detCost)
-		classDets := a.frame(off)
-		matched := a.frameMatched(off)
-		ids := x.tracker.Advance(f, classDets)
-		for j := range classDets {
-			if !matched[j] {
+			if fl&selDetected == 0 {
 				continue
 			}
-			d := &classDets[j]
-			id := ids[j]
-			ta := x.tracks[id]
-			if ta == nil {
-				ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
-				x.tracks[id] = ta
+			x.st.Stats.addDetection(detCost)
+			classDets := a.frame(off)
+			matched := a.frameMatched(off)
+			ids := x.tracker.Advance(f, classDets)
+			for j := range classDets {
+				if !matched[j] {
+					continue
+				}
+				d := &classDets[j]
+				id := ids[j]
+				ta := x.tracks[id]
+				if ta == nil {
+					ta = &trackAgg{firstMatch: f, firstBox: d.Box, truthID: d.TruthID()}
+					x.tracks[id] = ta
+				}
+				ta.lastMatch = f
+				ta.lastBox = d.Box
+				ta.rows = append(ta.rows, Row{
+					Timestamp:  f,
+					Class:      d.Class,
+					Mask:       d.Box,
+					TrackID:    id,
+					Content:    d.Color,
+					Confidence: d.Confidence,
+				})
 			}
-			ta.lastMatch = f
-			ta.lastBox = d.Box
-			ta.rows = append(ta.rows, Row{
-				Timestamp:  f,
-				Class:      d.Class,
-				Mask:       d.Box,
-				TrackID:    id,
-				Content:    d.Color,
-				Confidence: d.Confidence,
-			})
 		}
-		return true
+		return bhi - blo, true
 	}
 	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, false,
-		x.scanTrace(&e.exec, &x.st.Stats), produce, frame)
+		x.scanTrace(&e.exec, &x.st.Stats), produce, batch)
 	return x.err
 }
 
@@ -863,6 +906,10 @@ func (x *selectionExec) Result() (*Result, error) {
 		trackIDs = append(trackIDs, id)
 	}
 	sort.Ints(trackIDs)
+	if info.Limit >= 0 && selLimitSettleEnabled {
+		x.settleLimited(res, trackIDs, minDur, lo, hi)
+		return res, nil
+	}
 	for _, id := range trackIDs {
 		ta := x.tracks[id]
 		qualified := false
@@ -884,7 +931,119 @@ func (x *selectionExec) Result() (*Result, error) {
 	}
 	sortRows(res)
 	applyLimitGap(res, info.Limit, info.Gap)
+	if info.Limit >= 0 {
+		x.trimToContributing(res)
+	}
 	return res, nil
+}
+
+// Track settlement statuses for LIMIT finalization.
+const (
+	selTrackQualified = iota // duration certainly satisfied
+	selTrackAmbiguous        // subsampled span too short; a probe must decide
+	selTrackRejected         // duration certainly violated (or probe failed)
+)
+
+// settleLimited finalizes a LIMIT query without settling every surviving
+// track first. The reference path pays duration probes for every
+// ambiguous track and then throws most rows away in LIMIT/GAP trimming;
+// here the trimming walk runs over candidate rows directly and a track is
+// probed only when one of its rows would actually be returned. The two
+// orders are provably interchangeable: a GAP-suppressed row never updates
+// the gap frontier whether or not its track qualifies, and a rejected
+// track's rows never update it either, so deciding suppression before
+// settlement returns exactly the reference rows — just with the probes
+// for never-returned tracks elided (strictly fewer detector calls, never
+// more: each kept-row track is probed at most once, exactly as the
+// reference probes it).
+func (x *selectionExec) settleLimited(res *Result, trackIDs []int, minDur, lo, hi int) {
+	e, info, prep := x.e, x.info, x.prep
+	status := make(map[int]int, len(x.tracks))
+	var rows []Row
+	for _, id := range trackIDs {
+		ta := x.tracks[id]
+		st := selTrackQualified
+		if minDur > 1 {
+			if span := ta.lastMatch - ta.firstMatch + 1; span < minDur {
+				if prep.step > 1 {
+					st = selTrackAmbiguous
+				} else {
+					// The full-rate scan saw the whole track: it really is
+					// too short, no probe can rescue it.
+					st = selTrackRejected
+				}
+			}
+		}
+		status[id] = st
+		if st != selTrackRejected {
+			rows = append(rows, ta.rows...)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Timestamp != rows[j].Timestamp {
+			return rows[i].Timestamp < rows[j].Timestamp
+		}
+		return rows[i].TrackID < rows[j].TrackID
+	})
+	gap, limit := info.Gap, info.Limit
+	last := -1 << 40
+	var contributing []int
+	for _, row := range rows {
+		if len(res.Rows) >= limit {
+			break
+		}
+		// GAP suppression first: a suppressed row is dropped no matter how
+		// its track would settle, so it costs no probe.
+		if gap > 0 && row.Timestamp != last && row.Timestamp-last < gap {
+			continue
+		}
+		st := status[row.TrackID]
+		if st == selTrackAmbiguous {
+			// First returnable row of an ambiguous track: settle it now.
+			ta := x.tracks[row.TrackID]
+			if e.probeDuration(ta, prep.target, prep.roi, prep.detCost, minDur, lo, hi, &res.Stats) {
+				st = selTrackQualified
+			} else {
+				st = selTrackRejected
+			}
+			status[row.TrackID] = st
+		}
+		if st == selTrackRejected {
+			continue
+		}
+		last = row.Timestamp
+		res.Rows = append(res.Rows, row)
+		if n := len(contributing); n == 0 || contributing[n-1] != row.TrackID {
+			contributing = append(contributing, row.TrackID)
+		}
+	}
+	sort.Ints(contributing)
+	for i, id := range contributing {
+		if i > 0 && id == contributing[i-1] {
+			continue
+		}
+		res.TrackIDs = append(res.TrackIDs, id)
+		res.evalTruthIDs = append(res.evalTruthIDs, x.tracks[id].truthID)
+	}
+}
+
+// trimToContributing rewrites a LIMIT result's track metadata to the
+// tracks that contribute returned rows: a qualified track whose every row
+// was trimmed away is not part of the answer.
+func (x *selectionExec) trimToContributing(res *Result) {
+	seen := make(map[int]bool, len(res.TrackIDs))
+	for i := range res.Rows {
+		seen[res.Rows[i].TrackID] = true
+	}
+	ids := res.TrackIDs[:0]
+	truth := res.evalTruthIDs[:0]
+	for i, id := range res.TrackIDs {
+		if seen[id] {
+			ids = append(ids, id)
+			truth = append(truth, res.evalTruthIDs[i])
+		}
+	}
+	res.TrackIDs, res.evalTruthIDs = ids, truth
 }
 
 // applyLimitGap enforces the query's LIMIT and GAP on the (sorted) result

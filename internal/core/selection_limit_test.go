@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/frameql"
+)
+
+// sameAnswer asserts two selection results return the same rows and track
+// metadata (the query answer), ignoring the cost meter — which the lazy
+// LIMIT settlement is allowed (required) to shrink.
+func sameAnswer(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("%s: rows differ: %d vs %d", label, len(a.Rows), len(b.Rows))
+	}
+	if !reflect.DeepEqual(a.TrackIDs, b.TrackIDs) {
+		t.Errorf("%s: track IDs differ: %v vs %v", label, a.TrackIDs, b.TrackIDs)
+	}
+	if !reflect.DeepEqual(a.EvalTruthIDs(), b.EvalTruthIDs()) {
+		t.Errorf("%s: eval truth IDs differ: %v vs %v", label, a.EvalTruthIDs(), b.EvalTruthIDs())
+	}
+}
+
+// TestSelectionLimitSettlesLazily pins the LIMIT finalization fix: for a
+// selection query with LIMIT, GAP, and a duration predicate the sampled
+// scan left ambiguous, finalizing must probe only tracks that actually
+// contribute returned rows. The lazy path must return exactly the
+// reference (settle-everything-then-trim) answer at every parallelism
+// level and across suspend/resume, while charging strictly fewer detector
+// calls.
+func TestSelectionLimitSettlesLazily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	info, err := frameql.Analyze(`SELECT * FROM taipei WHERE class = 'bus' AND area(mask) > 60000 GROUP BY trackid HAVING COUNT(*) > 15 LIMIT 2 GAP 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(lazy bool, par int) *Result {
+		t.Helper()
+		old := selLimitSettleEnabled
+		selLimitSettleEnabled = lazy
+		defer func() { selLimitSettleEnabled = old }()
+		res, err := e.ExecuteParallel(info, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Warm training and held-out statistics.
+	run(true, 1)
+
+	for _, par := range []int{1, 4, 8} {
+		eager := run(false, par)
+		lazy := run(true, par)
+		sameAnswer(t, fmt.Sprintf("parallelism %d", par), eager, lazy)
+		if len(lazy.Rows) == 0 {
+			t.Fatalf("parallelism %d: query returned no rows; test exercises nothing", par)
+		}
+		if lazy.Stats.DetectorCalls >= eager.Stats.DetectorCalls {
+			t.Errorf("parallelism %d: lazy settlement charged %d detector calls, want fewer than the reference's %d",
+				par, lazy.Stats.DetectorCalls, eager.Stats.DetectorCalls)
+		}
+	}
+
+	// The lazy path is the shipped default: it must also hold the
+	// bit-identity contract against its own suspended/resumed execution.
+	oneShot := run(true, 4)
+	resumed, _ := runResumed(t, e, info, 4, 0)
+	resultsIdentical(t, "lazy LIMIT settlement one-shot vs resumed", oneShot, resumed)
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/index"
 	"repro/internal/obs"
 )
 
@@ -126,21 +127,42 @@ type timedVal[T any] struct {
 	wallNS int64
 }
 
+// batchFrames is the number of visited frames per consume batch: the
+// index tier's chunk size, so a dense scan's batches line up with the
+// columnar chunks plan predicates are evaluated against. Shards are a
+// multiple of it in steady state (shardSpan = 4·batchFrames); ramp shards
+// smaller than a chunk form single short batches.
+const batchFrames = index.ChunkFrames
+
+// chunkEnd returns the end of the consume batch starting at visited frame
+// b: the next batchFrames-aligned boundary, capped at hi (the shard end).
+func chunkEnd(b, hi int) int {
+	e := (b/batchFrames + 1) * batchFrames
+	if e > hi {
+		e = hi
+	}
+	return e
+}
+
 // runScan drives one resumable sharded frame scan: produce runs per shard
-// on the worker pool (pure, concurrent), and frame consumes one visited
-// frame at a time, strictly in frame order, on the caller's goroutine —
-// off is the frame's offset within its shard's product. The scan covers
-// visited frames [pos, stop) of a total of n (stop < 0 or stop > n means
-// n); frame returning false finishes the plan early (LIMIT satisfied,
-// predicate error). runScan returns the next unconsumed frame position
-// and whether the plan finished early.
+// on the worker pool (pure, concurrent), and batch consumes one
+// chunk-aligned vector of visited frames [blo, bhi) at a time, strictly
+// in frame order, on the caller's goroutine — off0 is blo's offset within
+// its shard's product. batch returns how many of its frames it consumed
+// and whether the scan should continue; returning (consumed, false) with
+// consumed < bhi-blo finishes the plan early on the exact frame boundary
+// blo+consumed (LIMIT satisfied, predicate error). A completed batch must
+// report consumed == bhi-blo. The scan covers visited frames [pos, stop)
+// of a total of n (stop < 0 or stop > n means n); runScan returns the
+// next unconsumed frame position and whether the plan finished early.
 //
-// Per-frame consumption is what makes plan executions suspendable at any
-// frame boundary: stopping at a watermark mid-shard just stops the
-// consume loop there, and the resumed scan re-produces the remainder from
-// pure inputs.
+// Frame-granular consumption accounting is what keeps plan executions
+// suspendable at any frame boundary: stopping at a watermark just ends
+// the batch loop at a shard edge (shards never cross the stop), an early
+// exit reports its exact position through consumed, and the resumed scan
+// re-produces the remainder from pure inputs.
 func runScan[T any](par, pos, n, stop int, ramp bool, ob *scanObs,
-	produce func(s shard) T, frame func(i, off int, v T) bool) (newPos int, finished bool) {
+	produce func(s shard) T, batch func(blo, bhi, off0 int, v T) (consumed int, ok bool)) (newPos int, finished bool) {
 	if ob == nil {
 		ob = &scanObs{}
 	}
@@ -151,26 +173,35 @@ func runScan[T any](par, pos, n, stop int, ramp bool, ob *scanObs,
 		return pos, false
 	}
 	cur := pos
+	countChunk := func() {
+		if ob.counters != nil {
+			ob.counters.chunks.Add(1)
+		}
+	}
 	if ob.span == nil {
 		runSharded(par, resumeShards(pos, stop, ramp), ob.counters, produce,
 			func(s shard, v T) bool {
-				for i := s.lo; i < s.hi; i++ {
-					ok := frame(i, i-s.lo, v)
-					cur = i + 1
+				for b := s.lo; b < s.hi; {
+					e := chunkEnd(b, s.hi)
+					countChunk()
+					consumed, ok := batch(b, e, b-s.lo, v)
+					cur = b + consumed
 					if !ok {
 						finished = true
 						return false
 					}
+					b = e
 				}
 				return true
 			})
 		return cur, finished
 	}
 	// Traced: wrap produce to time it on the worker, and attach one child
-	// span per consumed shard with produce/merge wall time, the frames it
-	// merged, and the cost-meter delta its consumption charged. Span
-	// mutation stays on the caller's goroutine (consume is sequential), so
-	// tracing adds no synchronization to the scan.
+	// span per consumed shard with produce/merge wall time, the chunk
+	// batches and frames it merged, and the cost-meter delta its
+	// consumption charged. Span mutation stays on the caller's goroutine
+	// (consume is sequential), so tracing adds no synchronization to the
+	// scan.
 	tproduce := func(s shard) timedVal[T] {
 		t0 := time.Now()
 		v := produce(s)
@@ -191,15 +222,19 @@ func runScan[T any](par, pos, n, stop int, ramp bool, ob *scanObs,
 				fr0 = ob.meter.IndexFramesSkipped
 			}
 			ok := true
-			for i := s.lo; i < s.hi; i++ {
-				okf := frame(i, i-s.lo, tv.v)
-				cur = i + 1
-				sp.Frames++
-				if !okf {
+			for b := s.lo; b < s.hi; {
+				e := chunkEnd(b, s.hi)
+				countChunk()
+				consumed, okb := batch(b, e, b-s.lo, tv.v)
+				cur = b + consumed
+				sp.Frames += consumed
+				sp.Chunks++
+				if !okb {
 					finished = true
 					ok = false
 					break
 				}
+				b = e
 			}
 			if ob.meter != nil {
 				sp.SimSeconds = ob.meter.TotalSeconds() - sim0
@@ -339,6 +374,7 @@ type execCounters struct {
 	queries atomic.Uint64
 	fanouts atomic.Uint64
 	shards  atomic.Uint64
+	chunks  atomic.Uint64
 }
 
 // ExecStats is a snapshot of the engine's parallel-execution counters.
@@ -349,6 +385,9 @@ type ExecStats struct {
 	Fanouts uint64
 	// Shards is the total number of shards produced across executions.
 	Shards uint64
+	// Chunks is the total number of chunk-aligned consume batches merged
+	// across executions.
+	Chunks uint64
 }
 
 // ExecStats returns a snapshot of the engine's parallel-execution
@@ -358,5 +397,6 @@ func (e *Engine) ExecStats() ExecStats {
 		Queries: e.exec.queries.Load(),
 		Fanouts: e.exec.fanouts.Load(),
 		Shards:  e.exec.shards.Load(),
+		Chunks:  e.exec.chunks.Load(),
 	}
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/index"
+	"repro/internal/plan"
+)
+
+// TestVectorScanEquivalenceFuzz is the chunk-vector executor's
+// equivalence oracle: for randomized predicates and thresholds — horizons
+// deliberately off chunk boundaries, partial trailing chunks, LIMIT/GAP
+// mixes — the batched column reads (Segment.ScoreTail / Tail1Range) must
+// produce results bitwise identical, full cost meter included, to the
+// per-frame reference accessors, at parallelism 1, 4, and 8, and across a
+// suspension landing mid-chunk.
+func TestVectorScanEquivalenceFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	rng := rand.New(rand.NewSource(41))
+
+	// Random horizons: never a multiple of the chunk size, so every scan
+	// ends in a partial chunk and shard boundaries fall mid-chunk.
+	horizon := func() int {
+		h := 1500 + rng.Intn(3000)
+		if h%index.ChunkFrames == 0 {
+			h++
+		}
+		return h
+	}
+	classes := []string{"car", "bus"}
+	var queries []string
+	for i := 0; i < 3; i++ {
+		queries = append(queries, fmt.Sprintf(
+			`SELECT timestamp FROM taipei WHERE class = '%s' AND timestamp < %d FNR WITHIN %.3f FPR WITHIN %.3f`,
+			classes[rng.Intn(len(classes))], horizon(),
+			0.01+0.04*rng.Float64(), 0.01+0.04*rng.Float64()))
+	}
+	for i := 0; i < 3; i++ {
+		q := fmt.Sprintf(
+			`SELECT * FROM taipei WHERE class = '%s' AND area(mask) > %d AND timestamp < %d GROUP BY trackid HAVING COUNT(*) > %d`,
+			classes[rng.Intn(len(classes))], 40000+rng.Intn(40000), horizon(), 5+rng.Intn(15))
+		if rng.Intn(2) == 0 {
+			q += fmt.Sprintf(` LIMIT %d GAP %d`, 1+rng.Intn(5), 20+rng.Intn(80))
+		}
+		queries = append(queries, q)
+	}
+
+	run := func(vector bool, par int, info *frameql.Info) *Result {
+		t.Helper()
+		old := vectorScanEnabled
+		vectorScanEnabled = vector
+		defer func() { vectorScanEnabled = old }()
+		res, err := e.ExecuteParallel(info, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// resumeMidChunk suspends at a watermark that is not chunk-aligned
+	// and completes on a wire-round-tripped cursor.
+	resumeMidChunk := func(info *frameql.Info) *Result {
+		t.Helper()
+		x, err := e.BeginQuery(info, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mark := x.Total()/2 + 1 + rng.Intn(index.ChunkFrames-2)
+		if mark%index.ChunkFrames == 0 {
+			mark++
+		}
+		if err := x.RunTo(mark); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := x.Suspend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := cur.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur, err = plan.DecodeCursor(wire); err != nil {
+			t.Fatal(err)
+		}
+		y, err := e.ResumeQuery(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := y.RunTo(-1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := y.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for qi, q := range queries {
+		info, err := frameql.Analyze(q)
+		if err != nil {
+			t.Fatalf("query %d %q: %v", qi, q, err)
+		}
+		// Warm training and held-out statistics so both paths replay
+		// identical cached charges.
+		run(true, 1, info)
+		ref := run(false, 1, info)
+		for _, par := range []int{1, 4, 8} {
+			got := run(true, par, info)
+			resultsIdentical(t, fmt.Sprintf("query %d %q: vector par %d vs per-frame reference", qi, q, par), ref, got)
+			perFrame := run(false, par, info)
+			resultsIdentical(t, fmt.Sprintf("query %d %q: per-frame par %d vs par 1", qi, q, par), ref, perFrame)
+		}
+		resumed := resumeMidChunk(info)
+		resultsIdentical(t, fmt.Sprintf("query %d %q: mid-chunk resume vs reference", qi, q), ref, resumed)
+	}
+}

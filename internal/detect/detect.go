@@ -170,13 +170,20 @@ func (d *Detector) CostFor(w, h float64) float64 {
 // Detect runs the simulated detector on a full frame, appending detections
 // to out and returning it.
 func (d *Detector) Detect(frame int, out []Detection) []Detection {
-	full := vidsim.Box{X: 0, Y: 0, W: float64(d.video.Config.Width), H: float64(d.video.Config.Height)}
-	return d.DetectROI(frame, full, out)
+	return d.DetectROI(frame, d.fullFrame(), out)
 }
 
 // DetectROI runs the detector on a region of interest: only objects whose
 // box center lies inside the ROI are considered, mirroring a cropped input.
 func (d *Detector) DetectROI(frame int, roi vidsim.Box, out []Detection) []Detection {
+	out, _ = d.detectROI(frame, roi, out, nil)
+	return out
+}
+
+// detectROI is DetectROI with a caller-owned track-index scratch slice, so
+// per-frame hot loops (Counter) do not allocate the bucket lookup every
+// call. The (possibly grown) scratch is returned for reuse.
+func (d *Detector) detectROI(frame int, roi vidsim.Box, out []Detection, idx []int32) ([]Detection, []int32) {
 	cfg := &d.video.Config
 	w := float64(cfg.Width)
 	h := float64(cfg.Height)
@@ -184,12 +191,11 @@ func (d *Detector) DetectROI(frame int, roi vidsim.Box, out []Detection) []Detec
 	// short side hits RefShortSide.
 	short := math.Min(roi.W, roi.H)
 	if short <= 0 {
-		return out
+		return out, idx
 	}
 	rescale := RefShortSide / short
 
-	var idx []int32
-	idx = d.video.TracksAt(frame, idx)
+	idx = d.video.TracksAt(frame, idx[:0])
 	for _, ti := range idx {
 		t := &d.video.Tracks[ti]
 		box := t.BoxAt(frame).Clip(w, h)
@@ -207,7 +213,52 @@ func (d *Detector) DetectROI(frame int, roi vidsim.Box, out []Detection) []Detec
 		}
 		out = append(out, d.makeDetection(frame, t, box, conf, w, h))
 	}
-	return out
+	return out, idx
+}
+
+// countROI counts the frame's detections of one class without
+// materializing Detection records: it applies exactly the visibility,
+// clipping, center-in-ROI, and confidence-threshold tests DetectROI
+// applies — confidence noise is counter-based per (frame, track), so
+// skipping other-class tracks and the jitter/color channels changes no
+// outcome — but never pays makeDetection's per-record work. The count is
+// identical to len(filter(DetectROI(...), class)) by construction.
+func (d *Detector) countROI(frame int, roi vidsim.Box, class vidsim.Class, idx []int32) (n int, scratch []int32) {
+	cfg := &d.video.Config
+	w := float64(cfg.Width)
+	h := float64(cfg.Height)
+	short := math.Min(roi.W, roi.H)
+	if short <= 0 {
+		return 0, idx
+	}
+	rescale := RefShortSide / short
+
+	idx = d.video.TracksAt(frame, idx[:0])
+	for _, ti := range idx {
+		t := &d.video.Tracks[ti]
+		if t.Class != class {
+			continue
+		}
+		box := t.BoxAt(frame).Clip(w, h)
+		if box.Area() == 0 {
+			continue
+		}
+		cx := box.X + box.W/2
+		cy := box.Y + box.H/2
+		if cx < roi.X || cx >= roi.XMax() || cy < roi.Y || cy >= roi.YMax() {
+			continue
+		}
+		if d.confidence(frame, t.ID, box, rescale) < d.threshold {
+			continue
+		}
+		n++
+	}
+	return n, idx
+}
+
+// fullFrame returns the whole-frame ROI.
+func (d *Detector) fullFrame() vidsim.Box {
+	return vidsim.Box{X: 0, Y: 0, W: float64(d.video.Config.Width), H: float64(d.video.Config.Height)}
 }
 
 // confidence computes the deterministic detection confidence of a box.
@@ -259,18 +310,12 @@ func (d *Detector) makeDetection(frame int, t *vidsim.Track, box vidsim.Box, con
 	}
 }
 
-// CountAt returns the number of detections of a class in a frame. It is a
-// convenience over Detect for counting queries; hot loops should prefer a
-// Counter, which reuses its buffers across calls.
+// CountAt returns the number of detections of a class in a frame —
+// identical to filtering Detect's output by class, but computed by the
+// count-only path (no Detection records, no jitter/color channels). Hot
+// loops should prefer a Counter, which reuses its scratch across calls.
 func (d *Detector) CountAt(frame int, class vidsim.Class) int {
-	var buf []Detection
-	buf = d.Detect(frame, buf)
-	n := 0
-	for i := range buf {
-		if buf[i].Class == class {
-			n++
-		}
-	}
+	n, _ := d.countROI(frame, d.fullFrame(), class, nil)
 	return n
 }
 
@@ -280,22 +325,29 @@ func (d *Detector) CountAt(frame int, class vidsim.Class) int {
 // read-only and may back any number of Counters concurrently).
 type Counter struct {
 	d   *Detector
-	buf []Detection
+	idx []int32
 }
 
 // NewCounter returns a Counter over the detector.
 func (d *Detector) NewCounter() *Counter { return &Counter{d: d} }
 
+// Detect is Detector.Detect reusing the counter's track-index scratch.
+func (c *Counter) Detect(frame int, out []Detection) []Detection {
+	return c.DetectROI(frame, c.d.fullFrame(), out)
+}
+
+// DetectROI is Detector.DetectROI reusing the counter's track-index
+// scratch.
+func (c *Counter) DetectROI(frame int, roi vidsim.Box, out []Detection) []Detection {
+	out, c.idx = c.d.detectROI(frame, roi, out, c.idx)
+	return out
+}
+
 // CountAt returns the number of detections of the class in the frame,
 // identical to Detector.CountAt but allocation-free across calls.
 func (c *Counter) CountAt(frame int, class vidsim.Class) int {
-	c.buf = c.d.Detect(frame, c.buf[:0])
-	n := 0
-	for i := range c.buf {
-		if c.buf[i].Class == class {
-			n++
-		}
-	}
+	n, idx := c.d.countROI(frame, c.d.fullFrame(), class, c.idx)
+	c.idx = idx
 	return n
 }
 

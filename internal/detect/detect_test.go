@@ -171,6 +171,55 @@ func TestCountAt(t *testing.T) {
 	}
 }
 
+// TestCountFastPathEquivalence pins the count-only path (no Detection
+// materialization, other-class tracks skipped before confidence) against
+// the reference Detect-then-filter definition, for every frame, every
+// class present in the stream, and both the Detector and Counter entry
+// points — plus Counter.Detect/DetectROI scratch reuse against the
+// allocating Detector methods.
+func TestCountFastPathEquivalence(t *testing.T) {
+	v := smallVideo(t, "taipei", 0.005)
+	d, err := New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.NewCounter()
+	classes := []vidsim.Class{vidsim.Car, vidsim.Bus, "bear"}
+	var dets, cdets []Detection
+	for f := 0; f < v.Frames; f += 7 {
+		dets = d.Detect(f, dets[:0])
+		cdets = c.Detect(f, cdets[:0])
+		if len(dets) != len(cdets) {
+			t.Fatalf("frame %d: Counter.Detect %d dets, Detector.Detect %d", f, len(cdets), len(dets))
+		}
+		for i := range dets {
+			if dets[i] != cdets[i] {
+				t.Fatalf("frame %d det %d: %+v vs %+v", f, i, cdets[i], dets[i])
+			}
+		}
+		for _, class := range classes {
+			want := 0
+			for i := range dets {
+				if dets[i].Class == class {
+					want++
+				}
+			}
+			if got := d.CountAt(f, class); got != want {
+				t.Fatalf("frame %d class %s: Detector.CountAt %d, reference %d", f, class, got, want)
+			}
+			if got := c.CountAt(f, class); got != want {
+				t.Fatalf("frame %d class %s: Counter.CountAt %d, reference %d", f, class, got, want)
+			}
+		}
+	}
+	counts := c.CountRange(100, 160, vidsim.Car, nil)
+	for i, n := range counts {
+		if int(n) != d.CountAt(100+i, vidsim.Car) {
+			t.Fatalf("CountRange[%d] = %d, CountAt = %d", i, n, d.CountAt(100+i, vidsim.Car))
+		}
+	}
+}
+
 func TestTruthIDMatchesTracks(t *testing.T) {
 	v := smallVideo(t, "amsterdam", 0.005)
 	d, _ := New(v)

@@ -1,0 +1,83 @@
+package index
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScoreTailBitIdentical pins the vectorized tail kernel against the
+// per-frame Inference accessor it replaces: for every head, every count
+// threshold (including the clamped n >= Classes and constant n <= 0
+// cases), and both full chunks and the partial trailing chunk, ScoreTail
+// must reproduce Inference.TailProb bit for bit.
+func TestScoreTailBitIdentical(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	inf := seg.Inference()
+	buf := make([]float64, ChunkFrames)
+	for h, head := range w.model.HeadInfo {
+		for _, n := range []int{-1, 0, 1, 2, head.Classes - 1, head.Classes, head.Classes + 3} {
+			for ci := 0; ci < seg.Chunks(); ci++ {
+				lo := ci * ChunkFrames
+				hi := lo + seg.Zone(ci).Frames
+				dst := buf[:hi-lo]
+				seg.ScoreTail(h, n, lo, hi, dst)
+				for f := lo; f < hi; f++ {
+					want := inf.TailProb(h, f, n)
+					if math.Float64bits(dst[f-lo]) != math.Float64bits(want) {
+						t.Fatalf("head %d n %d frame %d: ScoreTail %v, TailProb %v (not bit-identical)",
+							h, n, f, dst[f-lo], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreTailSubranges drives the kernel over ranges that do not start
+// on a chunk boundary (a resumed scan's first batch, a shard's tail),
+// since the kernel indexes the column by absolute frame.
+func TestScoreTailSubranges(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	inf := seg.Inference()
+	ranges := [][2]int{{0, 1}, {7, 130}, {ChunkFrames - 3, ChunkFrames + 5}, {seg.Frames() - 9, seg.Frames()}}
+	for h := range w.model.HeadInfo {
+		for _, r := range ranges {
+			lo, hi := r[0], r[1]
+			if hi > seg.Frames() {
+				hi = seg.Frames()
+			}
+			dst := make([]float64, hi-lo)
+			seg.ScoreTail(h, 1, lo, hi, dst)
+			for f := lo; f < hi; f++ {
+				want := inf.TailProb(h, f, 1)
+				if math.Float64bits(dst[f-lo]) != math.Float64bits(want) {
+					t.Fatalf("head %d range [%d,%d) frame %d: %v vs %v", h, lo, hi, f, dst[f-lo], want)
+				}
+			}
+		}
+	}
+}
+
+// TestTail1RangeAliasesColumn pins the label filter's batch read: the
+// returned slice must hold exactly the per-frame Tail1 values.
+func TestTail1RangeAliasesColumn(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	for h := range w.model.HeadInfo {
+		for ci := 0; ci < seg.Chunks(); ci++ {
+			lo := ci * ChunkFrames
+			hi := lo + seg.Zone(ci).Frames
+			col := seg.Tail1Range(h, lo, hi)
+			if len(col) != hi-lo {
+				t.Fatalf("head %d chunk %d: len %d, want %d", h, ci, len(col), hi-lo)
+			}
+			for f := lo; f < hi; f++ {
+				if math.Float64bits(col[f-lo]) != math.Float64bits(seg.Tail1(h, f)) {
+					t.Fatalf("head %d frame %d: Tail1Range %v, Tail1 %v", h, f, col[f-lo], seg.Tail1(h, f))
+				}
+			}
+		}
+	}
+}

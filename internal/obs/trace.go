@@ -36,6 +36,9 @@ type Span struct {
 	// Frames counts progress units consumed (visited frames for scan
 	// families, samples or rank positions for the others).
 	Frames int `json:"frames,omitempty"`
+	// Chunks counts chunk-aligned consume batches merged while this span
+	// ran (the chunk-vector executor's work units).
+	Chunks int `json:"chunks,omitempty"`
 	// ChunksSkipped / FramesSkipped count index zone-map skip decisions
 	// made while this span ran.
 	ChunksSkipped int               `json:"chunks_skipped,omitempty"`

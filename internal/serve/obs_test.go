@@ -186,18 +186,30 @@ func TestQueryTraceInline(t *testing.T) {
 			t.Fatalf("span tree missing %q: %+v", name, root.Children)
 		}
 	}
-	// Acceptance: the per-shard spans sum to the scan's total frames.
+	// Acceptance: the per-shard spans sum to the scan's total frames, and
+	// every consumed shard merged at least one chunk-aligned batch.
 	scan := spanNamed(root, "scan")
-	var shardFrames, shards int
+	var shardFrames, shards, shardChunks int
 	for _, c := range scan.Children {
 		if c.Name == "shard" {
 			shards++
 			shardFrames += c.Frames
+			shardChunks += c.Chunks
 		}
 	}
 	if shards == 0 || shardFrames != scan.Frames || scan.Frames <= 0 {
 		t.Errorf("shard reconciliation: %d shards, %d shard frames, scan frames %d",
 			shards, shardFrames, scan.Frames)
+	}
+	if shardChunks < shards {
+		t.Errorf("chunk reconciliation: %d shards merged only %d chunk batches", shards, shardChunks)
+	}
+	// The engine-level chunk counter aggregates every execution on the
+	// engine, so /statz must report at least this trace's batches.
+	var statz statzResponse
+	getJSON(t, ts.URL+"/statz", &statz)
+	if statz.Parallel.Chunks < uint64(shardChunks) {
+		t.Errorf("/statz parallel chunks = %d, want >= %d", statz.Parallel.Chunks, shardChunks)
 	}
 }
 

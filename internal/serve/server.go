@@ -876,6 +876,9 @@ type parallelStatz struct {
 	Fanouts uint64 `json:"fanouts"`
 	// Shards is the total number of scan shards produced.
 	Shards uint64 `json:"shards"`
+	// Chunks is the total number of chunk-aligned batches the vectorized
+	// executor consumed.
+	Chunks uint64 `json:"chunks"`
 	// PoolUtilization is the fraction of request-pool workers currently
 	// executing queries (0..1).
 	PoolUtilization float64 `json:"pool_utilization"`
@@ -938,6 +941,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			par.PlanExecutions += es.Queries
 			par.Fanouts += es.Fanouts
 			par.Shards += es.Shards
+			par.Chunks += es.Chunks
 			is := eng.IndexStats()
 			idx.ModelsTrained += is.ModelsTrained
 			idx.ModelsLoaded += is.ModelsLoaded
