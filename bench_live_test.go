@@ -1,8 +1,11 @@
 // Continuous-query benchmarks: what the resumable-cursor tier buys on a
 // live stream. A standing query advancing after each ingest batch is
 // compared against re-executing the same query from frame 0 after each
-// batch (the pre-cursor behavior), and sustained ingest throughput
-// (frames/sec through AppendLive, index extension included) is measured.
+// batch (the pre-cursor behavior), sustained ingest throughput
+// (frames/sec through AppendLive, index extension included) is measured,
+// and the concurrent phase races fixed-work queries against sustained
+// ingest to verify snapshot isolation keeps reader latency at idle
+// levels (the concurrent_query_p50_ratio summary).
 //
 // Scale comes from BLAZEIT_PARBENCH_SCALE (default 0.05 so CI stays
 // fast). When BLAZEIT_LIVEBENCH_JSON names a file, a machine-readable
@@ -67,18 +70,30 @@ func writeLiveBenchJSON() {
 		Scale                  float64           `json:"scale"`
 		Records                []liveBenchRecord `json:"records"`
 		AdvanceSpeedupVsRescan float64           `json:"advance_speedup_vs_rescan,omitempty"`
+		// ConcurrentQueryP50Ratio is p50 query latency under sustained
+		// ingest over p50 at idle — the snapshot-isolation headline
+		// number (1.0 means ingest never blocks readers; benchgate caps
+		// it).
+		ConcurrentQueryP50Ratio float64 `json:"concurrent_query_p50_ratio,omitempty"`
 	}{Scale: parBenchScale(), Records: records}
-	var advance, rescan float64
+	var advance, rescan, idleP50, busyP50 float64
 	for _, r := range records {
 		switch r.Phase {
 		case "advance":
 			advance = r.NsPerOp
 		case "rescan":
 			rescan = r.NsPerOp
+		case "query_idle":
+			idleP50 = r.NsPerOp
+		case "query_under_ingest":
+			busyP50 = r.NsPerOp
 		}
 	}
 	if advance > 0 && rescan > 0 {
 		out.AdvanceSpeedupVsRescan = rescan / advance
+	}
+	if idleP50 > 0 && busyP50 > 0 {
+		out.ConcurrentQueryP50Ratio = busyP50 / idleP50
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -202,4 +217,101 @@ func BenchmarkLive(b *testing.B) {
 			Batches: liveBenchBatches,
 		})
 	})
+
+	// concurrent measures the HTAP split: p50 latency of a fixed-work
+	// query at idle, then the same query racing sustained ingest. Queries
+	// pin epoch snapshots and never lock, so the two p50s should be
+	// indistinguishable while ingest throughput stays flat — the
+	// concurrent_query_p50_ratio summary (gated by benchgate) is the
+	// regression signal if readers ever start blocking on the write path.
+	b.Run("concurrent", func(b *testing.B) {
+		var idle, busy []time.Duration
+		var frames int
+		var ingestNs int64
+		for i := 0; i < b.N; i++ {
+			sys := newLiveBenchSystem(b, scale)
+			// The scan is pinned to the initially visible prefix so one
+			// execution's work stays constant while the horizon grows —
+			// latency differences then measure reader/ingest
+			// interference, not a growing dataset.
+			q := fmt.Sprintf(`SELECT FCOUNT(*) FROM taipei WHERE class='car' AND timestamp < %d`,
+				sys.LiveStats().HorizonFrames)
+			// Warm the bounded query's one-time preparation so measured
+			// latencies are pure execution.
+			if _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			const idleQueries = 8
+			for j := 0; j < idleQueries; j++ {
+				start := time.Now()
+				if _, err := sys.Query(q); err != nil {
+					b.Fatal(err)
+				}
+				idle = append(idle, time.Since(start))
+			}
+			// Sustained ingest: the rest of the day in small batches on
+			// one writer goroutine, while this goroutine keeps querying
+			// against pinned snapshots.
+			ls := sys.LiveStats()
+			batch := (ls.DayFrames-ls.HorizonFrames)/liveBenchConcurrentBatches + 1
+			done := make(chan error, 1)
+			go func() {
+				start := time.Now()
+				for sys.LiveStats().HorizonFrames < ls.DayFrames {
+					added, err := sys.Append(batch)
+					if err != nil {
+						done <- err
+						return
+					}
+					frames += added
+				}
+				ingestNs += time.Since(start).Nanoseconds()
+				done <- nil
+			}()
+			running := true
+			for running {
+				start := time.Now()
+				if _, err := sys.Query(q); err != nil {
+					b.Fatal(err)
+				}
+				busy = append(busy, time.Since(start))
+				select {
+				case err := <-done:
+					if err != nil {
+						b.Fatal(err)
+					}
+					running = false
+				default:
+				}
+			}
+		}
+		idleP50 := p50ns(idle)
+		busyP50 := p50ns(busy)
+		fps := float64(frames) / (float64(ingestNs) / 1e9)
+		b.ReportMetric(busyP50/idleP50, "p50-ratio")
+		b.ReportMetric(fps, "frames/s")
+		recordLiveBench(liveBenchRecord{Phase: "query_idle", Scale: scale, NsPerOp: idleP50, Batches: liveBenchConcurrentBatches})
+		recordLiveBench(liveBenchRecord{Phase: "query_under_ingest", Scale: scale, NsPerOp: busyP50, Batches: liveBenchConcurrentBatches})
+		recordLiveBench(liveBenchRecord{
+			Phase: "ingest_concurrent", Scale: scale,
+			NsPerOp:      float64(ingestNs) / float64(b.N),
+			FramesPerSec: fps,
+			Batches:      liveBenchConcurrentBatches,
+		})
+	})
+}
+
+// liveBenchConcurrentBatches is how many ingest batches the concurrent
+// phase splits the day's remainder into — small enough batches that
+// ingest stays active across many measured queries.
+const liveBenchConcurrentBatches = 32
+
+// p50ns returns the median duration in nanoseconds.
+func p50ns(durs []time.Duration) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[len(s)/2].Nanoseconds())
 }

@@ -23,6 +23,11 @@
 // cannot hide behind machine variance, and an intentional change must
 // regenerate the baseline.
 //
+// BENCH_live's concurrent_query_p50_ratio summary (p50 query latency
+// under sustained ingest over p50 at idle) is a within-run ratio, so
+// machine speed cancels out: it is judged against the absolute
+// -concurrent-ratio-cap (default 1.5) even when no baseline exists.
+//
 // Per file: a missing baseline is a warning (first run), and a scale
 // mismatch skips the file (incomparable). A fresh-run record with no
 // baseline counterpart is informational — new families appear whenever
@@ -50,6 +55,12 @@ import (
 type benchFile struct {
 	Scale   float64          `json:"scale"`
 	Records []map[string]any `json:"records"`
+	// ConcurrentQueryP50Ratio is BENCH_live's snapshot-isolation summary:
+	// p50 query latency under sustained ingest over p50 at idle. Unlike
+	// the per-record wall times it is a within-run ratio, so machine speed
+	// cancels out and it is judged against an absolute cap, baseline or
+	// not.
+	ConcurrentQueryP50Ratio float64 `json:"concurrent_query_p50_ratio"`
 }
 
 func readBenchFile(path string) (*benchFile, error) {
@@ -202,6 +213,25 @@ func compare(name string, base, cur *benchFile, threshold, simTol float64) *verd
 	return v
 }
 
+// checkConcurrentRatio judges the within-run concurrent-query latency
+// ratio against an absolute cap. It needs no baseline — both p50s come
+// from the same run on the same machine, so the ratio is machine-neutral
+// and a cap encodes the product requirement directly (queries under
+// sustained ingest stay near idle latency). A cap <= 0 disables the
+// check; a file without the summary (older suites, other dimensions) is
+// never judged.
+func checkConcurrentRatio(name string, cur *benchFile, cap float64) (failure string) {
+	if cap <= 0 || cur.ConcurrentQueryP50Ratio == 0 {
+		return ""
+	}
+	if r := cur.ConcurrentQueryP50Ratio; r > cap {
+		return fmt.Sprintf(
+			"%s: concurrent query p50 is %.2fx idle p50 (cap %.2fx) — ingest is blocking snapshot readers",
+			name, r, cap)
+	}
+	return ""
+}
+
 func geomean(vs []float64) float64 {
 	if len(vs) == 0 {
 		return 1
@@ -226,6 +256,8 @@ func main() {
 	currentDir := flag.String("current-dir", ".", "directory holding the freshly produced BENCH_*.json files")
 	threshold := flag.Float64("threshold", 1.25, "maximum calibrated wall-clock ratio per family before failing")
 	simTol := flag.Float64("sim-tol", 0.01, "maximum relative simulated-cost drift per record before failing")
+	ratioCap := flag.Float64("concurrent-ratio-cap", 1.5,
+		"maximum concurrent-query p50/idle p50 ratio (BENCH_live summary; within-run, judged without a baseline; <=0 disables)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH_parallel.json ...")
@@ -244,6 +276,12 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		// The within-run concurrent-latency cap gates even on the first
+		// run — it compares the fresh file against itself, not a baseline.
+		if f := checkConcurrentRatio(name, cur, *ratioCap); f != "" {
+			fmt.Println("FAIL", f)
+			failed = true
 		}
 		base, err := readBenchFile(filepath.Join(*baselineDir, name))
 		if err != nil {

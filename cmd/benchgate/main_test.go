@@ -145,6 +145,61 @@ func TestComparePlannerFieldNames(t *testing.T) {
 	}
 }
 
+// phaseRec builds a live-suite record (phase-keyed, no sim cost).
+func phaseRec(phase string, ns float64) map[string]any {
+	return map[string]any{"phase": phase, "ns_per_op": ns}
+}
+
+// TestCompareLivePhaseCalibration: the live suite's concurrent-ingest
+// phases are phase-keyed records, so they flow through the same
+// per-family median calibration — a uniform slowdown passes, an isolated
+// concurrent-phase regression fails.
+func TestCompareLivePhaseCalibration(t *testing.T) {
+	base := file(0.05,
+		phaseRec("ingest", 1e9), phaseRec("advance", 1e8), phaseRec("rescan", 1.1e8),
+		phaseRec("query_idle", 5e7), phaseRec("query_under_ingest", 5.2e7),
+		phaseRec("ingest_concurrent", 2e9))
+	// Uniformly 2x slower (weaker machine): calibration absorbs it.
+	uniform := file(0.05,
+		phaseRec("ingest", 2e9), phaseRec("advance", 2e8), phaseRec("rescan", 2.2e8),
+		phaseRec("query_idle", 1e8), phaseRec("query_under_ingest", 1.04e8),
+		phaseRec("ingest_concurrent", 4e9))
+	if v := compare("BENCH_live.json", base, uniform, 1.25, 0.01); len(v.failures) != 0 {
+		t.Fatalf("uniform slowdown judged a regression: %v", v.failures)
+	}
+	// Only the under-ingest phase 2x slower: the cross-phase median holds
+	// still, so the regression is judged.
+	regressed := file(0.05,
+		phaseRec("ingest", 1e9), phaseRec("advance", 1e8), phaseRec("rescan", 1.1e8),
+		phaseRec("query_idle", 5e7), phaseRec("query_under_ingest", 1.04e8),
+		phaseRec("ingest_concurrent", 2e9))
+	v := compare("BENCH_live.json", base, regressed, 1.25, 0.01)
+	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "query_under_ingest wall regression") {
+		t.Fatalf("failures = %v, want one for query_under_ingest", v.failures)
+	}
+}
+
+// TestConcurrentRatioCap: the within-run p50 ratio is judged against an
+// absolute cap, independent of any baseline; files without the summary
+// and disabled caps are never judged.
+func TestConcurrentRatioCap(t *testing.T) {
+	over := &benchFile{Scale: 0.05, ConcurrentQueryP50Ratio: 1.8}
+	if f := checkConcurrentRatio("BENCH_live.json", over, 1.5); !strings.Contains(f, "1.80x idle") {
+		t.Fatalf("ratio 1.8 vs cap 1.5: %q, want failure", f)
+	}
+	under := &benchFile{Scale: 0.05, ConcurrentQueryP50Ratio: 1.1}
+	if f := checkConcurrentRatio("BENCH_live.json", under, 1.5); f != "" {
+		t.Fatalf("ratio 1.1 vs cap 1.5 judged: %q", f)
+	}
+	absent := &benchFile{Scale: 0.05}
+	if f := checkConcurrentRatio("BENCH_parallel.json", absent, 1.5); f != "" {
+		t.Fatalf("file without summary judged: %q", f)
+	}
+	if f := checkConcurrentRatio("BENCH_live.json", over, 0); f != "" {
+		t.Fatalf("disabled cap judged: %q", f)
+	}
+}
+
 // TestRecordKeyShapes covers the three record shapes the suites emit.
 func TestRecordKeyShapes(t *testing.T) {
 	cases := []struct {

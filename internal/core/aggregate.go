@@ -252,7 +252,7 @@ func (x *aggScanExec) RunTo(units int) error {
 	// order over chunk-aligned batches, so the scan suspends on exact
 	// frame boundaries.
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false,
-		x.scanTrace(&e.exec, &x.st.Stats),
+		x.scanTrace(e.exec, &x.st.Stats),
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
 			if !x.oracle {
@@ -482,7 +482,7 @@ func (e *Engine) naiveMeanCount(class vidsim.Class, stats *Stats, par int) float
 	fullCost := e.DTest.FullFrameCost()
 	total := 0
 	runSharded(par, shardRanges(e.Test.Frames),
-		&e.exec,
+		e.exec,
 		func(s shard) int {
 			c := e.DTest.NewCounter()
 			sum := 0
@@ -556,7 +556,7 @@ func (x *distinctExec) RunTo(units int) error {
 	lo, _ := e.frameRange(x.info)
 	fullCost := e.DTest.FullFrameCost()
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, false,
-		x.scanTrace(&e.exec, &x.st.Stats),
+		x.scanTrace(e.exec, &x.st.Stats),
 		func(s shard) *detArena {
 			a := &detArena{ends: make([]int32, 0, s.hi-s.lo)}
 			c := e.DTest.NewCounter()

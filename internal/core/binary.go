@@ -224,7 +224,7 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 	limit := x.info.Limit
 
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
-		x.scanTrace(&e.exec, &x.st.Stats),
+		x.scanTrace(e.exec, &x.st.Stats),
 		func(s shard) []binVerdict {
 			// The shard walks index-chunk-aligned frame ranges: one zone-map
 			// consultation per chunk decides whether the chunk's columns are
@@ -373,7 +373,7 @@ func (x *binaryExactExec) RunTo(units int) error {
 	gap := x.info.Gap
 	limit := x.info.Limit
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
-		x.scanTrace(&e.exec, &x.st.Stats),
+		x.scanTrace(e.exec, &x.st.Stats),
 		func(s shard) []int32 {
 			c := e.DTest.NewCounter()
 			return c.CountRange(lo+s.lo, lo+s.hi, x.class, nil)

@@ -166,16 +166,39 @@ type Engine struct {
 	// "indexed" modes, now restart-safe.
 	idx *index.Manager
 
-	// exec tracks parallel-execution activity for /statz reporting.
-	exec execCounters
+	// exec tracks parallel-execution activity for /statz reporting. It is
+	// a pointer so snapshot-pinned engine views share the master's
+	// counters.
+	exec *execCounters
 
-	// epoch counts live-stream ingests (AppendLive calls that made frames
-	// visible); serving-tier caches key on it.
-	epoch atomic.Uint64
+	// snap is the engine's published stream snapshot: the immutable view
+	// of the test day every execution, advance, and plan pins at open
+	// time. AppendLive is the only writer; it swaps in a new snapshot
+	// after the ingest tail has been indexed, so readers never take a
+	// lock and never observe a torn horizon.
+	snap atomic.Pointer[StreamSnapshot]
 
 	// planner holds the cost-based planner's cached held-out statistics
-	// and pick accounting (see planner.go).
-	planner plannerState
+	// and pick accounting (see planner.go). Shared by pinned views.
+	planner *plannerState
+}
+
+// StreamSnapshot is one published epoch of a live stream: the horizon
+// visible at publication plus the pinned video/detector views executions
+// read the test day through. Snapshots are immutable; AppendLive
+// publishes a new one (epoch+1) only after every materialized test-day
+// index segment has been extended through the new horizon, so a query
+// pinning the snapshot finds the index already covering everything it
+// can see.
+type StreamSnapshot struct {
+	// Epoch counts publications: 0 at open, +1 per AppendLive that made
+	// frames visible. Serving-tier result caches key on it.
+	Epoch uint64
+	// Horizon is the number of test-day frames visible in this snapshot.
+	Horizon int
+
+	test  *vidsim.Video
+	dtest *detect.Detector
 }
 
 // NewEngine builds an Engine for a named evaluation stream.
@@ -210,6 +233,7 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 		HeldOut: vidsim.Generate(cfg, 1),
 		Test:    test,
 		opts:    opts,
+		exec:    &execCounters{},
 		planner: newPlannerState(),
 	}
 	var errD error
@@ -231,7 +255,75 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 		},
 	})
 	e.loadPlannerSummaries()
+	if e.Live() {
+		// Live engines serve queries from pinned snapshot views from the
+		// start, so ingest never races a reader over the master video.
+		e.snap.Store(e.makeSnapshot(0))
+	} else {
+		// Full-day engines are immutable: the snapshot is the engine's own
+		// test day, and pinning is the identity.
+		e.snap.Store(&StreamSnapshot{Horizon: e.Test.Frames, test: e.Test, dtest: e.DTest})
+	}
 	return e, nil
+}
+
+// makeSnapshot builds a snapshot of the current master test video at the
+// given epoch: a pinned video view plus a detector bound to it.
+func (e *Engine) makeSnapshot(epoch uint64) *StreamSnapshot {
+	view := e.Test.View(e.Test.Frames)
+	return &StreamSnapshot{
+		Epoch:   epoch,
+		Horizon: view.Frames,
+		test:    view,
+		dtest:   e.DTest.ForVideo(view),
+	}
+}
+
+// Snapshot returns the engine's current published stream snapshot (the
+// pinned one, on an engine view returned by Pin).
+func (e *Engine) Snapshot() *StreamSnapshot { return e.snap.Load() }
+
+// pin returns an engine view bound to the current published snapshot:
+// identical to e except that Test and DTest are the snapshot's immutable
+// views. Index tier, counters, and planner state are shared with the
+// master, so costs and cache accounting accrue in one place. On a
+// full-day engine — or an already-pinned view — pin is the identity.
+// Every execution entry point pins first, which is what lets ingest race
+// ahead without ever tearing a running query.
+func (e *Engine) pin() *Engine {
+	if !e.Live() {
+		// Full-day engines are immutable (tests may even swap Test out
+		// wholesale before first use); there is nothing to pin.
+		return e
+	}
+	sn := e.snap.Load()
+	if sn == nil || sn.test == e.Test {
+		return e
+	}
+	pe := &Engine{
+		Cfg:     e.Cfg,
+		Train:   e.Train,
+		HeldOut: e.HeldOut,
+		Test:    sn.test,
+		DTrain:  e.DTrain,
+		DHeld:   e.DHeld,
+		DTest:   sn.dtest,
+		opts:    e.opts,
+		idx:     e.idx,
+		exec:    e.exec,
+		planner: e.planner,
+	}
+	pe.snap.Store(sn)
+	return pe
+}
+
+// Pin returns an engine view bound to the current published snapshot,
+// plus that snapshot's epoch. Serving layers use it to run an execution
+// and key its cached result off the exact epoch the execution saw —
+// reading the epoch before or after an unpinned call would race ingest.
+func (e *Engine) Pin() (*Engine, uint64) {
+	pe := e.pin()
+	return pe, pe.snap.Load().Epoch
 }
 
 // indexFingerprint hashes every configuration input index contents depend
@@ -348,6 +440,7 @@ func (e *Engine) ImportModel(classes []vidsim.Class, data []byte) error {
 // IndexStats, matching the paper's indexed accounting in which it
 // amortizes across every query over the class set.
 func (e *Engine) BuildIndex(classes []vidsim.Class) error {
+	e = e.pin()
 	if _, _, err := e.idx.Model(classes); err != nil {
 		return err
 	}
@@ -361,34 +454,72 @@ func (e *Engine) BuildIndex(classes []vidsim.Class) error {
 
 // AppendLive makes the next n generated frames of a live test day
 // visible (clamped to the day's end), extends every already-materialized
-// test-day index segment to the new horizon, and bumps the stream epoch
-// that serving-tier result caches key on. It returns the number of
-// frames actually appended. AppendLive must not run concurrently with
-// query execution over this engine — the serving tier holds its
-// per-stream write lock across the call; embedding callers own the same
-// exclusion. On a full (non-live) engine it is a no-op.
+// test-day index segment through the new horizon, and only then
+// publishes a new stream snapshot (epoch+1) — the update-propagation
+// order that guarantees a query pinning the snapshot finds the index
+// covering everything it can see. It returns the number of frames
+// actually appended.
+//
+// AppendLive writes only to the master video and the segments' ingest
+// tails; executions, advances, and plans run concurrently against their
+// pinned snapshots without locks and are never blocked or torn by it.
+// Concurrent AppendLive calls must be serialized by the caller (the
+// serving tier holds its per-stream ingest mutex; embedding callers own
+// the same single-writer contract). On a full (non-live) engine it is a
+// no-op.
 func (e *Engine) AppendLive(n int) (int, error) {
 	before := e.Test.Frames
 	after := e.Test.AppendFrames(n)
 	if after == before {
 		return 0, nil
 	}
-	e.epoch.Add(1)
-	if _, err := e.idx.IngestAll(e.Test); err != nil {
-		return after - before, err
-	}
-	return after - before, nil
+	_, err := e.idx.IngestAll(e.Test)
+	// Publish even on a partial ingest failure: the frames are visible
+	// and lagging segments extend lazily on first pinned use.
+	e.snap.Store(e.makeSnapshot(e.snap.Load().Epoch + 1))
+	return after - before, err
 }
 
-// StreamEpoch returns the engine's ingest epoch: 0 at open, incremented
-// by every AppendLive that makes frames visible. Serving-tier result
-// caches include it in their keys, so answers computed over a shorter
-// stream can never be served after the stream has grown — the
-// epoch-based invalidation of the continuous tier.
-func (e *Engine) StreamEpoch() uint64 { return e.epoch.Load() }
+// StreamEpoch returns the published snapshot's epoch: 0 at open,
+// incremented by every AppendLive that makes frames visible.
+// Serving-tier result caches include it in their keys, so answers
+// computed over a shorter stream can never be served after the stream
+// has grown — the epoch-based invalidation of the continuous tier.
+func (e *Engine) StreamEpoch() uint64 {
+	if !e.Live() {
+		return 0
+	}
+	return e.snap.Load().Epoch
+}
 
-// Horizon returns the number of test-day frames currently visible.
-func (e *Engine) Horizon() int { return e.Test.Frames }
+// Horizon returns the number of test-day frames visible in the published
+// snapshot (the pinned horizon, on an engine view returned by Pin).
+func (e *Engine) Horizon() int {
+	if !e.Live() {
+		return e.Test.Frames
+	}
+	return e.snap.Load().Horizon
+}
+
+// TailFrames returns the snapshot's unsealed tail depth: the visible
+// frames past the last sealed 1024-frame chunk boundary — the portion of
+// the horizon living in segments' mutable ingest tails rather than in
+// sealed, persisted chunks.
+func (e *Engine) TailFrames() int { return e.Horizon() % index.ChunkFrames }
+
+// SnapshotLagFrames returns the update-propagation debt at the published
+// snapshot: the maximum, across materialized test-day segments, of the
+// snapshot horizon minus the segment's indexed frames. AppendLive
+// extends every open segment before publishing, so this is normally 0;
+// it goes positive only transiently, when a segment materializes against
+// an older pinned snapshot and has not yet been extended forward.
+func (e *Engine) SnapshotLagFrames() int {
+	if !e.Live() {
+		return 0
+	}
+	sn := e.snap.Load()
+	return e.idx.CoverageLag(sn.test.Day, sn.Horizon)
+}
 
 // DayFrames returns the test day's full length; a live stream's horizon
 // grows toward it.
@@ -427,6 +558,7 @@ func (e *Engine) FlushIndex() error {
 // cached (the paper's "indexed" accounting), but end-to-end comparisons
 // like Figure 6 must charge them regardless of cache state.
 func (e *Engine) ScrubSetupCost(classes []vidsim.Class) float64 {
+	e = e.pin()
 	m, _, err := e.Model(classes)
 	if err != nil {
 		return 0
@@ -464,6 +596,7 @@ func (e *Engine) Execute(info *frameql.Info) (*Result, error) {
 // another. Plan choice is equally parallelism- and cache-state-
 // independent, so repeated queries always run the same plan.
 func (e *Engine) ExecuteParallel(info *frameql.Info, parallelism int) (*Result, error) {
+	e = e.pin()
 	cands, err := e.planCandidates(info, parallelism)
 	if err != nil {
 		return nil, err

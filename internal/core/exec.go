@@ -77,6 +77,7 @@ func (e *Engine) newExecution(info *frameql.Info, cands []candidate, chosen *can
 // the picked (or hinted) candidate without running it. parallelism 0 uses
 // the engine default.
 func (e *Engine) BeginQuery(info *frameql.Info, parallelism int) (*Execution, error) {
+	e = e.pin()
 	cands, err := e.planCandidates(info, parallelism)
 	if err != nil {
 		return nil, err
@@ -184,6 +185,7 @@ func (x *Execution) Suspend() (*plan.Cursor, error) {
 // canonical query is re-planned, the cursor's pinned candidate is forced,
 // and the family exec restores its accumulator snapshot.
 func (e *Engine) ResumeQuery(cur *plan.Cursor) (*Execution, error) {
+	e = e.pin()
 	info, err := frameql.Analyze(cur.Query)
 	if err != nil {
 		return nil, fmt.Errorf("core: resuming cursor: %w", err)
@@ -235,6 +237,7 @@ func (e *Engine) resumeAnalyzed(info *frameql.Info, cur *plan.Cursor) (*Executio
 // check the horizon first, as the serving tier's /poll and the public
 // StandingQuery.Advance do.
 func (e *Engine) Advance(cur *plan.Cursor) (*Result, *plan.Cursor, error) {
+	e = e.pin()
 	info, err := frameql.Analyze(cur.Query)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)

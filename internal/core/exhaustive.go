@@ -246,7 +246,7 @@ func (x *exhaustiveExec) RunTo(units int) error {
 	// LIMIT may stop the scan early; ramped shards keep the worst-case
 	// speculative work small when the limit is satisfied quickly.
 	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
-		x.scanTrace(&e.exec, &x.res.Stats), produce, batch)
+		x.scanTrace(e.exec, &x.res.Stats), produce, batch)
 	return x.err
 }
 

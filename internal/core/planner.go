@@ -192,8 +192,8 @@ type plannerState struct {
 	estErrN   uint64
 }
 
-func newPlannerState() plannerState {
-	return plannerState{
+func newPlannerState() *plannerState {
+	return &plannerState{
 		base:     make(map[vidsim.Class]*baseStats),
 		resid:    make(map[vidsim.Class]*residStats),
 		heldErrs: make(map[vidsim.Class]*heldErrsEntry),
@@ -244,7 +244,7 @@ type PlannerStats struct {
 
 // PlannerStats returns a snapshot of the engine's planner accounting.
 func (e *Engine) PlannerStats() PlannerStats {
-	p := &e.planner
+	p := e.planner
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := PlannerStats{

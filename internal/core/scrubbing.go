@@ -294,7 +294,7 @@ func (x *scrubExec) RunTo(units int) error {
 			x.prefetch = &scrubPrefetcher{
 				order: x.order, results: make([]bool, len(x.order)),
 				pos: x.searcher.Pos(), ready: x.searcher.Pos(),
-				par: x.par, check: check, exec: &e.exec,
+				par: x.par, check: check, exec: e.exec,
 			}
 			if sp := x.prefetch.pos; x.restoredReady > sp {
 				// Seed the verdict window serialized at suspension: the

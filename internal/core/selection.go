@@ -836,7 +836,7 @@ func (x *selectionExec) RunTo(units int) error {
 		return bhi - blo, true
 	}
 	x.st.Pos, _ = runScan(x.par, x.st.Pos, x.Total(), units, false,
-		x.scanTrace(&e.exec, &x.st.Stats), produce, batch)
+		x.scanTrace(e.exec, &x.st.Stats), produce, batch)
 	return x.err
 }
 

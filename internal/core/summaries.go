@@ -52,7 +52,7 @@ type cascadeWire struct {
 
 // savePlannerSummaries snapshots the planner caches into the index tier.
 func (e *Engine) savePlannerSummaries() error {
-	p := &e.planner
+	p := e.planner
 	p.mu.Lock()
 	blob := summariesBlob{
 		Base:     make(map[vidsim.Class]baseStatsWire, len(p.base)),
@@ -102,7 +102,7 @@ func (e *Engine) loadPlannerSummaries() {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
 		return
 	}
-	p := &e.planner
+	p := e.planner
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for c, s := range blob.Base {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/frameql"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -198,7 +199,9 @@ func (e *Engine) ExecuteParallelTraced(info *frameql.Info, parallelism int, tr *
 	if tr == nil {
 		return e.ExecuteParallel(info, parallelism)
 	}
+	e = e.pin()
 	root := tr.Root
+	e.traceSnapshotAttrs(root)
 	planSp := root.Child("plan")
 	cands, err := e.planCandidates(info, parallelism)
 	if err != nil {
@@ -238,8 +241,10 @@ func (e *Engine) AdvanceTraced(cur *plan.Cursor, tr *obs.Trace) (*Result, *plan.
 	if tr == nil {
 		return e.Advance(cur)
 	}
+	e = e.pin()
 	root := tr.Root
 	root.SetAttr("standing", "true")
+	e.traceSnapshotAttrs(root)
 	info, err := frameql.Analyze(cur.Query)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)
@@ -275,4 +280,16 @@ func (e *Engine) AdvanceTraced(cur *plan.Cursor, tr *obs.Trace) (*Result, *plan.
 	}
 	sus.End()
 	return res, ncur, nil
+}
+
+// traceSnapshotAttrs stamps a live engine's pinned snapshot identity onto
+// an execution's root span: the epoch the execution reads, and how many
+// of its visible frames live in the unsealed ingest tail.
+func (e *Engine) traceSnapshotAttrs(root *obs.Span) {
+	if !e.Live() {
+		return
+	}
+	sn := e.snap.Load()
+	root.SetAttr("snapshot_epoch", strconv.FormatUint(sn.Epoch, 10))
+	root.SetAttr("tail_frames", strconv.Itoa(sn.Horizon%index.ChunkFrames))
 }

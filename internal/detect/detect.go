@@ -149,6 +149,18 @@ func NewWithModel(v *vidsim.Video, m Model, threshold float64) *Detector {
 // Model returns the detector's model.
 func (d *Detector) Model() Model { return d.model }
 
+// ForVideo returns a detector identical to d but reading frames from v.
+// The snapshot tier uses it to pin a detector to an immutable video view:
+// v must be the same generated day (same config, day index, and track
+// set), typically a Video.View at some horizon, so the derived detector's
+// outputs are bit-identical to a detector constructed directly over a
+// video whose visible frame count equals the view's.
+func (d *Detector) ForVideo(v *vidsim.Video) *Detector {
+	nd := *d
+	nd.video = v
+	return &nd
+}
+
 // FullFrameCost returns the simulated cost of one full-frame detector call.
 func (d *Detector) FullFrameCost() float64 {
 	return d.CostFor(float64(d.video.Config.Width), float64(d.video.Config.Height))

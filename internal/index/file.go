@@ -225,16 +225,18 @@ func readSegmentHeader(r *bufio.Reader, key Key) ([]specnn.Head, error) {
 	return heads, nil
 }
 
-// chunkRecord serializes one chunk: zone map then columns, per head.
-func appendChunkRecord(buf []byte, s *Segment, ci int) []byte {
-	z := &s.zones[ci]
+// chunkRecord serializes one chunk: zone map then columns, per head. It
+// reads from one captured segment state so a record is internally
+// consistent even while writers publish newer states.
+func appendChunkRecord(buf []byte, model *specnn.CountModel, st *segState, ci int) []byte {
+	z := &st.zones[ci]
 	lo := ci * ChunkFrames
 	payload := make([]byte, 0, 4+z.Frames*16)
 	le := binary.LittleEndian
 	u32 := func(v uint32) { payload = le.AppendUint32(payload, v) }
 	f64 := func(v float64) { payload = le.AppendUint64(payload, math.Float64bits(v)) }
 	u32(uint32(z.Frames))
-	for h := range s.model.HeadInfo {
+	for h := range model.HeadInfo {
 		payload = append(payload, z.MinPred[h], z.MaxPred[h])
 		for _, t := range z.MaxTail[h] {
 			f64(t)
@@ -243,12 +245,12 @@ func appendChunkRecord(buf []byte, s *Segment, ci int) []byte {
 		for _, w := range z.Presence[h] {
 			payload = le.AppendUint64(payload, w)
 		}
-		k := s.model.HeadInfo[h].Classes
-		col := s.probs[h][lo*k : (lo+z.Frames)*k]
+		k := model.HeadInfo[h].Classes
+		col := st.probs[h][lo*k : (lo+z.Frames)*k]
 		for _, p := range col {
 			payload = le.AppendUint32(payload, math.Float32bits(p))
 		}
-		for _, t := range s.tail1[h][lo : lo+z.Frames] {
+		for _, t := range st.tail1[h][lo : lo+z.Frames] {
 			f64(t)
 		}
 	}
@@ -257,14 +259,16 @@ func appendChunkRecord(buf []byte, s *Segment, ci int) []byte {
 	return le.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 }
 
-// writeSegmentFile persists the whole segment atomically.
+// writeSegmentFile persists the whole segment atomically, from one
+// captured state.
 func writeSegmentFile(path string, s *Segment) error {
+	st := s.st()
 	return atomicWrite(path, func(w *bufio.Writer) error {
 		if err := writeSegmentHeader(w, s.key, s.model.HeadInfo); err != nil {
 			return err
 		}
-		for ci := range s.zones {
-			if _, err := w.Write(appendChunkRecord(nil, s, ci)); err != nil {
+		for ci := range st.zones {
+			if _, err := w.Write(appendChunkRecord(nil, s.model, st, ci)); err != nil {
 				return err
 			}
 		}
@@ -277,6 +281,7 @@ func writeSegmentFile(path string, s *Segment) error {
 // and appends the recomputed records — existing chunks before fromChunk
 // are never rewritten.
 func appendSegmentFile(path string, s *Segment, fromChunk int) error {
+	st := s.st()
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -320,8 +325,8 @@ func appendSegmentFile(path string, s *Segment, fromChunk int) error {
 		return err
 	}
 	var buf []byte
-	for ci := fromChunk; ci < len(s.zones); ci++ {
-		buf = appendChunkRecord(buf[:0], s, ci)
+	for ci := fromChunk; ci < len(st.zones); ci++ {
+		buf = appendChunkRecord(buf[:0], s.model, st, ci)
 		if _, err := f.Write(buf); err != nil {
 			return err
 		}
@@ -347,10 +352,7 @@ func readSegmentFile(path string, key Key, model *specnn.CountModel, v *vidsim.V
 	if err := validateHeads(heads, model); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	s := &Segment{
-		key:   key,
-		model: model,
-		video: v,
+	st := &segState{
 		probs: make([][]float32, len(heads)),
 		tail1: make([][]float64, len(heads)),
 	}
@@ -372,26 +374,27 @@ func readSegmentFile(path string, key Key, model *specnn.CountModel, v *vidsim.V
 			return nil, fmt.Errorf("%w: truncated record checksum: %v", ErrCorrupt, err)
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, len(s.zones))
+			return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, len(st.zones))
 		}
-		if err := s.decodeChunk(payload, heads); err != nil {
+		if err := st.decodeChunk(payload, heads); err != nil {
 			return nil, err
 		}
 	}
-	if s.frames == 0 || s.frames > v.Frames {
-		return nil, fmt.Errorf("%w: segment covers %d frames, video has %d", ErrCorrupt, s.frames, v.Frames)
+	if st.frames == 0 || st.frames > v.Frames {
+		return nil, fmt.Errorf("%w: segment covers %d frames, video has %d", ErrCorrupt, st.frames, v.Frames)
 	}
-	s.inf = specnn.NewInferenceFromColumns(model, v, s.frames, s.probs)
-	return s, nil
+	st.inf = specnn.NewInferenceFromColumns(model, v, st.frames, st.probs)
+	return newSegmentWithState(key, model, st), nil
 }
 
-// decodeChunk appends one chunk record's zone map and columns.
-func (s *Segment) decodeChunk(payload []byte, heads []specnn.Head) error {
+// decodeChunk appends one chunk record's zone map and columns to a
+// not-yet-published loader state.
+func (st *segState) decodeChunk(payload []byte, heads []specnn.Head) error {
 	le := binary.LittleEndian
 	pos := 0
 	need := func(n int) error {
 		if pos+n > len(payload) {
-			return fmt.Errorf("%w: chunk %d record underflow", ErrCorrupt, len(s.zones))
+			return fmt.Errorf("%w: chunk %d record underflow", ErrCorrupt, len(st.zones))
 		}
 		return nil
 	}
@@ -401,10 +404,10 @@ func (s *Segment) decodeChunk(payload []byte, heads []specnn.Head) error {
 	frames := int(le.Uint32(payload[pos:]))
 	pos += 4
 	if frames <= 0 || frames > ChunkFrames {
-		return fmt.Errorf("%w: chunk %d has %d frames", ErrCorrupt, len(s.zones), frames)
+		return fmt.Errorf("%w: chunk %d has %d frames", ErrCorrupt, len(st.zones), frames)
 	}
-	if len(s.zones) > 0 && s.zones[len(s.zones)-1].Frames != ChunkFrames {
-		return fmt.Errorf("%w: chunk %d follows a partial chunk", ErrCorrupt, len(s.zones))
+	if len(st.zones) > 0 && st.zones[len(st.zones)-1].Frames != ChunkFrames {
+		return fmt.Errorf("%w: chunk %d follows a partial chunk", ErrCorrupt, len(st.zones))
 	}
 	z := Zone{
 		Frames:   frames,
@@ -435,19 +438,19 @@ func (s *Segment) decodeChunk(payload []byte, heads []specnn.Head) error {
 			pos += 8
 		}
 		for i := 0; i < frames*head.Classes; i++ {
-			s.probs[h] = append(s.probs[h], math.Float32frombits(le.Uint32(payload[pos:])))
+			st.probs[h] = append(st.probs[h], math.Float32frombits(le.Uint32(payload[pos:])))
 			pos += 4
 		}
 		for i := 0; i < frames; i++ {
-			s.tail1[h] = append(s.tail1[h], math.Float64frombits(le.Uint64(payload[pos:])))
+			st.tail1[h] = append(st.tail1[h], math.Float64frombits(le.Uint64(payload[pos:])))
 			pos += 8
 		}
 	}
 	if pos != len(payload) {
-		return fmt.Errorf("%w: chunk %d has %d trailing bytes", ErrCorrupt, len(s.zones), len(payload)-pos)
+		return fmt.Errorf("%w: chunk %d has %d trailing bytes", ErrCorrupt, len(st.zones), len(payload)-pos)
 	}
-	s.zones = append(s.zones, z)
-	s.frames += frames
+	st.zones = append(st.zones, z)
+	st.frames += frames
 	return nil
 }
 

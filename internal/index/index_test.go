@@ -147,6 +147,7 @@ func TestRankSumMatchesScrub(t *testing.T) {
 	// rebuild the zones. (Softmax outputs are strictly positive, so in
 	// production this fires only on float32 underflow; the equivalence
 	// must hold regardless.)
+	st := seg.st()
 	for _, ci := range []int{1, seg.Chunks() - 1} {
 		lo := ci * ChunkFrames
 		hi := lo + seg.Zone(ci).Frames
@@ -154,15 +155,15 @@ func TestRankSumMatchesScrub(t *testing.T) {
 			k := head.Classes
 			for f := lo; f < hi; f++ {
 				for c := 1; c < k; c++ {
-					seg.probs[h][f*k+c] = 0
+					st.probs[h][f*k+c] = 0
 				}
-				seg.probs[h][f*k] = 1
-				seg.tail1[h][f] = 0
+				st.probs[h][f*k] = 1
+				st.tail1[h][f] = 0
 			}
 		}
 	}
-	seg.zones = seg.zones[:0]
-	seg.computeZones(0)
+	st.zones = st.zones[:0]
+	st.appendZones(w.model.HeadInfo, 0)
 
 	order2, chunks, frames := seg.RankSum(ireqs)
 	if chunks < 2 || frames < 2*1 {
@@ -198,10 +199,10 @@ func TestSegmentFileRoundTrip(t *testing.T) {
 	if loaded.Frames() != seg.Frames() || loaded.Chunks() != seg.Chunks() {
 		t.Fatalf("loaded %d frames / %d chunks, want %d / %d", loaded.Frames(), loaded.Chunks(), seg.Frames(), seg.Chunks())
 	}
-	if !reflect.DeepEqual(loaded.probs, seg.probs) || !reflect.DeepEqual(loaded.tail1, seg.tail1) {
+	if !reflect.DeepEqual(loaded.st().probs, seg.st().probs) || !reflect.DeepEqual(loaded.st().tail1, seg.st().tail1) {
 		t.Fatal("columns changed across the file round trip")
 	}
-	if !reflect.DeepEqual(loaded.zones, seg.zones) {
+	if !reflect.DeepEqual(loaded.st().zones, seg.st().zones) {
 		t.Fatal("zone maps changed across the file round trip")
 	}
 }
@@ -313,10 +314,10 @@ func TestIncrementalIngestMatchesOneShot(t *testing.T) {
 	if seg == nil {
 		t.Fatal("segment not materialized after ingest")
 	}
-	if !reflect.DeepEqual(seg.probs, oneShot.probs) || !reflect.DeepEqual(seg.tail1, oneShot.tail1) {
+	if !reflect.DeepEqual(seg.st().probs, oneShot.st().probs) || !reflect.DeepEqual(seg.st().tail1, oneShot.st().tail1) {
 		t.Fatal("incrementally ingested columns differ from one-shot build")
 	}
-	if !reflect.DeepEqual(seg.zones, oneShot.zones) {
+	if !reflect.DeepEqual(seg.st().zones, oneShot.st().zones) {
 		t.Fatal("incrementally ingested zones differ from one-shot build")
 	}
 

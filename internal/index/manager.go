@@ -183,21 +183,29 @@ func (m *Manager) persistModel(classKey string, mod *specnn.CountModel) {
 	}
 }
 
-// Segment returns (building and caching) the materialized segment for the
-// class set over the video. The returned cost is the simulated inference
-// charge paid by exactly one caller: the whole-day pass on a fresh build,
-// or just the missing tail when a persisted segment covers only a prefix
-// of the video (a live stream indexed mid-day last session) — existing
-// chunks load, new ones are inferred and appended. Cache hits and whole
-// disk loads are free, which is precisely the paper's indexed accounting.
+// Segment returns the materialized segment for the class set, pinned as a
+// read-only view at exactly v.Frames — v is the caller's (snapshot) video,
+// so the view stays bit-identical to a fresh build at that horizon even
+// while live ingest extends the underlying segment. The returned cost is
+// the simulated inference charge paid by exactly one caller: the whole-day
+// pass on a fresh build, or just the missing tail when the cached or
+// persisted segment covers only a prefix of v (a live stream indexed
+// mid-day, or a slot filled by a query pinned at an older epoch). Cache
+// hits and whole disk loads are free, which is precisely the paper's
+// indexed accounting.
 func (m *Manager) Segment(classes []vidsim.Class, v *vidsim.Video) (*Segment, float64, error) {
 	seg, cost, _, err := m.segment(classes, v)
-	return seg, cost, err
+	if err != nil {
+		return nil, 0, err
+	}
+	return seg.At(v), cost, nil
 }
 
-// segment is Segment plus the number of frames actually inferred by this
-// call (whole video on a fresh build, the extension tail on a partial
-// disk load, zero on hits and whole loads) — what Ingest reports.
+// segment is Segment minus the pinning, plus the number of frames
+// actually inferred by this call (whole video on a fresh build, the
+// extension tail on a partial disk load or stale slot, zero on hits and
+// whole loads) — what Ingest reports. It returns the live master segment,
+// guaranteed to cover at least v.Frames.
 func (m *Manager) segment(classes []vidsim.Class, v *vidsim.Video) (*Segment, float64, int, error) {
 	mod, _, err := m.Model(classes)
 	if err != nil {
@@ -207,30 +215,23 @@ func (m *Manager) segment(classes []vidsim.Class, v *vidsim.Video) (*Segment, fl
 	key := m.segKey(classKey, v.Day)
 	m.mu.Lock()
 	s, ok := m.segs[key]
+	var seg *Segment
+	var cost float64
+	freshFrames := 0
 	if !ok {
 		s = flight.NewSlot[*Segment]()
 		m.segs[key] = s
 		m.mu.Unlock()
-		var cost float64
-		freshFrames := 0
 		fromDisk := false
-		seg, err := s.Fill(func() (*Segment, error) {
+		seg, err = s.Fill(func() (*Segment, error) {
 			k := Key{Stream: m.cfg.Stream, Fingerprint: m.cfg.Fingerprint, Day: v.Day, Classes: classKey}
 			path := segmentPath(m.dir, k)
 			if m.dir != "" {
 				if loaded, lerr := readSegmentFile(path, k, mod, v); lerr == nil {
+					// A persisted prefix (a live day indexed mid-stream)
+					// loads as-is; the coverage pass below infers and
+					// appends only the missing tail, never rebuilding.
 					fromDisk = true
-					if loaded.Frames() < v.Frames {
-						// The persisted segment covers a prefix (a live
-						// day indexed mid-stream): infer and append only
-						// the missing tail, never rebuild.
-						added, fromChunk, sim := loaded.Extend(v)
-						cost = sim
-						freshFrames = added
-						if werr := appendSegmentFile(path, loaded, fromChunk); werr != nil {
-							m.recordErr(fmt.Errorf("index: appending segment %s: %w", k, werr))
-						}
-					}
 					return loaded, nil
 				} else if !os.IsNotExist(lerr) {
 					m.recordErr(lerr)
@@ -257,18 +258,54 @@ func (m *Manager) segment(classes []vidsim.Class, v *vidsim.Video) (*Segment, fl
 		}
 		m.buildSimSeconds += cost
 		m.mu.Unlock()
-		return seg, cost, freshFrames, nil
+	} else {
+		m.mu.Unlock()
+		seg, err = s.Wait(contextBackground)
+		if err != nil {
+			return nil, 0, 0, err
+		}
 	}
-	m.mu.Unlock()
-	seg, err := s.Wait(contextBackground)
-	return seg, 0, 0, err
+	// The slot may cover fewer frames than the caller's snapshot (it was
+	// filled by a query pinned at an older epoch, or loaded from a prior
+	// session's partial day): infer and append only the missing tail,
+	// charging this caller exactly that increment.
+	added, fromChunk, sim := seg.Extend(v)
+	if added > 0 {
+		m.mu.Lock()
+		m.buildSimSeconds += sim
+		m.mu.Unlock()
+		m.persistAppend(seg, fromChunk)
+		cost += sim
+		freshFrames += added
+	}
+	return seg, cost, freshFrames, nil
+}
+
+// persistAppend appends a segment's newly indexed chunks to its on-disk
+// file. The segment's writer mutex orders concurrent appends so record
+// framing never interleaves.
+func (m *Manager) persistAppend(seg *Segment, fromChunk int) {
+	if m.dir == "" {
+		return
+	}
+	k := seg.Key()
+	seg.mu.Lock()
+	werr := appendSegmentFile(segmentPath(m.dir, k), seg, fromChunk)
+	seg.mu.Unlock()
+	if werr != nil {
+		m.recordErr(fmt.Errorf("index: appending segment %s: %w", k, werr))
+	}
 }
 
 // PeekSegment returns the segment for (class set, day) if it is already
-// materialized in memory or loadable from disk — it never trains or runs
-// inference. Plan families use it for opportunistic acceleration: when it
-// returns nil they fall back to on-the-fly evaluation, and when it
-// returns a segment, reads are bit-identical to that fallback.
+// materialized in memory or loadable from disk and covers the video's
+// horizon — it never trains or runs inference. The result is pinned at
+// exactly v.Frames (see Segment), so a query at an older snapshot reads
+// the same bits a fresh build at its horizon would, even when live ingest
+// has pushed the master segment further. Plan families use it for
+// opportunistic acceleration: when it returns nil they fall back to
+// on-the-fly evaluation, and when it returns a segment, reads are
+// bit-identical to that fallback.
 func (m *Manager) PeekSegment(classes []vidsim.Class, v *vidsim.Video) *Segment {
 	classKey := ClassKey(classes)
 	key := m.segKey(classKey, v.Day)
@@ -276,8 +313,8 @@ func (m *Manager) PeekSegment(classes []vidsim.Class, v *vidsim.Video) *Segment 
 	s, ok := m.segs[key]
 	m.mu.Unlock()
 	if ok {
-		if seg, err, done := s.TryWait(); done && err == nil && seg != nil && seg.Frames() == v.Frames {
-			return seg
+		if seg, err, done := s.TryWait(); done && err == nil && seg != nil && seg.Frames() >= v.Frames {
+			return seg.At(v)
 		}
 		return nil
 	}
@@ -296,21 +333,21 @@ func (m *Manager) PeekSegment(classes []vidsim.Class, v *vidsim.Video) *Segment 
 		}
 		return nil
 	}
-	if loaded.Frames() != v.Frames {
+	if loaded.Frames() < v.Frames {
 		return nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if s, ok := m.segs[key]; ok {
 		// Raced with a builder; prefer its slot.
-		if seg, err, done := s.TryWait(); done && err == nil {
-			return seg
+		if seg, err, done := s.TryWait(); done && err == nil && seg != nil && seg.Frames() >= v.Frames {
+			return seg.At(v)
 		}
 		return nil
 	}
 	m.segs[key] = flight.Filled(loaded)
 	m.segsLoaded++
-	return loaded
+	return loaded.At(v)
 }
 
 // peekModel returns the class set's model from the cache or disk, never
@@ -351,25 +388,11 @@ func (m *Manager) peekModel(classKey string) *specnn.CountModel {
 // rebuilt). It returns the number of frames newly indexed by this call:
 // the extension tail, or the whole video when nothing was indexed yet.
 func (m *Manager) Ingest(classes []vidsim.Class, v *vidsim.Video) (int, error) {
-	seg, _, freshFrames, err := m.segment(classes, v)
+	_, _, freshFrames, err := m.segment(classes, v)
 	if err != nil {
 		return 0, err
 	}
-	// The slot may predate the video's latest appended frames (or have
-	// been filled by a racing query); extend it the rest of the way.
-	added, fromChunk, sim := seg.Extend(v)
-	if added > 0 {
-		m.mu.Lock()
-		m.buildSimSeconds += sim
-		m.mu.Unlock()
-		if m.dir != "" {
-			k := seg.Key()
-			if werr := appendSegmentFile(segmentPath(m.dir, k), seg, fromChunk); werr != nil {
-				m.recordErr(fmt.Errorf("index: appending segment %s: %w", k, werr))
-			}
-		}
-	}
-	return freshFrames + added, nil
+	return freshFrames, nil
 }
 
 // IngestAll extends every materialized segment of the video's day to the
@@ -406,6 +429,32 @@ func (m *Manager) IngestAll(v *vidsim.Video) (int, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// CoverageLag returns the maximum update-propagation debt across the
+// day's materialized segments at the given horizon: horizon minus indexed
+// frames, floored at zero. It is zero whenever every open segment has
+// been extended through the horizon (the state AppendLive leaves behind
+// before publishing a snapshot).
+func (m *Manager) CoverageLag(day, horizon int) int {
+	suffix := fmt.Sprintf("@day%d", day)
+	m.mu.Lock()
+	slots := make([]*flight.Slot[*Segment], 0, len(m.segs))
+	for k, s := range m.segs {
+		if strings.HasSuffix(k, suffix) {
+			slots = append(slots, s)
+		}
+	}
+	m.mu.Unlock()
+	lag := 0
+	for _, s := range slots {
+		if seg, err, done := s.TryWait(); done && err == nil && seg != nil {
+			if d := horizon - seg.Frames(); d > lag {
+				lag = d
+			}
+		}
+	}
+	return lag
 }
 
 // Labels returns the day's ground-truth label store, loading persisted

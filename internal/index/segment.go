@@ -3,6 +3,8 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/specnn"
 	"repro/internal/vidsim"
@@ -33,20 +35,44 @@ type Zone struct {
 	Presence [][]uint64
 }
 
-// Segment is one materialized class-set × day: the specialized network's
-// columnar outputs over every frame, chunked zone maps, and the model that
-// produced them. Segments are immutable to readers; Extend (live ingest)
-// must not race queries.
-type Segment struct {
-	key    Key
-	model  *specnn.CountModel
-	video  *vidsim.Video
+// segState is one immutable published version of a segment's data: the
+// columnar outputs, zone maps, and reconstructed Inference at one frame
+// coverage. Extend never mutates a published state — it appends the new
+// frames into the column's spare capacity (memory no reader's pinned
+// slice header reaches, the write-side half of the double buffer; when
+// capacity runs out, append's reallocation flips to a fresh buffer),
+// builds a new state whose slice headers cover the grown columns, and
+// publishes it with one atomic pointer swap. Readers therefore never see
+// a torn chunk list and never take a lock.
+type segState struct {
 	frames int
 	probs  [][]float32 // per head, [frame*Classes + class]
 	tail1  [][]float64 // per head, exact P(count >= 1)
 	zones  []Zone
 	inf    *specnn.Inference
 }
+
+// Segment is one materialized class-set × day: the specialized network's
+// columnar outputs over every frame, chunked zone maps, and the model that
+// produced them. The data lives behind an atomically swapped immutable
+// state, so any number of readers run lock-free and snapshot-consistent
+// while Extend (live ingest, serialized by an internal writer mutex)
+// races ahead. At pins a read-only view of the segment at an exact
+// horizon — the form query executions consume.
+type Segment struct {
+	key    Key
+	model  *specnn.CountModel
+	pinned bool // a frozen view from At: state never changes, Extend forbidden
+
+	mu    sync.Mutex // serializes writers (Extend); readers never take it
+	state atomic.Pointer[segState]
+}
+
+// st returns the segment's current published state. Every accessor reads
+// exactly one state, so a sequence of calls on a pinned view is always
+// mutually consistent; on a live master segment, each call individually
+// sees some complete published version.
+func (s *Segment) st() *segState { return s.state.Load() }
 
 // Build materializes a segment for the video's current frames: one
 // specialized-network pass producing the distribution and exact-tail
@@ -55,18 +81,25 @@ type Segment struct {
 // amortizes across queries).
 func Build(key Key, model *specnn.CountModel, v *vidsim.Video) (*Segment, float64) {
 	probs, tail1, sim := specnn.RunRange(model, v, 0, v.Frames)
-	s := &Segment{
-		key:    key,
-		model:  model,
-		video:  v,
+	st := &segState{
 		frames: v.Frames,
 		probs:  probs,
 		tail1:  tail1,
 	}
-	s.inf = specnn.NewInferenceFromColumns(model, v, s.frames, s.probs)
-	s.zones = make([]Zone, 0, chunkCount(s.frames))
-	s.computeZones(0)
+	st.inf = specnn.NewInferenceFromColumns(model, v, st.frames, st.probs)
+	st.zones = make([]Zone, 0, chunkCount(st.frames))
+	st.appendZones(model.HeadInfo, 0)
+	s := &Segment{key: key, model: model}
+	s.state.Store(st)
 	return s, sim
+}
+
+// newSegmentWithState wraps an externally assembled state (the file loader
+// builds states chunk by chunk before anything can observe them).
+func newSegmentWithState(key Key, model *specnn.CountModel, st *segState) *Segment {
+	s := &Segment{key: key, model: model}
+	s.state.Store(st)
+	return s
 }
 
 // Key returns the segment's identity.
@@ -76,28 +109,66 @@ func (s *Segment) Key() Key { return s.key }
 func (s *Segment) Model() *specnn.CountModel { return s.model }
 
 // Frames returns the number of indexed frames.
-func (s *Segment) Frames() int { return s.frames }
+func (s *Segment) Frames() int { return s.st().frames }
 
 // Chunks returns the number of zone-mapped chunks.
-func (s *Segment) Chunks() int { return len(s.zones) }
+func (s *Segment) Chunks() int { return len(s.st().zones) }
 
 // Zone returns the chunk's zone map. The returned value shares the
 // segment's storage and must be treated as read-only.
-func (s *Segment) Zone(chunk int) *Zone { return &s.zones[chunk] }
+func (s *Segment) Zone(chunk int) *Zone { return &s.st().zones[chunk] }
 
 // Inference returns the columnar data as a specnn.Inference — bit-identical
 // to a fresh specnn.Run over the same frames, whether the columns were just
 // computed or loaded back from disk.
-func (s *Segment) Inference() *specnn.Inference { return s.inf }
+func (s *Segment) Inference() *specnn.Inference { return s.st().inf }
 
 // Tail1 returns the exact float64 presence tail P(count >= 1) for the head
 // at the frame — the same bits an on-the-fly Evaluator.TailProb(head, 1)
 // would produce, which is what makes index-backed label filtering
 // answer-neutral.
-func (s *Segment) Tail1(head, frame int) float64 { return s.tail1[head][frame] }
+func (s *Segment) Tail1(head, frame int) float64 { return s.st().tail1[head][frame] }
 
 // ChunkOf returns the chunk index covering a frame.
 func ChunkOf(frame int) int { return frame / ChunkFrames }
+
+// At returns a read-only view of the segment pinned at v.Frames, where v
+// is the (snapshot) video the caller's execution runs over; the segment
+// must already cover that horizon. Complete chunks share the master's
+// columns and zone maps (both immutable once published); the trailing
+// partial chunk's zone is recomputed at the pinned horizon, so the view
+// is bit-identical — zone maps, skip decisions, Inference cost and all —
+// to a segment freshly built over a video with exactly v.Frames frames.
+// The view's accessors never observe later Extends.
+func (s *Segment) At(v *vidsim.Video) *Segment {
+	st := s.st()
+	h := v.Frames
+	if h > st.frames {
+		h = st.frames
+	}
+	heads := s.model.HeadInfo
+	ps := &segState{
+		frames: h,
+		probs:  make([][]float32, len(st.probs)),
+		tail1:  make([][]float64, len(st.tail1)),
+	}
+	for i := range st.probs {
+		k := heads[i].Classes
+		ps.probs[i] = st.probs[i][: h*k : h*k]
+		ps.tail1[i] = st.tail1[i][:h:h]
+	}
+	ps.inf = specnn.NewInferenceFromColumns(s.model, v, h, ps.probs)
+	if h == st.frames {
+		ps.zones = st.zones[:len(st.zones):len(st.zones)]
+	} else {
+		full := h / ChunkFrames
+		ps.zones = st.zones[:full:full]
+		ps.appendZones(heads, full)
+	}
+	ns := &Segment{key: s.key, model: s.model, pinned: true}
+	ns.state.Store(ps)
+	return ns
+}
 
 // CanSkipTail reports whether the zone map proves every frame of the chunk
 // has Inference.TailProb(head, f, n) < threshold — the binary cascade's
@@ -111,24 +182,25 @@ func (s *Segment) CanSkipTail(chunk, head, n int, threshold float64) bool {
 	if n <= 0 {
 		return false
 	}
-	return s.zones[chunk].MaxTail[head][n] < threshold
+	return s.st().zones[chunk].MaxTail[head][n] < threshold
 }
 
 // CanSkipTail1 reports whether the zone map proves every frame of the
 // chunk has an exact presence tail below the threshold — the selection
 // label filter's reject condition.
 func (s *Segment) CanSkipTail1(chunk, head int, threshold float64) bool {
-	return s.zones[chunk].MaxTail1[head] < threshold
+	return s.st().zones[chunk].MaxTail1[head] < threshold
 }
 
 // MemoryBytes estimates the segment's in-memory column and zone footprint.
 func (s *Segment) MemoryBytes() int64 {
+	st := s.st()
 	var b int64
-	for h := range s.probs {
-		b += int64(len(s.probs[h]))*4 + int64(len(s.tail1[h]))*8
+	for h := range st.probs {
+		b += int64(len(st.probs[h]))*4 + int64(len(st.tail1[h]))*8
 	}
-	for i := range s.zones {
-		z := &s.zones[i]
+	for i := range st.zones {
+		z := &st.zones[i]
 		b += int64(len(z.MinPred)) * 2
 		for h := range z.MaxTail {
 			b += int64(len(z.MaxTail[h]))*8 + 8 + int64(len(z.Presence[h]))*8
@@ -139,42 +211,55 @@ func (s *Segment) MemoryBytes() int64 {
 
 // Extend ingests the video's newly arrived frames (beyond the segment's
 // current coverage) chunk by chunk: one network pass over the new range,
-// columns appended, and zone maps recomputed from the trailing partial
-// chunk onward — existing complete chunks are never touched. It returns
+// columns appended into write-side buffer space no published view can
+// reach, and a new state — sealed zone maps shared, the trailing partial
+// chunk's zone recomputed — published with one atomic swap. It returns
 // the number of frames added, the first chunk whose zone record changed
 // (for append-persistence), and the simulated cost of the incremental
-// inference pass (index investment, like Build's). Extend must not run
-// concurrently with readers of the same segment.
+// inference pass (index investment, like Build's). Extend serializes
+// against other writers internally and never blocks or tears readers:
+// views pinned before the swap keep observing the prior state.
 func (s *Segment) Extend(v *vidsim.Video) (added, fromChunk int, simSeconds float64) {
-	if v.Frames <= s.frames {
-		return 0, len(s.zones), 0
+	if s.pinned {
+		panic("index: Extend called on a pinned segment view")
 	}
-	probs, tail1, simSeconds := specnn.RunRange(s.model, v, s.frames, v.Frames)
-	for h := range s.probs {
-		s.probs[h] = append(s.probs[h], probs[h]...)
-		s.tail1[h] = append(s.tail1[h], tail1[h]...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st()
+	if v.Frames <= st.frames {
+		return 0, len(st.zones), 0
 	}
-	added = v.Frames - s.frames
-	fromChunk = s.frames / ChunkFrames
-	s.frames = v.Frames
-	s.video = v
-	s.inf = specnn.NewInferenceFromColumns(s.model, v, s.frames, s.probs)
-	s.zones = s.zones[:fromChunk]
-	s.computeZones(fromChunk)
+	probs, tail1, simSeconds := specnn.RunRange(s.model, v, st.frames, v.Frames)
+	ns := &segState{
+		frames: v.Frames,
+		probs:  make([][]float32, len(st.probs)),
+		tail1:  make([][]float64, len(st.tail1)),
+	}
+	for h := range st.probs {
+		ns.probs[h] = append(st.probs[h], probs[h]...)
+		ns.tail1[h] = append(st.tail1[h], tail1[h]...)
+	}
+	added = v.Frames - st.frames
+	fromChunk = st.frames / ChunkFrames
+	ns.inf = specnn.NewInferenceFromColumns(s.model, v, ns.frames, ns.probs)
+	// Never truncate-and-append the published zone slice in place: the old
+	// state's trailing partial zone must stay intact for pinned readers.
+	ns.zones = append(make([]Zone, 0, chunkCount(ns.frames)), st.zones[:fromChunk]...)
+	ns.appendZones(s.model.HeadInfo, fromChunk)
+	s.state.Store(ns)
 	return added, fromChunk, simSeconds
 }
 
-// computeZones (re)computes zone maps from the given chunk onward. Bounds
-// are read through the reconstructed Inference (and the exact tail
-// column), guaranteeing zone comparisons bound exactly what executions
-// compare.
-func (s *Segment) computeZones(from int) {
-	heads := s.model.HeadInfo
-	for ci := from; ci < chunkCount(s.frames); ci++ {
+// appendZones computes zone maps from the given chunk through the state's
+// frame coverage. Bounds are read through the reconstructed Inference (and
+// the exact tail column), guaranteeing zone comparisons bound exactly what
+// executions compare.
+func (st *segState) appendZones(heads []specnn.Head, from int) {
+	for ci := from; ci < chunkCount(st.frames); ci++ {
 		lo := ci * ChunkFrames
 		hi := lo + ChunkFrames
-		if hi > s.frames {
-			hi = s.frames
+		if hi > st.frames {
+			hi = st.frames
 		}
 		z := Zone{
 			Frames:   hi - lo,
@@ -191,7 +276,7 @@ func (s *Segment) computeZones(from int) {
 			z.Presence[h] = make([]uint64, words)
 			minP, maxP := 255, 0
 			for f := lo; f < hi; f++ {
-				pred := s.inf.PredCount(h, f)
+				pred := st.inf.PredCount(h, f)
 				if pred < minP {
 					minP = pred
 				}
@@ -202,18 +287,18 @@ func (s *Segment) computeZones(from int) {
 					z.Presence[h][(f-lo)/64] |= 1 << uint((f-lo)%64)
 				}
 				for n := 1; n < head.Classes; n++ {
-					if t := s.inf.TailProb(h, f, n); t > z.MaxTail[h][n] {
+					if t := st.inf.TailProb(h, f, n); t > z.MaxTail[h][n] {
 						z.MaxTail[h][n] = t
 					}
 				}
-				if t := s.tail1[h][f]; t > z.MaxTail1[h] {
+				if t := st.tail1[h][f]; t > z.MaxTail1[h] {
 					z.MaxTail1[h] = t
 				}
 			}
 			z.MinPred[h] = uint8(minP)
 			z.MaxPred[h] = uint8(maxP)
 		}
-		s.zones = append(s.zones, z)
+		st.zones = append(st.zones, z)
 	}
 }
 
@@ -232,6 +317,7 @@ type Req struct {
 // 0, so the global sort's tie-break orders them identically either way).
 // It returns the order and the number of chunks and frames skipped.
 func (s *Segment) RankSum(reqs []Req) (order []int32, skippedChunks, skippedFrames int) {
+	st := s.st()
 	// Clamp requirement thresholds the way TailProb clamps them; a
 	// requirement at or below zero contributes a constant 1, which no
 	// zone map can zero out.
@@ -249,15 +335,15 @@ func (s *Segment) RankSum(reqs []Req) (order []int32, skippedChunks, skippedFram
 		}
 	}
 
-	n := s.frames
+	n := st.frames
 	scores := make([]float32, n)
-	for ci := 0; ci < len(s.zones); ci++ {
+	for ci := 0; ci < len(st.zones); ci++ {
 		lo := ci * ChunkFrames
-		hi := lo + s.zones[ci].Frames
+		hi := lo + st.zones[ci].Frames
 		skip := skipEligible
 		if skip {
 			for _, r := range clamped {
-				if s.zones[ci].MaxTail[r.Head][r.N] != 0 {
+				if st.zones[ci].MaxTail[r.Head][r.N] != 0 {
 					skip = false
 					break
 				}
@@ -267,13 +353,13 @@ func (s *Segment) RankSum(reqs []Req) (order []int32, skippedChunks, skippedFram
 			// Every frame's score is exactly 0 — the zero the slice
 			// already holds.
 			skippedChunks++
-			skippedFrames += s.zones[ci].Frames
+			skippedFrames += st.zones[ci].Frames
 			continue
 		}
 		for f := lo; f < hi; f++ {
 			var sc float64
 			for _, r := range clamped {
-				sc += s.inf.TailProb(r.Head, f, r.N)
+				sc += st.inf.TailProb(r.Head, f, r.N)
 			}
 			scores[f] = float32(sc)
 		}

@@ -28,7 +28,7 @@ func (s *Segment) ScoreTail(head, n, lo, hi int, dst []float64) {
 		}
 		return
 	}
-	col := s.probs[head]
+	col := s.st().probs[head]
 	for f := lo; f < hi; f++ {
 		row := col[f*k : (f+1)*k]
 		t := 0.0
@@ -48,5 +48,5 @@ func (s *Segment) ScoreTail(head, n, lo, hi int, dst []float64) {
 // per-frame accessor calls. The returned slice aliases the segment's
 // column and must be treated as read-only.
 func (s *Segment) Tail1Range(head, lo, hi int) []float64 {
-	return s.tail1[head][lo:hi]
+	return s.st().tail1[head][lo:hi]
 }

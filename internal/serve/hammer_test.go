@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotIsolationHammer drives concurrent /ingest, /query, /poll,
+// and (through polls that find new frames) /advance traffic at one live
+// stream and asserts every response is internally consistent with a
+// single snapshot: across the whole run, each snapshot epoch maps to
+// exactly one horizon — a torn read (a query labeled with an epoch from
+// one ingest generation and a horizon from another) would surface as two
+// horizons for one epoch. Run under -race this is also the data-race
+// proof for the lock-free read paths.
+func TestSnapshotIsolationHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates streams")
+	}
+	_, ts := newLiveServer(t)
+
+	var sub subscribeResponse
+	if resp := postJSON(t, ts.URL+"/subscribe",
+		fmt.Sprintf(`{"stream":"taipei","query":%q}`, liveScanQuery), &sub); resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe: HTTP %d", resp.StatusCode)
+	}
+
+	// epoch → horizon, shared across all observers. LoadOrStore makes the
+	// consistency check atomic: the first observer of an epoch fixes its
+	// horizon, and every later observation must agree.
+	var epochHorizon sync.Map
+	checkPair := func(src string, epoch uint64, horizon int) error {
+		if prev, loaded := epochHorizon.LoadOrStore(epoch, horizon); loaded && prev.(int) != horizon {
+			return fmt.Errorf("%s: epoch %d seen with horizons %d and %d", src, epoch, prev, horizon)
+		}
+		return nil
+	}
+
+	const ingesters, queriers, pollers, rounds = 2, 3, 2, 8
+	var wg sync.WaitGroup
+	errc := make(chan error, ingesters+queriers+pollers)
+
+	for i := 0; i < ingesters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastHorizon := 0
+			for r := 0; r < rounds; r++ {
+				resp, err := http.Post(ts.URL+"/ingest", "application/json",
+					strings.NewReader(`{"stream":"taipei","frames":300}`))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var ing ingestResponse
+				err = json.NewDecoder(resp.Body).Decode(&ing)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("ingest: HTTP %d (%v)", resp.StatusCode, err)
+					return
+				}
+				if ing.Horizon < lastHorizon {
+					errc <- fmt.Errorf("ingest horizon went backwards: %d -> %d", lastHorizon, ing.Horizon)
+					return
+				}
+				lastHorizon = ing.Horizon
+				if err := checkPair("ingest", ing.Epoch, ing.Horizon); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// no_cache forces real executions so queries genuinely overlap
+			// in-flight ingests rather than replaying cached answers.
+			body := fmt.Sprintf(`{"stream":"taipei","query":%q,"no_cache":true}`, liveScanQuery)
+			for r := 0; r < rounds; r++ {
+				resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					resp.Body.Close()
+					continue
+				}
+				var qr queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query: HTTP %d (%v)", resp.StatusCode, err)
+					return
+				}
+				if qr.Horizon == 0 {
+					errc <- fmt.Errorf("query response missing snapshot horizon")
+					return
+				}
+				if err := checkPair("query", qr.Epoch, qr.Horizon); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < pollers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastHorizon, lastSeq := 0, uint64(0)
+			for r := 0; r < rounds*2; r++ {
+				resp, err := http.Get(ts.URL + "/poll?id=" + sub.ID)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var pr subscribeResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("poll: HTTP %d (%v)", resp.StatusCode, err)
+					return
+				}
+				if pr.Horizon < lastHorizon || pr.Seq < lastSeq {
+					errc <- fmt.Errorf("poll went backwards: horizon %d->%d seq %d->%d",
+						lastHorizon, pr.Horizon, lastSeq, pr.Seq)
+					return
+				}
+				lastHorizon, lastSeq = pr.Horizon, pr.Seq
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The map must have recorded multiple epochs — a hammer where ingest
+	// never advanced the snapshot would vacuously pass.
+	epochs := 0
+	epochHorizon.Range(func(_, _ any) bool { epochs++; return true })
+	if epochs < 2 {
+		t.Fatalf("observed only %d snapshot epochs; ingest never raced the readers", epochs)
+	}
+}

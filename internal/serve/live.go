@@ -20,14 +20,15 @@ import (
 // that grow via POST /ingest, standing queries registered with POST
 // /subscribe, and monotone incremental answers read with GET /poll.
 //
-// Concurrency contract: queries, planning, and subscription advances hold
-// a per-stream read lock while they touch the engine; ingest holds the
-// write lock across AppendLive (frame append plus index catch-up), so
-// appends never race executions — the single-writer/quiesced-readers
-// contract vidsim.AppendFrames requires, enforced at the serving
-// boundary. The result cache needs no locking against ingest at all: its
-// keys carry the stream epoch, so an ingest invalidates by re-keying (see
-// CacheKey).
+// Concurrency contract: queries, planning, and subscription advances pin
+// the stream's published snapshot at entry (core.Engine.Pin) and run
+// lock-free against its immutable views, so ingest never blocks a
+// reader and a reader never observes a torn horizon. Ingest holds the
+// per-stream ingest mutex across AppendLive (frame append, index
+// catch-up, snapshot publication) — that lock orders ingests against
+// each other only. The result cache needs no locking against ingest at
+// all: its keys carry the snapshot epoch, so an ingest invalidates by
+// re-keying (see CacheKey).
 
 // maxSubscriptions bounds the standing-query registry; beyond it,
 // subscribe requests are shed with HTTP 429 like any other overload.
@@ -67,39 +68,29 @@ type liveState struct {
 // streams.
 func (s *Server) live() bool { return s.cfg.Engine.LiveStart > 0 }
 
-// streamLock returns the per-stream RW mutex guarding engine access
-// against ingest.
-func (s *Server) streamLock(stream string) *sync.RWMutex {
+// streamLock returns the per-stream ingest mutex. It serializes
+// ingest-ingest only: query, plan, and advance paths read pinned
+// snapshots and never take it. Entries live until Server.Close empties
+// the registry (and this map with it).
+func (s *Server) streamLock(stream string) *sync.Mutex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l, ok := s.streamLocks[stream]
 	if !ok {
-		l = &sync.RWMutex{}
+		l = &sync.Mutex{}
 		s.streamLocks[stream] = l
 	}
 	return l
 }
 
-// streamEpoch returns the stream's current ingest epoch (0 when the
-// engine has not been opened — an unopened engine cannot have ingested).
-func (s *Server) streamEpoch(stream string) uint64 {
-	if eng, ok := s.reg.Peek(stream); ok {
-		return eng.StreamEpoch()
-	}
-	return 0
-}
-
-// streamHorizon reads the stream's visible frame count under its read
-// lock — Engine.Horizon reads the live video's frame counter, which
-// ingest (the lone writer) mutates under the write lock.
+// streamHorizon reads the stream's visible frame count lock-free —
+// Engine.Horizon reads the atomically published snapshot, never the
+// live video ingest is mutating.
 func (s *Server) streamHorizon(stream string) (int, bool) {
 	eng, ok := s.reg.Peek(stream)
 	if !ok {
 		return 0, false
 	}
-	lock := s.streamLock(stream)
-	lock.RLock()
-	defer lock.RUnlock()
 	return eng.Horizon(), true
 }
 
@@ -288,9 +279,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
 			return
 		}
-		lock := s.streamLock(req.Stream)
-		lock.RLock()
-		defer lock.RUnlock()
+		// BeginQuery pins the published snapshot internally; the whole
+		// standing-query bootstrap runs lock-free against ingest.
 		x, err := eng.BeginQuery(info, par)
 		if err != nil {
 			execErr = err
@@ -425,9 +415,8 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		var advErr error
 		poolErr := s.pool.Do(ctx, func() {
 			queueSp.End()
-			lock := s.streamLock(sub.stream)
-			lock.RLock()
-			defer lock.RUnlock()
+			// AdvanceTraced pins the published snapshot internally, so
+			// the advance runs lock-free while ingest continues.
 			res, ncur, advErr = eng.AdvanceTraced(sub.cursor, tr)
 		})
 		if done := s.writePoolError(w, poolErr, "poll"); done {
@@ -526,11 +515,20 @@ type livezStatz struct {
 	Advances            uint64 `json:"advances"`
 }
 
-// liveStreamStatz is one open stream's live position.
+// liveStreamStatz is one open stream's live position, read from one
+// pinned snapshot so the fields can never tear against a racing ingest.
 type liveStreamStatz struct {
 	Horizon   int    `json:"horizon"`
 	DayFrames int    `json:"day_frames"`
 	Epoch     uint64 `json:"epoch"`
+	// SnapshotEpoch mirrors Epoch under the gauge's exported name;
+	// TailFrames is the unsealed tail depth (frames past the last sealed
+	// 1024-frame chunk) and SnapshotLag how many frames the materialized
+	// index trails the published horizon (0 when update propagation is
+	// caught up, which ingest guarantees on its success path).
+	SnapshotEpoch uint64 `json:"live_snapshot_epoch"`
+	TailFrames    int    `json:"live_tail_frames"`
+	SnapshotLag   int    `json:"live_snapshot_lag_frames"`
 }
 
 // livezSnapshot assembles the livez section.
@@ -539,8 +537,15 @@ func (s *Server) livezSnapshot() livezStatz {
 	open, _ := s.reg.Open()
 	for _, name := range open {
 		if eng, ok := s.reg.Peek(name); ok {
-			horizon, _ := s.streamHorizon(name)
-			lz.Streams[name] = liveStreamStatz{Horizon: horizon, DayFrames: eng.DayFrames(), Epoch: eng.StreamEpoch()}
+			pe, epoch := eng.Pin()
+			lz.Streams[name] = liveStreamStatz{
+				Horizon:       pe.Horizon(),
+				DayFrames:     pe.DayFrames(),
+				Epoch:         epoch,
+				SnapshotEpoch: epoch,
+				TailFrames:    pe.TailFrames(),
+				SnapshotLag:   pe.SnapshotLagFrames(),
+			}
 		}
 	}
 	lz.Ingests = uint64(s.metrics.Value("blazeit_ingests_total"))

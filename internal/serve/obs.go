@@ -259,6 +259,32 @@ func (s *Server) registerCollectors() {
 				}
 			})
 		})
+	r.CollectFunc("blazeit_live_snapshot_epoch", "Published snapshot epoch per live stream.",
+		obs.KindGauge, []string{"stream"}, func(emit obs.EmitFunc) {
+			s.eachOpenEngine(func(name string) {
+				if eng, ok := s.reg.Peek(name); ok && eng.Live() {
+					emit(float64(eng.StreamEpoch()), name)
+				}
+			})
+		})
+	r.CollectFunc("blazeit_live_tail_frames",
+		"Unsealed tail depth (frames past the last sealed index chunk) per live stream.",
+		obs.KindGauge, []string{"stream"}, func(emit obs.EmitFunc) {
+			s.eachOpenEngine(func(name string) {
+				if eng, ok := s.reg.Peek(name); ok && eng.Live() {
+					emit(float64(eng.TailFrames()), name)
+				}
+			})
+		})
+	r.CollectFunc("blazeit_live_snapshot_lag_frames",
+		"Frames the materialized index trails the published snapshot horizon, per live stream.",
+		obs.KindGauge, []string{"stream"}, func(emit obs.EmitFunc) {
+			s.eachOpenEngine(func(name string) {
+				if eng, ok := s.reg.Peek(name); ok && eng.Live() {
+					emit(float64(eng.SnapshotLagFrames()), name)
+				}
+			})
+		})
 	r.CollectFunc("blazeit_subscriptions_active", "Standing queries registered now.",
 		obs.KindGauge, nil, func(emit obs.EmitFunc) {
 			s.liveSt.mu.Lock()

@@ -104,3 +104,28 @@ func (r *Registry) Opens() uint64 {
 	defer r.mu.Unlock()
 	return r.opens
 }
+
+// Close empties the registry and returns the engines that were fully
+// open (sorted by stream name) so the owner can flush their state. Slots
+// still opening are dropped from the map — their Opener completes
+// against the abandoned slot and the stream simply reopens fresh on next
+// use. Close is what lets the server release every per-stream resource
+// (engines, ingest locks) in one place instead of leaking entries for
+// streams that will never be queried again.
+func (r *Registry) Close() []*core.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	engines := make([]*core.Engine, 0, len(names))
+	for _, name := range names {
+		if eng, err, done := r.entries[name].TryWait(); done && err == nil {
+			engines = append(engines, eng)
+		}
+	}
+	r.entries = make(map[string]*flight.Slot[*core.Engine])
+	return engines
+}

@@ -107,7 +107,7 @@ type Server struct {
 	log     *slog.Logger
 
 	mu          sync.Mutex
-	streamLocks map[string]*sync.RWMutex
+	streamLocks map[string]*sync.Mutex
 
 	// liveSt is the continuous-query tier's state: live-stream ingest
 	// accounting and the standing-query registry (see live.go).
@@ -179,7 +179,7 @@ func New(cfg Config) *Server {
 		metrics:     obs.NewRegistry(),
 		traces:      obs.NewTraceRing(cfg.TraceRingSize),
 		log:         logger,
-		streamLocks: make(map[string]*sync.RWMutex),
+		streamLocks: make(map[string]*sync.Mutex),
 	}
 	s.m = newServerMetrics(s.metrics)
 	s.registerCollectors()
@@ -214,12 +214,14 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.builds.Wait()
 	s.pool.Close()
-	open, _ := s.reg.Open()
-	for _, name := range open {
-		if eng, ok := s.reg.Peek(name); ok {
-			_ = eng.FlushIndex()
-		}
+	for _, eng := range s.reg.Close() {
+		_ = eng.FlushIndex()
 	}
+	// The registry is empty now; drop the per-stream ingest locks with it
+	// so the map never outlives the engines it was guarding.
+	s.mu.Lock()
+	s.streamLocks = make(map[string]*sync.Mutex)
+	s.mu.Unlock()
 }
 
 // startIndexBuild launches a background materialization of the engine's
@@ -245,13 +247,9 @@ func (s *Server) startIndexBuild(eng *core.Engine) {
 				// already persisted, and Close flushes the rest.
 				break
 			}
-			// The read lock keeps the build from racing live-stream
-			// ingest over the engine's test day.
-			lock := s.streamLock(eng.Cfg.Name)
-			lock.RLock()
-			err := eng.BuildIndex([]vidsim.Class{cc.Class})
-			lock.RUnlock()
-			if err != nil {
+			// BuildIndex pins the stream's published snapshot, so the
+			// build never races live-stream ingest — no lock needed.
+			if err := eng.BuildIndex([]vidsim.Class{cc.Class}); err != nil {
 				failed = true
 			}
 		}
@@ -410,6 +408,14 @@ type queryResponse struct {
 	// Trace is the span tree inline, present when the request asked for
 	// it with ?trace=1.
 	Trace *obs.Trace `json:"trace,omitempty"`
+	// Epoch and Horizon identify the stream snapshot the answer was
+	// computed against: the ingest epoch and the frame count it made
+	// visible. Both are zero for full-day (non-live) streams. Clients
+	// reading concurrently with ingest can rely on the pair being
+	// internally consistent — an answer is never labeled with a horizon
+	// from a different epoch than the one it ran at.
+	Epoch   uint64 `json:"epoch"`
+	Horizon int    `json:"horizon,omitempty"`
 }
 
 // defaultParallelism is the worker count defaulted engines execute plans
@@ -535,14 +541,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	inline := wantTrace(r)
 	start := time.Now()
 
+	// Pin the stream's published snapshot up front: the snapshot is
+	// immutable, so the (epoch, horizon) pair used for the cache lookup
+	// and echoed in the response can never tear against a racing ingest.
+	var pinEpoch uint64
+	var pinHorizon int
+	if eng, ok := s.reg.Peek(req.Stream); ok {
+		pe, ep := eng.Pin()
+		pinEpoch, pinHorizon = ep, pe.Horizon()
+	}
+
 	if !req.NoCache {
 		// The key carries the stream's ingest epoch: an answer computed
 		// before an ingest can never serve a request arriving after it.
-		if hit := s.cache.Get(CacheKey(req.Stream, s.streamEpoch(req.Stream), canonical)); hit != nil {
+		if hit := s.cache.Get(CacheKey(req.Stream, pinEpoch, canonical)); hit != nil {
 			s.m.queries.With(req.Stream).Inc()
 			s.m.cacheHits.With(req.Stream).Inc()
 			resp := s.buildResponse(
 				req.Stream, canonical, hit, true, s.maxRows(req.MaxRows), time.Since(start))
+			resp.Epoch, resp.Horizon = pinEpoch, pinHorizon
 			resp.TraceID = traceID
 			if inline {
 				// A cache hit runs no execution; the trace records the
@@ -577,6 +594,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var res *core.Result
 	var execErr error
 	var execEpoch uint64
+	var execHorizon int
 	poolErr := s.pool.Do(ctx, func() {
 		// The pool's handoff orders this with the handler goroutine, so
 		// the trace stays single-writer.
@@ -586,14 +604,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			execErr = fmt.Errorf("opening stream %q: %w", req.Stream, err)
 			return
 		}
-		// The read lock keeps live-stream ingest (the lone writer) out
-		// while the query executes; the epoch read under it is the
-		// generation the result is valid for.
-		lock := s.streamLock(req.Stream)
-		lock.RLock()
-		defer lock.RUnlock()
-		execEpoch = eng.StreamEpoch()
-		res, execErr = eng.ExecuteParallelTraced(info, par, tr)
+		// Pin once and execute on the pinned view: the query runs
+		// lock-free against the snapshot's immutable state while ingest
+		// races ahead, and the epoch recorded with the cached result is
+		// exactly the snapshot the execution saw.
+		pe, epoch := eng.Pin()
+		execEpoch = epoch
+		execHorizon = pe.Horizon()
+		res, execErr = pe.ExecuteParallelTraced(info, par, tr)
 	})
 	if s.writePoolError(w, poolErr, "query") {
 		return
@@ -623,6 +641,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wall := time.Since(start)
 	s.logSlowQuery("query", req.Stream, canonical, wall, tr)
 	resp := s.buildResponse(req.Stream, canonical, res, false, s.maxRows(req.MaxRows), wall)
+	resp.Epoch, resp.Horizon = execEpoch, execHorizon
 	resp.TraceID = traceID
 	if inline {
 		resp.Trace = tr
@@ -656,7 +675,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		}
 		if eng, ok := s.reg.Peek(name); ok {
 			si.Open = true
-			si.Frames = eng.Test.Frames
+			si.Frames = eng.Horizon()
 			si.FPS = eng.Cfg.FPS
 			si.Detector = eng.Cfg.Detector
 			si.Scale = eng.Options().Scale
@@ -770,10 +789,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				planErr = fmt.Errorf("opening stream %q: %w", planStream, err)
 				return
 			}
-			lock := s.streamLock(planStream)
-			lock.RLock()
-			defer lock.RUnlock()
-			rep, planErr = eng.ExplainPlan(info, effective)
+			// Plan on the pinned snapshot view — lock-free against
+			// ingest like every other read path.
+			pe, _ := eng.Pin()
+			rep, planErr = pe.ExplainPlan(info, effective)
 		})
 		if s.writePoolError(w, poolErr, "planning") {
 			return

@@ -54,6 +54,29 @@ func (v *Video) buildIndex(horizon int) {
 	v.counts = make(map[Class][]int32)
 }
 
+// View returns a read-only snapshot of the video pinned at horizon frames
+// (clamped to the currently visible count). The view shares the immutable
+// track set and overlap index with the receiver but carries its own Frames
+// bound and count-series cache, so AppendFrames on the original never
+// changes what the view observes: every accessor on the view behaves
+// exactly like the same accessor on a video whose Frames equals horizon.
+func (v *Video) View(horizon int) *Video {
+	if horizon > v.Frames {
+		horizon = v.Frames
+	}
+	if horizon < 0 {
+		horizon = 0
+	}
+	return &Video{
+		Config:  v.Config,
+		Day:     v.Day,
+		Frames:  horizon,
+		Tracks:  v.Tracks,
+		buckets: v.buckets,
+		counts:  make(map[Class][]int32),
+	}
+}
+
 // AppendFrames makes the next n generated frames of a live video visible
 // (clamped to the day's end) and returns the new visible frame count. The
 // underlying day was generated deterministically up front, so a fully
