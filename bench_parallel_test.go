@@ -121,6 +121,7 @@ func TestMain(m *testing.M) {
 	writePlanBenchJSON()
 	writeIndexBenchJSON()
 	writeLiveBenchJSON()
+	writeLimitBenchJSON()
 	os.Exit(code)
 }
 

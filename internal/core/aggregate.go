@@ -410,7 +410,12 @@ func (e *Engine) enumerateDistinct(info *frameql.Info, par int) ([]candidate, er
 		est:  plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
 		open: func() (plan.Execution[*Result], error) { return e.newDistinctExec(info, par) },
 	}
-	return []candidate{{Plan: p, MarginalSeconds: p.est.DetectorSeconds, Accuracy: exactAccuracy}}, nil
+	cands := []candidate{{Plan: p, MarginalSeconds: p.est.DetectorSeconds, Accuracy: exactAccuracy}}
+	if info.Limit >= 0 {
+		cands = append(cands, infeasible(densityDesc(frameql.KindDistinct.String()),
+			"COUNT(DISTINCT trackid) needs identity over every frame; a density-ordered visit cannot early-stop"))
+	}
+	return cands, nil
 }
 
 // concurrentCountMeasure returns a goroutine-safe measure function for the

@@ -48,10 +48,15 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 				return e.newBinaryExactExec(info, class, par), nil
 			},
 		}
-		return []candidate{
+		cands := []candidate{
 			infeasible(cascadeDesc, fmt.Sprintf("specialization unavailable: %v", modelErr)),
 			binaryExactCand(exactPlan, info),
-		}, nil
+		}
+		if info.Limit >= 0 {
+			cands = append(cands, infeasible(densityDesc(frameql.KindBinary.String()),
+				fmt.Sprintf("specialization unavailable: %v", modelErr)))
+		}
+		return cands, nil
 	}
 	head := model.HeadIndex(class)
 
@@ -105,7 +110,11 @@ func (e *Engine) enumerateBinary(info *frameql.Info, par int) ([]candidate, erro
 			return e.newBinaryExactExec(info, class, par), nil
 		},
 	}
-	return []candidate{cascadeCand, binaryExactCand(exactPlan, info)}, nil
+	cands := []candidate{cascadeCand, binaryExactCand(exactPlan, info)}
+	if info.Limit >= 0 {
+		cands = append(cands, e.densityBinaryCand(info, class, prep, bandFrac, par))
+	}
+	return cands, nil
 }
 
 func binaryExactDesc() plan.Description {
@@ -222,6 +231,10 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 	fullCost := e.DTest.FullFrameCost()
 	gap := x.info.Gap
 	limit := x.info.Limit
+	// The cascade's reject threshold expressed as a conjunction: the
+	// temporal zone consult routes through the same kernel the density
+	// schedule prunes with, so the two plans refute identical chunk sets.
+	conj := []index.Conjunct{{Head: head, N: 1, Threshold: lowT}}
 
 	pos, _ := runScan(x.par, x.st.Pos, x.Total(), units, limit >= 0,
 		x.scanTrace(e.exec, &x.st.Stats),
@@ -243,7 +256,7 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 				if ce := (ci+1)*index.ChunkFrames - lo; ce < iEnd {
 					iEnd = ce
 				}
-				if zoneSkipsEnabled && seg.CanSkipTail(ci, head, 1, lowT) {
+				if zoneSkipsEnabled && seg.CanSkipConjunction(ci, conj) {
 					// Rejected unverified, proven by the zone map. Mark the
 					// chunk once per scan — at the frame where the whole scan
 					// (not this shard) first enters it — so shard boundaries
@@ -290,6 +303,7 @@ func (x *binaryCascadeExec) RunTo(units int) error {
 				v := verdicts[off0+(i-blo)]
 				if v.chunkFirst {
 					x.st.Stats.IndexChunksSkipped++
+					x.st.Stats.ConjunctionChunksSkipped++
 				}
 				if v.skipped {
 					x.st.Stats.IndexFramesSkipped++

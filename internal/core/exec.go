@@ -151,6 +151,8 @@ func (x *Execution) Result() (*Result, error) {
 	rep.ActualSeconds = res.Stats.TotalSeconds()
 	rep.IndexChunksSkipped = res.Stats.IndexChunksSkipped
 	rep.IndexFramesSkipped = res.Stats.IndexFramesSkipped
+	rep.ConjunctionChunksSkipped = res.Stats.ConjunctionChunksSkipped
+	rep.DensityChunksOutOfOrder = res.Stats.DensityChunksOutOfOrder
 	res.PlanReport = rep
 	x.e.planner.record(rep)
 	x.traceFinalize(fin, res, preSim, preDet)

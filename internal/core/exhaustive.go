@@ -30,12 +30,16 @@ func (e *Engine) enumerateExhaustive(info *frameql.Info, par int) ([]candidate, 
 		est:  plan.Cost{DetectorCalls: float64(hi - lo), DetectorSeconds: float64(hi-lo) * full},
 		open: func() (plan.Execution[*Result], error) { return e.newExhaustiveExec(info, par) },
 	}
-	return []candidate{{
+	cands := []candidate{{
 		Plan:            p,
 		MarginalSeconds: p.est.DetectorSeconds,
 		Accuracy:        exactAccuracy,
 		UpperBoundOnly:  info.Limit >= 0,
-	}}, nil
+	}}
+	if info.Limit >= 0 {
+		cands = append(cands, e.densityExhaustiveCand(info, par))
+	}
+	return cands, nil
 }
 
 // detArena is the compact per-shard product of a detection scan: all

@@ -34,6 +34,7 @@ const (
 	selectionAccuracy = 4.0
 	scrubAccuracy     = 10.0
 	binaryAccuracy    = 4.0
+	densityAccuracy   = 10.0
 )
 
 // candidate is one enumerated, costed physical plan.

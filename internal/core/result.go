@@ -48,13 +48,23 @@ type Stats struct {
 	// IndexChunksSkipped counts zone-map skip decisions this execution
 	// made: chunk ranges the materialized index proved could not satisfy
 	// the plan's predicate, eliding their per-frame evaluation. Skips are
-	// answer-neutral and charge-neutral — the fields above are
-	// bit-identical with and without them — so skip accounting lives in
-	// these dedicated fields rather than mutating the simulated meter.
+	// answer-neutral; on the temporal plans they are also charge-neutral
+	// (the fields above are bit-identical with and without them), while the
+	// density-ordered plan's meter honestly reflects only visited frames —
+	// so skip accounting lives in these dedicated fields rather than
+	// mutating the simulated meter.
 	IndexChunksSkipped int
 	// IndexFramesSkipped counts the frames those skipped chunk ranges
 	// covered.
 	IndexFramesSkipped int
+	// ConjunctionChunksSkipped counts the subset of chunk skips proven by
+	// the conjunction kernel (CanSkipConjunction) — predicate combinations
+	// refuting a chunk, provenance-skipping style.
+	ConjunctionChunksSkipped int
+	// DensityChunksOutOfOrder counts chunks a density-ordered schedule
+	// visited out of temporal order — the work reordered toward dense
+	// regions (zero on every temporal plan).
+	DensityChunksOutOfOrder int
 }
 
 // TotalSeconds is the full simulated runtime, training included.

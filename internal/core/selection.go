@@ -147,6 +147,9 @@ func (e *Engine) enumerateSelection(info *frameql.Info, par int) ([]candidate, e
 		Gated:           true,
 		Accuracy:        selectionAccuracy,
 	})
+	if info.Limit >= 0 {
+		cands = append(cands, e.densitySelectionCand(info, prep, par))
+	}
 	return cands, nil
 }
 
@@ -631,8 +634,14 @@ func (x *selectionExec) RunTo(units int) error {
 		}
 		// canSkip applies only where the label filter is the first stage
 		// that would touch the frame, so a skip elides real work without
-		// changing any flag the merge replays charges from.
+		// changing any flag the merge replays charges from. The consult
+		// routes through the conjunction kernel so the temporal path and
+		// the density schedule refute identical chunk sets.
 		canSkip := zoneSkipsEnabled && useSeg && (labelFirst || !hasContent)
+		var conj []index.Conjunct
+		if canSkip {
+			conj = []index.Conjunct{{Head: headIdx, Threshold: labelFilter.Threshold, Tail1: true}}
+		}
 		c := e.DTest.NewCounter()
 		var scratch []detect.Detection
 		visit := func(f int) (uint8, bool) {
@@ -725,7 +734,7 @@ func (x *selectionExec) RunTo(units int) error {
 				if ce := i + (chunkHi-f+step-1)/step; ce < iEnd {
 					iEnd = ce
 				}
-				if canSkip && seg.CanSkipTail1(ci, headIdx, labelFilter.Threshold) {
+				if canSkip && seg.CanSkipConjunction(ci, conj) {
 					// Proven label rejection for the whole range: same zero
 					// cascade bits, no per-frame work. Count each skipped
 					// chunk once per scan — at the visited frame where the
@@ -775,6 +784,7 @@ func (x *selectionExec) RunTo(units int) error {
 			fl := a.flags[off]
 			if fl&selChunkFirst != 0 {
 				x.st.Stats.IndexChunksSkipped++
+				x.st.Stats.ConjunctionChunksSkipped++
 			}
 			if fl&selSkipped != 0 {
 				x.st.Stats.IndexFramesSkipped++

@@ -186,6 +186,12 @@ func (x *Execution) traceFinalize(fin *obs.Span, res *Result, preSim float64, pr
 	root := x.tr.root
 	root.SetAttr("actual_sim_seconds", fmtSeconds(res.Stats.TotalSeconds()))
 	root.SetAttr("detector_calls", strconv.Itoa(res.Stats.DetectorCalls))
+	if res.Stats.ConjunctionChunksSkipped > 0 {
+		root.SetAttr("conjunction_chunks_skipped", strconv.Itoa(res.Stats.ConjunctionChunksSkipped))
+	}
+	if res.Stats.DensityChunksOutOfOrder > 0 {
+		root.SetAttr("density_chunks_out_of_order", strconv.Itoa(res.Stats.DensityChunksOutOfOrder))
+	}
 	if res.PlanReport != nil {
 		root.SetAttr("estimate_sim_seconds", fmtSeconds(res.PlanReport.EstimateSeconds))
 	}

@@ -1,0 +1,105 @@
+package index
+
+import "math/bits"
+
+// This file is the index tier's density and conjunction read path: kernels
+// that summarize a chunk's *predicted* content so plan executions can order
+// their work (visit the chunks most likely to hold matches first) and prove
+// chunks irrelevant to conjunctive predicates (a conjunction is refuted
+// wherever any one conjunct is refuted). Like the vector kernels, these only
+// read the zone maps — no per-frame column is decoded — and like every zone
+// comparison, a conjunction skip bounds exactly the quantity the per-frame
+// scan would compare, so it can never drop a frame the full scan would have
+// kept. Density estimates, by contrast, are *ordering hints only*: they come
+// from the argmax-based Presence bitmaps, which predict rather than bound,
+// so callers may reorder work by density but must never discard a chunk
+// because its estimate is zero.
+
+// Conjunct is one tail-threshold requirement of a conjunctive predicate:
+// the frame must have Inference.TailProb(Head, f, N) >= Threshold (or,
+// with Tail1 set, Tail1(Head, f) >= Threshold) for the conjunction to
+// hold. N is clamped the way TailProb clamps it.
+type Conjunct struct {
+	Head int
+	N    int
+	// Threshold is the minimum tail mass the conjunct requires; a frame
+	// with less cannot satisfy the conjunction no matter what the other
+	// conjuncts say.
+	Threshold float64
+	// Tail1 selects the exact presence-tail column (Segment.Tail1, bounded
+	// by Zone.MaxTail1) instead of the TailProb read (bounded by
+	// Zone.MaxTail). The two stores hold the same quantity at different
+	// precisions, so a conjunct must compare against the bound for the
+	// column its scan actually reads; N is ignored (implicitly 1).
+	Tail1 bool
+}
+
+// CanSkipConjunction reports whether the zone map proves no frame of the
+// chunk can satisfy the conjunction of the given requirements: it holds as
+// soon as any single conjunct's chunk-wide maximum tail falls below that
+// conjunct's threshold. This is the provenance-style generalization of
+// CanSkipTail — a predicate *combination* proving a chunk irrelevant even
+// when no individual column bound would — and it is exactly as strict as
+// the per-frame comparison it stands in for.
+func (s *Segment) CanSkipConjunction(chunk int, conj []Conjunct) bool {
+	z := &s.st().zones[chunk]
+	for _, c := range conj {
+		if c.Tail1 {
+			if z.MaxTail1[c.Head] < c.Threshold {
+				return true
+			}
+			continue
+		}
+		k := s.model.HeadInfo[c.Head].Classes
+		n := c.N
+		if n >= k {
+			n = k - 1
+		}
+		if n <= 0 {
+			// The tail is identically 1; this conjunct never refutes.
+			continue
+		}
+		if z.MaxTail[c.Head][n] < c.Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// DensityAt estimates how many of the chunk's frames contain at least one
+// predicted object of *every* listed head: the popcount of the intersection
+// of the heads' Presence bitmaps. With a single head this is simply how
+// many frames the specialized network predicts non-empty; with several it
+// is the conjunctive estimate a multi-class WHERE clause wants. The value
+// is a prediction (argmax-based), not a bound — suitable for ordering
+// chunks by expected yield, never for skipping them.
+func (s *Segment) DensityAt(chunk int, heads []int) int {
+	z := &s.st().zones[chunk]
+	if len(heads) == 0 {
+		return z.Frames
+	}
+	first := z.Presence[heads[0]]
+	n := 0
+	for w := range first {
+		bitsw := first[w]
+		for _, h := range heads[1:] {
+			bitsw &= z.Presence[h][w]
+		}
+		n += bits.OnesCount64(bitsw)
+	}
+	return n
+}
+
+// Densities returns DensityAt for every chunk in one pass — the raw
+// material for a density-ordered visit schedule and for planner pricing of
+// expected-chunks-until-K-hits. The slice is freshly allocated and ordered
+// by chunk index; it is a pure function of the segment's published state,
+// so two calls on the same pinned view always agree.
+func (s *Segment) Densities(heads []int) []int {
+	n := len(s.st().zones)
+	out := make([]int, n)
+	for ci := 0; ci < n; ci++ {
+		out[ci] = s.DensityAt(ci, heads)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vidsim"
+)
+
+// TestDensityAtMatchesPresencePopcount pins the density estimate against
+// its definition: DensityAt(ci, heads) is exactly the number of frames in
+// the chunk whose predicted count is >= 1 for every listed head — the
+// per-frame PredCount walk the bitmap popcount replaces.
+func TestDensityAtMatchesPresencePopcount(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	inf := seg.Inference()
+	heads := make([]int, len(w.model.HeadInfo))
+	for h := range heads {
+		heads[h] = h
+	}
+	headSets := [][]int{nil, {0}, heads}
+	if len(heads) > 1 {
+		headSets = append(headSets, []int{1}, []int{1, 0})
+	}
+	for _, hs := range headSets {
+		for ci := 0; ci < seg.Chunks(); ci++ {
+			z := seg.Zone(ci)
+			lo := ci * ChunkFrames
+			want := 0
+			for i := 0; i < z.Frames; i++ {
+				all := true
+				for _, h := range hs {
+					if inf.PredCount(h, lo+i) < 1 {
+						all = false
+						break
+					}
+				}
+				if all {
+					want++
+				}
+			}
+			if got := seg.DensityAt(ci, hs); got != want {
+				t.Fatalf("chunk %d heads %v: DensityAt %d, per-frame count %d", ci, hs, got, want)
+			}
+		}
+	}
+}
+
+// TestCanSkipConjunctionSoundness: a refuted chunk must contain no frame
+// satisfying the full conjunction — otherwise a conjunction skip would
+// drop frames the per-frame scan keeps. Also pins the single-conjunct
+// cases against the scalar kernels they generalize (CanSkipTail /
+// CanSkipTail1), since the temporal scan paths route those consults
+// through CanSkipConjunction.
+func TestCanSkipConjunctionSoundness(t *testing.T) {
+	w := world(t)
+	seg, _ := Build(testKey(w, 2), w.model, w.test)
+	inf := seg.Inference()
+	thresholds := []float64{0.001, 0.05, 0.2, 0.5, 0.9, 0.999}
+	for h, head := range w.model.HeadInfo {
+		for _, n := range []int{0, 1, 2, head.Classes} {
+			for _, thr := range thresholds {
+				conj := []Conjunct{{Head: h, N: n, Threshold: thr}}
+				for ci := 0; ci < seg.Chunks(); ci++ {
+					if got, want := seg.CanSkipConjunction(ci, conj), seg.CanSkipTail(ci, h, n, thr); got != want {
+						t.Fatalf("head %d n %d thr %v chunk %d: CanSkipConjunction %v, CanSkipTail %v", h, n, thr, ci, got, want)
+					}
+				}
+				t1 := []Conjunct{{Head: h, Threshold: thr, Tail1: true}}
+				for ci := 0; ci < seg.Chunks(); ci++ {
+					if got, want := seg.CanSkipConjunction(ci, t1), seg.CanSkipTail1(ci, h, thr); got != want {
+						t.Fatalf("head %d thr %v chunk %d: tail1 CanSkipConjunction %v, CanSkipTail1 %v", h, thr, ci, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Multi-conjunct soundness: wherever the kernel refutes, no frame in
+	// the chunk satisfies every conjunct at once.
+	if len(w.model.HeadInfo) >= 2 {
+		conj := []Conjunct{
+			{Head: 0, N: 1, Threshold: 0.3},
+			{Head: 1, Threshold: 0.3, Tail1: true},
+		}
+		refuted := 0
+		for ci := 0; ci < seg.Chunks(); ci++ {
+			if !seg.CanSkipConjunction(ci, conj) {
+				continue
+			}
+			refuted++
+			z := seg.Zone(ci)
+			lo := ci * ChunkFrames
+			for i := 0; i < z.Frames; i++ {
+				f := lo + i
+				if inf.TailProb(0, f, 1) >= 0.3 && seg.Tail1(1, f) >= 0.3 {
+					t.Fatalf("chunk %d frame %d satisfies the conjunction but the chunk was refuted", ci, f)
+				}
+			}
+		}
+		t.Logf("conjunction refuted %d of %d chunks", refuted, seg.Chunks())
+	}
+}
+
+// TestDensitiesDeterministicOnPinnedView pins the schedule determinism
+// guarantee's index half: Densities is a pure function of the pinned
+// snapshot, so two pinned views at the same horizon agree exactly, and a
+// pinned view agrees with a fresh build over exactly that many frames.
+func TestDensitiesDeterministicOnPinnedView(t *testing.T) {
+	w := world(t)
+	live := vidsim.GenerateLive(w.cfg, 2, w.test.Frames/2)
+	seg, _ := Build(testKey(w, 2), w.model, live)
+	heads := []int{0}
+	pin1 := seg.At(live)
+	d1 := pin1.Densities(heads)
+	// Ingest growth must not disturb a schedule computed from the pinned
+	// view: extend the master, then re-read the pinned view.
+	live.AppendFrames(ChunkFrames + 100)
+	seg.Extend(live)
+	d1b := pin1.Densities(heads)
+	if !reflect.DeepEqual(d1, d1b) {
+		t.Fatalf("pinned view's densities changed under ingest: %v vs %v", d1, d1b)
+	}
+	// A fresh build over exactly the pinned horizon agrees bit for bit.
+	fresh := vidsim.GenerateLive(w.cfg, 2, pin1.Frames())
+	segF, _ := Build(testKey(w, 2), w.model, fresh)
+	if d2 := segF.Densities(heads); !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("pinned view densities %v differ from fresh build %v", d1, d2)
+	}
+}

@@ -155,6 +155,9 @@ type Costed[R any] struct {
 	// chosen by the cost-based pick: the idealized oracle baselines,
 	// which assume knowledge a deployed system does not have.
 	Gated bool
+	// GateReason, when non-empty, overrides the report's default gating
+	// explanation for this candidate.
+	GateReason string
 	// Accuracy is the multiplicative accuracy factor claimed for the
 	// estimate: the actual cost of a fresh execution is expected within
 	// [Total/Accuracy, Total*Accuracy]. Zero means exact (within float
@@ -262,6 +265,12 @@ type Report struct {
 	IndexChunksSkipped int `json:"index_chunks_skipped,omitempty"`
 	// IndexFramesSkipped counts the frames those skipped ranges covered.
 	IndexFramesSkipped int `json:"index_frames_skipped,omitempty"`
+	// ConjunctionChunksSkipped counts the subset of chunk skips proven by
+	// the conjunction kernel (predicate combinations refuting a chunk).
+	ConjunctionChunksSkipped int `json:"conjunction_chunks_skipped,omitempty"`
+	// DensityChunksOutOfOrder counts chunks a density-ordered schedule
+	// visited out of temporal order; zero for temporal plans.
+	DensityChunksOutOfOrder int `json:"density_chunks_out_of_order,omitempty"`
 	// Candidates is the full table, in enumeration order.
 	Candidates []Candidate `json:"candidates"`
 }
@@ -288,7 +297,11 @@ func NewReport[R any](family string, cands []Costed[R], chosen *Costed[R], force
 			}
 		}
 		if c.Gated && cand.Reason == "" {
-			cand.Reason = "oracle baseline: forcible by hint, never cost-chosen"
+			if c.GateReason != "" {
+				cand.Reason = c.GateReason
+			} else {
+				cand.Reason = "oracle baseline: forcible by hint, never cost-chosen"
+			}
 		}
 		if c == chosen {
 			cand.Chosen = true

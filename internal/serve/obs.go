@@ -39,6 +39,8 @@ type serverMetrics struct {
 	simCalls   *obs.Counter      // blazeit_sim_charged_detector_calls_total
 	chunksSkip *obs.Counter      // blazeit_index_chunks_skipped_total
 	framesSkip *obs.Counter      // blazeit_index_frames_skipped_total
+	conjSkip   *obs.Counter      // blazeit_conjunction_chunks_skipped_total
+	densityOOO *obs.Counter      // blazeit_density_chunks_out_of_order_total
 	estErr     *obs.HistogramVec // blazeit_planner_estimate_error{family}
 
 	ingests      *obs.Counter    // blazeit_ingests_total
@@ -73,6 +75,10 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Index zone-map chunks executed plans skipped.").With(),
 		framesSkip: r.Counter("blazeit_index_frames_skipped_total",
 			"Frames executed plans skipped via index zone maps.").With(),
+		conjSkip: r.Counter("blazeit_conjunction_chunks_skipped_total",
+			"Chunks executed plans proved irrelevant via the conjunction kernel.").With(),
+		densityOOO: r.Counter("blazeit_density_chunks_out_of_order_total",
+			"Chunks density-ordered plans visited out of temporal order.").With(),
 		estErr: r.Histogram("blazeit_planner_estimate_error",
 			"Planner relative cost-estimate error |actual-estimate|/estimate, by plan family.",
 			estimateErrorBuckets, "family"),

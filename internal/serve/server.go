@@ -637,6 +637,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.m.simCalls.Add(float64(res.Stats.DetectorCalls))
 	s.m.chunksSkip.Add(float64(res.Stats.IndexChunksSkipped))
 	s.m.framesSkip.Add(float64(res.Stats.IndexFramesSkipped))
+	s.m.conjSkip.Add(float64(res.Stats.ConjunctionChunksSkipped))
+	s.m.densityOOO.Add(float64(res.Stats.DensityChunksOutOfOrder))
 	s.observeEstimateError(res.PlanReport)
 	wall := time.Since(start)
 	s.logSlowQuery("query", req.Stream, canonical, wall, tr)
@@ -856,6 +858,11 @@ type indexStatz struct {
 	// executed plans reported.
 	ChunksSkipped uint64 `json:"chunks_skipped"`
 	FramesSkipped uint64 `json:"frames_skipped"`
+	// ConjunctionChunksSkipped totals chunks proven irrelevant by the
+	// conjunction kernel; DensityChunksOutOfOrder totals chunks
+	// density-ordered plans visited out of temporal order.
+	ConjunctionChunksSkipped uint64 `json:"conjunction_chunks_skipped"`
+	DensityChunksOutOfOrder  uint64 `json:"density_chunks_out_of_order"`
 	// Background build progress (streams, not classes).
 	BuildsQueued uint64 `json:"builds_queued"`
 	BuildsDone   uint64 `json:"builds_done"`
@@ -1013,6 +1020,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Indexz.ChunksSkipped = uint64(s.metrics.Value("blazeit_index_chunks_skipped_total"))
 	resp.Indexz.FramesSkipped = uint64(s.metrics.Value("blazeit_index_frames_skipped_total"))
+	resp.Indexz.ConjunctionChunksSkipped = uint64(s.metrics.Value("blazeit_conjunction_chunks_skipped_total"))
+	resp.Indexz.DensityChunksOutOfOrder = uint64(s.metrics.Value("blazeit_density_chunks_out_of_order_total"))
 	resp.Queries.Total = uint64(s.metrics.SumValues("blazeit_queries_total"))
 	resp.Queries.CacheHits = uint64(s.metrics.SumValues("blazeit_query_cache_hits_total"))
 	resp.Queries.Errors = uint64(s.metrics.Value("blazeit_query_errors_total"))
