@@ -300,7 +300,11 @@ func (s *System) Append(n int) (int, error) { return s.eng.AppendLive(n) }
 // pay only the new frames; population-dependent plans (adaptive
 // sampling, confidence-ranked scrubbing) re-run deterministically — and
 // the advanced answer is exactly what a fresh query of the grown stream
-// returns.
+// returns. Cost-picked standing queries are additionally drift-checked:
+// when the stream's live statistics diverge from what the plan was
+// priced on, the next Advance past a chunk-aligned boundary
+// re-enumerates with the planner's current calibration and may switch
+// plans (see PlanSwitches); hinted queries keep their plan for life.
 type StandingQuery struct {
 	sys    *System
 	cursor *Cursor
@@ -363,6 +367,11 @@ func (sq *StandingQuery) Advance() (*Result, error) {
 
 // Result returns the standing query's latest answer.
 func (sq *StandingQuery) Result() *Result { return sq.last }
+
+// PlanSwitches reports how many drift-triggered plan switches this
+// standing query has made over its lifetime (always zero for
+// hint-forced queries, which never re-plan).
+func (sq *StandingQuery) PlanSwitches() int { return sq.cursor.PlanSwitches }
 
 // Cursor returns the standing query's serializable cursor (persist it to
 // resume the subscription in a later session).

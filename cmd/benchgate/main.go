@@ -28,6 +28,19 @@
 // machine speed cancels out: it is judged against the absolute
 // -concurrent-ratio-cap (default 1.5) even when no baseline exists.
 //
+// Planner-calibration records (BENCH_plan) carry both a raw and a
+// calibrated estimate error per family. Both are deterministic simulated
+// quantities, so they gate like sim_seconds: within a run, a family whose
+// calibrated error exceeds its raw error by more than -cal-tol fails
+// (feedback made the cost model worse), and against a baseline, a
+// family's calibrated error may not regress by more than -cal-tol.
+// BENCH_limit's sparse_nohint summary gates the density-limit graduation:
+// the no-hint plan must be density-limit and the temporal/no-hint
+// frames-scanned ratio must stay at or above -nohint-ratio-floor
+// (default 2.0) — both within-run, judged even without a baseline.
+// BENCH_plan's sparse_limit_nohint_speedup must stay >= 1 (the calibrated
+// pick may never cost more than the uncalibrated one).
+//
 // Per file: a missing baseline is a warning (first run), and a scale
 // mismatch skips the file (incomparable). A fresh-run record with no
 // baseline counterpart is informational — new families appear whenever
@@ -61,6 +74,17 @@ type benchFile struct {
 	// cancels out and it is judged against an absolute cap, baseline or
 	// not.
 	ConcurrentQueryP50Ratio float64 `json:"concurrent_query_p50_ratio"`
+	// SparseNoHintPlan and SparseNoHintFramesScannedRatio are
+	// BENCH_limit's calibration-graduation summary: the plan the warmed-up
+	// planner cost-chose for the sparse LIMIT query with no hint, and the
+	// temporal plan's frames-scanned over that run's. Deterministic
+	// within-run quantities, judged without a baseline.
+	SparseNoHintPlan               string  `json:"sparse_nohint_plan"`
+	SparseNoHintFramesScannedRatio float64 `json:"sparse_nohint_frames_scanned_ratio"`
+	// SparseLimitNoHintSpeedup is BENCH_plan's end-to-end graduation
+	// summary: cold temporal simulated cost over the calibrated
+	// cost-chosen plan's. Below 1 means calibration picked a worse plan.
+	SparseLimitNoHintSpeedup float64 `json:"sparse_limit_nohint_speedup"`
 }
 
 func readBenchFile(path string) (*benchFile, error) {
@@ -132,7 +156,7 @@ type verdict struct {
 }
 
 // compare judges one fresh bench file against its baseline.
-func compare(name string, base, cur *benchFile, threshold, simTol float64) *verdict {
+func compare(name string, base, cur *benchFile, threshold, simTol, calTol float64) *verdict {
 	v := &verdict{}
 	if base.Scale != cur.Scale {
 		v.warnings = append(v.warnings,
@@ -183,6 +207,17 @@ func compare(name string, base, cur *benchFile, threshold, simTol float64) *verd
 					name, k, bs, cs, 100*drift, 100*simTol))
 			}
 		}
+		// Calibrated estimate error is deterministic like sim_seconds, so
+		// it gates against the baseline outright: a family whose
+		// post-warmup error grew beyond the tolerance means the feedback
+		// loop fits this workload worse than it used to.
+		bce, okB := num(br, "calibrated_error")
+		cce, okC := num(cr, "calibrated_error")
+		if okB && okC && cce > bce+calTol {
+			v.failures = append(v.failures, fmt.Sprintf(
+				"%s: %s calibrated estimate error regressed: %.6g -> %.6g (tolerance +%.3g) — the calibration loop got worse; regenerate the baseline if intentional",
+				name, k, bce, cce, calTol))
+		}
 	}
 	for k := range baseBy {
 		if !seen[k] {
@@ -232,6 +267,42 @@ func checkConcurrentRatio(name string, cur *benchFile, cap float64) (failure str
 	return ""
 }
 
+// checkCalibration applies the within-run calibration gates, which are
+// deterministic and machine-neutral so no baseline is needed. Per record:
+// a calibrated estimate error exceeding the raw error by more than calTol
+// means feedback made the cost model worse for that family. Per file
+// summary: BENCH_limit's no-hint graduation must have cost-chosen the
+// density plan and preserved the frames-scanned savings (>= ratioFloor),
+// and BENCH_plan's no-hint speedup must stay >= 1. Files without the
+// fields (other suites, older runs) are never judged.
+func checkCalibration(name string, cur *benchFile, calTol, ratioFloor float64) (failures []string) {
+	for _, rec := range cur.Records {
+		raw, okR := num(rec, "estimate_error")
+		cal, okC := num(rec, "calibrated_error")
+		if okR && okC && cal > raw+calTol {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s calibrated error %.6g exceeds raw error %.6g (tolerance +%.3g) — calibration is hurting this family",
+				name, recordKey(rec), cal, raw, calTol))
+		}
+	}
+	if cur.SparseNoHintPlan != "" && cur.SparseNoHintPlan != "density-limit" {
+		failures = append(failures, fmt.Sprintf(
+			"%s: calibrated planner chose %q for the sparse no-hint LIMIT query, want density-limit — graduation regressed",
+			name, cur.SparseNoHintPlan))
+	}
+	if ratioFloor > 0 && cur.SparseNoHintFramesScannedRatio > 0 && cur.SparseNoHintFramesScannedRatio < ratioFloor {
+		failures = append(failures, fmt.Sprintf(
+			"%s: sparse no-hint frames-scanned ratio %.3f below floor %.2f — the cost-chosen plan lost the density savings",
+			name, cur.SparseNoHintFramesScannedRatio, ratioFloor))
+	}
+	if cur.SparseLimitNoHintSpeedup > 0 && cur.SparseLimitNoHintSpeedup < 1 {
+		failures = append(failures, fmt.Sprintf(
+			"%s: sparse-LIMIT no-hint speedup %.3f < 1 — the calibrated pick costs more than the uncalibrated one",
+			name, cur.SparseLimitNoHintSpeedup))
+	}
+	return failures
+}
+
 func geomean(vs []float64) float64 {
 	if len(vs) == 0 {
 		return 1
@@ -258,6 +329,10 @@ func main() {
 	simTol := flag.Float64("sim-tol", 0.01, "maximum relative simulated-cost drift per record before failing")
 	ratioCap := flag.Float64("concurrent-ratio-cap", 1.5,
 		"maximum concurrent-query p50/idle p50 ratio (BENCH_live summary; within-run, judged without a baseline; <=0 disables)")
+	calTol := flag.Float64("cal-tol", 0.02,
+		"maximum absolute slack for calibrated estimate error, both over the raw error within a run and over the baseline's calibrated error")
+	nohintFloor := flag.Float64("nohint-ratio-floor", 2.0,
+		"minimum temporal/no-hint frames-scanned ratio for the calibrated sparse-LIMIT graduation (BENCH_limit summary; within-run; <=0 disables)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH_parallel.json ...")
@@ -277,9 +352,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		// The within-run concurrent-latency cap gates even on the first
-		// run — it compares the fresh file against itself, not a baseline.
+		// The within-run concurrent-latency and calibration gates apply
+		// even on the first run — they compare the fresh file against
+		// itself, not a baseline.
 		if f := checkConcurrentRatio(name, cur, *ratioCap); f != "" {
+			fmt.Println("FAIL", f)
+			failed = true
+		}
+		for _, f := range checkCalibration(name, cur, *calTol, *nohintFloor) {
 			fmt.Println("FAIL", f)
 			failed = true
 		}
@@ -293,7 +373,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		v := compare(name, base, cur, *threshold, *simTol)
+		v := compare(name, base, cur, *threshold, *simTol, *calTol)
 		for _, s := range v.infos {
 			fmt.Println("INFO", s)
 		}

@@ -23,7 +23,7 @@ func file(scale float64, recs ...map[string]any) *benchFile {
 func TestCompareCleanRun(t *testing.T) {
 	base := file(0.05, rec("agg", 1, 100, 10), rec("agg", 4, 30, 10), rec("sel", 1, 200, 5))
 	cur := file(0.05, rec("agg", 1, 101, 10), rec("agg", 4, 29, 10), rec("sel", 1, 205, 5))
-	v := compare("BENCH_parallel.json", base, cur, 1.25, 0.01)
+	v := compare("BENCH_parallel.json", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 0 || len(v.warnings) != 0 {
 		t.Fatalf("clean run judged: failures %v, warnings %v", v.failures, v.warnings)
 	}
@@ -35,7 +35,7 @@ func TestCompareCleanRun(t *testing.T) {
 func TestCompareMedianCalibration(t *testing.T) {
 	base := file(0.05, rec("agg", 1, 100, 10), rec("agg", 4, 30, 10), rec("sel", 1, 200, 5))
 	cur := file(0.05, rec("agg", 1, 200, 10), rec("agg", 4, 60, 10), rec("sel", 1, 400, 5))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 0 {
 		t.Fatalf("uniform slowdown judged a regression: %v", v.failures)
 	}
@@ -53,7 +53,7 @@ func TestCompareSingleFamilyRegression(t *testing.T) {
 		rec("agg", 1, 100, 10), rec("agg", 4, 30, 10),
 		rec("sel", 1, 400, 5), rec("sel", 4, 120, 5),
 		rec("exh", 1, 500, 20))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "sel wall regression") {
 		t.Fatalf("failures = %v, want one for family sel", v.failures)
 	}
@@ -72,7 +72,7 @@ func TestCompareSingleRecordSpikeAbsorbed(t *testing.T) {
 		// sel/p1 spikes 1.5x, the other sel records hold: geomean ~1.12.
 		rec("sel", 1, 300, 5), rec("sel", 4, 62, 5), rec("sel", 8, 38, 5),
 		rec("exh", 1, 500, 20))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 0 {
 		t.Fatalf("single-record spike judged a regression: %v", v.failures)
 	}
@@ -83,13 +83,13 @@ func TestCompareSingleRecordSpikeAbsorbed(t *testing.T) {
 func TestCompareSimDriftStrict(t *testing.T) {
 	base := file(0.05, rec("agg", 1, 100, 10), rec("sel", 1, 200, 5))
 	cur := file(0.05, rec("agg", 1, 100, 10.5), rec("sel", 1, 200, 5))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "simulated-cost drift") {
 		t.Fatalf("failures = %v, want one sim drift", v.failures)
 	}
 	// Within tolerance: fine.
 	cur2 := file(0.05, rec("agg", 1, 100, 10.05), rec("sel", 1, 200, 5))
-	if v := compare("f", base, cur2, 1.25, 0.01); len(v.failures) != 0 {
+	if v := compare("f", base, cur2, 1.25, 0.01, 0.02); len(v.failures) != 0 {
 		t.Fatalf("0.5%% sim drift judged: %v", v.failures)
 	}
 }
@@ -97,7 +97,7 @@ func TestCompareSimDriftStrict(t *testing.T) {
 func TestCompareScaleMismatchSkips(t *testing.T) {
 	base := file(0.05, rec("agg", 1, 100, 10))
 	cur := file(0.02, rec("agg", 1, 1000, 99))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 0 || len(v.warnings) != 1 {
 		t.Fatalf("scale mismatch: failures %v, warnings %v", v.failures, v.warnings)
 	}
@@ -110,7 +110,7 @@ func TestCompareScaleMismatchSkips(t *testing.T) {
 func TestCompareMissingRecordsWarn(t *testing.T) {
 	base := file(0.05, rec("agg", 1, 100, 10), rec("old", 1, 50, 1))
 	cur := file(0.05, rec("agg", 1, 100, 10), rec("new", 1, 70, 2))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 0 {
 		t.Fatalf("membership drift judged a regression: %v", v.failures)
 	}
@@ -136,7 +136,7 @@ func TestComparePlannerFieldNames(t *testing.T) {
 	}
 	base := file(0.05, prec("agg", 100, 10), prec("sel", 200, 5), prec("exh", 500, 20))
 	cur := file(0.05, prec("agg", 100, 10), prec("sel", 200, 7), prec("exh", 500, 20))
-	v := compare("f", base, cur, 1.25, 0.01)
+	v := compare("f", base, cur, 1.25, 0.01, 0.02)
 	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "simulated-cost drift") {
 		t.Fatalf("failures = %v, want one actual_seconds drift", v.failures)
 	}
@@ -164,7 +164,7 @@ func TestCompareLivePhaseCalibration(t *testing.T) {
 		phaseRec("ingest", 2e9), phaseRec("advance", 2e8), phaseRec("rescan", 2.2e8),
 		phaseRec("query_idle", 1e8), phaseRec("query_under_ingest", 1.04e8),
 		phaseRec("ingest_concurrent", 4e9))
-	if v := compare("BENCH_live.json", base, uniform, 1.25, 0.01); len(v.failures) != 0 {
+	if v := compare("BENCH_live.json", base, uniform, 1.25, 0.01, 0.02); len(v.failures) != 0 {
 		t.Fatalf("uniform slowdown judged a regression: %v", v.failures)
 	}
 	// Only the under-ingest phase 2x slower: the cross-phase median holds
@@ -173,7 +173,7 @@ func TestCompareLivePhaseCalibration(t *testing.T) {
 		phaseRec("ingest", 1e9), phaseRec("advance", 1e8), phaseRec("rescan", 1.1e8),
 		phaseRec("query_idle", 5e7), phaseRec("query_under_ingest", 1.04e8),
 		phaseRec("ingest_concurrent", 2e9))
-	v := compare("BENCH_live.json", base, regressed, 1.25, 0.01)
+	v := compare("BENCH_live.json", base, regressed, 1.25, 0.01, 0.02)
 	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "query_under_ingest wall regression") {
 		t.Fatalf("failures = %v, want one for query_under_ingest", v.failures)
 	}
@@ -215,5 +215,70 @@ func TestRecordKeyShapes(t *testing.T) {
 		if got := recordKey(tc.rec); got != tc.want {
 			t.Errorf("recordKey(%v) = %q, want %q", tc.rec, got, tc.want)
 		}
+	}
+}
+
+// calRec builds a planner-suite record with raw and calibrated errors.
+func calRec(family string, raw, cal float64) map[string]any {
+	return map[string]any{"family": family, "estimate_error": raw, "calibrated_error": cal}
+}
+
+// TestCheckCalibrationWithinRun: a family whose calibrated error exceeds
+// its raw error beyond the tolerance fails without needing a baseline;
+// calibrated-at-or-under-raw passes, and records without the fields are
+// never judged.
+func TestCheckCalibrationWithinRun(t *testing.T) {
+	good := file(0.05, calRec("agg", 0.1, 0.0), calRec("sel", 0.05, 0.06), rec("exh", 1, 100, 10))
+	if fs := checkCalibration("BENCH_plan.json", good, 0.02, 2.0); len(fs) != 0 {
+		t.Fatalf("clean calibration judged: %v", fs)
+	}
+	bad := file(0.05, calRec("agg", 0.1, 0.2), calRec("sel", 0.05, 0.0))
+	fs := checkCalibration("BENCH_plan.json", bad, 0.02, 2.0)
+	if len(fs) != 1 || !strings.Contains(fs[0], "agg calibrated error") {
+		t.Fatalf("failures = %v, want one for family agg", fs)
+	}
+}
+
+// TestCheckCalibrationNoHintSummary: the graduation summaries gate on
+// plan identity, frames-scanned ratio floor, and speedup >= 1.
+func TestCheckCalibrationNoHintSummary(t *testing.T) {
+	ok := &benchFile{Scale: 0.05, SparseNoHintPlan: "density-limit", SparseNoHintFramesScannedRatio: 2.0}
+	if fs := checkCalibration("BENCH_limit.json", ok, 0.02, 2.0); len(fs) != 0 {
+		t.Fatalf("clean graduation judged: %v", fs)
+	}
+	wrongPlan := &benchFile{Scale: 0.05, SparseNoHintPlan: "exhaustive", SparseNoHintFramesScannedRatio: 2.0}
+	if fs := checkCalibration("BENCH_limit.json", wrongPlan, 0.02, 2.0); len(fs) != 1 || !strings.Contains(fs[0], "want density-limit") {
+		t.Fatalf("failures = %v, want one plan-identity failure", fs)
+	}
+	lowRatio := &benchFile{Scale: 0.05, SparseNoHintPlan: "density-limit", SparseNoHintFramesScannedRatio: 1.2}
+	if fs := checkCalibration("BENCH_limit.json", lowRatio, 0.02, 2.0); len(fs) != 1 || !strings.Contains(fs[0], "below floor") {
+		t.Fatalf("failures = %v, want one ratio-floor failure", fs)
+	}
+	if fs := checkCalibration("BENCH_limit.json", lowRatio, 0.02, 0); len(fs) != 0 {
+		t.Fatalf("disabled floor judged: %v", fs)
+	}
+	slow := &benchFile{Scale: 0.05, SparseLimitNoHintSpeedup: 0.8}
+	if fs := checkCalibration("BENCH_plan.json", slow, 0.02, 2.0); len(fs) != 1 || !strings.Contains(fs[0], "speedup") {
+		t.Fatalf("failures = %v, want one speedup failure", fs)
+	}
+	absent := &benchFile{Scale: 0.05}
+	if fs := checkCalibration("BENCH_parallel.json", absent, 0.02, 2.0); len(fs) != 0 {
+		t.Fatalf("file without summaries judged: %v", fs)
+	}
+}
+
+// TestCompareCalibratedErrorBaseline: calibrated error is deterministic,
+// so it gates against the baseline like sim_seconds — growth beyond the
+// tolerance fails, shrinkage and within-tolerance drift pass.
+func TestCompareCalibratedErrorBaseline(t *testing.T) {
+	base := file(0.05, calRec("agg", 0.1, 0.01), calRec("sel", 0.05, 0.02))
+	regressed := file(0.05, calRec("agg", 0.1, 0.09), calRec("sel", 0.05, 0.02))
+	v := compare("BENCH_plan.json", base, regressed, 1.25, 0.01, 0.02)
+	if len(v.failures) != 1 || !strings.Contains(v.failures[0], "agg calibrated estimate error regressed") {
+		t.Fatalf("failures = %v, want one calibrated-error regression", v.failures)
+	}
+	improved := file(0.05, calRec("agg", 0.1, 0.0), calRec("sel", 0.05, 0.03))
+	if v := compare("BENCH_plan.json", base, improved, 1.25, 0.01, 0.02); len(v.failures) != 0 {
+		t.Fatalf("improvement/within-tolerance judged: %v", v.failures)
 	}
 }

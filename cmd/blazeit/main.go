@@ -74,8 +74,16 @@ func main() {
 			if c.UpperBoundOnly {
 				bound = " (upper bound)"
 			}
-			fmt.Printf("  %s %-26s est %10.1f sim s  (detector %.1f, specnn %.1f, filter %.1f, train %.1f; ~%.0f detector calls)%s\n",
-				mark, c.Name, c.EstimateSeconds,
+			cal := c.CalibratedEstimateSeconds
+			if cal == 0 {
+				cal = c.EstimateSeconds
+			}
+			corr := c.CorrectionFactor
+			if corr == 0 {
+				corr = 1
+			}
+			fmt.Printf("  %s %-26s raw %10.1f  cal %10.1f sim s  x%-8.3g (detector %.1f, specnn %.1f, filter %.1f, train %.1f; ~%.0f detector calls)%s\n",
+				mark, c.Name, c.EstimateSeconds, cal, corr,
 				c.Estimate.DetectorSeconds, c.Estimate.SpecNNSeconds,
 				c.Estimate.FilterSeconds, c.Estimate.TrainSeconds,
 				c.Estimate.DetectorCalls, bound)

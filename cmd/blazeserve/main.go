@@ -31,6 +31,11 @@
 // suffix; sampling and ranking plans re-run deterministically against the
 // index. Each ingest bumps the stream's epoch, which the result cache
 // keys on, so a cached answer can never be served stale across an ingest.
+// Cost-picked standing queries are drift-checked on every advance: when a
+// stream's live statistics diverge from what the pinned plan was priced
+// on, the next advance past a chunk-aligned boundary re-plans with the
+// planner's current calibration, surfaced in the /poll response
+// (plan_switches, replanned, replan_at_horizon) and the advance's trace.
 //
 // With -index-dir, each opened stream's specialized networks, whole-day
 // inference segments (with zone maps), sampled ground-truth labels, and

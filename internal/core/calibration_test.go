@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/frameql"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/vidsim"
+)
+
+// snapshotCalib deep-copies the engine's calibration store so a test can
+// install synthetic states and restore the original before it returns
+// (the package shares one engine per stream; later tests must see the
+// state they would have seen without this test's interference).
+func snapshotCalib(e *Engine) map[string]*calibEntry {
+	p := e.planner
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]*calibEntry, len(p.calib))
+	for k, ent := range p.calib {
+		out[k] = &calibEntry{ratios: append([]float64(nil), ent.ratios...), next: ent.next, count: ent.count}
+	}
+	return out
+}
+
+// installCalib replaces the engine's calibration store with a deep copy
+// of the given state.
+func installCalib(e *Engine, state map[string]*calibEntry) {
+	p := e.planner
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calib = make(map[string]*calibEntry, len(state))
+	for k, ent := range state {
+		p.calib[k] = &calibEntry{ratios: append([]float64(nil), ent.ratios...), next: ent.next, count: ent.count}
+	}
+}
+
+// seedCalib injects one (family, plan) entry holding the given ratios.
+func seedCalib(e *Engine, family, planName string, ratios ...float64) {
+	p := e.planner
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := &calibEntry{}
+	for _, r := range ratios {
+		ent.add(r)
+	}
+	p.calib[calibKey(family, planName)] = ent
+}
+
+// answersIdentical is resultsIdentical minus the Notes comparison: a
+// cost-chosen execution may carry planner narration a hint-forced run of
+// the same plan does not, but everything the answer and the cost meter
+// contain must still match bit for bit.
+func answersIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	na, nb := *a, *b
+	na.Stats.Notes, nb.Stats.Notes = nil, nil
+	resultsIdentical(t, label, &na, &nb)
+}
+
+// TestCalibrationColdStorePicksUnchanged is the regression contract the
+// feedback loop must honor: with an empty calibration store, every
+// query's pick, correction factor, and density gate are exactly the
+// uncalibrated planner's — calibration activates only after observed
+// executions, never by default.
+func TestCalibrationColdStorePicksUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	orig := snapshotCalib(e)
+	defer installCalib(e, orig)
+	installCalib(e, nil)
+
+	cases := []struct {
+		query string
+		pick  string
+	}{
+		{`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`, "control-variates"},
+		{`SELECT FCOUNT(*) FROM taipei WHERE class='bus'`, "naive-exhaustive"},
+		{`SELECT FCOUNT(*) FROM taipei WHERE class='bear' ERROR WITHIN 0.1`, "naive-aqp"},
+		{`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`, "scrub-importance"},
+		{`SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 AND area(mask) > 60000 GROUP BY trackid HAVING COUNT(*) > 15`, "selection-all-filters"},
+		{`SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.02 FPR WITHIN 0.02`, "binary-cascade"},
+		{`SELECT * FROM taipei WHERE (class='car' OR class='bus') AND timestamp < 2500`, "exhaustive"},
+		{`SELECT * FROM taipei WHERE class='car' AND timestamp < 2500 LIMIT 5 GAP 100`, "selection-all-filters"},
+	}
+	for _, tc := range cases {
+		info, err := frameql.Analyze(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		rep, err := e.ExplainPlan(info, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if rep.Chosen != tc.pick {
+			t.Errorf("%s: cold store picked %q, uncalibrated planner picks %q", tc.query, rep.Chosen, tc.pick)
+		}
+		for _, c := range rep.Candidates {
+			if !c.Feasible {
+				continue
+			}
+			if c.CorrectionFactor != 1 {
+				t.Errorf("%s: cold store applied correction %v to %s", tc.query, c.CorrectionFactor, c.Name)
+			}
+			if c.CalibratedEstimateSeconds != c.EstimateSeconds {
+				t.Errorf("%s: cold calibrated estimate %v != raw %v for %s",
+					tc.query, c.CalibratedEstimateSeconds, c.EstimateSeconds, c.Name)
+			}
+			if c.Name == densityPlanName && c.Chosen {
+				t.Errorf("%s: cold store cost-chose the gated density candidate", tc.query)
+			}
+		}
+	}
+}
+
+// TestCalibrationAnswerNeutralProperty is the property test behind the
+// feedback loop's core claim: whatever calibration state the store holds
+// — here randomized, adversarially far from anything real executions
+// would fit — the cost-based pick's result is bit-identical (full cost
+// meter included) to hint-forcing that same candidate, at parallelism 1,
+// 4, and 8, and across a mid-execution suspend/resume. Calibration may
+// change WHICH plan runs; it can never change what any plan computes.
+func TestCalibrationAnswerNeutralProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	orig := snapshotCalib(e)
+	defer installCalib(e, orig)
+
+	queries := []string{
+		`SELECT FCOUNT(*) FROM taipei WHERE class='car' ERROR WITHIN 0.1 AT CONFIDENCE 95%`,
+		`SELECT * FROM taipei WHERE class='car' AND timestamp < 2500 LIMIT 5 GAP 100`,
+		`SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='car') >= 3 LIMIT 5 GAP 30`,
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2; trial++ {
+		for qi, q := range queries {
+			info, err := frameql.Analyze(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm one-time preparation so compared runs replay identical
+			// cached charges.
+			installCalib(e, nil)
+			if _, err := e.ExecuteParallel(info, 1); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.ExplainPlan(info, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Randomize every enumerated candidate's calibration entry,
+			// with enough observations to activate each correction.
+			state := make(map[string]*calibEntry)
+			for _, c := range rep.Candidates {
+				ent := &calibEntry{}
+				for i := 0; i < calibMinObs+rng.Intn(5); i++ {
+					ent.add(0.05 + 4*rng.Float64())
+				}
+				state[calibKey(rep.Family, c.Name)] = ent
+			}
+			for _, par := range []int{1, 4, 8} {
+				label := fmt.Sprintf("trial %d query %d par %d", trial, qi, par)
+				installCalib(e, state)
+				base, err := e.ExecuteParallel(info, par)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				installCalib(e, state)
+				forced, err := e.ExecuteForced(info, par, base.Stats.Plan)
+				if err != nil {
+					t.Fatalf("%s: forcing %s: %v", label, base.Stats.Plan, err)
+				}
+				answersIdentical(t, label+": chosen vs forced "+base.Stats.Plan, base, forced)
+				installCalib(e, state)
+				resumed, _ := runResumed(t, e, info, par, 10)
+				resultsIdentical(t, label+": chosen vs suspend/resume", base, resumed)
+			}
+		}
+	}
+}
+
+// TestDensityLimitGraduatesAfterWarmup pins the density-limit graduation
+// criteria end to end: cold, the candidate is gated with a warmup count
+// in its reason; after calibMinObs observed (hint-forced) executions it
+// ungates, the cost-based pick chooses it with no hint on a sparse LIMIT
+// query, and the unhinted execution scans exactly the frames the forced
+// density plan scans.
+func TestDensityLimitGraduatesAfterWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := testEngine(t, "taipei")
+	orig := snapshotCalib(e)
+	defer installCalib(e, orig)
+	installCalib(e, nil)
+
+	if err := e.BuildIndex([]vidsim.Class{vidsim.Bus}); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT * FROM taipei WHERE class = 'bus' AND (class = 'bus' OR class = 'car') AND timestamp >= 10240 LIMIT 20 GAP 10`
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: gated, with the warmup count surfaced in the reason.
+	rep, err := e.ExplainPlan(info, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold *plan.Candidate
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Name == densityPlanName {
+			cold = &rep.Candidates[i]
+		}
+	}
+	if cold == nil {
+		t.Fatalf("no density candidate enumerated: %+v", rep.Candidates)
+	}
+	if cold.Chosen {
+		t.Fatal("cold store cost-chose the density candidate")
+	}
+	if !strings.Contains(cold.Reason, "calibration warmup: 0/3") {
+		t.Fatalf("cold density gate reason %q lacks the warmup count", cold.Reason)
+	}
+
+	// Warm up: calibMinObs hint-forced executions feed the store.
+	var forcedRef *Result
+	for i := 0; i < calibMinObs; i++ {
+		if forcedRef, err = e.ExecuteForced(info, 1, densityPlanName); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Graduated: the pick needs no hint, and the chosen execution's
+	// frames-scanned matches the forced density plan exactly.
+	rep, err = e.ExplainPlan(info, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chosen != densityPlanName {
+		t.Fatalf("after %d observed executions the pick is %q, want %q\ncandidates: %+v",
+			calibMinObs, rep.Chosen, densityPlanName, rep.Candidates)
+	}
+	res, err := e.ExecuteParallel(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Plan != densityPlanName {
+		t.Fatalf("unhinted execution ran %q", res.Stats.Plan)
+	}
+	if res.PlanReport.Forced {
+		t.Fatal("graduated pick reported as forced")
+	}
+	answersIdentical(t, "graduated cost-chosen vs hint-forced density", res, forcedRef)
+}
+
+// TestCalibrationPersistsAcrossRestart: corrections learned in one
+// session survive a restart onto the same index directory — the store
+// reloads with its lifetime counts and windowed ratios intact, so a warm
+// engine prices candidates exactly as the flushed engine did.
+func TestCalibrationPersistsAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	dir := t.TempDir()
+	a, err := NewEngine("taipei", indexTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := frameql.Analyze(`SELECT FCOUNT(*) FROM taipei WHERE class='bus'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < calibMinObs+1; i++ {
+		if _, err := a.Execute(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotCalib(a)
+	key := calibKey("aggregate", "naive-exhaustive")
+	if want[key] == nil || want[key].count < calibMinObs {
+		t.Fatalf("first session accumulated no calibration for %s: %+v", key, want)
+	}
+
+	b, err := NewEngine("taipei", indexTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotCalib(b)
+	if len(got) != len(want) {
+		t.Fatalf("restarted store holds %d entries, flushed store held %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g := got[k]
+		if g == nil {
+			t.Fatalf("restarted store lost entry %s", k)
+		}
+		if g.count != w.count {
+			t.Errorf("%s: lifetime count %d, want %d", k, g.count, w.count)
+		}
+		if g.median() != w.median() {
+			t.Errorf("%s: reloaded median %v, flushed %v", k, g.median(), w.median())
+		}
+	}
+}
+
+// TestDriftReplanAtChunkBoundary drives the standing-query drift
+// protocol end to end on a live stream: a cost-picked cursor whose
+// calibrated estimate is forced far below the execution's actual cost is
+// flagged by the drift detector, the re-plan is deferred to the recorded
+// chunk-aligned boundary, the switch happens only there, and the
+// advanced answer is bitwise equal to a fresh query at the same horizon.
+func TestDriftReplanAtChunkBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	e := liveTestEngine(t)
+	if err := e.BuildIndex([]vidsim.Class{vidsim.Bus}); err != nil {
+		t.Fatal(err)
+	}
+	// A sparse-start LIMIT: the temporal ramp must scan deep into the
+	// quiet region before settling K, so the resumed incumbent's actual
+	// cost is far above a floored calibrated estimate, while the density
+	// schedule's frames-to-K marginal is strictly cheaper — giving the
+	// boundary re-enumeration a genuinely better candidate to switch to.
+	q := `SELECT * FROM taipei WHERE class = 'bus' AND (class = 'bus' OR class = 'car') AND timestamp >= 10240 LIMIT 20 GAP 10`
+	info, err := frameql.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecuteParallel(info, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	x, err := e.BeginQuery(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.RunTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Result(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := x.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Forced || cur.Plan != "exhaustive" {
+		t.Fatalf("standing query pinned %q (forced=%v), want cost-picked exhaustive", cur.Plan, cur.Forced)
+	}
+
+	// Poison the incumbent's calibration: an upper-bound-only estimate
+	// corrected to its floor prices the resume far below what it will
+	// actually cost, so the advance's actual cost escapes the calibrated
+	// band and the detector flags drift. Seed the density candidate past
+	// warmup too, so the boundary re-enumeration has a cheaper graduate
+	// to switch to.
+	seedCalib(e, "exhaustive", "exhaustive", 1e-4, 1e-4, 1e-4)
+	seedCalib(e, "exhaustive", densityPlanName, 1e-4, 1e-4, 1e-4)
+
+	if _, err := e.AppendLive(index.ChunkFrames / 2); err != nil {
+		t.Fatal(err)
+	}
+	_, cur1, err := e.Advance(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur1.ReplanAtHorizon == 0 {
+		t.Fatal("drifted advance did not arm a re-plan boundary")
+	}
+	if cur1.ReplanAtHorizon%index.ChunkFrames != 0 {
+		t.Fatalf("re-plan boundary %d is not chunk-aligned", cur1.ReplanAtHorizon)
+	}
+	if cur1.ReplanAtHorizon <= cur1.Horizon {
+		t.Fatalf("re-plan boundary %d not beyond horizon %d", cur1.ReplanAtHorizon, cur1.Horizon)
+	}
+	if cur1.PlanSwitches != 0 || cur1.Plan != "exhaustive" {
+		t.Fatalf("plan switched mid-epoch: %+v", cur1)
+	}
+
+	// Before the boundary: the pinned plan keeps running, the marker
+	// persists.
+	if e.Horizon() < cur1.ReplanAtHorizon {
+		_, curMid, err := e.Advance(cur1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if curMid.Plan != "exhaustive" || curMid.PlanSwitches != 0 {
+			t.Fatalf("re-planned before the boundary: %+v", curMid)
+		}
+		if curMid.ReplanAtHorizon != cur1.ReplanAtHorizon {
+			t.Fatalf("boundary marker moved: %d -> %d", cur1.ReplanAtHorizon, curMid.ReplanAtHorizon)
+		}
+		cur1 = curMid
+	}
+
+	// Cross the boundary and advance: the re-enumeration switches to the
+	// graduated density plan, and the advanced answer equals a fresh
+	// query of the same horizon bit for bit.
+	for e.Horizon() < cur1.ReplanAtHorizon {
+		added, err := e.AppendLive(index.ChunkFrames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added == 0 {
+			t.Fatalf("day exhausted at horizon %d before boundary %d", e.Horizon(), cur1.ReplanAtHorizon)
+		}
+	}
+	advanced, cur2, err := e.Advance(cur1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur2.Plan != densityPlanName {
+		t.Fatalf("boundary re-plan kept %q, want switch to %q", cur2.Plan, densityPlanName)
+	}
+	if cur2.PlanSwitches != 1 {
+		t.Fatalf("PlanSwitches = %d, want 1", cur2.PlanSwitches)
+	}
+	if cur2.ReplanAtHorizon != 0 {
+		t.Fatalf("boundary marker not consumed: %+v", cur2)
+	}
+	fresh, err := e.ExecuteParallel(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, "switched advance vs fresh query at the same horizon", advanced, fresh)
+}

@@ -255,6 +255,7 @@ func NewEngineFromConfig(cfg vidsim.StreamConfig, opts Options) (*Engine, error)
 		},
 	})
 	e.loadPlannerSummaries()
+	e.loadCalibration()
 	if e.Live() {
 		// Live engines serve queries from pinned snapshot views from the
 		// start, so ingest never races a reader over the master video.
@@ -541,11 +542,15 @@ func (e *Engine) IngestIndex(classes []vidsim.Class) (int, error) {
 func (e *Engine) IndexStats() index.Stats { return e.idx.Stats() }
 
 // FlushIndex persists everything the index tier buffers in memory:
-// committed ground-truth labels and the planner's held-out summaries.
-// Models and segments persist at build time; Flush covers the
-// incrementally growing artifacts, so serving layers call it on shutdown.
+// committed ground-truth labels, the planner's held-out summaries, and
+// the calibration store's learned correction feedback. Models and
+// segments persist at build time; Flush covers the incrementally growing
+// artifacts, so serving layers call it on shutdown.
 func (e *Engine) FlushIndex() error {
 	err := e.savePlannerSummaries()
+	if cerr := e.saveCalibration(); err == nil {
+		err = cerr
+	}
 	if ferr := e.idx.Flush(); err == nil {
 		err = ferr
 	}
@@ -594,7 +599,11 @@ func (e *Engine) Execute(info *frameql.Info) (*Result, error) {
 // simulated cost meter — is bit-identical at every level, which is why
 // results cached at one level may be served to requests asking for
 // another. Plan choice is equally parallelism- and cache-state-
-// independent, so repeated queries always run the same plan.
+// independent; it depends only on the query and the planner's calibration
+// state, so repeated queries run the same plan until execution feedback
+// deliberately re-prices a candidate (see calibration.go) — and even then
+// every candidate's answer is pinned bit-identical, so calibration can
+// change cost, never correctness.
 func (e *Engine) ExecuteParallel(info *frameql.Info, parallelism int) (*Result, error) {
 	e = e.pin()
 	cands, err := e.planCandidates(info, parallelism)

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/frameql"
 	"repro/internal/obs"
@@ -34,8 +36,12 @@ import (
 //     re-plans and forces that candidate. Planner inputs are held-out
 //     statistics over the fixed held-out day, so within one stream
 //     configuration the same name always resolves to the same physical
-//     plan — which is also why Advance never re-prices a standing query's
-//     pick: the summaries it would re-price from cannot change.
+//     plan. Advance normally forces the pinned pick for the same reason —
+//     but when the drift detector has flagged a cost-picked standing
+//     query (calibration.go) and the pinned horizon reaches the
+//     chunk-aligned boundary recorded in the cursor, it re-enumerates
+//     with current calibration and may switch plans, opening the new pick
+//     fresh so the advanced answer stays exactly a fresh query's answer.
 //
 // Advance extends a completed cursor over a live stream's newly appended
 // frames: scan families (exhaustive, selection, distinct, naive
@@ -238,20 +244,84 @@ func (e *Engine) resumeAnalyzed(info *frameql.Info, cur *plan.Cursor) (*Executio
 // state the cursor does not carry); callers polling in a loop should
 // check the horizon first, as the serving tier's /poll and the public
 // StandingQuery.Advance do.
+//
+// Cost-picked cursors additionally run the drift protocol: after each
+// advance the engine checks whether the execution's actual cost left the
+// calibrated estimate's accuracy band or the live window's re-measured
+// presence left the band around the held-out presence (calibration.go);
+// if so, the next chunk-aligned horizon is recorded in the cursor, and
+// the first Advance at or past that boundary re-enumerates and may switch
+// plans. A switch opens the new pick fresh over the pinned horizon, so
+// the advanced answer remains bitwise-equal to a fresh query's.
 func (e *Engine) Advance(cur *plan.Cursor) (*Result, *plan.Cursor, error) {
 	e = e.pin()
+	return e.advanceImpl(cur, nil)
+}
+
+// advanceImpl is the shared Advance body; root is the trace root span
+// (nil when untraced — obs spans are nil-safe, so the span calls become
+// no-ops).
+func (e *Engine) advanceImpl(cur *plan.Cursor, root *obs.Span) (*Result, *plan.Cursor, error) {
 	info, err := frameql.Analyze(cur.Query)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)
 	}
 	if e.Test.Frames > cur.Horizon {
+		ing := root.Child("ingest-catchup")
+		ing.SetAttr("from_horizon", strconv.Itoa(cur.Horizon))
+		ing.SetAttr("to_horizon", strconv.Itoa(e.Test.Frames))
 		if err := e.ingestForQuery(info); err != nil {
+			ing.Fail(err)
 			return nil, nil, err
 		}
+		ing.End()
 	}
-	x, err := e.resumeAnalyzed(info, cur)
-	if err != nil {
-		return nil, nil, err
+	// Work on a copy: the replan protocol consumes the boundary marker and
+	// the caller's cursor must stay untouched on error.
+	cc := *cur
+	cur = &cc
+	switched := false
+	prevPlan := cur.Plan
+	var x *Execution
+	prepName := "resume"
+	if !cur.Forced && cur.ReplanAtHorizon > 0 && e.Test.Frames >= cur.ReplanAtHorizon {
+		rp := root.Child("replan")
+		rp.SetAttr("incumbent", cur.Plan)
+		rp.SetAttr("boundary", strconv.Itoa(cur.ReplanAtHorizon))
+		cands, err := e.planCandidates(info, cur.Parallelism)
+		if err != nil {
+			rp.Fail(err)
+			return nil, nil, err
+		}
+		chosen, err := plan.Choose(cands)
+		if err != nil {
+			rp.Fail(err)
+			return nil, nil, err
+		}
+		name := chosen.Plan.Describe().Name
+		rp.SetAttr("chosen", name)
+		rp.End()
+		cur.ReplanAtHorizon = 0
+		if name != cur.Plan {
+			// Switch: open the new pick fresh over the pinned horizon —
+			// exactly what a fresh query at this horizon computes.
+			switched = true
+			prepName = "replan-open"
+			prepStart := time.Now()
+			x, err = e.newExecution(info, cands, chosen, false, cur.Parallelism)
+			if err != nil {
+				return nil, nil, err
+			}
+			x.attachTrace(root, time.Since(prepStart), prepName)
+		}
+	}
+	if x == nil {
+		resumeStart := time.Now()
+		x, err = e.resumeAnalyzed(info, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		x.attachTrace(root, time.Since(resumeStart), prepName)
 	}
 	if err := x.RunTo(-1); err != nil {
 		return nil, nil, err
@@ -260,9 +330,29 @@ func (e *Engine) Advance(cur *plan.Cursor) (*Result, *plan.Cursor, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sus := root.Child("suspend")
 	ncur, err := x.Suspend()
 	if err != nil {
+		sus.Fail(err)
 		return nil, nil, err
+	}
+	sus.End()
+	ncur.PlanSwitches = cur.PlanSwitches
+	ncur.ReplanAtHorizon = cur.ReplanAtHorizon
+	if switched {
+		ncur.PlanSwitches++
+		root.SetAttr("plan_switched", "true")
+		root.SetAttr("plan_switched_from", prevPlan)
+	}
+	if !cur.Forced && !switched && ncur.ReplanAtHorizon == 0 &&
+		e.detectDrift(info, x.chosen, res.PlanReport) {
+		ncur.ReplanAtHorizon = replanBoundary(e.Test.Frames)
+	}
+	if ncur.PlanSwitches > 0 {
+		root.SetAttr("plan_switches", strconv.Itoa(ncur.PlanSwitches))
+	}
+	if ncur.ReplanAtHorizon > 0 {
+		root.SetAttr("replan_at_horizon", strconv.Itoa(ncur.ReplanAtHorizon))
 	}
 	return res, ncur, nil
 }

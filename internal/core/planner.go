@@ -97,12 +97,18 @@ func (e *Engine) effectiveParallelism(parallelism int) int {
 }
 
 // planCandidates validates the query, resolves the effective parallelism,
-// and enumerates candidates.
+// enumerates candidates, and applies the calibration store's correction
+// factors so Choose prices candidates with calibrated estimates.
 func (e *Engine) planCandidates(info *frameql.Info, parallelism int) ([]candidate, error) {
 	if info.Video != "" && info.Video != e.Cfg.Name {
 		return nil, fmt.Errorf("core: query is over %q but engine holds %q", info.Video, e.Cfg.Name)
 	}
-	return e.enumerate(info, e.effectiveParallelism(parallelism))
+	cands, err := e.enumerate(info, e.effectiveParallelism(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	e.applyCalibration(info.Kind.String(), cands)
+	return cands, nil
 }
 
 // pick selects the candidate to execute: the query's hint when present,
@@ -184,6 +190,15 @@ type plannerState struct {
 	// cascade holds measured joint pass rates per trained selection
 	// cascade (content filters + label filter).
 	cascade map[string]*cascadeRates
+	// calib holds the feedback-calibration entries per (family, plan):
+	// windowed actual/estimate ratios whose median becomes the
+	// correction factor applied at enumeration time (calibration.go).
+	calib map[string]*calibEntry
+	// famErr holds the per-family sliding window of relative estimate
+	// errors — the recent-history counterpart of estErrSum/estErrN, read
+	// by /statz, the window-error gauge, and the drift detector's
+	// feedback path.
+	famErr map[string]*errWindow
 
 	// Accounting for /statz.
 	planned   uint64
@@ -201,6 +216,8 @@ func newPlannerState() *plannerState {
 		bias:     make(map[string]float64),
 		scrub:    make(map[string]*scrubStatsEntry),
 		cascade:  make(map[string]*cascadeRates),
+		calib:    make(map[string]*calibEntry),
+		famErr:   make(map[string]*errWindow),
 		picks:    make(map[string]map[string]uint64),
 	}
 }
@@ -223,6 +240,7 @@ func (p *plannerState) record(rep *plan.Report) {
 		p.estErrSum += math.Abs(rep.ActualSeconds-rep.EstimateSeconds) / rep.EstimateSeconds
 		p.estErrN++
 	}
+	p.observe(rep)
 }
 
 // PlannerStats is a snapshot of the engine's planning accounting.
@@ -241,6 +259,15 @@ type PlannerStats struct {
 	// MeanEstimateError is EstimateErrorSum/EstimateErrorCount (0 with
 	// no cost-chosen executions).
 	MeanEstimateError float64
+	// WindowErrors maps family → sliding-window estimate-error summary
+	// (the same window the drift detector's feedback path fills; see
+	// calibration.go). Unlike the lifetime mean it includes forced
+	// executions, because standing queries resume by forcing their
+	// pinned plan and drift must see them.
+	WindowErrors map[string]WindowErrorStat
+	// Calibrations maps "family|plan" → lifetime feedback observation
+	// count in the calibration store.
+	Calibrations map[string]uint64
 }
 
 // PlannerStats returns a snapshot of the engine's planner accounting.
@@ -264,6 +291,14 @@ func (e *Engine) PlannerStats() PlannerStats {
 	}
 	if p.estErrN > 0 {
 		s.MeanEstimateError = p.estErrSum / float64(p.estErrN)
+	}
+	s.WindowErrors = make(map[string]WindowErrorStat, len(p.famErr))
+	for fam, w := range p.famErr {
+		s.WindowErrors[fam] = WindowErrorStat{MeanError: w.mean(), Samples: len(w.vals), Lifetime: w.count}
+	}
+	s.Calibrations = make(map[string]uint64, len(p.calib))
+	for k, ent := range p.calib {
+		s.Calibrations[k] = ent.count
 	}
 	return s
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
 	"time"
 
@@ -241,8 +240,11 @@ func (e *Engine) ExecuteParallelTraced(info *frameql.Info, parallelism int, tr *
 
 // AdvanceTraced is Advance recording a span tree onto tr: ingest
 // catch-up, cursor resume (re-plan plus state restore, carrying the
-// standing query's preparation charges), the incremental scan, finalize,
-// and re-suspension. A nil trace degrades to Advance.
+// standing query's preparation charges) — or, at a drift-triggered
+// re-plan boundary, the replan span and a fresh open of the switched
+// pick — the incremental scan, finalize, and re-suspension. A plan
+// switch stamps plan_switched / plan_switched_from / plan_switches on
+// the root. A nil trace degrades to Advance.
 func (e *Engine) AdvanceTraced(cur *plan.Cursor, tr *obs.Trace) (*Result, *plan.Cursor, error) {
 	if tr == nil {
 		return e.Advance(cur)
@@ -251,41 +253,7 @@ func (e *Engine) AdvanceTraced(cur *plan.Cursor, tr *obs.Trace) (*Result, *plan.
 	root := tr.Root
 	root.SetAttr("standing", "true")
 	e.traceSnapshotAttrs(root)
-	info, err := frameql.Analyze(cur.Query)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: advancing cursor: %w", err)
-	}
-	if e.Test.Frames > cur.Horizon {
-		ing := root.Child("ingest-catchup")
-		ing.SetAttr("from_horizon", strconv.Itoa(cur.Horizon))
-		ing.SetAttr("to_horizon", strconv.Itoa(e.Test.Frames))
-		if err := e.ingestForQuery(info); err != nil {
-			ing.Fail(err)
-			return nil, nil, err
-		}
-		ing.End()
-	}
-	resumeStart := time.Now()
-	x, err := e.resumeAnalyzed(info, cur)
-	if err != nil {
-		return nil, nil, err
-	}
-	x.attachTrace(root, time.Since(resumeStart), "resume")
-	if err := x.RunTo(-1); err != nil {
-		return nil, nil, err
-	}
-	res, err := x.Result()
-	if err != nil {
-		return nil, nil, err
-	}
-	sus := root.Child("suspend")
-	ncur, err := x.Suspend()
-	if err != nil {
-		sus.Fail(err)
-		return nil, nil, err
-	}
-	sus.End()
-	return res, ncur, nil
+	return e.advanceImpl(cur, root)
 }
 
 // traceSnapshotAttrs stamps a live engine's pinned snapshot identity onto

@@ -34,6 +34,7 @@ var (
 	magicModel   = [8]byte{'B', 'L', 'Z', 'I', 'X', 'M', 'D', '1'}
 	magicLabels  = [8]byte{'B', 'L', 'Z', 'I', 'X', 'L', 'B', '1'}
 	magicSummary = [8]byte{'B', 'L', 'Z', 'I', 'X', 'S', 'M', '1'}
+	magicCalib   = [8]byte{'B', 'L', 'Z', 'I', 'X', 'C', 'L', '1'}
 )
 
 // segmentDirFor returns the directory holding one (stream, fingerprint)
@@ -68,6 +69,10 @@ func labelsPath(dir string, day int) string {
 
 func summariesPath(dir string) string {
 	return filepath.Join(dir, "summaries.blz")
+}
+
+func calibrationPath(dir string) string {
+	return filepath.Join(dir, "calibration.blz")
 }
 
 // atomicWrite writes data to path via a temp file and rename, so readers

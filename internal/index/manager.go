@@ -557,6 +557,36 @@ func (m *Manager) SaveSummaries(blob []byte) error {
 	return nil
 }
 
+// LoadCalibration returns the persisted planner-calibration blob, if
+// present and valid. Calibration lives beside the held-out summaries but
+// in its own file: summaries are a derivable cache, calibration is
+// learned feedback state a warm restart should keep.
+func (m *Manager) LoadCalibration() ([]byte, bool) {
+	if m.dir == "" {
+		return nil, false
+	}
+	payload, err := readBlobFile(calibrationPath(m.dir), magicCalib, m.cfg.Fingerprint)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			m.recordErr(err)
+		}
+		return nil, false
+	}
+	return payload, true
+}
+
+// SaveCalibration persists the planner-calibration blob atomically.
+func (m *Manager) SaveCalibration(blob []byte) error {
+	if m.dir == "" {
+		return nil
+	}
+	if err := writeBlobFile(calibrationPath(m.dir), magicCalib, m.cfg.Fingerprint, blob); err != nil {
+		m.recordErr(fmt.Errorf("index: persisting calibration: %w", err))
+		return err
+	}
+	return nil
+}
+
 // SegmentInfo describes one materialized segment for stats/inspection.
 type SegmentInfo struct {
 	Key    Key

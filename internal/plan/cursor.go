@@ -22,8 +22,11 @@ import (
 type Cursor struct {
 	// Family is the plan family (query kind) the cursor belongs to.
 	Family string `json:"family"`
-	// Plan names the physical plan, pinned for the cursor's lifetime: a
-	// standing query never flip-flops between candidates mid-stream.
+	// Plan names the physical plan. Cost-picked cursors may re-plan when
+	// the planner's drift detector fires — but only at the deterministic
+	// boundary recorded in ReplanAtHorizon, never mid-epoch, so a standing
+	// query still cannot flip-flop between candidates within an epoch.
+	// Hint-forced cursors (Forced) keep their plan for life.
 	Plan string `json:"plan"`
 	// Query is the canonical FrameQL text the cursor answers.
 	Query string `json:"query"`
@@ -43,6 +46,15 @@ type Cursor struct {
 	// Forced records that the plan was pinned by a hint or baseline entry
 	// point rather than the cost-based pick.
 	Forced bool `json:"forced,omitempty"`
+	// ReplanAtHorizon, when positive, schedules a drift-triggered re-plan:
+	// the first Advance whose pinned horizon reaches it re-enumerates
+	// candidates with current calibration and may switch Plan. The
+	// boundary is chunk-aligned and recorded here so the switch point is
+	// deterministic regardless of poll cadence.
+	ReplanAtHorizon int `json:"replan_at_horizon,omitempty"`
+	// PlanSwitches counts drift-triggered plan switches over the cursor's
+	// lifetime, surfaced in traces and /poll responses.
+	PlanSwitches int `json:"plan_switches,omitempty"`
 	// State is the family's serialized accumulator snapshot.
 	State json.RawMessage `json:"state,omitempty"`
 }

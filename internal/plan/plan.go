@@ -21,6 +21,16 @@
 // between cold and warm caches would make repeated queries
 // non-deterministic. Ties resolve to enumeration order, so enumerators
 // list the preferred plan first.
+//
+// Marginal estimates may additionally be calibrated by execution feedback:
+// the engine's planner multiplies each candidate's raw marginal by a
+// correction factor fitted from that candidate's observed actual-vs-
+// estimate cost ratios (see the calibration store in internal/core). A
+// calibrated pick can therefore evolve as a deployment observes its
+// workload — deliberately, and answer-neutrally: every candidate is
+// pinned bit-identical, so calibration reorders candidate choice only.
+// Costed carries both the raw and the calibrated marginal so reports stay
+// auditable.
 package plan
 
 import (
@@ -144,10 +154,18 @@ type Costed[R any] struct {
 	// MarginalSeconds is the decision metric: the estimated
 	// per-execution cost excluding one-time index investments (training
 	// and whole-day labeling inference — the paper's indexed
-	// accounting). It is a pure function of the query and the cached
-	// planning statistics — never of cache state — so the pick is
-	// deterministic across repeated executions.
+	// accounting). It is a pure function of the query, the cached
+	// planning statistics, and the planner's calibration state — never of
+	// cache state — so the pick is deterministic for a fixed calibration
+	// store.
 	MarginalSeconds float64
+	// RawMarginal is MarginalSeconds before calibration: the enumerator's
+	// static estimate. Zero means no calibration was applied (the two
+	// metrics coincide).
+	RawMarginal float64
+	// Correction is the multiplicative calibration factor applied to
+	// RawMarginal to produce MarginalSeconds; zero or one means none.
+	Correction float64
 	// Infeasible, when non-empty, explains why the candidate cannot run
 	// for this query (it still appears in EXPLAIN output).
 	Infeasible string
@@ -229,8 +247,20 @@ type Candidate struct {
 	// EstimateSeconds is Estimate.Total(), denormalized for display.
 	EstimateSeconds float64 `json:"estimate_seconds"`
 	// MarginalSeconds is the cache-independent decision metric the
-	// planner compared candidates by.
+	// planner compared candidates by — calibrated when the planner has
+	// feedback for this candidate.
 	MarginalSeconds float64 `json:"marginal_seconds"`
+	// RawMarginalSeconds is the enumerator's static marginal estimate
+	// before calibration.
+	RawMarginalSeconds float64 `json:"raw_marginal_seconds"`
+	// CalibratedEstimateSeconds is EstimateSeconds scaled by the
+	// correction factor: the planner's best guess at the next execution's
+	// actual total cost.
+	CalibratedEstimateSeconds float64 `json:"calibrated_estimate_seconds"`
+	// CorrectionFactor is the multiplicative calibration applied to this
+	// candidate's estimates (1 when the calibration store has no feedback
+	// for it).
+	CorrectionFactor float64 `json:"correction_factor"`
 	// Feasible reports whether the candidate could run for this query.
 	Feasible bool `json:"feasible"`
 	// Reason explains infeasibility or gating.
@@ -253,8 +283,12 @@ type Report struct {
 	Chosen string `json:"chosen"`
 	// Forced reports whether a hint or baseline forced the pick.
 	Forced bool `json:"forced,omitempty"`
-	// EstimateSeconds is the chosen candidate's estimated total cost.
+	// EstimateSeconds is the chosen candidate's estimated total cost
+	// (raw, before calibration).
 	EstimateSeconds float64 `json:"estimate_seconds"`
+	// CalibratedSeconds is the chosen candidate's calibrated total-cost
+	// estimate; equals EstimateSeconds when no correction applied.
+	CalibratedSeconds float64 `json:"calibrated_seconds,omitempty"`
 	// ActualSeconds is the executed plan's recorded total cost; zero for
 	// EXPLAIN reports, which do not execute.
 	ActualSeconds float64 `json:"actual_seconds,omitempty"`
@@ -281,11 +315,19 @@ func NewReport[R any](family string, cands []Costed[R], chosen *Costed[R], force
 	for i := range cands {
 		c := &cands[i]
 		cand := Candidate{
-			Feasible:        c.Infeasible == "",
-			Reason:          c.Infeasible,
-			Accuracy:        c.Accuracy,
-			UpperBoundOnly:  c.UpperBoundOnly,
-			MarginalSeconds: c.MarginalSeconds,
+			Feasible:           c.Infeasible == "",
+			Reason:             c.Infeasible,
+			Accuracy:           c.Accuracy,
+			UpperBoundOnly:     c.UpperBoundOnly,
+			MarginalSeconds:    c.MarginalSeconds,
+			RawMarginalSeconds: c.RawMarginal,
+			CorrectionFactor:   c.Correction,
+		}
+		if cand.RawMarginalSeconds == 0 {
+			cand.RawMarginalSeconds = c.MarginalSeconds
+		}
+		if cand.CorrectionFactor == 0 {
+			cand.CorrectionFactor = 1
 		}
 		if c.Plan != nil {
 			d := c.Plan.Describe()
@@ -294,6 +336,7 @@ func NewReport[R any](family string, cands []Costed[R], chosen *Costed[R], force
 			if c.Infeasible == "" {
 				cand.Estimate = c.Plan.EstimateCost()
 				cand.EstimateSeconds = cand.Estimate.Total()
+				cand.CalibratedEstimateSeconds = cand.EstimateSeconds * cand.CorrectionFactor
 			}
 		}
 		if c.Gated && cand.Reason == "" {
@@ -307,6 +350,7 @@ func NewReport[R any](family string, cands []Costed[R], chosen *Costed[R], force
 			cand.Chosen = true
 			rep.Chosen = cand.Name
 			rep.EstimateSeconds = cand.EstimateSeconds
+			rep.CalibratedSeconds = cand.CalibratedEstimateSeconds
 		}
 		rep.Candidates = append(rep.Candidates, cand)
 	}

@@ -208,8 +208,16 @@ type subscribeResponse struct {
 	Plan      string `json:"plan"`
 	// Updated reports whether this poll advanced the answer (always true
 	// for the initial subscribe).
-	Updated bool           `json:"updated"`
-	Result  *queryResponse `json:"result"`
+	Updated bool `json:"updated"`
+	// PlanSwitches counts drift-triggered plan switches over the
+	// subscription's lifetime; Replanned reports whether this poll's
+	// advance switched plans. ReplanAtHorizon, when nonzero, is the
+	// chunk-aligned horizon at which a pending drift re-plan will
+	// re-enumerate (see the planner's drift detector).
+	PlanSwitches    int            `json:"plan_switches,omitempty"`
+	Replanned       bool           `json:"replanned,omitempty"`
+	ReplanAtHorizon int            `json:"replan_at_horizon,omitempty"`
+	Result          *queryResponse `json:"result"`
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
@@ -392,6 +400,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	defer sub.mu.Unlock()
 
 	updated := false
+	replanned := false
 	var tr *obs.Trace
 	start := time.Now()
 	horizon, open := s.streamHorizon(sub.stream)
@@ -432,6 +441,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		}
 		tr.Finish()
 		s.traces.Add(tr)
+		replanned = ncur.PlanSwitches > sub.cursor.PlanSwitches
 		sub.cursor = ncur
 		sub.last = res
 		sub.seq++
@@ -450,9 +460,12 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	resp := &subscribeResponse{
 		ID: sub.id, Seq: sub.seq,
 		Horizon: sub.cursor.Horizon, DayFrames: s.dayFrames(sub.stream),
-		Plan:    sub.cursor.Plan,
-		Updated: updated,
-		Result:  s.buildResponse(sub.stream, sub.canonical, sub.last, !updated, s.maxRows(maxRows), time.Since(start)),
+		Plan:            sub.cursor.Plan,
+		Updated:         updated,
+		PlanSwitches:    sub.cursor.PlanSwitches,
+		Replanned:       replanned,
+		ReplanAtHorizon: sub.cursor.ReplanAtHorizon,
+		Result:          s.buildResponse(sub.stream, sub.canonical, sub.last, !updated, s.maxRows(maxRows), time.Since(start)),
 	}
 	if tr != nil {
 		resp.Result.TraceID = tr.ID

@@ -241,6 +241,25 @@ func (s *Server) registerCollectors() {
 				}
 			}
 		})
+	r.CollectFunc("blazeit_planner_window_estimate_error",
+		"Sliding-window mean relative estimate error per plan family — the same window the drift detector reads.",
+		obs.KindGauge, []string{"family"}, func(emit obs.EmitFunc) {
+			sums := make(map[string]float64)
+			counts := make(map[string]int)
+			s.eachOpenEngine(func(name string) {
+				if eng, ok := s.reg.Peek(name); ok {
+					for fam, we := range eng.PlannerStats().WindowErrors {
+						sums[fam] += we.MeanError * float64(we.Samples)
+						counts[fam] += we.Samples
+					}
+				}
+			})
+			for fam, n := range counts {
+				if n > 0 {
+					emit(sums[fam]/float64(n), fam)
+				}
+			}
+		})
 	r.CollectFunc("blazeit_stream_horizon", "Visible frames per open stream.",
 		obs.KindGauge, []string{"stream"}, func(emit obs.EmitFunc) {
 			s.eachOpenEngine(func(name string) {

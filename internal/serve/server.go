@@ -886,6 +886,21 @@ type plannerStatz struct {
 	// MeanEstimateError is the mean relative |actual−estimate|/estimate
 	// over cost-chosen executions.
 	MeanEstimateError float64 `json:"mean_estimate_error"`
+	// WindowErrors maps plan family → sliding-window estimate error —
+	// the same window the drift detector reads, so this is the live view
+	// of how well calibrated pricing currently tracks executions.
+	WindowErrors map[string]windowErrStatz `json:"window_errors,omitempty"`
+	// Calibrations maps "family|plan" → lifetime feedback observations
+	// accumulated by the calibration store.
+	Calibrations map[string]uint64 `json:"calibrations,omitempty"`
+}
+
+// windowErrStatz is one family's sliding-window relative estimate error,
+// aggregated across open engines (sample-weighted mean).
+type windowErrStatz struct {
+	MeanError float64 `json:"mean_error"`
+	Samples   int     `json:"samples"`
+	Lifetime  uint64  `json:"lifetime"`
 }
 
 // parallelStatz reports sharded-execution activity aggregated across the
@@ -961,6 +976,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	var estErrSum float64
 	var estErrN uint64
+	winErrSum := make(map[string]float64)
+	winErrN := make(map[string]int)
+	winErrLife := make(map[string]uint64)
 	for _, name := range open {
 		if eng, ok := s.reg.Peek(name); ok {
 			es := eng.ExecStats()
@@ -1002,10 +1020,34 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			// cost-chosen execution equally across engines.
 			estErrSum += ps.EstimateErrorSum
 			estErrN += ps.EstimateErrorCount
+			for fam, we := range ps.WindowErrors {
+				winErrSum[fam] += we.MeanError * float64(we.Samples)
+				winErrN[fam] += we.Samples
+				winErrLife[fam] += we.Lifetime
+			}
+			for k, v := range ps.Calibrations {
+				if planner.Calibrations == nil {
+					planner.Calibrations = make(map[string]uint64)
+				}
+				planner.Calibrations[k] += v
+			}
 		}
 	}
 	if estErrN > 0 {
 		planner.MeanEstimateError = estErrSum / float64(estErrN)
+	}
+	for fam, n := range winErrN {
+		if n == 0 {
+			continue
+		}
+		if planner.WindowErrors == nil {
+			planner.WindowErrors = make(map[string]windowErrStatz)
+		}
+		planner.WindowErrors[fam] = windowErrStatz{
+			MeanError: winErrSum[fam] / float64(n),
+			Samples:   n,
+			Lifetime:  winErrLife[fam],
+		}
 	}
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
